@@ -1,0 +1,413 @@
+//! The Astrea brute-force decoder (paper §5).
+
+use crate::hw6::{decode_hw6, winning_pairs};
+use crate::latency::{astrea_decode_cycles, astrea_fetch_cycles};
+use blossom_mwpm::MatchingSolution;
+use decoding_graph::{Decoder, GlobalWeightTable, Prediction};
+
+/// Configuration of the [`AstreaDecoder`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AstreaConfig {
+    /// Syndromes above this Hamming weight are not decoded (the paper's
+    /// design point is 10; higher weights occur less often than the
+    /// logical error rate at `d ≤ 7`, `p = 10⁻⁴` — Table 2).
+    pub max_hamming_weight: usize,
+}
+
+impl Default for AstreaConfig {
+    fn default() -> AstreaConfig {
+        AstreaConfig {
+            max_hamming_weight: 10,
+        }
+    }
+}
+
+/// A node in the active (to-be-matched) set: a fired detector, or the
+/// virtual boundary node used to even out odd syndromes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Node {
+    Real(u32),
+    Boundary,
+}
+
+/// The active set of one decode call, with the paper's effective-weight
+/// reduction: `w'ᵢⱼ = min(wᵢⱼ, bᵢ + bⱼ)` folds "match both to the
+/// boundary" into pair selection, and one virtual boundary node absorbs
+/// the odd detector. A perfect matching over these nodes under `w'` is
+/// exactly a minimum-weight matching-with-boundary.
+#[derive(Debug, Clone)]
+pub(crate) struct ActiveSet<'a> {
+    gwt: &'a GlobalWeightTable,
+    pub(crate) nodes: Vec<Node>,
+}
+
+impl<'a> ActiveSet<'a> {
+    pub(crate) fn new(gwt: &'a GlobalWeightTable, detectors: &[u32]) -> ActiveSet<'a> {
+        let mut nodes: Vec<Node> = detectors.iter().map(|&d| Node::Real(d)).collect();
+        if nodes.len() % 2 == 1 {
+            nodes.push(Node::Boundary);
+        }
+        ActiveSet { gwt, nodes }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Effective quantized weight between local node indices.
+    pub(crate) fn weight(&self, i: usize, j: usize) -> u32 {
+        match (self.nodes[i], self.nodes[j]) {
+            (Node::Real(a), Node::Real(b)) => {
+                let direct = self.gwt.pair_weight_q(a, b) as u32;
+                let via =
+                    self.gwt.boundary_weight_q(a) as u32 + self.gwt.boundary_weight_q(b) as u32;
+                direct.min(via)
+            }
+            (Node::Real(a), Node::Boundary) | (Node::Boundary, Node::Real(a)) => {
+                self.gwt.boundary_weight_q(a) as u32
+            }
+            (Node::Boundary, Node::Boundary) => 0,
+        }
+    }
+
+    /// Observable parity of the effective pairing between local indices.
+    pub(crate) fn obs(&self, i: usize, j: usize) -> u32 {
+        match (self.nodes[i], self.nodes[j]) {
+            (Node::Real(a), Node::Real(b)) => {
+                let direct = self.gwt.pair_weight_q(a, b) as u32;
+                let via =
+                    self.gwt.boundary_weight_q(a) as u32 + self.gwt.boundary_weight_q(b) as u32;
+                if direct <= via {
+                    self.gwt.pair_obs(a, b)
+                } else {
+                    self.gwt.boundary_obs(a) ^ self.gwt.boundary_obs(b)
+                }
+            }
+            (Node::Real(a), Node::Boundary) | (Node::Boundary, Node::Real(a)) => {
+                self.gwt.boundary_obs(a)
+            }
+            (Node::Boundary, Node::Boundary) => 0,
+        }
+    }
+
+    /// Restricts the active set to a subset of its local node indices
+    /// (used by Astrea-G to hand the unmatched tail to the HW6 block).
+    pub(crate) fn restrict(&self, indices: &[usize]) -> ActiveSet<'a> {
+        ActiveSet {
+            gwt: self.gwt,
+            nodes: indices.iter().map(|&i| self.nodes[i]).collect(),
+        }
+    }
+
+    /// Resolves an effective pairing of local indices into solution pairs
+    /// and boundary assignments.
+    pub(crate) fn resolve_into(&self, i: usize, j: usize, solution: &mut MatchingSolution) {
+        match (self.nodes[i], self.nodes[j]) {
+            (Node::Real(a), Node::Real(b)) => {
+                let direct = self.gwt.pair_weight_q(a, b) as u32;
+                let via =
+                    self.gwt.boundary_weight_q(a) as u32 + self.gwt.boundary_weight_q(b) as u32;
+                if direct <= via {
+                    solution.pairs.push((a.min(b), a.max(b)));
+                    solution.observables ^= self.gwt.pair_obs(a, b);
+                    solution.weight += self.gwt.pair_weight(a, b);
+                } else {
+                    solution.to_boundary.push(a);
+                    solution.to_boundary.push(b);
+                    solution.observables ^= self.gwt.boundary_obs(a) ^ self.gwt.boundary_obs(b);
+                    solution.weight += self.gwt.boundary_weight(a) + self.gwt.boundary_weight(b);
+                }
+            }
+            (Node::Real(a), Node::Boundary) | (Node::Boundary, Node::Real(a)) => {
+                solution.to_boundary.push(a);
+                solution.observables ^= self.gwt.boundary_obs(a);
+                solution.weight += self.gwt.boundary_weight(a);
+            }
+            (Node::Boundary, Node::Boundary) => {}
+        }
+    }
+}
+
+/// The Astrea real-time brute-force MWPM decoder (paper §5).
+///
+/// Mirrors the hardware exactly: the quantized GWT weights feed the
+/// [`HW6Decoder`](crate::hw6) block directly for Hamming weights up to 6,
+/// through one pre-match stage for weights 7–8 (7 HW6 accesses) and two
+/// pre-match stages for weights 9–10 (63 accesses). Hamming weights 0–2
+/// are trivial. Syndromes beyond [`AstreaConfig::max_hamming_weight`] are
+/// *not* decoded ([`Prediction::deferred`] is set) — the paper shows they
+/// are rarer than the logical error rate in Astrea's target regime.
+#[derive(Debug, Clone)]
+pub struct AstreaDecoder<'a> {
+    gwt: &'a GlobalWeightTable,
+    config: AstreaConfig,
+}
+
+impl<'a> AstreaDecoder<'a> {
+    /// Creates a decoder with the paper's default design point.
+    pub fn new(gwt: &'a GlobalWeightTable) -> AstreaDecoder<'a> {
+        AstreaDecoder::with_config(gwt, AstreaConfig::default())
+    }
+
+    /// Creates a decoder with a custom configuration.
+    pub fn with_config(gwt: &'a GlobalWeightTable, config: AstreaConfig) -> AstreaDecoder<'a> {
+        AstreaDecoder { gwt, config }
+    }
+
+    /// The configured Hamming-weight ceiling.
+    pub fn config(&self) -> AstreaConfig {
+        self.config
+    }
+
+    /// Decodes a syndrome and returns the full matching. Returns `None` if
+    /// the Hamming weight exceeds the decoder's ceiling.
+    pub fn decode_full(&self, detectors: &[u32]) -> Option<MatchingSolution> {
+        let hw = detectors.len();
+        if hw > self.config.max_hamming_weight {
+            return None;
+        }
+        if hw == 0 {
+            return Some(MatchingSolution::default());
+        }
+        let set = ActiveSet::new(self.gwt, detectors);
+        let (pairs, _) = best_matching(&set);
+        let mut solution = MatchingSolution::default();
+        for (i, j) in pairs {
+            set.resolve_into(i, j, &mut solution);
+        }
+        Some(solution)
+    }
+}
+
+/// Exhaustively finds the minimum effective-weight perfect matching over an
+/// active set of 2–10 nodes, using the HW6 block exactly as the hardware
+/// composes it. Returns the local-index pairs and the total weight.
+pub(crate) fn best_matching(set: &ActiveSet<'_>) -> (Vec<(usize, usize)>, u32) {
+    let n = set.len();
+    let w = |i: usize, j: usize| set.weight(i, j);
+    match n {
+        2 | 4 | 6 => {
+            let r = decode_hw6(n, w);
+            (winning_pairs(n, r).to_vec(), r.weight)
+        }
+        8 => {
+            // Pre-match node 0 with each candidate; HW6 the rest (7 accesses).
+            let mut best: Option<(Vec<(usize, usize)>, u32)> = None;
+            for c in 1..8 {
+                let rest: Vec<usize> = (1..8).filter(|&x| x != c).collect();
+                let r = decode_hw6(6, |a, b| w(rest[a], rest[b]));
+                let total = w(0, c) + r.weight;
+                if best.as_ref().is_none_or(|(_, bw)| total < *bw) {
+                    let mut pairs = vec![(0, c)];
+                    pairs.extend(winning_pairs(6, r).iter().map(|&(a, b)| (rest[a], rest[b])));
+                    best = Some((pairs, total));
+                }
+            }
+            best.expect("eight-node syndromes always have matchings")
+        }
+        10 => {
+            // Two pre-match stages: 9 × 7 = 63 HW6 accesses.
+            let mut best: Option<(Vec<(usize, usize)>, u32)> = None;
+            for c1 in 1..10 {
+                let rest1: Vec<usize> = (1..10).filter(|&x| x != c1).collect();
+                let first = rest1[0];
+                for c2 in &rest1[1..] {
+                    let rest2: Vec<usize> =
+                        rest1[1..].iter().copied().filter(|&x| x != *c2).collect();
+                    let r = decode_hw6(6, |a, b| w(rest2[a], rest2[b]));
+                    let total = w(0, c1) + w(first, *c2) + r.weight;
+                    if best.as_ref().is_none_or(|(_, bw)| total < *bw) {
+                        let mut pairs = vec![(0, c1), (first, *c2)];
+                        pairs.extend(
+                            winning_pairs(6, r)
+                                .iter()
+                                .map(|&(a, b)| (rest2[a], rest2[b])),
+                        );
+                        best = Some((pairs, total));
+                    }
+                }
+            }
+            best.expect("ten-node syndromes always have matchings")
+        }
+        _ => panic!("Astrea matcher handles 2–10 nodes, got {n}"),
+    }
+}
+
+impl Decoder for AstreaDecoder<'_> {
+    fn decode(&mut self, detectors: &[u32]) -> Prediction {
+        let hw = detectors.len();
+        if hw > self.config.max_hamming_weight {
+            // The paper's Astrea ignores such syndromes entirely.
+            return Prediction {
+                observables: 0,
+                cycles: 0,
+                deferred: true,
+            };
+        }
+        let cycles = astrea_fetch_cycles(hw) + astrea_decode_cycles(hw);
+        if hw == 0 {
+            return Prediction::identity();
+        }
+        if hw <= 2 {
+            // Trivial: a single effective pairing.
+            let set = ActiveSet::new(self.gwt, detectors);
+            return Prediction {
+                observables: set.obs(0, 1),
+                cycles,
+                deferred: false,
+            };
+        }
+        let set = ActiveSet::new(self.gwt, detectors);
+        let mut observables = 0;
+        let (pairs, _) = best_matching(&set);
+        for (i, j) in pairs {
+            observables ^= set.obs(i, j);
+        }
+        Prediction {
+            observables,
+            cycles,
+            deferred: false,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "Astrea"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blossom_mwpm::subset_dp;
+    use decoding_graph::DecodingContext;
+    use qec_circuit::{DemSampler, NoiseModel};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use surface_code::SurfaceCode;
+
+    fn ctx(d: usize, p: f64) -> DecodingContext {
+        let code = SurfaceCode::new(d).unwrap();
+        DecodingContext::for_memory_experiment(&code, NoiseModel::depolarizing(p))
+    }
+
+    #[test]
+    fn empty_syndrome_is_trivial() {
+        let ctx = ctx(3, 1e-3);
+        let mut dec = AstreaDecoder::new(ctx.gwt());
+        assert_eq!(dec.decode(&[]), Prediction::identity());
+    }
+
+    #[test]
+    fn ignores_beyond_max_hamming_weight() {
+        let ctx = ctx(5, 1e-3);
+        let mut dec = AstreaDecoder::new(ctx.gwt());
+        let dets: Vec<u32> = (0..11).collect();
+        let p = dec.decode(&dets);
+        assert!(p.deferred);
+        assert_eq!(p.cycles, 0);
+    }
+
+    #[test]
+    fn cycle_counts_follow_the_paper() {
+        let ctx = ctx(5, 1e-3);
+        let mut dec = AstreaDecoder::new(ctx.gwt());
+        // (hw, expected cycles = fetch + decode)
+        for (hw, expected) in [
+            (1usize, 0u64),
+            (2, 0),
+            (3, 4 + 1),
+            (4, 5 + 1),
+            (6, 7 + 1),
+            (7, 8 + 11),
+            (8, 9 + 11),
+            (9, 10 + 103),
+            (10, 11 + 103),
+        ] {
+            let dets: Vec<u32> = (0..hw as u32).collect();
+            let p = dec.decode(&dets);
+            assert_eq!(p.cycles, expected, "hw={hw}");
+            assert!(p.latency_ns(250.0) <= 456.0);
+        }
+    }
+
+    #[test]
+    fn matches_exact_dp_on_quantized_weights() {
+        // The crux: Astrea's staged brute force is exact MWPM over the
+        // quantized weight table, for every sampled syndrome it accepts.
+        let ctx = ctx(5, 8e-3);
+        let gwt = ctx.gwt();
+        let dec = AstreaDecoder::new(gwt);
+        let mut sampler = DemSampler::new(ctx.dem());
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut checked = 0;
+        for _ in 0..3000 {
+            let shot = sampler.sample(&mut rng);
+            let hw = shot.detectors.len();
+            if hw == 0 || hw > 10 {
+                continue;
+            }
+            let astrea = dec.decode_full(&shot.detectors).unwrap();
+            let dets = &shot.detectors;
+            let (_, dp_cost) = subset_dp::solve(
+                hw,
+                |i, j| {
+                    let direct = gwt.pair_weight_q(dets[i], dets[j]) as f64;
+                    let via = gwt.boundary_weight_q(dets[i]) as f64
+                        + gwt.boundary_weight_q(dets[j]) as f64;
+                    direct.min(via)
+                },
+                |i| gwt.boundary_weight_q(dets[i]) as f64,
+            );
+            // Recompute Astrea's weight in the same quantized units.
+            let mut astrea_cost = 0.0;
+            for &(a, b) in &astrea.pairs {
+                astrea_cost += gwt.pair_weight_q(a, b) as f64;
+            }
+            for &a in &astrea.to_boundary {
+                astrea_cost += gwt.boundary_weight_q(a) as f64;
+            }
+            assert_eq!(
+                astrea_cost, dp_cost,
+                "Astrea suboptimal on {dets:?} (hw {hw})"
+            );
+            assert!(astrea.is_perfect_over(dets));
+            checked += 1;
+        }
+        assert!(checked > 300, "only {checked} syndromes checked");
+    }
+
+    #[test]
+    fn agrees_with_quantized_mwpm_predictions() {
+        // Predictions must agree with the quantized software MWPM in the
+        // overwhelming majority of cases (ties may break differently).
+        use blossom_mwpm::MwpmDecoder;
+        let ctx = ctx(5, 5e-3);
+        let mut astrea = AstreaDecoder::new(ctx.gwt());
+        let mut mwpm = MwpmDecoder::with_quantized_weights(ctx.gwt());
+        let mut sampler = DemSampler::new(ctx.dem());
+        let mut rng = StdRng::seed_from_u64(3);
+        let (mut total, mut agree) = (0u32, 0u32);
+        for _ in 0..2000 {
+            let shot = sampler.sample(&mut rng);
+            if shot.detectors.is_empty() || shot.detectors.len() > 10 {
+                continue;
+            }
+            let a = astrea.decode(&shot.detectors);
+            let m = mwpm.decode(&shot.detectors);
+            total += 1;
+            agree += (a.observables == m.observables) as u32;
+        }
+        assert!(total > 200);
+        assert!(
+            agree as f64 / total as f64 > 0.99,
+            "agreement {agree}/{total}"
+        );
+    }
+
+    #[test]
+    fn decoder_name() {
+        let ctx = ctx(3, 1e-3);
+        let dec = AstreaDecoder::new(ctx.gwt());
+        assert_eq!(dec.name(), "Astrea");
+    }
+}

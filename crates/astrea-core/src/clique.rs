@@ -1,0 +1,206 @@
+//! A Clique-style hierarchical decoder (paper §2.3.4).
+//!
+//! The Clique decoder (Ravi et al.) splits error events in two: *trivial*
+//! events — isolated single-error patterns — are corrected by a tiny local
+//! pre-decoder in hardware, and everything else is deferred to a software
+//! MWPM decoder. The paper criticizes this design on two counts that this
+//! model reproduces: the deferred fraction is decoded off the real-time
+//! path (dominating the critical path), and the local pre-decoder
+//! occasionally misclassifies coincidentally adjacent errors, inflating
+//! the logical error rate relative to pure MWPM.
+
+use blossom_mwpm::MwpmDecoder;
+use decoding_graph::{Decoder, GlobalWeightTable, MatchingGraph, Prediction};
+use std::collections::HashMap;
+
+/// The hierarchical Clique + software-MWPM decoder.
+#[derive(Debug, Clone)]
+pub struct CliqueDecoder<'a> {
+    /// For each detector, its 1-hop neighbors and the connecting edge's
+    /// observable mask.
+    neighbors: Vec<Vec<(u32, u32)>>,
+    /// Boundary-edge observable mask per detector, if it has one.
+    boundary: Vec<Option<u32>>,
+    fallback: MwpmDecoder<'a>,
+}
+
+impl<'a> CliqueDecoder<'a> {
+    /// Builds the pre-decoder tables from the matching graph and wires the
+    /// software MWPM fallback to the weight table.
+    pub fn new(graph: &MatchingGraph, gwt: &'a GlobalWeightTable) -> CliqueDecoder<'a> {
+        let n = graph.num_detectors();
+        let mut neighbors = vec![Vec::new(); n];
+        let mut boundary = vec![None; n];
+        for e in graph.edges() {
+            match e.v {
+                Some(v) => {
+                    neighbors[e.u as usize].push((v, e.observables));
+                    neighbors[v as usize].push((e.u, e.observables));
+                }
+                None => boundary[e.u as usize] = Some(e.observables),
+            }
+        }
+        CliqueDecoder {
+            neighbors,
+            boundary,
+            fallback: MwpmDecoder::new(gwt),
+        }
+    }
+
+    /// Attempts the local pre-decode. Returns the observable mask if every
+    /// active detector is part of an unambiguous isolated event.
+    fn predecode(&self, detectors: &[u32]) -> Option<u32> {
+        let active: HashMap<u32, ()> = detectors.iter().map(|&d| (d, ())).collect();
+        let mut obs = 0u32;
+        let mut handled = vec![false; detectors.len()];
+        for (idx, &d) in detectors.iter().enumerate() {
+            if handled[idx] {
+                continue;
+            }
+            // Active 1-hop neighbors of d.
+            let active_nbrs: Vec<(u32, u32)> = self.neighbors[d as usize]
+                .iter()
+                .copied()
+                .filter(|(v, _)| active.contains_key(v))
+                .collect();
+            match active_nbrs.len() {
+                0 => {
+                    // Isolated: must be a boundary-adjacent single error.
+                    obs ^= self.boundary[d as usize]?;
+                    handled[idx] = true;
+                }
+                1 => {
+                    let (v, edge_obs) = active_nbrs[0];
+                    // The partner must reciprocate exclusively.
+                    let partner_nbrs = self.neighbors[v as usize]
+                        .iter()
+                        .filter(|(u, _)| active.contains_key(u))
+                        .count();
+                    if partner_nbrs != 1 {
+                        return None;
+                    }
+                    let vidx = detectors.iter().position(|&x| x == v)?;
+                    if handled[vidx] {
+                        continue;
+                    }
+                    obs ^= edge_obs;
+                    handled[idx] = true;
+                    handled[vidx] = true;
+                }
+                _ => return None, // Ambiguous neighborhood: defer.
+            }
+        }
+        Some(obs)
+    }
+}
+
+impl Decoder for CliqueDecoder<'_> {
+    fn decode(&mut self, detectors: &[u32]) -> Prediction {
+        if detectors.is_empty() {
+            return Prediction::identity();
+        }
+        if let Some(observables) = self.predecode(detectors) {
+            return Prediction {
+                observables,
+                cycles: 1,
+                deferred: false,
+            };
+        }
+        // Hard event: defer to software MWPM (off the real-time path).
+        let p = self.fallback.decode(detectors);
+        Prediction {
+            observables: p.observables,
+            cycles: 0,
+            deferred: true,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "Clique+MWPM"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decoding_graph::DecodingContext;
+    use qec_circuit::{DemSampler, NoiseModel};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use surface_code::SurfaceCode;
+
+    fn ctx(d: usize, p: f64) -> DecodingContext {
+        let code = SurfaceCode::new(d).unwrap();
+        DecodingContext::for_memory_experiment(&code, NoiseModel::depolarizing(p))
+    }
+
+    #[test]
+    fn empty_syndrome_is_identity() {
+        let ctx = ctx(3, 1e-3);
+        let mut dec = CliqueDecoder::new(ctx.graph(), ctx.gwt());
+        assert_eq!(dec.decode(&[]), Prediction::identity());
+    }
+
+    #[test]
+    fn single_mechanism_syndromes_decode_locally_and_correctly() {
+        let ctx = ctx(5, 1e-3);
+        let mut dec = CliqueDecoder::new(ctx.graph(), ctx.gwt());
+        for e in ctx.graph().edges() {
+            let (dets, expected) = match e.v {
+                Some(v) => (vec![e.u.min(v), e.u.max(v)], e.observables),
+                None => (vec![e.u], e.observables),
+            };
+            let p = dec.decode(&dets);
+            assert!(!p.deferred, "trivial event {dets:?} was deferred");
+            assert_eq!(p.observables, expected, "wrong correction for {dets:?}");
+            assert_eq!(p.cycles, 1);
+        }
+    }
+
+    #[test]
+    fn most_low_p_syndromes_avoid_the_fallback() {
+        // At low physical error rate the pre-decoder handles the common
+        // case, which is Clique's whole premise.
+        let ctx = ctx(5, 1e-4);
+        let mut dec = CliqueDecoder::new(ctx.graph(), ctx.gwt());
+        let mut sampler = DemSampler::new(ctx.dem());
+        let mut rng = StdRng::seed_from_u64(23);
+        let (mut nonzero, mut local) = (0u32, 0u32);
+        for _ in 0..20_000 {
+            let shot = sampler.sample(&mut rng);
+            if shot.detectors.is_empty() {
+                continue;
+            }
+            nonzero += 1;
+            local += !dec.decode(&shot.detectors).deferred as u32;
+        }
+        assert!(nonzero > 100);
+        assert!(
+            local as f64 / nonzero as f64 > 0.8,
+            "only {local}/{nonzero} decoded locally"
+        );
+    }
+
+    #[test]
+    fn deferred_syndromes_agree_with_mwpm() {
+        let ctx = ctx(5, 5e-3);
+        let mut clique = CliqueDecoder::new(ctx.graph(), ctx.gwt());
+        let mut mwpm = MwpmDecoder::new(ctx.gwt());
+        let mut sampler = DemSampler::new(ctx.dem());
+        let mut rng = StdRng::seed_from_u64(29);
+        for _ in 0..500 {
+            let shot = sampler.sample(&mut rng);
+            let p = clique.decode(&shot.detectors);
+            if p.deferred {
+                assert_eq!(p.observables, mwpm.decode(&shot.detectors).observables);
+            }
+        }
+    }
+
+    #[test]
+    fn decoder_name() {
+        let ctx = ctx(3, 1e-3);
+        let dec = CliqueDecoder::new(ctx.graph(), ctx.gwt());
+        assert_eq!(dec.name(), "Clique+MWPM");
+    }
+}

@@ -1,0 +1,270 @@
+//! Syndrome compression (paper §7.6).
+//!
+//! Astrea-G must receive each round's syndrome and still have time to
+//! decode within the 1 µs budget, so transmission bandwidth matters
+//! (Table 7). The paper notes that "syndromes are typically compressible"
+//! and cites AFS-style *sparse* representations: since most rounds fire
+//! zero or very few detectors (Table 2), sending the indices of the fired
+//! bits beats sending the raw bitmap almost always.
+//!
+//! [`SyndromeCompressor`] implements that scheme as a real bit-packed
+//! codec: a header with the fired-bit count, then one `ceil(log₂ ℓ)`-bit
+//! index per fired bit, falling back to the raw bitmap when the sparse
+//! form would be larger.
+
+/// Bit-packed sparse/raw syndrome codec for syndromes of fixed length ℓ.
+///
+/// ```
+/// use astrea_core::SyndromeCompressor;
+///
+/// let codec = SyndromeCompressor::new(400); // d = 9 syndrome vector
+/// let fired = vec![3, 77, 391];
+/// let bytes = codec.encode(&fired);
+/// assert_eq!(codec.decode(&bytes), fired);
+/// assert!(bytes.len() * 8 < 400); // far below the raw bitmap
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyndromeCompressor {
+    len: usize,
+    index_bits: u32,
+    count_bits: u32,
+}
+
+impl SyndromeCompressor {
+    /// Creates a codec for syndromes of `len` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero.
+    pub fn new(len: usize) -> SyndromeCompressor {
+        assert!(len > 0, "syndrome length must be positive");
+        let index_bits = (usize::BITS - (len - 1).leading_zeros()).max(1);
+        let count_bits = (usize::BITS - len.leading_zeros()).max(1);
+        SyndromeCompressor {
+            len,
+            index_bits,
+            count_bits,
+        }
+    }
+
+    /// The syndrome length ℓ.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the codec covers a zero-length syndrome (never —
+    /// construction forbids it; provided for API completeness).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Size in bits of the sparse encoding of a syndrome with `hw` fired
+    /// bits: 1 mode bit + count + indices.
+    pub fn sparse_bits(&self, hw: usize) -> usize {
+        1 + self.count_bits as usize + hw * self.index_bits as usize
+    }
+
+    /// Size in bits of the raw encoding: 1 mode bit + the bitmap.
+    pub fn raw_bits(&self) -> usize {
+        1 + self.len
+    }
+
+    /// Size in bits the codec will actually use for a syndrome of weight
+    /// `hw`.
+    pub fn encoded_bits(&self, hw: usize) -> usize {
+        self.sparse_bits(hw).min(self.raw_bits())
+    }
+
+    /// Encodes the sorted fired-detector indices into a bit-packed buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range or the list is unsorted or has
+    /// duplicates.
+    pub fn encode(&self, detectors: &[u32]) -> Vec<u8> {
+        for w in detectors.windows(2) {
+            assert!(w[0] < w[1], "detector list must be sorted and unique");
+        }
+        if let Some(&last) = detectors.last() {
+            assert!((last as usize) < self.len, "detector {last} out of range");
+        }
+        let mut out = BitWriter::default();
+        if self.sparse_bits(detectors.len()) <= self.raw_bits() {
+            out.push_bit(true); // sparse mode
+            out.push_bits(detectors.len() as u64, self.count_bits);
+            for &d in detectors {
+                out.push_bits(d as u64, self.index_bits);
+            }
+        } else {
+            out.push_bit(false); // raw bitmap mode
+            let mut i = 0;
+            for bit in 0..self.len {
+                let fired = i < detectors.len() && detectors[i] as usize == bit;
+                if fired {
+                    i += 1;
+                }
+                out.push_bit(fired);
+            }
+        }
+        out.into_bytes()
+    }
+
+    /// Decodes a buffer produced by [`SyndromeCompressor::encode`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is malformed (truncated or with out-of-range
+    /// fields).
+    pub fn decode(&self, bytes: &[u8]) -> Vec<u32> {
+        let mut reader = BitReader::new(bytes);
+        let sparse = reader.read_bit();
+        if sparse {
+            let count = reader.read_bits(self.count_bits) as usize;
+            assert!(count <= self.len, "corrupt header: count {count}");
+            let mut out = Vec::with_capacity(count);
+            for _ in 0..count {
+                let idx = reader.read_bits(self.index_bits) as u32;
+                assert!((idx as usize) < self.len, "corrupt index {idx}");
+                out.push(idx);
+            }
+            out
+        } else {
+            (0..self.len)
+                .filter_map(|bit| reader.read_bit().then_some(bit as u32))
+                .collect()
+        }
+    }
+
+    /// The transmission time in nanoseconds for one encoded syndrome at a
+    /// link bandwidth in MB/s.
+    pub fn transmission_ns(&self, hw: usize, bandwidth_mbps: f64) -> f64 {
+        assert!(bandwidth_mbps > 0.0, "bandwidth must be positive");
+        let bytes = self.encoded_bits(hw).div_ceil(8) as f64;
+        bytes / bandwidth_mbps * 1e3
+    }
+}
+
+#[derive(Debug, Default)]
+struct BitWriter {
+    bytes: Vec<u8>,
+    used: u32,
+}
+
+impl BitWriter {
+    fn push_bit(&mut self, bit: bool) {
+        if self.used % 8 == 0 {
+            self.bytes.push(0);
+        }
+        if bit {
+            *self.bytes.last_mut().expect("pushed above") |= 1 << (self.used % 8);
+        }
+        self.used += 1;
+    }
+
+    fn push_bits(&mut self, value: u64, bits: u32) {
+        for i in 0..bits {
+            self.push_bit(value >> i & 1 == 1);
+        }
+    }
+
+    fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+}
+
+#[derive(Debug)]
+struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos: u32,
+}
+
+impl<'a> BitReader<'a> {
+    fn new(bytes: &'a [u8]) -> BitReader<'a> {
+        BitReader { bytes, pos: 0 }
+    }
+
+    fn read_bit(&mut self) -> bool {
+        let byte = self.bytes[(self.pos / 8) as usize];
+        let bit = byte >> (self.pos % 8) & 1 == 1;
+        self.pos += 1;
+        bit
+    }
+
+    fn read_bits(&mut self, bits: u32) -> u64 {
+        let mut v = 0u64;
+        for i in 0..bits {
+            v |= (self.read_bit() as u64) << i;
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_simple_syndromes() {
+        let codec = SyndromeCompressor::new(192); // d = 7
+        for dets in [vec![], vec![0], vec![5, 80, 191], (0..30u32).collect()] {
+            let encoded = codec.encode(&dets);
+            assert_eq!(codec.decode(&encoded), dets);
+        }
+    }
+
+    #[test]
+    fn falls_back_to_raw_bitmap_for_dense_syndromes() {
+        let codec = SyndromeCompressor::new(64);
+        let dense: Vec<u32> = (0..40).collect();
+        assert!(codec.sparse_bits(40) > codec.raw_bits());
+        let encoded = codec.encode(&dense);
+        assert_eq!(codec.decode(&encoded), dense);
+        assert_eq!(encoded.len(), codec.raw_bits().div_ceil(8));
+    }
+
+    #[test]
+    fn sparse_encoding_beats_raw_for_typical_syndromes() {
+        // d = 9: ℓ = 400 raw bits; a HW-6 syndrome needs 1 + 9 + 6·9 = 64
+        // bits — a 6× bandwidth saving, which is §7.6's point.
+        let codec = SyndromeCompressor::new(400);
+        assert!(codec.encoded_bits(6) * 6 < codec.raw_bits());
+        assert_eq!(codec.encoded_bits(6), 1 + 9 + 6 * 9);
+    }
+
+    #[test]
+    fn empty_syndrome_is_two_bytes_or_less() {
+        let codec = SyndromeCompressor::new(400);
+        let encoded = codec.encode(&[]);
+        assert!(encoded.len() <= 2, "{} bytes", encoded.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn rejects_unsorted_input() {
+        SyndromeCompressor::new(16).encode(&[3, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_detector() {
+        SyndromeCompressor::new(16).encode(&[16]);
+    }
+
+    #[test]
+    fn transmission_time_scales_inversely_with_bandwidth() {
+        let codec = SyndromeCompressor::new(400);
+        let t50 = codec.transmission_ns(8, 50.0);
+        let t100 = codec.transmission_ns(8, 100.0);
+        assert!((t50 / t100 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exhaustive_round_trip_small_lengths() {
+        // Every subset of an 8-bit syndrome round-trips in both modes.
+        let codec = SyndromeCompressor::new(8);
+        for mask in 0u32..256 {
+            let dets: Vec<u32> = (0..8).filter(|b| mask >> b & 1 == 1).collect();
+            assert_eq!(codec.decode(&codec.encode(&dets)), dets, "mask {mask:#x}");
+        }
+    }
+}

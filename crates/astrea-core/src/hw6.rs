@@ -1,0 +1,221 @@
+//! The HW6Decoder combinational block (paper §5.2.3, Figure 7a) and the
+//! perfect-matching enumeration tables behind it.
+//!
+//! The hardware loads the 15 pair weights of up to 6 syndrome bits into a
+//! weight array and combines them through a 30-adder network into the 15
+//! possible perfect matchings, selecting the minimum in one cycle. This
+//! module mirrors that structure: fixed pairing tables plus a
+//! minimum-selection pass.
+
+/// The number of perfect matchings of `2k` nodes: `(2k)! / (2^k · k!)`.
+///
+/// ```
+/// use astrea_core::hw6::num_perfect_matchings;
+/// assert_eq!(num_perfect_matchings(4), 3);
+/// assert_eq!(num_perfect_matchings(6), 15);
+/// assert_eq!(num_perfect_matchings(8), 105);
+/// assert_eq!(num_perfect_matchings(10), 945);
+/// ```
+pub fn num_perfect_matchings(n: usize) -> u64 {
+    assert!(n % 2 == 0, "perfect matchings need an even node count");
+    let mut r = 1u64;
+    let mut k = n as u64;
+    while k > 1 {
+        r *= k - 1;
+        k -= 2;
+    }
+    r
+}
+
+/// The 3 perfect matchings of 4 nodes, as index pairs.
+pub const PAIRINGS_4: [[(usize, usize); 2]; 3] =
+    [[(0, 1), (2, 3)], [(0, 2), (1, 3)], [(0, 3), (1, 2)]];
+
+/// The 15 perfect matchings of 6 nodes, as index pairs.
+///
+/// Node 0 pairs with each of the five others; the remaining four nodes
+/// contribute their 3 matchings each — exactly the structure of the
+/// hardware's adder network.
+pub const PAIRINGS_6: [[(usize, usize); 3]; 15] = [
+    [(0, 1), (2, 3), (4, 5)],
+    [(0, 1), (2, 4), (3, 5)],
+    [(0, 1), (2, 5), (3, 4)],
+    [(0, 2), (1, 3), (4, 5)],
+    [(0, 2), (1, 4), (3, 5)],
+    [(0, 2), (1, 5), (3, 4)],
+    [(0, 3), (1, 2), (4, 5)],
+    [(0, 3), (1, 4), (2, 5)],
+    [(0, 3), (1, 5), (2, 4)],
+    [(0, 4), (1, 2), (3, 5)],
+    [(0, 4), (1, 3), (2, 5)],
+    [(0, 4), (1, 5), (2, 3)],
+    [(0, 5), (1, 2), (3, 4)],
+    [(0, 5), (1, 3), (2, 4)],
+    [(0, 5), (1, 4), (2, 3)],
+];
+
+/// Result of one HW6Decoder evaluation: the winning matching and its
+/// aggregate weight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hw6Result {
+    /// Index into [`PAIRINGS_6`] (or [`PAIRINGS_4`] for 4 nodes) of the
+    /// minimum-weight matching.
+    pub matching_index: usize,
+    /// Aggregate weight of the winning matching, in quantized sub-units.
+    pub weight: u32,
+}
+
+/// Evaluates the HW6Decoder on up to 6 nodes: finds the minimum-weight
+/// perfect matching given a pair-weight oracle over local node indices.
+///
+/// `n` must be 2, 4, or 6 (pad odd inputs with a virtual boundary node
+/// before calling, as the enclosing decoders do).
+///
+/// # Panics
+///
+/// Panics if `n` is not 2, 4, or 6.
+pub fn decode_hw6(n: usize, mut weight: impl FnMut(usize, usize) -> u32) -> Hw6Result {
+    match n {
+        2 => Hw6Result {
+            matching_index: 0,
+            weight: weight(0, 1),
+        },
+        4 => {
+            let mut best = Hw6Result {
+                matching_index: 0,
+                weight: u32::MAX,
+            };
+            for (idx, pairs) in PAIRINGS_4.iter().enumerate() {
+                let w = pairs.iter().map(|&(a, b)| weight(a, b)).sum();
+                if w < best.weight {
+                    best = Hw6Result {
+                        matching_index: idx,
+                        weight: w,
+                    };
+                }
+            }
+            best
+        }
+        6 => {
+            let mut best = Hw6Result {
+                matching_index: 0,
+                weight: u32::MAX,
+            };
+            for (idx, pairs) in PAIRINGS_6.iter().enumerate() {
+                let w = pairs.iter().map(|&(a, b)| weight(a, b)).sum();
+                if w < best.weight {
+                    best = Hw6Result {
+                        matching_index: idx,
+                        weight: w,
+                    };
+                }
+            }
+            best
+        }
+        _ => panic!("HW6Decoder handles 2, 4, or 6 nodes, got {n}"),
+    }
+}
+
+/// The pairs of the winning matching for an [`Hw6Result`] over `n` nodes.
+pub fn winning_pairs(n: usize, result: Hw6Result) -> &'static [(usize, usize)] {
+    match n {
+        2 => &[(0, 1)],
+        4 => &PAIRINGS_4[result.matching_index],
+        6 => &PAIRINGS_6[result.matching_index],
+        _ => panic!("HW6Decoder handles 2, 4, or 6 nodes, got {n}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn matching_counts_match_equation_2() {
+        // Paper equation (2): w!/(2^(w/2) · (w/2)!).
+        assert_eq!(num_perfect_matchings(2), 1);
+        assert_eq!(num_perfect_matchings(4), 3);
+        assert_eq!(num_perfect_matchings(6), 15);
+        assert_eq!(num_perfect_matchings(8), 105);
+        assert_eq!(num_perfect_matchings(10), 945);
+        assert_eq!(num_perfect_matchings(20), 654_729_075);
+    }
+
+    #[test]
+    fn pairing_tables_are_valid_perfect_matchings() {
+        let mut seen = BTreeSet::new();
+        for m in &PAIRINGS_4 {
+            let mut used = BTreeSet::new();
+            for &(a, b) in m {
+                assert!(a < b && b < 4);
+                assert!(used.insert(a) && used.insert(b));
+            }
+            assert!(seen.insert(*m), "duplicate matching in PAIRINGS_4");
+        }
+        let mut seen = BTreeSet::new();
+        for m in &PAIRINGS_6 {
+            let mut used = BTreeSet::new();
+            for &(a, b) in m {
+                assert!(a < b && b < 6);
+                assert!(used.insert(a) && used.insert(b));
+            }
+            assert_eq!(used.len(), 6);
+            assert!(seen.insert(*m), "duplicate matching in PAIRINGS_6");
+        }
+    }
+
+    #[test]
+    fn decode_hw6_finds_planted_minimum() {
+        // Plant a cheap matching and check it wins.
+        for (target_idx, target) in PAIRINGS_6.iter().enumerate() {
+            let result = decode_hw6(6, |a, b| {
+                if target.contains(&(a.min(b), a.max(b))) {
+                    1
+                } else {
+                    100
+                }
+            });
+            assert_eq!(result.matching_index, target_idx);
+            assert_eq!(result.weight, 3);
+        }
+    }
+
+    #[test]
+    fn decode_hw6_exhaustive_agrees_with_brute_force() {
+        // Pseudo-random weights: the block must equal a brute-force min.
+        for seed in 0..50u32 {
+            let w = |a: usize, b: usize| {
+                let (a, b) = (a.min(b) as u32, a.max(b) as u32);
+                (a * 37 + b * 101 + seed * 7919) % 255 + 1
+            };
+            let result = decode_hw6(6, w);
+            let brute = PAIRINGS_6
+                .iter()
+                .map(|m| m.iter().map(|&(a, b)| w(a, b)).sum::<u32>())
+                .min()
+                .unwrap();
+            assert_eq!(result.weight, brute);
+        }
+    }
+
+    #[test]
+    fn decode_hw6_handles_two_and_four_nodes() {
+        assert_eq!(decode_hw6(2, |_, _| 9).weight, 9);
+        let r = decode_hw6(4, |a, b| {
+            if (a, b) == (0, 2) || (a, b) == (1, 3) {
+                1
+            } else {
+                50
+            }
+        });
+        assert_eq!(r.weight, 2);
+        assert_eq!(winning_pairs(4, r), &[(0, 2), (1, 3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "HW6Decoder handles")]
+    fn decode_hw6_rejects_odd_sizes() {
+        decode_hw6(5, |_, _| 1);
+    }
+}

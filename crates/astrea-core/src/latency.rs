@@ -1,0 +1,106 @@
+//! The hardware cycle and latency model (paper §5.4).
+
+/// The paper's FPGA clock frequency in MHz.
+pub const DEFAULT_FREQ_MHZ: f64 = 250.0;
+
+/// Cycles Astrea spends fetching weights from the GWT into the weight
+/// array: `HW + 1` (§5.4), e.g. 11 cycles for a Hamming-weight-10 syndrome.
+pub fn astrea_fetch_cycles(hamming_weight: usize) -> u64 {
+    if hamming_weight <= 2 {
+        0 // Trivial syndromes are decoded without touching the weight array.
+    } else {
+        hamming_weight as u64 + 1
+    }
+}
+
+/// Cycles Astrea's matcher spends after the fetch: 1 cycle for HW 3–6
+/// (single HW6Decoder pass), 11 for HW 7–8 (7 pre-match accesses plus
+/// pipeline overhead), 103 for HW 9–10 (63 accesses plus overhead), per
+/// §5.4. Hamming weights 0–2 are trivial and free.
+///
+/// # Panics
+///
+/// Panics above Hamming weight 10 — Astrea does not decode such syndromes.
+pub fn astrea_decode_cycles(hamming_weight: usize) -> u64 {
+    match hamming_weight {
+        0..=2 => 0,
+        3..=6 => 1,
+        7..=8 => 11,
+        9..=10 => 103,
+        _ => panic!("Astrea decodes only up to Hamming weight 10, got {hamming_weight}"),
+    }
+}
+
+/// A decoder clock model for converting cycles to wall-clock latency.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CycleModel {
+    /// Clock frequency in MHz.
+    pub freq_mhz: f64,
+}
+
+impl Default for CycleModel {
+    fn default() -> CycleModel {
+        CycleModel {
+            freq_mhz: DEFAULT_FREQ_MHZ,
+        }
+    }
+}
+
+impl CycleModel {
+    /// Nanoseconds per cycle.
+    pub fn ns_per_cycle(&self) -> f64 {
+        1e3 / self.freq_mhz
+    }
+
+    /// Converts a cycle count to nanoseconds.
+    pub fn to_ns(&self, cycles: u64) -> f64 {
+        cycles as f64 * self.ns_per_cycle()
+    }
+
+    /// The number of whole cycles available within a real-time budget of
+    /// `ns` nanoseconds (1 µs → 250 cycles at 250 MHz).
+    pub fn cycles_within_ns(&self, ns: f64) -> u64 {
+        (ns / self.ns_per_cycle()).floor() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worst_case_matches_paper() {
+        // §5.4: 103 + 11 = 114 cycles for HW 10 → 456 ns at 250 MHz.
+        let total = astrea_decode_cycles(10) + astrea_fetch_cycles(10);
+        assert_eq!(total, 114);
+        assert_eq!(CycleModel::default().to_ns(total), 456.0);
+    }
+
+    #[test]
+    fn trivial_syndromes_are_free() {
+        for hw in 0..=2 {
+            assert_eq!(astrea_decode_cycles(hw) + astrea_fetch_cycles(hw), 0);
+        }
+    }
+
+    #[test]
+    fn decode_cycle_bands() {
+        assert_eq!(astrea_decode_cycles(3), 1);
+        assert_eq!(astrea_decode_cycles(6), 1);
+        assert_eq!(astrea_decode_cycles(7), 11);
+        assert_eq!(astrea_decode_cycles(8), 11);
+        assert_eq!(astrea_decode_cycles(9), 103);
+        assert_eq!(astrea_decode_cycles(10), 103);
+    }
+
+    #[test]
+    #[should_panic(expected = "up to Hamming weight 10")]
+    fn rejects_hw_beyond_10() {
+        astrea_decode_cycles(11);
+    }
+
+    #[test]
+    fn real_time_budget_is_250_cycles() {
+        assert_eq!(CycleModel::default().cycles_within_ns(1000.0), 250);
+    }
+}

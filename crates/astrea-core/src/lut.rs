@@ -1,0 +1,180 @@
+//! A LILLIPUT-style lookup-table decoder (paper §2.3.2).
+//!
+//! LILLIPUT precomputes the MWPM correction for *every possible syndrome*
+//! and serves decodes as constant-time table lookups. The catch, which the
+//! paper hammers on, is the exponential table: `2^ℓ` entries for a
+//! syndrome vector of length ℓ, practical only for the smallest codes
+//! (`ℓ = 16` at `d = 3` → 64 Ki entries; `d = 5` with full rounds already
+//! needs `2^72`). [`lilliput_table_bytes`] reproduces that scaling.
+
+use blossom_mwpm::MwpmDecoder;
+use decoding_graph::{Decoder, GlobalWeightTable, Prediction};
+
+/// Largest syndrome-vector length for which a table will be built.
+pub const MAX_LUT_BITS: usize = 24;
+
+/// A lookup-table decoder: one precomputed observable-prediction bit per
+/// possible syndrome vector.
+///
+/// ```no_run
+/// use astrea_core::LutDecoder;
+/// use decoding_graph::{Decoder, DecodingContext};
+/// use qec_circuit::NoiseModel;
+/// use surface_code::SurfaceCode;
+///
+/// let code = SurfaceCode::new(3)?;
+/// let ctx = DecodingContext::for_memory_experiment(&code, NoiseModel::depolarizing(1e-4));
+/// let mut lut = LutDecoder::build(ctx.gwt()); // enumerates all 2^16 syndromes
+/// let p = lut.decode(&[0, 1]);
+/// assert_eq!(p.cycles, 1);
+/// # Ok::<(), surface_code::InvalidDistance>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct LutDecoder {
+    /// Predicted observable bit per syndrome, bit-packed.
+    table: Vec<u64>,
+    bits: usize,
+}
+
+impl LutDecoder {
+    /// Builds the table by decoding every one of the `2^ℓ` possible
+    /// syndromes with the exact MWPM decoder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the syndrome vector is longer than [`MAX_LUT_BITS`] —
+    /// exactly the scalability wall the paper describes.
+    pub fn build(gwt: &GlobalWeightTable) -> LutDecoder {
+        let bits = gwt.len();
+        assert!(
+            bits <= MAX_LUT_BITS,
+            "a lookup table over {bits} syndrome bits needs 2^{bits} entries; \
+             LILLIPUT-style decoding does not scale past d = 3 (the paper's point)"
+        );
+        let mwpm = MwpmDecoder::new(gwt);
+        let entries = 1usize << bits;
+        let mut table = vec![0u64; entries.div_ceil(64)];
+        let mut dets: Vec<u32> = Vec::with_capacity(bits);
+        for syndrome in 0..entries {
+            dets.clear();
+            let mut s = syndrome;
+            while s != 0 {
+                dets.push(s.trailing_zeros() as u32);
+                s &= s - 1;
+            }
+            let solution = mwpm.decode_full(&dets);
+            if solution.observables & 1 != 0 {
+                table[syndrome / 64] |= 1u64 << (syndrome % 64);
+            }
+        }
+        LutDecoder { table, bits }
+    }
+
+    /// Size of the table in bytes.
+    pub fn table_bytes(&self) -> usize {
+        self.table.len() * 8
+    }
+}
+
+impl Decoder for LutDecoder {
+    fn decode(&mut self, detectors: &[u32]) -> Prediction {
+        let mut syndrome = 0usize;
+        for &d in detectors {
+            debug_assert!((d as usize) < self.bits);
+            syndrome |= 1 << d;
+        }
+        let flipped = self.table[syndrome / 64] >> (syndrome % 64) & 1;
+        Prediction {
+            observables: flipped as u32,
+            cycles: 1,
+            deferred: false,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "LILLIPUT"
+    }
+}
+
+/// The memory a LILLIPUT-style table needs for a distance-`d` code decoded
+/// over `rounds` syndrome rounds (per basis, 2-byte entries): `2 × 2^bits`
+/// with `bits = (d² − 1)/2 · (rounds + 1)`. Returns `None` when the value
+/// overflows `u128` — which is itself the paper's scalability argument
+/// (`d = 7` with `d` rounds needs `2 × 2^192` bytes).
+pub fn lilliput_table_bytes(d: usize, rounds: usize) -> Option<u128> {
+    let bits = (d * d - 1) / 2 * (rounds + 1);
+    if bits >= 126 {
+        return None;
+    }
+    Some(2u128 << bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decoding_graph::DecodingContext;
+    use qec_circuit::{build_memory_z_circuit, DemSampler, NoiseModel};
+    use surface_code::SurfaceCode;
+
+    /// A small context (d = 3, one round → 8 detectors) so table
+    /// construction stays fast in debug builds.
+    fn small_ctx() -> DecodingContext {
+        let code = SurfaceCode::new(3).unwrap();
+        let circuit = build_memory_z_circuit(&code, 1, NoiseModel::depolarizing(1e-3));
+        DecodingContext::from_circuit(&circuit)
+    }
+
+    #[test]
+    fn lut_agrees_with_mwpm_on_every_syndrome() {
+        let ctx = small_ctx();
+        let mut lut = LutDecoder::build(ctx.gwt());
+        let mut mwpm = MwpmDecoder::new(ctx.gwt());
+        let bits = ctx.gwt().len();
+        for syndrome in 0..(1usize << bits) {
+            let dets: Vec<u32> = (0..bits as u32)
+                .filter(|&b| syndrome >> b & 1 == 1)
+                .collect();
+            assert_eq!(
+                lut.decode(&dets).observables,
+                mwpm.decode(&dets).observables,
+                "syndrome {syndrome:#x}"
+            );
+        }
+    }
+
+    #[test]
+    fn lut_is_constant_latency() {
+        let ctx = small_ctx();
+        let mut lut = LutDecoder::build(ctx.gwt());
+        let mut sampler = DemSampler::new(ctx.dem());
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(3);
+        for _ in 0..100 {
+            let shot = sampler.sample(&mut rng);
+            assert_eq!(lut.decode(&shot.detectors).cycles, 1);
+        }
+    }
+
+    #[test]
+    fn table_size_matches_entry_count() {
+        let ctx = small_ctx();
+        let lut = LutDecoder::build(ctx.gwt());
+        // 2^8 entries, one bit each = 32 bytes, padded to u64 words.
+        assert_eq!(lut.table_bytes(), 32.max(8));
+    }
+
+    #[test]
+    fn lilliput_scaling_matches_paper() {
+        // d = 5 with 2 rounds is the paper's last feasible point; d = 7
+        // with d rounds is its 2 × 2^192-byte impossibility.
+        let d5 = lilliput_table_bytes(5, 2).unwrap();
+        assert_eq!(d5, 2u128 << 36);
+        assert!(lilliput_table_bytes(7, 7).is_none());
+    }
+
+    #[test]
+    fn decoder_name() {
+        let ctx = small_ctx();
+        let lut = LutDecoder::build(ctx.gwt());
+        assert_eq!(lut.name(), "LILLIPUT");
+    }
+}

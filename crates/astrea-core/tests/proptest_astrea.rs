@@ -1,0 +1,102 @@
+//! Property tests of Astrea's staged brute force against the independent
+//! subset-DP optimum over **arbitrary programmable weight tables**, not
+//! just tables derived from a noise model — the §8.2 reprogramming path
+//! means any symmetric table is a legal input.
+
+use astrea_core::AstreaDecoder;
+use blossom_mwpm::subset_dp;
+use decoding_graph::GlobalWeightTable;
+use proptest::prelude::*;
+
+/// Random symmetric ℓ×ℓ weight tables with boundary diagonals.
+fn random_table(len: usize) -> impl Strategy<Value = GlobalWeightTable> {
+    prop::collection::vec(0.0f64..30.0, len * (len + 1) / 2).prop_map(move |tri| {
+        let mut exact = vec![0.0; len * len];
+        let mut k = 0;
+        for i in 0..len {
+            for j in i..len {
+                exact[i * len + j] = tri[k];
+                exact[j * len + i] = tri[k];
+                k += 1;
+            }
+        }
+        // Observable bits: deterministic pseudo-random but symmetric.
+        let mut obs = vec![0u32; len * len];
+        for i in 0..len {
+            for j in i..len {
+                let bit = ((i * 31 + j * 17) % 3 == 0) as u32;
+                obs[i * len + j] = bit;
+                obs[j * len + i] = bit;
+            }
+        }
+        GlobalWeightTable::from_parts(len, exact, obs, 8.0)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(120))]
+
+    #[test]
+    fn astrea_is_optimal_on_arbitrary_tables(
+        table in random_table(12),
+        hw in 1usize..=10,
+    ) {
+        let dets: Vec<u32> = (0..hw as u32).collect();
+        let astrea = AstreaDecoder::new(&table);
+        let solution = astrea.decode_full(&dets).expect("within ceiling");
+        prop_assert!(solution.is_perfect_over(&dets));
+
+        // Recompute Astrea's quantized cost and compare with the DP
+        // optimum over the same quantized effective weights.
+        let qw = |i: u32, j: u32| {
+            let direct = table.pair_weight_q(i, j) as f64;
+            let via = table.boundary_weight_q(i) as f64 + table.boundary_weight_q(j) as f64;
+            direct.min(via)
+        };
+        let (_, dp_cost) = subset_dp::solve(
+            hw,
+            |i, j| qw(dets[i], dets[j]),
+            |i| table.boundary_weight_q(dets[i]) as f64,
+        );
+        let astrea_cost: f64 = solution
+            .pairs
+            .iter()
+            .map(|&(a, b)| table.pair_weight_q(a, b) as f64)
+            .chain(
+                solution
+                    .to_boundary
+                    .iter()
+                    .map(|&a| table.boundary_weight_q(a) as f64),
+            )
+            .sum();
+        prop_assert_eq!(astrea_cost, dp_cost, "hw {}", hw);
+    }
+
+    #[test]
+    fn from_parts_round_trips_weights(table in random_table(6)) {
+        for i in 0..6u32 {
+            for j in 0..6u32 {
+                if i == j {
+                    prop_assert!(table.boundary_weight(i) >= 0.0);
+                } else {
+                    prop_assert_eq!(table.pair_weight(i, j), table.pair_weight(j, i));
+                    prop_assert_eq!(table.pair_obs(i, j), table.pair_obs(j, i));
+                }
+            }
+        }
+    }
+}
+
+#[test]
+#[should_panic(expected = "symmetric")]
+fn from_parts_rejects_asymmetric_tables() {
+    let mut exact = vec![1.0; 4];
+    exact[1] = 2.0; // (0,1) ≠ (1,0)
+    GlobalWeightTable::from_parts(2, exact, vec![0; 4], 8.0);
+}
+
+#[test]
+#[should_panic(expected = "ℓ×ℓ")]
+fn from_parts_rejects_wrong_shape() {
+    GlobalWeightTable::from_parts(3, vec![1.0; 4], vec![0; 9], 8.0);
+}

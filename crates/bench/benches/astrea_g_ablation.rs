@@ -1,0 +1,97 @@
+//! Astrea-G design-space ablation (paper §7.1's `F`/`E` discussion and
+//! §7.3's weight-threshold sweep): how fetch width, queue capacity, and
+//! the filter threshold move the greedy pipeline's software cost.
+//!
+//! The accuracy side of the same ablation is produced by
+//! `astrea-exp fig13`.
+
+use astrea_bench::SyndromeCorpus;
+use astrea_core::{AstreaGConfig, AstreaGDecoder};
+use astrea_experiments::ExperimentContext;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use decoding_graph::Decoder;
+use std::hint::black_box;
+
+fn high_weight_set(ctx: &ExperimentContext) -> Vec<Vec<u32>> {
+    SyndromeCorpus::sample(ctx, 4000, 11)
+        .with_weight(11, 24)
+        .into_iter()
+        .take(32)
+        .cloned()
+        .collect()
+}
+
+fn bench_fetch_width(c: &mut Criterion) {
+    let ctx = ExperimentContext::new(7, 1e-3);
+    let set = high_weight_set(&ctx);
+    assert!(!set.is_empty(), "need high-Hamming-weight syndromes");
+    let mut group = c.benchmark_group("astrea_g_fetch_width");
+    group.sample_size(30);
+    for f in [1usize, 2, 4] {
+        let config = AstreaGConfig {
+            fetch_width: f,
+            ..AstreaGConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(f), &set, |b, set| {
+            let mut dec = AstreaGDecoder::with_config(ctx.gwt(), config);
+            b.iter(|| {
+                for s in set {
+                    black_box(dec.decode(black_box(s)));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_queue_capacity(c: &mut Criterion) {
+    let ctx = ExperimentContext::new(7, 1e-3);
+    let set = high_weight_set(&ctx);
+    let mut group = c.benchmark_group("astrea_g_queue_capacity");
+    group.sample_size(30);
+    for e in [4usize, 8, 16] {
+        let config = AstreaGConfig {
+            queue_capacity: e,
+            ..AstreaGConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(e), &set, |b, set| {
+            let mut dec = AstreaGDecoder::with_config(ctx.gwt(), config);
+            b.iter(|| {
+                for s in set {
+                    black_box(dec.decode(black_box(s)));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_weight_threshold(c: &mut Criterion) {
+    let ctx = ExperimentContext::new(7, 1e-3);
+    let set = high_weight_set(&ctx);
+    let mut group = c.benchmark_group("astrea_g_weight_threshold");
+    group.sample_size(30);
+    for wth in [4.0f64, 6.0, 7.0, 8.0] {
+        let config = AstreaGConfig {
+            weight_threshold: wth,
+            ..AstreaGConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(wth), &set, |b, set| {
+            let mut dec = AstreaGDecoder::with_config(ctx.gwt(), config);
+            b.iter(|| {
+                for s in set {
+                    black_box(dec.decode(black_box(s)));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fetch_width,
+    bench_queue_capacity,
+    bench_weight_threshold
+);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! One-time setup costs: detector-error-model extraction and Global
+//! Weight Table construction (all-pairs Dijkstra) — the offline work the
+//! paper's hardware performs before decoding begins (§5.1), scaling with
+//! distance as Table 6's GWT sizes do.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use decoding_graph::{GlobalWeightTable, MatchingGraph};
+use qec_circuit::{build_memory_z_circuit, NoiseModel};
+use std::hint::black_box;
+use surface_code::SurfaceCode;
+
+fn bench_dem_extraction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dem_extraction");
+    group.sample_size(10);
+    for d in [3usize, 5, 7] {
+        let code = SurfaceCode::new(d).unwrap();
+        let circuit = build_memory_z_circuit(&code, d, NoiseModel::depolarizing(1e-3));
+        group.bench_with_input(BenchmarkId::from_parameter(d), &circuit, |b, circuit| {
+            b.iter(|| black_box(circuit.detector_error_model()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_gwt_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gwt_all_pairs_dijkstra");
+    group.sample_size(10);
+    for d in [3usize, 5, 7, 9] {
+        let code = SurfaceCode::new(d).unwrap();
+        let circuit = build_memory_z_circuit(&code, d, NoiseModel::depolarizing(1e-3));
+        let graph = MatchingGraph::from_circuit(&circuit);
+        group.bench_with_input(BenchmarkId::from_parameter(d), &graph, |b, graph| {
+            b.iter(|| black_box(GlobalWeightTable::new(graph)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dem_extraction, bench_gwt_build);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Monte-Carlo sampling throughput: the substrate cost behind every LER
+//! table in the paper (§3.4's "1B trials" runs are only feasible because
+//! DEM sampling skips untriggered mechanisms geometrically).
+
+use astrea_experiments::ExperimentContext;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use qec_circuit::{build_memory_z_circuit, DemSampler, FrameSimulator, NoiseModel, Shot};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use surface_code::SurfaceCode;
+
+fn bench_dem_sampler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dem_sampler");
+    for (d, p) in [(3usize, 1e-4), (7, 1e-4), (7, 1e-3), (9, 1e-3)] {
+        let ctx = ExperimentContext::new(d, p);
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("d{d}_p{p:.0e}")),
+            &ctx,
+            |b, ctx| {
+                let mut sampler = DemSampler::new(ctx.dem());
+                let mut rng = StdRng::seed_from_u64(1);
+                let mut shot = Shot::default();
+                b.iter(|| {
+                    sampler.sample_into(&mut rng, &mut shot);
+                    black_box(&shot);
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_frame_simulator(c: &mut Criterion) {
+    // The exact circuit-level sampler: slower than DEM sampling by
+    // construction; used for validation, not bulk Monte-Carlo.
+    let mut group = c.benchmark_group("frame_simulator");
+    group.sample_size(30);
+    for d in [3usize, 5, 7] {
+        let code = SurfaceCode::new(d).unwrap();
+        let circuit = build_memory_z_circuit(&code, d, NoiseModel::depolarizing(1e-3));
+        group.bench_with_input(BenchmarkId::from_parameter(d), &circuit, |b, circuit| {
+            let mut sim = FrameSimulator::new(circuit);
+            let mut rng = StdRng::seed_from_u64(2);
+            b.iter(|| black_box(sim.sample(circuit, &mut rng)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dem_sampler, bench_frame_simulator);
+criterion_main!(benches);

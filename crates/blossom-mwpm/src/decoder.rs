@@ -1,0 +1,291 @@
+//! The idealized software MWPM decoder (the paper's baseline).
+
+use crate::solution::MatchingSolution;
+use crate::{dense_blossom, subset_dp};
+use decoding_graph::{Decoder, GlobalWeightTable, Prediction};
+
+/// Above this many active detectors the decoder switches from the subset
+/// DP to the blossom algorithm (the DP's memory is `O(2^k)`).
+pub const DP_NODE_LIMIT: usize = 16;
+
+/// Fixed-point sub-units per weight unit when converting `f64` weights to
+/// the blossom solver's `i64` domain.
+const BLOSSOM_SCALE: f64 = 65_536.0;
+
+/// Weights above this (in `−log₁₀ P` units) are clamped before integer
+/// conversion; far beyond any realistic matching weight.
+const WEIGHT_CLAMP: f64 = 1e4;
+
+/// The idealized software MWPM decoder.
+///
+/// Decodes with the **unquantized** weights of the
+/// [`GlobalWeightTable`], exactly as the paper's "idealized MWPM"
+/// baseline: every pair weight is the true shortest-path `−log₁₀ P`. Small
+/// syndromes are solved with the exact subset DP; larger ones with the
+/// blossom algorithm after the boundary reduction
+/// `w'ᵢⱼ = min(wᵢⱼ, bᵢ + bⱼ)` (+ one virtual node for odd weights).
+///
+/// ```
+/// use blossom_mwpm::MwpmDecoder;
+/// use decoding_graph::{Decoder, DecodingContext};
+/// use qec_circuit::NoiseModel;
+/// use surface_code::SurfaceCode;
+///
+/// let code = SurfaceCode::new(3)?;
+/// let ctx = DecodingContext::for_memory_experiment(&code, NoiseModel::depolarizing(1e-3));
+/// let mut decoder = MwpmDecoder::new(ctx.gwt());
+/// let prediction = decoder.decode(&[]);
+/// assert_eq!(prediction.observables, 0);
+/// # Ok::<(), surface_code::InvalidDistance>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct MwpmDecoder<'a> {
+    gwt: &'a GlobalWeightTable,
+    use_quantized: bool,
+}
+
+impl<'a> MwpmDecoder<'a> {
+    /// Creates the idealized (full-precision) MWPM decoder.
+    pub fn new(gwt: &'a GlobalWeightTable) -> MwpmDecoder<'a> {
+        MwpmDecoder {
+            gwt,
+            use_quantized: false,
+        }
+    }
+
+    /// Creates an MWPM decoder that reads the 8-bit quantized weights
+    /// instead — useful for isolating the accuracy cost of quantization.
+    pub fn with_quantized_weights(gwt: &'a GlobalWeightTable) -> MwpmDecoder<'a> {
+        MwpmDecoder {
+            gwt,
+            use_quantized: true,
+        }
+    }
+
+    #[inline]
+    fn pair_w(&self, i: u32, j: u32) -> f64 {
+        if self.use_quantized {
+            self.gwt.pair_weight_q(i, j) as f64 / self.gwt.scale()
+        } else {
+            self.gwt.pair_weight(i, j)
+        }
+    }
+
+    #[inline]
+    fn boundary_w(&self, i: u32) -> f64 {
+        if self.use_quantized {
+            self.gwt.boundary_weight_q(i) as f64 / self.gwt.scale()
+        } else {
+            self.gwt.boundary_weight(i)
+        }
+    }
+
+    /// Decodes a syndrome and returns the full matching (pairs, boundary
+    /// assignments, weight, and predicted observable flips).
+    pub fn decode_full(&self, detectors: &[u32]) -> MatchingSolution {
+        let k = detectors.len();
+        if k == 0 {
+            return MatchingSolution::default();
+        }
+        if k <= DP_NODE_LIMIT {
+            self.decode_dp(detectors)
+        } else {
+            self.decode_blossom(detectors)
+        }
+    }
+
+    fn decode_dp(&self, dets: &[u32]) -> MatchingSolution {
+        let k = dets.len();
+        let (mate, weight) = subset_dp::solve(
+            k,
+            |i, j| self.pair_w(dets[i], dets[j]).min(2.0 * WEIGHT_CLAMP),
+            |i| self.boundary_w(dets[i]),
+        );
+        let mut solution = MatchingSolution {
+            weight,
+            ..MatchingSolution::default()
+        };
+        for (i, m) in mate.iter().enumerate() {
+            match m {
+                None => {
+                    solution.to_boundary.push(dets[i]);
+                    solution.observables ^= self.gwt.boundary_obs(dets[i]);
+                }
+                Some(j) if *j > i => {
+                    solution.pairs.push((dets[i], dets[*j]));
+                    solution.observables ^= self.gwt.pair_obs(dets[i], dets[*j]);
+                }
+                Some(_) => {}
+            }
+        }
+        solution
+    }
+
+    fn decode_blossom(&self, dets: &[u32]) -> MatchingSolution {
+        let k = dets.len();
+        let n = if k % 2 == 0 { k } else { k + 1 }; // virtual boundary node last
+        let eff = |i: usize, j: usize| -> f64 {
+            if i >= k || j >= k {
+                // Edge to the virtual boundary node.
+                let real = if i >= k { j } else { i };
+                self.boundary_w(dets[real]).min(WEIGHT_CLAMP)
+            } else {
+                let direct = self.pair_w(dets[i], dets[j]);
+                let via_boundary = self.boundary_w(dets[i]) + self.boundary_w(dets[j]);
+                direct.min(via_boundary).min(WEIGHT_CLAMP)
+            }
+        };
+        let (mate, _) = dense_blossom::min_weight_perfect_matching(n, |i, j| {
+            (eff(i, j) * BLOSSOM_SCALE).round() as i64 + 1
+        });
+
+        let mut solution = MatchingSolution::default();
+        for i in 0..k {
+            let j = mate[i];
+            if j >= k {
+                // Matched to the virtual boundary node.
+                solution.to_boundary.push(dets[i]);
+                solution.observables ^= self.gwt.boundary_obs(dets[i]);
+                solution.weight += self.boundary_w(dets[i]);
+            } else if j > i {
+                let direct = self.pair_w(dets[i], dets[j]);
+                let via_boundary = self.boundary_w(dets[i]) + self.boundary_w(dets[j]);
+                if direct <= via_boundary {
+                    solution.pairs.push((dets[i], dets[j]));
+                    solution.observables ^= self.gwt.pair_obs(dets[i], dets[j]);
+                    solution.weight += direct;
+                } else {
+                    solution.to_boundary.push(dets[i]);
+                    solution.to_boundary.push(dets[j]);
+                    solution.observables ^=
+                        self.gwt.boundary_obs(dets[i]) ^ self.gwt.boundary_obs(dets[j]);
+                    solution.weight += via_boundary;
+                }
+            }
+        }
+        solution
+    }
+}
+
+impl Decoder for MwpmDecoder<'_> {
+    fn decode(&mut self, detectors: &[u32]) -> Prediction {
+        let solution = self.decode_full(detectors);
+        Prediction {
+            observables: solution.observables,
+            cycles: 0,
+            deferred: false,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "MWPM"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decoding_graph::DecodingContext;
+    use qec_circuit::NoiseModel;
+    use surface_code::SurfaceCode;
+
+    fn ctx(d: usize, p: f64) -> DecodingContext {
+        let code = SurfaceCode::new(d).unwrap();
+        DecodingContext::for_memory_experiment(&code, NoiseModel::depolarizing(p))
+    }
+
+    #[test]
+    fn empty_syndrome_is_identity() {
+        let ctx = ctx(3, 1e-3);
+        let mut dec = MwpmDecoder::new(ctx.gwt());
+        assert_eq!(dec.decode(&[]), Prediction::identity());
+    }
+
+    #[test]
+    fn two_adjacent_detectors_pair_up() {
+        // Pick the cheapest pair in the table; MWPM must match them
+        // together rather than to the boundary (their pair weight is a
+        // single error, boundary paths are longer).
+        let ctx = ctx(5, 1e-3);
+        let gwt = ctx.gwt();
+        let n = gwt.len() as u32;
+        let (mut bi, mut bj, mut bw) = (0, 0, f64::INFINITY);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if gwt.pair_weight(i, j) < bw
+                    && gwt.pair_weight(i, j) < gwt.boundary_weight(i) + gwt.boundary_weight(j)
+                {
+                    (bi, bj, bw) = (i, j, gwt.pair_weight(i, j));
+                }
+            }
+        }
+        let dec = MwpmDecoder::new(gwt);
+        let sol = dec.decode_full(&[bi, bj]);
+        assert_eq!(sol.pairs, vec![(bi, bj)]);
+        assert!(sol.to_boundary.is_empty());
+        assert!((sol.weight - bw).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dp_and_blossom_agree_on_real_syndromes() {
+        use qec_circuit::DemSampler;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let ctx = ctx(5, 5e-3);
+        let dec = MwpmDecoder::new(ctx.gwt());
+        let mut sampler = DemSampler::new(ctx.dem());
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut compared = 0;
+        for _ in 0..400 {
+            let shot = sampler.sample(&mut rng);
+            let k = shot.detectors.len();
+            if k == 0 || k > DP_NODE_LIMIT {
+                continue;
+            }
+            let dp = dec.decode_dp(&shot.detectors);
+            let bl = dec.decode_blossom(&shot.detectors);
+            assert!(
+                (dp.weight - bl.weight).abs() < 1e-3,
+                "weights differ: dp {} vs blossom {} on {:?}",
+                dp.weight,
+                bl.weight,
+                shot.detectors
+            );
+            assert!(dp.is_perfect_over(&shot.detectors));
+            assert!(bl.is_perfect_over(&shot.detectors));
+            compared += 1;
+        }
+        assert!(compared > 50, "only {compared} nonzero syndromes sampled");
+    }
+
+    #[test]
+    fn odd_syndromes_use_the_boundary() {
+        let ctx = ctx(3, 1e-3);
+        let dec = MwpmDecoder::new(ctx.gwt());
+        let sol = dec.decode_full(&[0]);
+        assert_eq!(sol.to_boundary, vec![0]);
+        assert!(sol.pairs.is_empty());
+        // Odd coverage requires at least one boundary match.
+        let sol3 = dec.decode_full(&[0, 1, 2]);
+        assert!(sol3.to_boundary.len() % 2 == 1);
+        assert!(sol3.is_perfect_over(&[0, 1, 2]));
+    }
+
+    #[test]
+    fn quantized_variant_stays_close_to_exact() {
+        let ctx = ctx(3, 1e-3);
+        let exact = MwpmDecoder::new(ctx.gwt());
+        let quant = MwpmDecoder::with_quantized_weights(ctx.gwt());
+        let sol_e = exact.decode_full(&[0, 5, 9, 12]);
+        let sol_q = quant.decode_full(&[0, 5, 9, 12]);
+        assert!((sol_e.weight - sol_q.weight).abs() < 1.0);
+    }
+
+    #[test]
+    fn decoder_name() {
+        let ctx = ctx(3, 1e-3);
+        let dec = MwpmDecoder::new(ctx.gwt());
+        assert_eq!(Decoder::name(&dec), "MWPM");
+    }
+}

@@ -1,0 +1,142 @@
+//! Property tests: the blossom algorithm against the independent subset-DP
+//! solver, and structural invariants of the MWPM decoder.
+
+use blossom_mwpm::{dense_blossom, subset_dp, MwpmDecoder};
+use decoding_graph::DecodingContext;
+use proptest::prelude::*;
+use qec_circuit::NoiseModel;
+use surface_code::SurfaceCode;
+
+/// Random even-sized complete graphs with positive integer weights.
+fn weight_matrix(n: usize) -> impl Strategy<Value = Vec<Vec<i64>>> {
+    prop::collection::vec(prop::collection::vec(1i64..1000, n), n).prop_map(move |mut m| {
+        for i in 0..n {
+            for j in 0..i {
+                m[i][j] = m[j][i];
+            }
+            m[i][i] = 0;
+        }
+        m
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn blossom_equals_dp_on_random_graphs(
+        n in prop::sample::select(vec![2usize, 4, 6, 8, 10, 12]),
+        seed in any::<u32>(),
+    ) {
+        let w = move |u: usize, v: usize| {
+            let (u, v) = (u.min(v) as u64, u.max(v) as u64);
+            ((u * 2654435761 + v * 40503 + seed as u64)
+                .wrapping_mul(2246822519) >> 33) as i64 % 997 + 1
+        };
+        let (mate, blossom_cost) = dense_blossom::min_weight_perfect_matching(n, w);
+        let (_, dp_cost) = subset_dp::solve(n, |i, j| w(i, j) as f64, |_| 1e15);
+        prop_assert_eq!(blossom_cost as f64, dp_cost);
+        // The matching must be a perfect involution.
+        for (u, &v) in mate.iter().enumerate() {
+            prop_assert_ne!(u, v);
+            prop_assert_eq!(mate[v], u);
+        }
+    }
+
+    #[test]
+    fn blossom_equals_dp_on_explicit_matrices(m in weight_matrix(8)) {
+        let (_, blossom_cost) =
+            dense_blossom::min_weight_perfect_matching(8, |u, v| m[u][v]);
+        let (_, dp_cost) = subset_dp::solve(8, |i, j| m[i][j] as f64, |_| 1e15);
+        prop_assert_eq!(blossom_cost as f64, dp_cost);
+    }
+
+    #[test]
+    fn dp_with_boundary_never_beats_or_loses_to_exhaustive_small(
+        n in 1usize..6,
+        seed in any::<u32>(),
+    ) {
+        // For tiny n compare against brute-force enumeration including
+        // boundary choices.
+        let w = move |u: usize, v: usize| {
+            let (u, v) = (u.min(v) as u64, u.max(v) as u64);
+            ((u * 31 + v * 17 + seed as u64) % 50 + 1) as f64
+        };
+        let b = move |u: usize| ((u as u64 * 13 + seed as u64) % 50 + 1) as f64;
+        let (mate, cost) = subset_dp::solve(n, w, b);
+
+        fn brute(nodes: &[usize], w: &dyn Fn(usize, usize) -> f64, b: &dyn Fn(usize) -> f64) -> f64 {
+            match nodes {
+                [] => 0.0,
+                [first, rest @ ..] => {
+                    let mut best = b(*first) + brute(rest, w, b);
+                    for (idx, &j) in rest.iter().enumerate() {
+                        let mut rem = rest.to_vec();
+                        rem.remove(idx);
+                        best = best.min(w(*first, j) + brute(&rem, w, b));
+                    }
+                    best
+                }
+            }
+        }
+        let nodes: Vec<usize> = (0..n).collect();
+        prop_assert!((cost - brute(&nodes, &w, &b)).abs() < 1e-9);
+        // Mate must be an involution with boundary slots.
+        for (u, m) in mate.iter().enumerate() {
+            if let Some(v) = m {
+                prop_assert_eq!(mate[*v], Some(u));
+            }
+        }
+    }
+}
+
+#[test]
+fn mwpm_solution_weight_is_minimal_over_random_alternatives() {
+    // On real sampled syndromes, no random valid alternative assignment may
+    // have lower weight than the decoder's solution.
+    use qec_circuit::DemSampler;
+    use rand::seq::SliceRandom;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    let code = SurfaceCode::new(5).unwrap();
+    let ctx = DecodingContext::for_memory_experiment(&code, NoiseModel::depolarizing(5e-3));
+    let decoder = MwpmDecoder::new(ctx.gwt());
+    let mut sampler = DemSampler::new(ctx.dem());
+    let mut rng = StdRng::seed_from_u64(2024);
+
+    let mut checked = 0;
+    for _ in 0..300 {
+        let shot = sampler.sample(&mut rng);
+        if shot.detectors.is_empty() || shot.detectors.len() > 12 {
+            continue;
+        }
+        let sol = decoder.decode_full(&shot.detectors);
+        assert!(sol.is_perfect_over(&shot.detectors));
+
+        // Generate random alternatives: shuffle, pair greedily, send a
+        // random subset to the boundary.
+        for _ in 0..20 {
+            let mut order = shot.detectors.clone();
+            order.shuffle(&mut rng);
+            let mut alt_weight = 0.0;
+            let mut i = 0;
+            while i < order.len() {
+                if i + 1 < order.len() && rng.gen_bool(0.7) {
+                    alt_weight += ctx.gwt().pair_weight(order[i], order[i + 1]);
+                    i += 2;
+                } else {
+                    alt_weight += ctx.gwt().boundary_weight(order[i]);
+                    i += 1;
+                }
+            }
+            assert!(
+                sol.weight <= alt_weight + 1e-6,
+                "random alternative ({alt_weight}) beat MWPM ({}) on {:?}",
+                sol.weight,
+                shot.detectors
+            );
+        }
+        checked += 1;
+    }
+    assert!(checked > 30, "too few syndromes checked: {checked}");
+}

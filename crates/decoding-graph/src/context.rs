@@ -1,0 +1,84 @@
+//! Bundled decoding context: circuit, error model, graph, and weight table.
+
+use crate::graph::MatchingGraph;
+use crate::gwt::GlobalWeightTable;
+use qec_circuit::{build_memory_z_circuit, Circuit, DetectorErrorModel, NoiseModel};
+use surface_code::SurfaceCode;
+
+/// Everything a decoder (and the experiment harness) needs for one
+/// `(distance, rounds, noise)` configuration, computed once and shared.
+///
+/// Building the context performs the expensive one-time work: detector
+/// error model extraction and the all-pairs Dijkstra behind the
+/// [`GlobalWeightTable`]. The context is immutable afterwards and can be
+/// shared across threads.
+#[derive(Debug, Clone)]
+pub struct DecodingContext {
+    circuit: Circuit,
+    dem: DetectorErrorModel,
+    graph: MatchingGraph,
+    gwt: GlobalWeightTable,
+}
+
+impl DecodingContext {
+    /// Builds the context for a surface-code Z-memory experiment with
+    /// `rounds = d`, the paper's standard configuration.
+    pub fn for_memory_experiment(code: &SurfaceCode, noise: NoiseModel) -> DecodingContext {
+        let circuit = build_memory_z_circuit(code, code.distance(), noise);
+        DecodingContext::from_circuit(&circuit)
+    }
+
+    /// Builds the context from an arbitrary annotated circuit.
+    pub fn from_circuit(circuit: &Circuit) -> DecodingContext {
+        let dem = circuit.detector_error_model();
+        let graph = MatchingGraph::build(circuit, &dem);
+        let gwt = GlobalWeightTable::new(&graph);
+        DecodingContext {
+            circuit: circuit.clone(),
+            dem,
+            graph,
+            gwt,
+        }
+    }
+
+    /// The underlying circuit.
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// The extracted detector error model.
+    pub fn dem(&self) -> &DetectorErrorModel {
+        &self.dem
+    }
+
+    /// The sparse matching graph.
+    pub fn graph(&self) -> &MatchingGraph {
+        &self.graph
+    }
+
+    /// The Global Weight Table.
+    pub fn gwt(&self) -> &GlobalWeightTable {
+        &self.gwt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_context_has_consistent_sizes() {
+        let code = SurfaceCode::new(3).unwrap();
+        let ctx = DecodingContext::for_memory_experiment(&code, NoiseModel::depolarizing(1e-3));
+        assert_eq!(ctx.circuit().num_detectors(), 16);
+        assert_eq!(ctx.dem().num_detectors(), 16);
+        assert_eq!(ctx.graph().num_detectors(), 16);
+        assert_eq!(ctx.gwt().len(), 16);
+    }
+
+    #[test]
+    fn context_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DecodingContext>();
+    }
+}

@@ -1,0 +1,75 @@
+//! The decoder interface shared by every decoder in the workspace.
+
+/// The result of decoding one syndrome vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Prediction {
+    /// Bitmask of logical observables the decoder believes were flipped.
+    /// Applying the implied correction succeeds iff this equals the actual
+    /// flip mask of the shot.
+    pub observables: u32,
+    /// Modeled hardware latency in decoder clock cycles (0 for software
+    /// decoders and for trivially decoded syndromes).
+    pub cycles: u64,
+    /// True if the decoder could not decode this syndrome in real time —
+    /// either it gave up (e.g. Astrea beyond Hamming weight 10) or it
+    /// deferred to a software fallback (e.g. the Clique pre-decoder).
+    pub deferred: bool,
+}
+
+impl Prediction {
+    /// A trivial "no correction" prediction.
+    pub fn identity() -> Prediction {
+        Prediction::default()
+    }
+
+    /// Converts the modeled cycle count to nanoseconds at the given decoder
+    /// clock frequency (the paper's FPGA designs run at 250 MHz).
+    ///
+    /// ```
+    /// use decoding_graph::Prediction;
+    /// let p = Prediction { observables: 0, cycles: 114, deferred: false };
+    /// assert_eq!(p.latency_ns(250.0), 456.0); // Astrea's worst case (§5.4)
+    /// ```
+    pub fn latency_ns(&self, freq_mhz: f64) -> f64 {
+        self.cycles as f64 * 1e3 / freq_mhz
+    }
+}
+
+/// A syndrome decoder.
+///
+/// Decoders receive the sorted indices of the detectors that fired (the
+/// nonzero bits of the syndrome vector) and return a [`Prediction`].
+/// Decoders may keep internal scratch state between calls, hence `&mut
+/// self`; one decoder instance must not be shared across threads while
+/// decoding (create one per worker instead).
+pub trait Decoder {
+    /// Decodes one syndrome vector given the fired detectors, sorted
+    /// ascending.
+    fn decode(&mut self, detectors: &[u32]) -> Prediction;
+
+    /// A short human-readable name ("MWPM", "Astrea", …) used in reports.
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_conversion_at_250mhz() {
+        let p = Prediction {
+            observables: 0,
+            cycles: 1,
+            deferred: false,
+        };
+        assert_eq!(p.latency_ns(250.0), 4.0);
+    }
+
+    #[test]
+    fn identity_prediction_is_empty() {
+        let p = Prediction::identity();
+        assert_eq!(p.observables, 0);
+        assert_eq!(p.cycles, 0);
+        assert!(!p.deferred);
+    }
+}

@@ -1,0 +1,287 @@
+//! Shortest-path reconstruction: turning a matching into a physical
+//! correction.
+//!
+//! The Global Weight Table stores only the *weight* and *observable
+//! parity* of the most likely error chain between two detectors — all a
+//! memory experiment needs. A real control system, however, applies the
+//! correction (or tracks it in its Pauli frame), which requires the actual
+//! chain: the sequence of matching-graph edges along the shortest path
+//! (§2.2: "errors are corrected using the shortest path between the parity
+//! qubits"). This module reconstructs those chains on demand.
+
+use crate::graph::MatchingGraph;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Reconstructs shortest correction chains over a matching graph.
+///
+/// Runs Dijkstra per query; for bulk decoding keep the
+/// [`GlobalWeightTable`](crate::GlobalWeightTable) and only reconstruct
+/// chains for the matchings actually applied.
+///
+/// ```
+/// use decoding_graph::{DecodingContext, PathReconstructor};
+/// use qec_circuit::NoiseModel;
+/// use surface_code::SurfaceCode;
+///
+/// let code = SurfaceCode::new(3)?;
+/// let ctx = DecodingContext::for_memory_experiment(&code, NoiseModel::depolarizing(1e-3));
+/// let paths = PathReconstructor::new(ctx.graph());
+/// let chain = paths.pair_path(0, 1).expect("detectors are connected");
+/// let total: f64 = chain.iter().map(|&e| ctx.graph().edges()[e as usize].weight).sum();
+/// assert!((total - ctx.gwt().pair_weight(0, 1)).abs() < 1e-9);
+/// # Ok::<(), surface_code::InvalidDistance>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct PathReconstructor<'a> {
+    graph: &'a MatchingGraph,
+}
+
+impl<'a> PathReconstructor<'a> {
+    /// Creates a reconstructor over the graph.
+    pub fn new(graph: &'a MatchingGraph) -> PathReconstructor<'a> {
+        PathReconstructor { graph }
+    }
+
+    /// The edge ids of the minimum-weight chain flipping detectors `u` and
+    /// `v`, or `None` if they are not connected without crossing the
+    /// boundary.
+    pub fn pair_path(&self, u: u32, v: u32) -> Option<Vec<u32>> {
+        self.dijkstra(u, Target::Node(v))
+    }
+
+    /// The edge ids of the minimum-weight chain connecting detector `u` to
+    /// the lattice boundary (ending in a boundary edge), or `None` if the
+    /// graph has no boundary reachable from `u`.
+    pub fn boundary_path(&self, u: u32) -> Option<Vec<u32>> {
+        self.dijkstra(u, Target::Boundary)
+    }
+
+    fn dijkstra(&self, src: u32, target: Target) -> Option<Vec<u32>> {
+        let n = self.graph.num_detectors();
+        let mut dist = vec![f64::INFINITY; n];
+        let mut via: Vec<Option<u32>> = vec![None; n]; // edge used to reach node
+        dist[src as usize] = 0.0;
+        let mut heap: BinaryHeap<Reverse<(OrdF64, u32)>> = BinaryHeap::new();
+        heap.push(Reverse((OrdF64(0.0), src)));
+
+        let mut best_boundary: Option<(f64, u32, u32)> = None; // (cost, node, boundary edge)
+        while let Some(Reverse((OrdF64(d), u))) = heap.pop() {
+            if d > dist[u as usize] {
+                continue;
+            }
+            if let Target::Node(t) = target {
+                if u == t {
+                    break;
+                }
+            }
+            for &ei in self.graph.incident_edges(u) {
+                let e = &self.graph.edges()[ei as usize];
+                match e.v {
+                    None => {
+                        if matches!(target, Target::Boundary) {
+                            let cost = d + e.weight;
+                            if best_boundary.is_none_or(|(c, _, _)| cost < c) {
+                                best_boundary = Some((cost, u, ei));
+                            }
+                        }
+                    }
+                    Some(v) => {
+                        let w = if e.u == u { v } else { e.u };
+                        let nd = d + e.weight;
+                        if nd < dist[w as usize] {
+                            dist[w as usize] = nd;
+                            via[w as usize] = Some(ei);
+                            heap.push(Reverse((OrdF64(nd), w)));
+                        }
+                    }
+                }
+            }
+        }
+
+        let (mut cursor, mut path) = match target {
+            Target::Node(t) => {
+                if !dist[t as usize].is_finite() {
+                    return None;
+                }
+                (t, Vec::new())
+            }
+            Target::Boundary => {
+                let (_, node, edge) = best_boundary?;
+                (node, vec![edge])
+            }
+        };
+        while cursor != src {
+            let ei = via[cursor as usize].expect("reached node has a via edge");
+            path.push(ei);
+            let e = &self.graph.edges()[ei as usize];
+            cursor = if e.u == cursor {
+                e.v.expect("via edges are internal")
+            } else {
+                e.u
+            };
+        }
+        path.reverse();
+        Some(path)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Target {
+    Node(u32),
+    Boundary,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct OrdF64(f64);
+impl Eq for OrdF64 {}
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::DecodingContext;
+    use qec_circuit::NoiseModel;
+    use surface_code::SurfaceCode;
+
+    fn ctx() -> DecodingContext {
+        let code = SurfaceCode::new(5).unwrap();
+        DecodingContext::for_memory_experiment(&code, NoiseModel::depolarizing(1e-3))
+    }
+
+    #[test]
+    fn pair_path_weight_matches_gwt() {
+        let ctx = ctx();
+        let recon = PathReconstructor::new(ctx.graph());
+        let n = ctx.gwt().len() as u32;
+        for (u, v) in [(0u32, 1u32), (0, n - 1), (3, 17), (n / 2, n / 2 + 5)] {
+            let expected = ctx.gwt().pair_weight(u, v);
+            match recon.pair_path(u, v) {
+                Some(path) => {
+                    let total: f64 = path
+                        .iter()
+                        .map(|&e| ctx.graph().edges()[e as usize].weight)
+                        .sum();
+                    assert!(
+                        (total - expected).abs() < 1e-9,
+                        "({u},{v}): path {total} vs gwt {expected}"
+                    );
+                }
+                None => assert!(expected.is_infinite()),
+            }
+        }
+    }
+
+    #[test]
+    fn pair_path_obs_parity_matches_gwt() {
+        let ctx = ctx();
+        let recon = PathReconstructor::new(ctx.graph());
+        let n = ctx.gwt().len() as u32;
+        let mut checked = 0;
+        for u in (0..n).step_by(7) {
+            for v in (1..n).step_by(11) {
+                if u == v {
+                    continue;
+                }
+                if let Some(path) = recon.pair_path(u, v) {
+                    let obs = path.iter().fold(0u32, |acc, &e| {
+                        acc ^ ctx.graph().edges()[e as usize].observables
+                    });
+                    assert_eq!(obs, ctx.gwt().pair_obs(u, v), "({u},{v})");
+                    checked += 1;
+                }
+            }
+        }
+        assert!(checked > 20);
+    }
+
+    #[test]
+    fn pair_path_endpoints_telescope() {
+        // XOR-ing each edge's endpoints must leave exactly {u, v}.
+        let ctx = ctx();
+        let recon = PathReconstructor::new(ctx.graph());
+        let (u, v) = (2u32, 40u32);
+        let path = recon.pair_path(u, v).expect("connected");
+        let mut parity = vec![false; ctx.graph().num_detectors()];
+        for &ei in &path {
+            let e = &ctx.graph().edges()[ei as usize];
+            parity[e.u as usize] = !parity[e.u as usize];
+            let w = e.v.expect("internal edge");
+            parity[w as usize] = !parity[w as usize];
+        }
+        let flipped: Vec<u32> = parity
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &b)| b.then_some(i as u32))
+            .collect();
+        assert_eq!(flipped, vec![u.min(v), u.max(v)]);
+    }
+
+    #[test]
+    fn boundary_path_weight_matches_gwt() {
+        let ctx = ctx();
+        let recon = PathReconstructor::new(ctx.graph());
+        for u in 0..ctx.gwt().len() as u32 {
+            let path = recon.boundary_path(u).expect("boundary reachable");
+            let total: f64 = path
+                .iter()
+                .map(|&e| ctx.graph().edges()[e as usize].weight)
+                .sum();
+            assert!(
+                (total - ctx.gwt().boundary_weight(u)).abs() < 1e-9,
+                "node {u}: path {total} vs gwt {}",
+                ctx.gwt().boundary_weight(u)
+            );
+            // The path must end in exactly one boundary edge.
+            let boundary_edges = path
+                .iter()
+                .filter(|&&e| ctx.graph().edges()[e as usize].v.is_none())
+                .count();
+            assert_eq!(boundary_edges, 1);
+        }
+    }
+
+    #[test]
+    fn direct_edges_are_never_beaten_by_much() {
+        // For every internal edge, the reconstructed shortest path can only
+        // be at most as heavy as the edge itself; for the cheapest edge in
+        // the graph it must be the edge itself.
+        let ctx = ctx();
+        let recon = PathReconstructor::new(ctx.graph());
+        let cheapest = ctx
+            .graph()
+            .edges()
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.v.is_some())
+            .min_by(|a, b| a.1.weight.total_cmp(&b.1.weight))
+            .expect("graph has internal edges");
+        let path = recon
+            .pair_path(cheapest.1.u, cheapest.1.v.unwrap())
+            .unwrap();
+        assert_eq!(path, vec![cheapest.0 as u32]);
+        for e in ctx
+            .graph()
+            .edges()
+            .iter()
+            .filter(|e| e.v.is_some())
+            .take(50)
+        {
+            let path = recon.pair_path(e.u, e.v.unwrap()).unwrap();
+            let total: f64 = path
+                .iter()
+                .map(|&i| ctx.graph().edges()[i as usize].weight)
+                .sum();
+            assert!(total <= e.weight + 1e-9);
+        }
+    }
+}

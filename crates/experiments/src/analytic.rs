@@ -1,0 +1,153 @@
+//! The analytical Hamming-weight upper-bound model (paper §4.2.1).
+//!
+//! Each syndrome-extraction error flips two syndrome bits with total
+//! probability `8p` per parity qubit per round, so the number of
+//! extraction errors is `E ~ Binomial(D, 8p)` with
+//! `D = (d + 1) · (d² − 1)/2` syndrome bits, and the Hamming weight is
+//! modeled as `H = 2E` (equation (1)). The model is an upper bound: real
+//! error chains overlap and cancel, so observed weights run lower
+//! (Figure 6).
+
+/// The number of per-basis syndrome bits `D = (d + 1) · (d² − 1)/2` the
+/// model draws over.
+pub fn syndrome_bits(distance: usize) -> u64 {
+    ((distance + 1) * (distance * distance - 1) / 2) as u64
+}
+
+/// `P(H = h)` under the analytical model — equation (1) of the paper.
+/// Odd Hamming weights have probability zero (every modeled error flips
+/// exactly two bits).
+pub fn hamming_weight_probability(distance: usize, p: f64, h: usize) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "invalid probability {p}");
+    if h % 2 == 1 {
+        return 0.0;
+    }
+    let d = syndrome_bits(distance);
+    let k = (h / 2) as u64;
+    if k > d {
+        return 0.0;
+    }
+    let q = 8.0 * p;
+    binomial_pmf(d, k, q)
+}
+
+/// `P(H > h)` under the analytical model.
+pub fn hamming_weight_tail(distance: usize, p: f64, h: usize) -> f64 {
+    let d = syndrome_bits(distance) as usize;
+    let mut tail = 0.0;
+    let mut weight = h + 1;
+    // Round up to the next even weight (odd weights have probability 0).
+    if weight % 2 == 1 {
+        weight += 1;
+    }
+    while weight <= 2 * d {
+        tail += hamming_weight_probability(distance, p, weight);
+        weight += 2;
+    }
+    tail
+}
+
+/// Binomial probability mass `P(X = k)` for `X ~ Binomial(n, q)`, computed
+/// in log space for numerical stability at large `n` and small `q`.
+pub fn binomial_pmf(n: u64, k: u64, q: f64) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    if q <= 0.0 {
+        return if k == 0 { 1.0 } else { 0.0 };
+    }
+    if q >= 1.0 {
+        return if k == n { 1.0 } else { 0.0 };
+    }
+    let ln = ln_choose(n, k) + k as f64 * q.ln() + (n - k) as f64 * (1.0 - q).ln();
+    ln.exp()
+}
+
+/// `ln C(n, k)` via the log-gamma function (Stirling series — accurate to
+/// well below Monte-Carlo noise for all arguments used here).
+pub fn ln_choose(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+}
+
+/// `ln n!` — exact accumulation for small `n`, Stirling's series beyond.
+pub fn ln_factorial(n: u64) -> f64 {
+    if n < 64 {
+        (2..=n).map(|i| (i as f64).ln()).sum()
+    } else {
+        let x = n as f64;
+        // Stirling series with three correction terms.
+        x * x.ln() - x + 0.5 * (2.0 * std::f64::consts::PI * x).ln() + 1.0 / (12.0 * x)
+            - 1.0 / (360.0 * x * x * x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn syndrome_bit_counts() {
+        // D = (d + 1)(d² − 1)/2: 16 / 72 / 192 / 400 per Table 1.
+        assert_eq!(syndrome_bits(3), 16);
+        assert_eq!(syndrome_bits(5), 72);
+        assert_eq!(syndrome_bits(7), 192);
+        assert_eq!(syndrome_bits(9), 400);
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let d = 5;
+        let p = 1e-3;
+        let total: f64 = (0..=2 * syndrome_bits(d) as usize)
+            .map(|h| hamming_weight_probability(d, p, h))
+            .sum();
+        assert!((total - 1.0).abs() < 1e-9, "total {total}");
+    }
+
+    #[test]
+    fn odd_weights_are_impossible() {
+        assert_eq!(hamming_weight_probability(5, 1e-3, 3), 0.0);
+        assert_eq!(hamming_weight_probability(5, 1e-3, 7), 0.0);
+    }
+
+    #[test]
+    fn weights_decay_exponentially() {
+        let d = 7;
+        let p = 1e-4;
+        let p2 = hamming_weight_probability(d, p, 2);
+        let p4 = hamming_weight_probability(d, p, 4);
+        let p6 = hamming_weight_probability(d, p, 6);
+        assert!(p2 > 10.0 * p4);
+        assert!(p4 > 10.0 * p6);
+    }
+
+    #[test]
+    fn paper_insight_tail_beyond_10_is_below_ler_at_d7_p1e4() {
+        // §4.2: at d = 7, p = 10⁻⁴ the probability of HW > 10 is below the
+        // 6×10⁻⁹-scale logical error rate... under the *observed*
+        // distribution; the analytic bound is looser but still tiny.
+        let tail = hamming_weight_tail(7, 1e-4, 10);
+        assert!(tail < 1e-4, "tail {tail}");
+        // And at p = 10⁻³ the tail is orders of magnitude larger (Table 5).
+        let tail_hi = hamming_weight_tail(7, 1e-3, 10);
+        assert!(tail_hi > 100.0 * tail);
+    }
+
+    #[test]
+    fn binomial_pmf_matches_direct_computation() {
+        // Small case checked against exact arithmetic: C(4,2) 0.5^4 = 0.375.
+        assert!((binomial_pmf(4, 2, 0.5) - 0.375).abs() < 1e-12);
+        assert!((binomial_pmf(10, 0, 0.1) - 0.9f64.powi(10)).abs() < 1e-12);
+        assert_eq!(binomial_pmf(3, 5, 0.1), 0.0);
+    }
+
+    #[test]
+    fn ln_factorial_stirling_agrees_with_exact() {
+        // Check continuity across the exact/Stirling switchover.
+        let exact: f64 = (2..=70u64).map(|i| (i as f64).ln()).sum();
+        assert!((ln_factorial(70) - exact).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,157 @@
+//! Hamming-weight distribution measurement (paper §4.2.2, Table 2,
+//! Table 5, Figure 6).
+
+use crate::harness::ExperimentContext;
+use qec_circuit::{DemSampler, Shot};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// An empirical Hamming-weight histogram over sampled syndromes.
+#[derive(Debug, Clone, Default)]
+pub struct HammingHistogram {
+    counts: Vec<u64>,
+    trials: u64,
+}
+
+impl HammingHistogram {
+    /// Samples `trials` syndromes and histograms their Hamming weights,
+    /// splitting the work across `threads` threads.
+    pub fn sample(
+        ctx: &ExperimentContext,
+        trials: u64,
+        threads: usize,
+        seed: u64,
+    ) -> HammingHistogram {
+        let threads = threads.max(1);
+        let per = trials / threads as u64;
+        let rem = trials % threads as u64;
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for tid in 0..threads {
+                let n = per + u64::from((tid as u64) < rem);
+                handles.push(scope.spawn(move |_| {
+                    let mut sampler = DemSampler::new(ctx.dem());
+                    let mut rng =
+                        StdRng::seed_from_u64(seed.wrapping_add(0xABCD_EF01 * (tid as u64 + 1)));
+                    let mut local = HammingHistogram::default();
+                    let mut shot = Shot::default();
+                    for _ in 0..n {
+                        sampler.sample_into(&mut rng, &mut shot);
+                        local.record(shot.hamming_weight());
+                    }
+                    local
+                }));
+            }
+            let mut total = HammingHistogram::default();
+            for h in handles {
+                total.merge(&h.join().expect("worker panicked"));
+            }
+            total
+        })
+        .expect("thread scope failed")
+    }
+
+    fn record(&mut self, hw: usize) {
+        if self.counts.len() <= hw {
+            self.counts.resize(hw + 1, 0);
+        }
+        self.counts[hw] += 1;
+        self.trials += 1;
+    }
+
+    fn merge(&mut self, other: &HammingHistogram) {
+        if self.counts.len() < other.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (i, &c) in other.counts.iter().enumerate() {
+            self.counts[i] += c;
+        }
+        self.trials += other.trials;
+    }
+
+    /// Total sampled trials.
+    pub fn trials(&self) -> u64 {
+        self.trials
+    }
+
+    /// Empirical `P(HW = h)`.
+    pub fn probability(&self, h: usize) -> f64 {
+        if self.trials == 0 {
+            return 0.0;
+        }
+        self.counts.get(h).copied().unwrap_or(0) as f64 / self.trials as f64
+    }
+
+    /// Empirical `P(a ≤ HW ≤ b)` — the paper's Table 2 groups weights as
+    /// 0, 1–2, 3–4, 5–6, 7–10, > 10.
+    pub fn probability_range(&self, a: usize, b: usize) -> f64 {
+        (a..=b).map(|h| self.probability(h)).sum()
+    }
+
+    /// Empirical `P(HW > h)`.
+    pub fn tail_probability(&self, h: usize) -> f64 {
+        if self.trials == 0 {
+            return 0.0;
+        }
+        let tail: u64 = self.counts.iter().skip(h + 1).sum();
+        tail as f64 / self.trials as f64
+    }
+
+    /// The largest observed Hamming weight.
+    pub fn max_weight(&self) -> usize {
+        self.counts.len().saturating_sub(1)
+    }
+
+    /// Mean observed Hamming weight.
+    pub fn mean(&self) -> f64 {
+        if self.trials == 0 {
+            return 0.0;
+        }
+        let sum: u64 = self
+            .counts
+            .iter()
+            .enumerate()
+            .map(|(h, &c)| h as u64 * c)
+            .sum();
+        sum as f64 / self.trials as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_probabilities_sum_to_one() {
+        let ctx = ExperimentContext::new(3, 5e-3);
+        let h = HammingHistogram::sample(&ctx, 20_000, 3, 1);
+        assert_eq!(h.trials(), 20_000);
+        let total: f64 = (0..=h.max_weight()).map(|w| h.probability(w)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_weight_dominates_at_low_p() {
+        // Table 2: P(HW = 0) = 0.99 at d = 3, p = 10⁻⁴.
+        let ctx = ExperimentContext::new(3, 1e-4);
+        let h = HammingHistogram::sample(&ctx, 50_000, 4, 2);
+        assert!(h.probability(0) > 0.97, "P(0) = {}", h.probability(0));
+    }
+
+    #[test]
+    fn higher_p_shifts_weight_up() {
+        let lo = HammingHistogram::sample(&ExperimentContext::new(3, 1e-4), 20_000, 2, 3);
+        let hi = HammingHistogram::sample(&ExperimentContext::new(3, 5e-3), 20_000, 2, 3);
+        assert!(hi.mean() > 5.0 * lo.mean());
+    }
+
+    #[test]
+    fn range_and_tail_are_consistent() {
+        let ctx = ExperimentContext::new(3, 5e-3);
+        let h = HammingHistogram::sample(&ctx, 10_000, 2, 4);
+        let all = h.probability_range(0, h.max_weight());
+        assert!((all - 1.0).abs() < 1e-9);
+        let split = h.probability_range(0, 4) + h.tail_probability(4);
+        assert!((split - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,328 @@
+//! Parallel Monte-Carlo memory experiments.
+
+use decoding_graph::{Decoder, DecodingContext};
+use qec_circuit::{DemSampler, NoiseModel, Shot};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use surface_code::SurfaceCode;
+
+/// A decoding context plus the experiment parameters that produced it.
+///
+/// Building one is expensive (detector-error-model extraction and all-pairs
+/// Dijkstra); reuse it across every decoder and trial count for the same
+/// `(distance, p)` point.
+#[derive(Debug, Clone)]
+pub struct ExperimentContext {
+    /// Code distance.
+    pub distance: usize,
+    /// Physical error rate.
+    pub physical_error_rate: f64,
+    ctx: DecodingContext,
+}
+
+impl ExperimentContext {
+    /// Builds the context for a `(d, p)` memory experiment with `d` rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `distance` is not an odd number ≥ 3 or `p` is not a
+    /// probability.
+    pub fn new(distance: usize, p: f64) -> ExperimentContext {
+        let code = SurfaceCode::new(distance).expect("valid surface code distance");
+        let ctx = DecodingContext::for_memory_experiment(&code, NoiseModel::depolarizing(p));
+        ExperimentContext {
+            distance,
+            physical_error_rate: p,
+            ctx,
+        }
+    }
+
+    /// Builds the context from an arbitrary annotated circuit — e.g. an
+    /// X-basis memory experiment, a non-uniform [`qec_circuit::NoiseMap`]
+    /// circuit, or a custom round count. `distance` and `p` are recorded
+    /// for reporting only.
+    pub fn from_circuit(
+        distance: usize,
+        p: f64,
+        circuit: &qec_circuit::Circuit,
+    ) -> ExperimentContext {
+        ExperimentContext {
+            distance,
+            physical_error_rate: p,
+            ctx: DecodingContext::from_circuit(circuit),
+        }
+    }
+
+    /// The underlying decoding context.
+    pub fn decoding(&self) -> &DecodingContext {
+        &self.ctx
+    }
+
+    /// Shorthand for the Global Weight Table.
+    pub fn gwt(&self) -> &decoding_graph::GlobalWeightTable {
+        self.ctx.gwt()
+    }
+
+    /// Shorthand for the matching graph.
+    pub fn graph(&self) -> &decoding_graph::MatchingGraph {
+        self.ctx.graph()
+    }
+
+    /// Shorthand for the detector error model.
+    pub fn dem(&self) -> &qec_circuit::DetectorErrorModel {
+        self.ctx.dem()
+    }
+}
+
+/// A thread-safe factory producing one decoder instance per worker thread.
+pub type DecoderFactory<'a> = dyn Fn(&'a ExperimentContext) -> Box<dyn Decoder + 'a> + Sync + 'a;
+
+/// The outcome of a logical-error-rate estimation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LerResult {
+    /// Monte-Carlo trials run.
+    pub trials: u64,
+    /// Trials where the decoder's prediction missed the actual logical
+    /// flip (logical errors).
+    pub failures: u64,
+    /// Trials the decoder declined to decode in real time (Astrea beyond
+    /// its Hamming-weight ceiling, Clique deferrals). These still count as
+    /// failures when the uncorrected observable flipped.
+    pub deferred: u64,
+    /// Latency statistics over the modeled hardware cycles.
+    pub latency: LatencyStats,
+}
+
+impl LerResult {
+    /// The logical error rate per `d`-round logical cycle.
+    pub fn ler(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.failures as f64 / self.trials as f64
+        }
+    }
+
+    /// Binomial standard error of [`LerResult::ler`].
+    pub fn std_err(&self) -> f64 {
+        if self.trials == 0 {
+            return 0.0;
+        }
+        let p = self.ler();
+        (p * (1.0 - p) / self.trials as f64).sqrt()
+    }
+
+    fn merge(&mut self, other: &LerResult) {
+        self.trials += other.trials;
+        self.failures += other.failures;
+        self.deferred += other.deferred;
+        self.latency.merge(&other.latency);
+    }
+}
+
+/// Mergeable latency statistics in decoder cycles.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencyStats {
+    /// Total cycles across all shots.
+    pub total_cycles: u64,
+    /// Total cycles across shots with Hamming weight > 2 (the paper's
+    /// "Mean (HW > 2 Only)" series in Figure 9).
+    pub total_cycles_nontrivial: u64,
+    /// Number of shots with Hamming weight > 2.
+    pub nontrivial_shots: u64,
+    /// Worst-case cycles observed.
+    pub max_cycles: u64,
+    /// Number of shots observed (including trivial ones).
+    pub shots: u64,
+}
+
+impl LatencyStats {
+    fn record(&mut self, hamming_weight: usize, cycles: u64) {
+        self.shots += 1;
+        self.total_cycles += cycles;
+        self.max_cycles = self.max_cycles.max(cycles);
+        if hamming_weight > 2 {
+            self.total_cycles_nontrivial += cycles;
+            self.nontrivial_shots += 1;
+        }
+    }
+
+    fn merge(&mut self, other: &LatencyStats) {
+        self.total_cycles += other.total_cycles;
+        self.total_cycles_nontrivial += other.total_cycles_nontrivial;
+        self.nontrivial_shots += other.nontrivial_shots;
+        self.max_cycles = self.max_cycles.max(other.max_cycles);
+        self.shots += other.shots;
+    }
+
+    /// Mean latency over all shots, in nanoseconds at the given frequency.
+    pub fn mean_ns(&self, freq_mhz: f64) -> f64 {
+        if self.shots == 0 {
+            0.0
+        } else {
+            self.total_cycles as f64 / self.shots as f64 * 1e3 / freq_mhz
+        }
+    }
+
+    /// Mean latency over shots with Hamming weight > 2.
+    pub fn mean_nontrivial_ns(&self, freq_mhz: f64) -> f64 {
+        if self.nontrivial_shots == 0 {
+            0.0
+        } else {
+            self.total_cycles_nontrivial as f64 / self.nontrivial_shots as f64 * 1e3 / freq_mhz
+        }
+    }
+
+    /// Worst-case latency in nanoseconds.
+    pub fn max_ns(&self, freq_mhz: f64) -> f64 {
+        self.max_cycles as f64 * 1e3 / freq_mhz
+    }
+}
+
+/// Estimates the logical error rate of a decoder by running `trials`
+/// memory experiments across `threads` worker threads.
+///
+/// Each worker samples shots from the detector error model (statistically
+/// identical to full circuit-level Pauli-frame simulation — see
+/// `qec-circuit`'s validation tests), decodes them with its own decoder
+/// instance from `factory`, and counts a failure whenever the predicted
+/// observable flip disagrees with the actual one. Runs are reproducible
+/// for a fixed `(trials, threads, seed)` triple.
+pub fn estimate_ler<'a>(
+    ctx: &'a ExperimentContext,
+    trials: u64,
+    threads: usize,
+    seed: u64,
+    factory: &DecoderFactory<'a>,
+) -> LerResult {
+    let threads = threads.max(1);
+    let per_thread = trials / threads as u64;
+    let remainder = trials % threads as u64;
+
+    let results = crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for tid in 0..threads {
+            let thread_trials = per_thread + u64::from((tid as u64) < remainder);
+            let handle = scope.spawn(move |_| {
+                let mut decoder = factory(ctx);
+                let mut sampler = DemSampler::new(ctx.dem());
+                let mut rng = StdRng::seed_from_u64(
+                    seed ^ (0x9E37_79B9_7F4A_7C15u64).wrapping_mul(tid as u64 + 1),
+                );
+                let mut local = LerResult::default();
+                let mut shot = Shot::default();
+                for _ in 0..thread_trials {
+                    sampler.sample_into(&mut rng, &mut shot);
+                    local.trials += 1;
+                    if shot.detectors.is_empty() {
+                        // Trivial shot: identity prediction, zero latency.
+                        local.latency.record(0, 0);
+                        local.failures += u64::from(shot.observables != 0);
+                        continue;
+                    }
+                    let p = decoder.decode(&shot.detectors);
+                    local.latency.record(shot.detectors.len(), p.cycles);
+                    local.deferred += u64::from(p.deferred);
+                    local.failures += u64::from(p.observables != shot.observables);
+                }
+                local
+            });
+            handles.push(handle);
+        }
+        let mut total = LerResult::default();
+        for h in handles {
+            total.merge(&h.join().expect("worker thread panicked"));
+        }
+        total
+    })
+    .expect("thread scope failed");
+
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blossom_mwpm::MwpmDecoder;
+
+    #[test]
+    fn results_are_reproducible_across_runs() {
+        let ctx = ExperimentContext::new(3, 5e-3);
+        let factory: Box<DecoderFactory> = Box::new(|c| Box::new(MwpmDecoder::new(c.gwt())));
+        let a = estimate_ler(&ctx, 10_000, 3, 42, &*factory);
+        let b = estimate_ler(&ctx, 10_000, 3, 42, &*factory);
+        assert_eq!(a, b);
+        assert_eq!(a.trials, 10_000);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let ctx = ExperimentContext::new(3, 8e-3);
+        let factory: Box<DecoderFactory> = Box::new(|c| Box::new(MwpmDecoder::new(c.gwt())));
+        let a = estimate_ler(&ctx, 5_000, 2, 1, &*factory);
+        let b = estimate_ler(&ctx, 5_000, 2, 2, &*factory);
+        assert_ne!(a.failures, b.failures);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_trial_count() {
+        let ctx = ExperimentContext::new(3, 5e-3);
+        let factory: Box<DecoderFactory> = Box::new(|c| Box::new(MwpmDecoder::new(c.gwt())));
+        for threads in [1, 2, 5] {
+            let r = estimate_ler(&ctx, 1_003, threads, 9, &*factory);
+            assert_eq!(r.trials, 1_003);
+        }
+    }
+
+    #[test]
+    fn ler_decreases_with_distance_at_fixed_p() {
+        // The defining property of a working code + decoder stack: error
+        // suppression with distance (below threshold).
+        let p = 2e-3;
+        let ctx3 = ExperimentContext::new(3, p);
+        let ctx5 = ExperimentContext::new(5, p);
+        let factory: Box<DecoderFactory> = Box::new(|c| Box::new(MwpmDecoder::new(c.gwt())));
+        let r3 = estimate_ler(&ctx3, 40_000, 4, 11, &*factory);
+        let r5 = estimate_ler(&ctx5, 40_000, 4, 11, &*factory);
+        assert!(
+            r3.failures > 20,
+            "need statistics at d=3, got {}",
+            r3.failures
+        );
+        assert!(
+            r5.ler() < r3.ler() / 2.0,
+            "no error suppression: d=3 {} vs d=5 {}",
+            r3.ler(),
+            r5.ler()
+        );
+    }
+
+    #[test]
+    fn std_err_shrinks_with_trials() {
+        let a = LerResult {
+            trials: 100,
+            failures: 10,
+            ..LerResult::default()
+        };
+        let b = LerResult {
+            trials: 10_000,
+            failures: 1000,
+            ..LerResult::default()
+        };
+        assert!(b.std_err() < a.std_err());
+    }
+
+    #[test]
+    fn latency_stats_track_max_and_means() {
+        let mut s = LatencyStats::default();
+        s.record(0, 0);
+        s.record(4, 6);
+        s.record(10, 114);
+        assert_eq!(s.max_cycles, 114);
+        assert_eq!(s.shots, 3);
+        assert_eq!(s.nontrivial_shots, 2);
+        assert_eq!(s.mean_ns(250.0), 160.0);
+        assert_eq!(s.mean_nontrivial_ns(250.0), 240.0);
+        assert_eq!(s.max_ns(250.0), 456.0);
+    }
+}

@@ -1,0 +1,29 @@
+//! Experiment harness for the Astrea reproduction: memory experiments,
+//! parallel Monte-Carlo logical-error-rate estimation, the analytical
+//! Hamming-weight model, and the stratified small-LER estimator from the
+//! paper's Appendix A.
+//!
+//! The `astrea-exp` binary in this crate regenerates every table and
+//! figure of the paper's evaluation; see `DESIGN.md` at the workspace root
+//! for the experiment index and `EXPERIMENTS.md` for recorded results.
+//!
+//! ```
+//! use astrea_experiments::{ExperimentContext, estimate_ler};
+//! use blossom_mwpm::MwpmDecoder;
+//!
+//! let ctx = ExperimentContext::new(3, 1e-3);
+//! let result = estimate_ler(&ctx, 20_000, 2, 7, &|c| Box::new(MwpmDecoder::new(c.gwt())));
+//! assert!(result.ler() < 0.05);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analytic;
+pub mod hamming;
+mod harness;
+pub mod realtime;
+pub mod report;
+pub mod stratified;
+
+pub use harness::{estimate_ler, DecoderFactory, ExperimentContext, LatencyStats, LerResult};

@@ -1,0 +1,131 @@
+//! Real-time queueing analysis: what a decoder's latency *distribution*
+//! (not just its mean) does to a live QEC system.
+//!
+//! Syndromes arrive on a fixed cadence — one decoding window per logical
+//! cycle, every `d` µs on Sycamore-class hardware (§3.4). A decoder whose
+//! worst case exceeds the cadence builds a backlog; because the error
+//! stream never pauses, backlog is latent decoherence: corrections land
+//! ever further behind the state they correct. This module runs the
+//! discrete-event simulation behind that argument (§1, Figure 1b): FIFO
+//! service of an arrival stream under any latency sequence, reporting
+//! backlog and sojourn statistics. Astrea's bounded worst case keeps the
+//! queue empty by construction; software MWPM's heavy tail does not.
+
+/// Result of a backlog simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BacklogReport {
+    /// Number of decoding windows simulated.
+    pub windows: u64,
+    /// Largest queue length observed at any arrival (including the
+    /// arriving window).
+    pub max_backlog: usize,
+    /// Mean queue length at arrivals.
+    pub mean_backlog: f64,
+    /// Largest sojourn time (arrival → decode completion) in nanoseconds.
+    pub max_sojourn_ns: f64,
+    /// 99th-percentile sojourn time in nanoseconds.
+    pub p99_sojourn_ns: f64,
+    /// Fraction of windows whose result arrived more than one full cadence
+    /// late — corrections that could not influence the next logical cycle.
+    pub late_fraction: f64,
+}
+
+/// Simulates FIFO decoding of windows arriving every `period_ns`, with the
+/// given per-window service (decode) times.
+///
+/// # Panics
+///
+/// Panics if `period_ns` is not positive, any latency is negative, or
+/// `latencies_ns` is empty.
+pub fn simulate_backlog(period_ns: f64, latencies_ns: &[f64]) -> BacklogReport {
+    assert!(period_ns > 0.0, "arrival period must be positive");
+    assert!(!latencies_ns.is_empty(), "need at least one window");
+
+    let mut completion_times = Vec::with_capacity(latencies_ns.len());
+    let mut server_free_at = 0.0f64;
+    for (i, &service) in latencies_ns.iter().enumerate() {
+        assert!(service >= 0.0, "negative latency {service}");
+        let arrival = i as f64 * period_ns;
+        let start = server_free_at.max(arrival);
+        server_free_at = start + service;
+        completion_times.push(server_free_at);
+    }
+
+    // Backlog at each arrival: windows arrived but not yet completed.
+    let mut max_backlog = 0usize;
+    let mut backlog_sum = 0u64;
+    for (i, _) in latencies_ns.iter().enumerate() {
+        let arrival = i as f64 * period_ns;
+        // Windows j ≤ i with completion > arrival are still in the system.
+        // completion_times is nondecreasing, so binary search suffices.
+        let done = completion_times[..=i].partition_point(|&c| c <= arrival);
+        let backlog = i + 1 - done;
+        max_backlog = max_backlog.max(backlog);
+        backlog_sum += backlog as u64;
+    }
+
+    let mut sojourns: Vec<f64> = completion_times
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| c - i as f64 * period_ns)
+        .collect();
+    let late = sojourns.iter().filter(|&&s| s > period_ns).count();
+    sojourns.sort_by(f64::total_cmp);
+    let n = sojourns.len();
+
+    BacklogReport {
+        windows: n as u64,
+        max_backlog,
+        mean_backlog: backlog_sum as f64 / n as f64,
+        max_sojourn_ns: sojourns[n - 1],
+        p99_sojourn_ns: sojourns[((n as f64 * 0.99) as usize).min(n - 1)],
+        late_fraction: late as f64 / n as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_queue_when_service_is_fast() {
+        // Service always well under the period: backlog stays at 1 (the
+        // window being served) and nothing is late.
+        let lat = vec![100.0; 1000];
+        let r = simulate_backlog(1000.0, &lat);
+        assert_eq!(r.max_backlog, 1);
+        assert_eq!(r.late_fraction, 0.0);
+        assert_eq!(r.max_sojourn_ns, 100.0);
+    }
+
+    #[test]
+    fn one_slow_window_creates_transient_backlog() {
+        // One 5-period stall in an otherwise fast stream.
+        let mut lat = vec![100.0; 100];
+        lat[10] = 5000.0;
+        let r = simulate_backlog(1000.0, &lat);
+        assert!(r.max_backlog >= 5, "max backlog {}", r.max_backlog);
+        assert!(r.late_fraction > 0.0);
+        // The queue drains: the last window is on time again.
+        let tail = simulate_backlog(1000.0, &lat[90..]);
+        assert_eq!(tail.late_fraction, 0.0);
+    }
+
+    #[test]
+    fn overload_grows_without_bound() {
+        // Mean service above the period: the backlog at the end is
+        // proportional to the stream length.
+        // Utilization 1.5: a third of each period's work accumulates, so
+        // the final backlog is ~n/3.
+        let lat = vec![1500.0; 400];
+        let r = simulate_backlog(1000.0, &lat);
+        assert!(r.max_backlog > 120, "max backlog {}", r.max_backlog);
+        assert!(r.late_fraction > 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_period() {
+        simulate_backlog(0.0, &[1.0]);
+    }
+}

@@ -1,0 +1,115 @@
+//! Plain-text table formatting for the experiment runners, mirroring the
+//! layout of the paper's tables and figure series.
+
+/// Formats a probability or rate in compact scientific notation
+/// (`8.1e-6`), or `0` exactly.
+pub fn sci(x: f64) -> String {
+    if x == 0.0 {
+        return "0".to_string();
+    }
+    format!("{x:.1e}")
+}
+
+/// Formats a probability with three significant digits for larger values
+/// and scientific notation below 0.01 (the paper's Table 2 style).
+pub fn prob(x: f64) -> String {
+    if x == 0.0 {
+        "0".to_string()
+    } else if x >= 0.01 {
+        format!("{x:.2}")
+    } else {
+        sci(x)
+    }
+}
+
+/// Renders a table with a header row, column alignment, and `|`
+/// separators.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row width mismatch");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let line = |out: &mut String, cells: &[String]| {
+        out.push('|');
+        for (w, c) in widths.iter().zip(cells) {
+            out.push_str(&format!(" {c:>w$} |", w = w));
+        }
+        out.push('\n');
+    };
+    line(
+        &mut out,
+        &headers.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+    );
+    out.push('|');
+    for w in &widths {
+        out.push_str(&format!("{:-<w$}|", "", w = w + 2));
+    }
+    out.push('\n');
+    for row in rows {
+        line(&mut out, row);
+    }
+    out
+}
+
+/// Parses a trial-count argument that may use scientific notation
+/// (`1e6`, `2.5e7`) or plain integers.
+pub fn parse_trials(s: &str) -> Result<u64, String> {
+    if let Ok(n) = s.parse::<u64>() {
+        return Ok(n);
+    }
+    match s.parse::<f64>() {
+        Ok(x) if x >= 1.0 && x < 1e18 => Ok(x as u64),
+        _ => Err(format!("invalid trial count: {s}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sci_formats() {
+        assert_eq!(sci(0.0), "0");
+        assert_eq!(sci(8.1e-6), "8.1e-6");
+        assert_eq!(sci(0.5), "5.0e-1");
+    }
+
+    #[test]
+    fn prob_switches_notation() {
+        assert_eq!(prob(0.99), "0.99");
+        assert_eq!(prob(0.13), "0.13");
+        assert_eq!(prob(4.2e-5), "4.2e-5");
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = render_table(
+            &["d", "LER"],
+            &[
+                vec!["3".into(), "8.1e-6".into()],
+                vec!["5".into(), "1.3e-7".into()],
+            ],
+        );
+        assert!(t.contains("| d |"));
+        assert!(t.lines().count() == 4);
+        let widths: Vec<usize> = t.lines().map(str::len).collect();
+        assert!(
+            widths.windows(2).all(|w| w[0] == w[1]),
+            "ragged table:\n{t}"
+        );
+    }
+
+    #[test]
+    fn parse_trials_accepts_scientific() {
+        assert_eq!(parse_trials("1000").unwrap(), 1000);
+        assert_eq!(parse_trials("1e6").unwrap(), 1_000_000);
+        assert_eq!(parse_trials("2.5e3").unwrap(), 2500);
+        assert!(parse_trials("abc").is_err());
+        assert!(parse_trials("-5").is_err());
+    }
+}

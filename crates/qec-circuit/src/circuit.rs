@@ -1,0 +1,311 @@
+//! The circuit intermediate representation.
+
+use std::fmt;
+
+/// One operation in a [`Circuit`].
+///
+/// The gate set is the minimum needed for surface-code syndrome extraction
+/// under the paper's noise model: Z-basis reset and measurement, Hadamard,
+/// CNOT, and one- and two-qubit depolarizing channels. `XError` models a
+/// pure classical bit-flip channel (useful in tests and for phenomenological
+/// noise studies).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Op {
+    /// Reset a qubit to |0⟩, discarding any prior error.
+    ResetZ(u32),
+    /// Hadamard gate (exchanges X and Z frames).
+    H(u32),
+    /// Controlled-NOT: `Cnot(control, target)`.
+    Cnot(u32, u32),
+    /// Z-basis measurement; appends one bit to the measurement record.
+    MeasureZ(u32),
+    /// Single-qubit depolarizing channel: applies X, Y, or Z each with
+    /// probability `p / 3`.
+    Depolarize1 {
+        /// Affected qubit.
+        q: u32,
+        /// Total error probability.
+        p: f64,
+    },
+    /// Two-qubit depolarizing channel: applies one of the 15 non-identity
+    /// two-qubit Paulis, each with probability `p / 15`.
+    Depolarize2 {
+        /// First affected qubit.
+        a: u32,
+        /// Second affected qubit.
+        b: u32,
+        /// Total error probability.
+        p: f64,
+    },
+    /// Classical bit-flip channel: applies X with probability `p`.
+    XError {
+        /// Affected qubit.
+        q: u32,
+        /// Error probability.
+        p: f64,
+    },
+    /// Round separator; has no effect on simulation but delimits syndrome
+    /// extraction rounds for inspection and debugging.
+    Tick,
+}
+
+impl Op {
+    /// Returns `true` for the stochastic noise channels.
+    pub fn is_noise(&self) -> bool {
+        matches!(
+            self,
+            Op::Depolarize1 { .. } | Op::Depolarize2 { .. } | Op::XError { .. }
+        )
+    }
+}
+
+/// Space-time coordinates attached to a detector for debugging and for
+/// proximity-based error decomposition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct DetectorCoord {
+    /// Doubled-lattice row of the associated ancilla.
+    pub row: i32,
+    /// Doubled-lattice column of the associated ancilla.
+    pub col: i32,
+    /// Measurement round (the final data-measurement layer has
+    /// `round == rounds`).
+    pub round: i32,
+}
+
+impl fmt::Display for DetectorCoord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {}, t={})", self.row, self.col, self.round)
+    }
+}
+
+/// A detector: the XOR of a set of measurement records that is deterministic
+/// (always 0) in the absence of errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Detector {
+    /// Indices into the measurement record.
+    pub records: Vec<u32>,
+    /// Space-time coordinate for diagnostics.
+    pub coord: DetectorCoord,
+}
+
+/// A Clifford + noise circuit with detector and observable annotations.
+///
+/// Build circuits with [`Circuit::new`] followed by the `push_*` methods, or
+/// use [`crate::build_memory_z_circuit`] for surface-code memory
+/// experiments.
+#[derive(Debug, Clone, Default)]
+pub struct Circuit {
+    num_qubits: usize,
+    ops: Vec<Op>,
+    num_records: usize,
+    detectors: Vec<Detector>,
+    observables: Vec<Vec<u32>>,
+}
+
+impl Circuit {
+    /// Creates an empty circuit over `num_qubits` qubits.
+    pub fn new(num_qubits: usize) -> Circuit {
+        Circuit {
+            num_qubits,
+            ..Circuit::default()
+        }
+    }
+
+    /// Appends an operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operation references a qubit outside the circuit, if a
+    /// CNOT's control equals its target, or if a noise probability is not a
+    /// valid probability.
+    pub fn push(&mut self, op: Op) {
+        let check = |q: u32| {
+            assert!(
+                (q as usize) < self.num_qubits,
+                "qubit {q} out of range (circuit has {} qubits)",
+                self.num_qubits
+            );
+        };
+        let check_p = |p: f64| {
+            assert!((0.0..=1.0).contains(&p), "invalid probability {p}");
+        };
+        match op {
+            Op::ResetZ(q) | Op::H(q) => check(q),
+            Op::MeasureZ(q) => {
+                check(q);
+                self.num_records += 1;
+            }
+            Op::Cnot(c, t) => {
+                check(c);
+                check(t);
+                assert_ne!(c, t, "CNOT control and target must differ");
+            }
+            Op::Depolarize1 { q, p } => {
+                check(q);
+                check_p(p);
+            }
+            Op::Depolarize2 { a, b, p } => {
+                check(a);
+                check(b);
+                assert_ne!(a, b, "two-qubit depolarizing targets must differ");
+                check_p(p);
+            }
+            Op::XError { q, p } => {
+                check(q);
+                check_p(p);
+            }
+            Op::Tick => {}
+        }
+        self.ops.push(op);
+    }
+
+    /// Declares a detector over the given measurement-record indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any record index has not been produced yet.
+    pub fn push_detector(&mut self, records: Vec<u32>, coord: DetectorCoord) {
+        for &r in &records {
+            assert!(
+                (r as usize) < self.num_records,
+                "detector references record {r}, but only {} exist",
+                self.num_records
+            );
+        }
+        self.detectors.push(Detector { records, coord });
+    }
+
+    /// Declares a logical observable over the given measurement-record
+    /// indices. Observables are indexed in declaration order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any record index has not been produced yet, or if more than
+    /// 32 observables are declared (observable flips are reported as a `u32`
+    /// mask).
+    pub fn push_observable(&mut self, records: Vec<u32>) {
+        for &r in &records {
+            assert!(
+                (r as usize) < self.num_records,
+                "observable references record {r}, but only {} exist",
+                self.num_records
+            );
+        }
+        assert!(
+            self.observables.len() < 32,
+            "at most 32 observables supported"
+        );
+        self.observables.push(records);
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Number of measurement records the circuit produces per shot.
+    pub fn num_records(&self) -> usize {
+        self.num_records
+    }
+
+    /// Number of declared detectors.
+    pub fn num_detectors(&self) -> usize {
+        self.detectors.len()
+    }
+
+    /// Number of declared logical observables.
+    pub fn num_observables(&self) -> usize {
+        self.observables.len()
+    }
+
+    /// The operation sequence.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// The declared detectors.
+    pub fn detectors(&self) -> &[Detector] {
+        &self.detectors
+    }
+
+    /// The declared observables (lists of record indices).
+    pub fn observables(&self) -> &[Vec<u32>] {
+        &self.observables
+    }
+
+    /// Total number of elementary error mechanisms (Pauli components over
+    /// all noise channels) in the circuit.
+    pub fn num_error_components(&self) -> usize {
+        self.ops
+            .iter()
+            .map(|op| match op {
+                Op::Depolarize1 { .. } => 3,
+                Op::Depolarize2 { .. } => 15,
+                Op::XError { .. } => 1,
+                _ => 0,
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_counts_records() {
+        let mut c = Circuit::new(2);
+        c.push(Op::ResetZ(0));
+        c.push(Op::MeasureZ(0));
+        c.push(Op::MeasureZ(1));
+        assert_eq!(c.num_records(), 2);
+        assert_eq!(c.ops().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn push_rejects_bad_qubit() {
+        let mut c = Circuit::new(1);
+        c.push(Op::H(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "must differ")]
+    fn push_rejects_self_cnot() {
+        let mut c = Circuit::new(2);
+        c.push(Op::Cnot(1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid probability")]
+    fn push_rejects_bad_probability() {
+        let mut c = Circuit::new(1);
+        c.push(Op::Depolarize1 { q: 0, p: 1.5 });
+    }
+
+    #[test]
+    #[should_panic(expected = "references record")]
+    fn detector_needs_existing_records() {
+        let mut c = Circuit::new(1);
+        c.push_detector(vec![0], DetectorCoord::default());
+    }
+
+    #[test]
+    fn error_component_counting() {
+        let mut c = Circuit::new(2);
+        c.push(Op::Depolarize1 { q: 0, p: 0.1 });
+        c.push(Op::Depolarize2 { a: 0, b: 1, p: 0.1 });
+        c.push(Op::XError { q: 0, p: 0.1 });
+        c.push(Op::H(0));
+        assert_eq!(c.num_error_components(), 3 + 15 + 1);
+    }
+
+    #[test]
+    fn is_noise_classification() {
+        assert!(Op::Depolarize1 { q: 0, p: 0.0 }.is_noise());
+        assert!(Op::Depolarize2 { a: 0, b: 1, p: 0.0 }.is_noise());
+        assert!(Op::XError { q: 0, p: 0.0 }.is_noise());
+        assert!(!Op::H(0).is_noise());
+        assert!(!Op::Tick.is_noise());
+    }
+}

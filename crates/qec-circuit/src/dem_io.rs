@@ -1,0 +1,182 @@
+//! Detector-error-model text serialization (Stim `.dem`-style subset).
+//!
+//! Error models extracted here can be dumped for inspection, diffed
+//! against Stim's output for the same circuit, or loaded back to skip
+//! re-extraction. The format is the `error(p) D… L…` subset of Stim's DEM
+//! language:
+//!
+//! ```text
+//! error(0.00026657) D0 D4
+//! error(0.00013332) D2 L0
+//! ```
+
+use crate::dem::{DetectorErrorModel, ErrorMechanism};
+use std::error::Error;
+use std::fmt;
+
+/// Error from parsing a DEM text file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseDemError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseDemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dem parse error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseDemError {}
+
+impl DetectorErrorModel {
+    /// Serializes the model as `error(p) D… L…` lines, one per mechanism,
+    /// in the model's deterministic order.
+    pub fn to_dem_text(&self) -> String {
+        let mut out = String::new();
+        for m in self.mechanisms() {
+            out.push_str(&format!("error({})", m.probability));
+            for &d in &m.detectors {
+                out.push_str(&format!(" D{d}"));
+            }
+            let mut obs = m.observables;
+            while obs != 0 {
+                let bit = obs.trailing_zeros();
+                out.push_str(&format!(" L{bit}"));
+                obs &= obs - 1;
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses the `error(p) D… L…` subset written by
+    /// [`DetectorErrorModel::to_dem_text`]. Detector and observable counts
+    /// are inferred from the highest indices present.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseDemError`] on malformed lines, probabilities outside
+    /// `(0, 1]`, or unknown targets.
+    pub fn from_dem_text(text: &str) -> Result<DetectorErrorModel, ParseDemError> {
+        let err = |line: usize, message: &str| ParseDemError {
+            line,
+            message: message.to_string(),
+        };
+        let mut mechanisms = Vec::new();
+        let mut num_detectors = 0usize;
+        let mut num_observables = 0usize;
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let lineno = lineno + 1;
+            let rest = line
+                .strip_prefix("error(")
+                .ok_or_else(|| err(lineno, "expected error(p)"))?;
+            let (p_str, targets) = rest
+                .split_once(')')
+                .ok_or_else(|| err(lineno, "unterminated probability"))?;
+            let probability: f64 = p_str
+                .trim()
+                .parse()
+                .map_err(|_| err(lineno, "bad probability"))?;
+            if !(probability > 0.0 && probability <= 1.0) {
+                return Err(err(lineno, "probability outside (0, 1]"));
+            }
+            let mut detectors = Vec::new();
+            let mut observables = 0u32;
+            for tok in targets.split_whitespace() {
+                if let Some(d) = tok.strip_prefix('D') {
+                    let d: u32 = d.parse().map_err(|_| err(lineno, "bad detector id"))?;
+                    detectors.push(d);
+                    num_detectors = num_detectors.max(d as usize + 1);
+                } else if let Some(l) = tok.strip_prefix('L') {
+                    let l: u32 = l.parse().map_err(|_| err(lineno, "bad observable id"))?;
+                    if l >= 32 {
+                        return Err(err(lineno, "observable id ≥ 32"));
+                    }
+                    observables |= 1 << l;
+                    num_observables = num_observables.max(l as usize + 1);
+                } else {
+                    return Err(err(lineno, &format!("unknown target {tok}")));
+                }
+            }
+            detectors.sort_unstable();
+            detectors.dedup();
+            mechanisms.push(ErrorMechanism {
+                detectors,
+                observables,
+                probability,
+            });
+        }
+        Ok(DetectorErrorModel::from_mechanisms(
+            num_detectors,
+            num_observables,
+            mechanisms,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::build_memory_z_circuit;
+    use crate::noise::NoiseModel;
+    use surface_code::SurfaceCode;
+
+    #[test]
+    fn round_trips_a_real_model() {
+        let code = SurfaceCode::new(3).unwrap();
+        let circuit = build_memory_z_circuit(&code, 3, NoiseModel::depolarizing(1e-3));
+        let dem = circuit.detector_error_model();
+        let text = dem.to_dem_text();
+        let parsed = DetectorErrorModel::from_dem_text(&text).unwrap();
+        assert_eq!(parsed.num_detectors(), dem.num_detectors());
+        assert_eq!(parsed.num_observables(), dem.num_observables());
+        assert_eq!(parsed.mechanisms().len(), dem.mechanisms().len());
+        for (a, b) in parsed.mechanisms().iter().zip(dem.mechanisms()) {
+            assert_eq!(a.detectors, b.detectors);
+            assert_eq!(a.observables, b.observables);
+            assert!((a.probability - b.probability).abs() / b.probability < 1e-12);
+        }
+    }
+
+    #[test]
+    fn emits_expected_lines() {
+        let dem = DetectorErrorModel::from_mechanisms(
+            5,
+            1,
+            vec![ErrorMechanism {
+                detectors: vec![0, 4],
+                observables: 1,
+                probability: 0.25,
+            }],
+        );
+        assert_eq!(dem.to_dem_text(), "error(0.25) D0 D4 L0\n");
+    }
+
+    #[test]
+    fn parses_comments_and_blanks() {
+        let dem =
+            DetectorErrorModel::from_dem_text("# header\n\nerror(0.1) D0 D1 # tail\n").unwrap();
+        assert_eq!(dem.mechanisms().len(), 1);
+        assert_eq!(dem.num_detectors(), 2);
+    }
+
+    #[test]
+    fn rejects_bad_probability() {
+        assert!(DetectorErrorModel::from_dem_text("error(1.5) D0\n").is_err());
+        assert!(DetectorErrorModel::from_dem_text("error(0) D0\n").is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_targets() {
+        let e = DetectorErrorModel::from_dem_text("error(0.1) Q3\n").unwrap_err();
+        assert!(e.to_string().contains("unknown target"));
+        assert_eq!(e.line, 1);
+    }
+}

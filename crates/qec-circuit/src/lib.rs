@@ -1,0 +1,62 @@
+//! Clifford circuit IR, circuit-level depolarizing noise, Pauli-frame
+//! Monte-Carlo sampling, and detector error models.
+//!
+//! This crate is the reproduction's substitute for the (heavily modified)
+//! Stim framework used by the Astrea paper. It provides:
+//!
+//! * a small [`Circuit`] IR for the Clifford + measurement + noise
+//!   operations that appear in surface-code syndrome extraction;
+//! * [`build_memory_z_circuit`], which lays out a distance-`d` Z-basis
+//!   memory experiment with the paper's circuit-level depolarizing noise
+//!   model (§3.2);
+//! * [`FrameSimulator`], an exact Pauli-frame Monte-Carlo sampler over the
+//!   circuit — the ground-truth (but slower) way to sample syndromes;
+//! * [`DetectorErrorModel`], extracted from a circuit by symbolically
+//!   propagating every elementary error mechanism to the detectors and
+//!   logical observables it flips, plus [`DemSampler`], a fast
+//!   geometric-skip sampler over the model that is equivalent in
+//!   distribution to the frame simulator.
+//!
+//! # Example: sampling syndromes for a distance-3 memory experiment
+//!
+//! ```
+//! use qec_circuit::{build_memory_z_circuit, DemSampler, NoiseModel};
+//! use surface_code::SurfaceCode;
+//! use rand::SeedableRng;
+//!
+//! let code = SurfaceCode::new(3)?;
+//! let circuit = build_memory_z_circuit(&code, 3, NoiseModel::depolarizing(1e-3));
+//! let dem = circuit.detector_error_model();
+//! let mut sampler = DemSampler::new(&dem);
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let shot = sampler.sample(&mut rng);
+//! assert!(shot.detectors.len() <= dem.num_detectors());
+//! # Ok::<(), surface_code::InvalidDistance>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod circuit;
+mod dem;
+mod dem_io;
+mod frame;
+mod noise;
+pub(crate) mod recordset;
+mod repetition_builder;
+mod stim_io;
+mod tableau;
+
+pub use builder::{
+    build_memory_circuit, build_memory_x_circuit, build_memory_z_circuit, memory_layout,
+    MemoryCircuitLayout,
+};
+pub use circuit::{Circuit, Detector, DetectorCoord, Op};
+pub use dem::{DemSampler, DetectorErrorModel, ErrorMechanism, Shot};
+pub use dem_io::ParseDemError;
+pub use frame::FrameSimulator;
+pub use noise::{NoiseMap, NoiseModel};
+pub use repetition_builder::build_repetition_memory_circuit;
+pub use stim_io::ParseStimError;
+pub use tableau::TableauSimulator;

@@ -1,0 +1,289 @@
+//! The paper's circuit-level depolarizing noise model (§3.2).
+
+/// Circuit-level noise parameters.
+///
+/// The Astrea paper uses a single physical error rate `p` and inserts
+/// depolarizing errors:
+///
+/// 1. on every data qubit at the beginning of each round,
+/// 2. as a two-qubit depolarizing channel after every CNOT of the syndrome
+///    extraction circuit,
+/// 3. on every parity qubit after reset and before measurement, and
+/// 4. on every data qubit before the final transversal measurement.
+///
+/// All four sites default to the same probability `p`, but can be varied
+/// independently for ablation studies (e.g. a phenomenological model sets
+/// the CNOT noise to zero).
+///
+/// ```
+/// use qec_circuit::NoiseModel;
+///
+/// let noise = NoiseModel::depolarizing(1e-3);
+/// assert_eq!(noise.data, 1e-3);
+/// assert_eq!(noise.gate, 1e-3);
+///
+/// let phenomenological = NoiseModel::depolarizing(1e-3).with_gate(0.0);
+/// assert_eq!(phenomenological.gate, 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseModel {
+    /// Depolarizing probability on data qubits at the start of each round.
+    pub data: f64,
+    /// Two-qubit depolarizing probability after each CNOT.
+    pub gate: f64,
+    /// Depolarizing probability on parity qubits after reset.
+    pub reset: f64,
+    /// Depolarizing probability on parity qubits before measurement.
+    pub measure: f64,
+    /// Depolarizing probability on data qubits before the final transversal
+    /// measurement.
+    pub final_measure: f64,
+}
+
+impl NoiseModel {
+    /// Uniform circuit-level depolarizing noise at physical error rate `p`
+    /// (the paper's default model).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn depolarizing(p: f64) -> NoiseModel {
+        assert!((0.0..=1.0).contains(&p), "invalid probability {p}");
+        NoiseModel {
+            data: p,
+            gate: p,
+            reset: p,
+            measure: p,
+            final_measure: p,
+        }
+    }
+
+    /// A noiseless model (useful for validating circuit determinism).
+    pub fn noiseless() -> NoiseModel {
+        NoiseModel::depolarizing(0.0)
+    }
+
+    /// Overrides the CNOT (two-qubit) noise probability.
+    pub fn with_gate(mut self, p: f64) -> NoiseModel {
+        assert!((0.0..=1.0).contains(&p), "invalid probability {p}");
+        self.gate = p;
+        self
+    }
+
+    /// Overrides the measurement noise probability (applied before both
+    /// ancilla and final data measurements).
+    pub fn with_measure(mut self, p: f64) -> NoiseModel {
+        assert!((0.0..=1.0).contains(&p), "invalid probability {p}");
+        self.measure = p;
+        self.final_measure = p;
+        self
+    }
+
+    /// Returns `true` if every channel has zero probability.
+    pub fn is_noiseless(&self) -> bool {
+        self.data == 0.0
+            && self.gate == 0.0
+            && self.reset == 0.0
+            && self.measure == 0.0
+            && self.final_measure == 0.0
+    }
+}
+
+impl Default for NoiseModel {
+    /// The paper's default operating point, `p = 10⁻⁴`.
+    fn default() -> NoiseModel {
+        NoiseModel::depolarizing(1e-4)
+    }
+}
+
+/// Per-qubit noise scaling over a base [`NoiseModel`] — the paper's §8.2
+/// scenario: real devices have **non-uniform** error rates that **drift**
+/// over time, and a decoder must adapt (Astrea does so by reprogramming
+/// its Global Weight Table).
+///
+/// A `NoiseMap` assigns every physical qubit (data qubits first, then
+/// ancillas in stabilizer order) a multiplicative factor on the base
+/// rates; two-qubit channels use the geometric mean of their endpoints'
+/// factors.
+///
+/// ```
+/// use qec_circuit::{NoiseMap, NoiseModel};
+/// use surface_code::SurfaceCode;
+///
+/// let code = SurfaceCode::new(3)?;
+/// let mut map = NoiseMap::uniform(&code, NoiseModel::depolarizing(1e-4));
+/// map.scale_qubit(4, 10.0); // a hot data qubit
+/// assert_eq!(map.data(4), 1e-3);
+/// assert_eq!(map.data(5), 1e-4);
+/// # Ok::<(), surface_code::InvalidDistance>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct NoiseMap {
+    base: NoiseModel,
+    scale: Vec<f64>,
+}
+
+impl NoiseMap {
+    /// A uniform map: every qubit at the base rates.
+    pub fn uniform(code: &surface_code::SurfaceCode, base: NoiseModel) -> NoiseMap {
+        NoiseMap {
+            base,
+            scale: vec![1.0; code.num_data_qubits() + code.num_stabilizers()],
+        }
+    }
+
+    /// Scales one qubit's error rates by `factor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or if any resulting probability
+    /// would exceed 1, or if the qubit index is out of range.
+    pub fn scale_qubit(&mut self, qubit: usize, factor: f64) -> &mut NoiseMap {
+        assert!(factor >= 0.0, "negative noise scale {factor}");
+        self.scale[qubit] = factor;
+        let worst = self
+            .base
+            .data
+            .max(self.base.gate)
+            .max(self.base.reset)
+            .max(self.base.measure)
+            .max(self.base.final_measure);
+        assert!(
+            worst * factor <= 1.0,
+            "scaled probability {} exceeds 1",
+            worst * factor
+        );
+        self
+    }
+
+    /// Scales every qubit by `factor` — modeling global drift.
+    pub fn scale_all(&mut self, factor: f64) -> &mut NoiseMap {
+        for q in 0..self.scale.len() {
+            self.scale_qubit(q, factor);
+        }
+        self
+    }
+
+    /// Number of qubits this map covers.
+    pub fn num_qubits(&self) -> usize {
+        self.scale.len()
+    }
+
+    /// The base model.
+    pub fn base(&self) -> NoiseModel {
+        self.base
+    }
+
+    /// Data-qubit round-start depolarizing probability for `qubit`.
+    pub fn data(&self, qubit: usize) -> f64 {
+        self.base.data * self.scale[qubit]
+    }
+
+    /// Post-reset depolarizing probability for an ancilla (global qubit
+    /// index).
+    pub fn reset(&self, qubit: usize) -> f64 {
+        self.base.reset * self.scale[qubit]
+    }
+
+    /// Pre-measurement depolarizing probability for an ancilla.
+    pub fn measure(&self, qubit: usize) -> f64 {
+        self.base.measure * self.scale[qubit]
+    }
+
+    /// Pre-final-measurement depolarizing probability for a data qubit.
+    pub fn final_measure(&self, qubit: usize) -> f64 {
+        self.base.final_measure * self.scale[qubit]
+    }
+
+    /// Two-qubit depolarizing probability for a CNOT between global qubit
+    /// indices `a` and `b` (geometric mean of the endpoint factors).
+    pub fn gate(&self, a: usize, b: usize) -> f64 {
+        self.base.gate * (self.scale[a] * self.scale[b]).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use surface_code::SurfaceCode;
+
+    #[test]
+    fn uniform_model_sets_all_channels() {
+        let m = NoiseModel::depolarizing(0.01);
+        assert_eq!(m.data, 0.01);
+        assert_eq!(m.gate, 0.01);
+        assert_eq!(m.reset, 0.01);
+        assert_eq!(m.measure, 0.01);
+        assert_eq!(m.final_measure, 0.01);
+        assert!(!m.is_noiseless());
+    }
+
+    #[test]
+    fn noiseless_is_noiseless() {
+        assert!(NoiseModel::noiseless().is_noiseless());
+        assert!(!NoiseModel::depolarizing(1e-9).is_noiseless());
+    }
+
+    #[test]
+    fn default_is_paper_operating_point() {
+        assert_eq!(NoiseModel::default().data, 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid probability")]
+    fn rejects_negative_probability() {
+        NoiseModel::depolarizing(-0.1);
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let m = NoiseModel::depolarizing(1e-3)
+            .with_gate(0.0)
+            .with_measure(2e-3);
+        assert_eq!(m.gate, 0.0);
+        assert_eq!(m.measure, 2e-3);
+        assert_eq!(m.final_measure, 2e-3);
+        assert_eq!(m.data, 1e-3);
+    }
+
+    #[test]
+    fn uniform_map_reproduces_base_rates() {
+        let code = SurfaceCode::new(3).unwrap();
+        let map = NoiseMap::uniform(&code, NoiseModel::depolarizing(1e-3));
+        assert_eq!(map.num_qubits(), 17);
+        for q in 0..map.num_qubits() {
+            assert_eq!(map.data(q), 1e-3);
+            assert_eq!(map.measure(q), 1e-3);
+        }
+        assert_eq!(map.gate(0, 9), 1e-3);
+    }
+
+    #[test]
+    fn scaled_qubit_affects_its_gates_geometrically() {
+        let code = SurfaceCode::new(3).unwrap();
+        let mut map = NoiseMap::uniform(&code, NoiseModel::depolarizing(1e-4));
+        map.scale_qubit(2, 4.0);
+        assert_eq!(map.data(2), 4e-4);
+        assert_eq!(map.data(3), 1e-4);
+        // Geometric mean: sqrt(4 · 1) = 2.
+        assert!((map.gate(2, 3) - 2e-4).abs() < 1e-18);
+    }
+
+    #[test]
+    fn scale_all_models_drift() {
+        let code = SurfaceCode::new(3).unwrap();
+        let mut map = NoiseMap::uniform(&code, NoiseModel::depolarizing(1e-4));
+        map.scale_all(3.0);
+        for q in 0..map.num_qubits() {
+            assert!((map.data(q) - 3e-4).abs() < 1e-18);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 1")]
+    fn rejects_scales_that_overflow_probability() {
+        let code = SurfaceCode::new(3).unwrap();
+        let mut map = NoiseMap::uniform(&code, NoiseModel::depolarizing(0.5));
+        map.scale_qubit(0, 3.0);
+    }
+}

@@ -1,0 +1,98 @@
+//! Compact bitsets over measurement-record indices, used by the backward
+//! symbolic propagation pass in [`crate::dem`].
+
+/// A fixed-width bitset over `num_records` bits, stored as `u64` words.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub(crate) struct RecordSet {
+    words: Vec<u64>,
+}
+
+impl RecordSet {
+    pub(crate) fn new(num_records: usize) -> RecordSet {
+        RecordSet {
+            words: vec![0; num_records.div_ceil(64)],
+        }
+    }
+
+    #[inline]
+    pub(crate) fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    #[inline]
+    pub(crate) fn toggle(&mut self, bit: usize) {
+        self.words[bit / 64] ^= 1u64 << (bit % 64);
+    }
+
+    #[inline]
+    pub(crate) fn xor_assign(&mut self, other: &RecordSet) {
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w ^= o;
+        }
+    }
+
+    #[cfg_attr(not(test), allow(dead_code))]
+    #[inline]
+    pub(crate) fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Iterates the indices of set bits in ascending order.
+    pub(crate) fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(i, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let bit = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(i * 64 + bit)
+                }
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn toggle_and_iterate() {
+        let mut s = RecordSet::new(130);
+        s.toggle(0);
+        s.toggle(64);
+        s.toggle(129);
+        s.toggle(64); // toggled off again
+        assert_eq!(s.iter_ones().collect::<Vec<_>>(), vec![0, 129]);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn xor_assign_combines() {
+        let mut a = RecordSet::new(70);
+        let mut b = RecordSet::new(70);
+        a.toggle(3);
+        a.toggle(65);
+        b.toggle(65);
+        b.toggle(69);
+        a.xor_assign(&b);
+        assert_eq!(a.iter_ones().collect::<Vec<_>>(), vec![3, 69]);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut s = RecordSet::new(10);
+        s.toggle(7);
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.iter_ones().count(), 0);
+    }
+
+    #[test]
+    fn zero_sized_set() {
+        let s = RecordSet::new(0);
+        assert!(s.is_empty());
+    }
+}

@@ -1,0 +1,354 @@
+//! Stim-compatible circuit serialization.
+//!
+//! The Astrea paper's evaluation pipeline is built on Google's Stim; this
+//! module emits our [`Circuit`] IR in Stim's text format (a strict subset
+//! of it) so circuits built here can be cross-checked with Stim itself,
+//! and parses that same subset back for round-tripping.
+//!
+//! Supported instructions: `R`, `H`, `CX`, `M`, `DEPOLARIZE1(p)`,
+//! `DEPOLARIZE2(p)`, `X_ERROR(p)`, `TICK`, `DETECTOR(coords) rec[-k] …`,
+//! and `OBSERVABLE_INCLUDE(i) rec[-k] …`.
+
+use crate::circuit::{Circuit, DetectorCoord, Op};
+use std::error::Error;
+use std::fmt;
+
+/// Error from parsing a Stim-format circuit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseStimError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseStimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "stim parse error on line {}: {}",
+            self.line, self.message
+        )
+    }
+}
+
+impl Error for ParseStimError {}
+
+impl Circuit {
+    /// Serializes the circuit to Stim's text format.
+    ///
+    /// Detector and observable record references are emitted as negative
+    /// lookbacks (`rec[-k]`) relative to the end of the circuit, matching
+    /// Stim's conventions. Detector coordinates are emitted as
+    /// `(col, row, round)` to match Stim's `(x, y, t)` ordering.
+    pub fn to_stim(&self) -> String {
+        let mut out = String::new();
+        for op in self.ops() {
+            match *op {
+                Op::ResetZ(q) => out.push_str(&format!("R {q}\n")),
+                Op::H(q) => out.push_str(&format!("H {q}\n")),
+                Op::Cnot(c, t) => out.push_str(&format!("CX {c} {t}\n")),
+                Op::MeasureZ(q) => out.push_str(&format!("M {q}\n")),
+                Op::Depolarize1 { q, p } => {
+                    out.push_str(&format!("DEPOLARIZE1({p}) {q}\n"));
+                }
+                Op::Depolarize2 { a, b, p } => {
+                    out.push_str(&format!("DEPOLARIZE2({p}) {a} {b}\n"));
+                }
+                Op::XError { q, p } => out.push_str(&format!("X_ERROR({p}) {q}\n")),
+                Op::Tick => out.push_str("TICK\n"),
+            }
+        }
+        let total = self.num_records() as i64;
+        for det in self.detectors() {
+            out.push_str(&format!(
+                "DETECTOR({}, {}, {})",
+                det.coord.col, det.coord.row, det.coord.round
+            ));
+            for &r in &det.records {
+                out.push_str(&format!(" rec[{}]", r as i64 - total));
+            }
+            out.push('\n');
+        }
+        for (i, obs) in self.observables().iter().enumerate() {
+            out.push_str(&format!("OBSERVABLE_INCLUDE({i})"));
+            for &r in obs {
+                out.push_str(&format!(" rec[{}]", r as i64 - total));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses a circuit from the Stim-format subset written by
+    /// [`Circuit::to_stim`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseStimError`] on unknown instructions, malformed
+    /// arguments, or record lookbacks that point outside the circuit.
+    pub fn from_stim(text: &str) -> Result<Circuit, ParseStimError> {
+        // First pass: find the highest referenced qubit index.
+        let mut max_qubit = 0u32;
+        for line in text.lines() {
+            let line = line.split('#').next().unwrap_or("");
+            for tok in line.split_whitespace().skip(1) {
+                if let Ok(q) = tok.parse::<u32>() {
+                    max_qubit = max_qubit.max(q);
+                }
+            }
+        }
+        let mut c = Circuit::new(max_qubit as usize + 1);
+
+        let err = |line: usize, message: &str| ParseStimError {
+            line,
+            message: message.to_string(),
+        };
+
+        // Detector/observable lines are deferred until all measurements
+        // are known (they use negative lookbacks).
+        // (is_detector, coordinate/index argument, record tokens)
+        let mut deferred: Vec<(usize, bool, String, String)> = Vec::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let lineno = lineno + 1;
+            // Split into instruction name, optional parenthesized argument
+            // (which may contain spaces), and the target list.
+            let (name, arg, rest) = match line.find('(') {
+                Some(open) => {
+                    let close = line[open..]
+                        .find(')')
+                        .map(|i| i + open)
+                        .ok_or_else(|| err(lineno, "unterminated argument"))?;
+                    (
+                        &line[..open],
+                        Some(&line[open + 1..close]),
+                        line[close + 1..].trim(),
+                    )
+                }
+                None => {
+                    let (h, r) = line.split_once(char::is_whitespace).unwrap_or((line, ""));
+                    (h, None, r.trim())
+                }
+            };
+            let targets: Result<Vec<u32>, _> =
+                rest.split_whitespace().map(|t| t.parse::<u32>()).collect();
+            let parse_p = |arg: Option<&str>| -> Result<f64, ParseStimError> {
+                arg.ok_or_else(|| err(lineno, "missing probability"))?
+                    .trim()
+                    .parse::<f64>()
+                    .map_err(|_| err(lineno, "bad probability"))
+            };
+            match name {
+                "R" | "RZ" => {
+                    for q in targets.map_err(|_| err(lineno, "bad target"))? {
+                        c.push(Op::ResetZ(q));
+                    }
+                }
+                "H" => {
+                    for q in targets.map_err(|_| err(lineno, "bad target"))? {
+                        c.push(Op::H(q));
+                    }
+                }
+                "M" | "MZ" => {
+                    for q in targets.map_err(|_| err(lineno, "bad target"))? {
+                        c.push(Op::MeasureZ(q));
+                    }
+                }
+                "CX" | "CNOT" => {
+                    let t = targets.map_err(|_| err(lineno, "bad target"))?;
+                    if t.len() % 2 != 0 {
+                        return Err(err(lineno, "CX needs an even number of targets"));
+                    }
+                    for pair in t.chunks(2) {
+                        c.push(Op::Cnot(pair[0], pair[1]));
+                    }
+                }
+                "DEPOLARIZE1" => {
+                    let p = parse_p(arg)?;
+                    for q in targets.map_err(|_| err(lineno, "bad target"))? {
+                        c.push(Op::Depolarize1 { q, p });
+                    }
+                }
+                "DEPOLARIZE2" => {
+                    let p = parse_p(arg)?;
+                    let t = targets.map_err(|_| err(lineno, "bad target"))?;
+                    if t.len() % 2 != 0 {
+                        return Err(err(lineno, "DEPOLARIZE2 needs qubit pairs"));
+                    }
+                    for pair in t.chunks(2) {
+                        c.push(Op::Depolarize2 {
+                            a: pair[0],
+                            b: pair[1],
+                            p,
+                        });
+                    }
+                }
+                "X_ERROR" => {
+                    let p = parse_p(arg)?;
+                    for q in targets.map_err(|_| err(lineno, "bad target"))? {
+                        c.push(Op::XError { q, p });
+                    }
+                }
+                "TICK" => c.push(Op::Tick),
+                "DETECTOR" | "OBSERVABLE_INCLUDE" => {
+                    deferred.push((
+                        lineno,
+                        name == "DETECTOR",
+                        arg.unwrap_or("").to_string(),
+                        rest.to_string(),
+                    ));
+                }
+                other => return Err(err(lineno, &format!("unknown instruction {other}"))),
+            }
+        }
+
+        let total = c.num_records() as i64;
+        for (lineno, is_detector, arg, rest) in deferred {
+            let mut records = Vec::new();
+            for tok in rest.split_whitespace() {
+                let inner = tok
+                    .strip_prefix("rec[")
+                    .and_then(|s| s.strip_suffix(']'))
+                    .ok_or_else(|| err(lineno, "expected rec[-k]"))?;
+                let k: i64 = inner.parse().map_err(|_| err(lineno, "bad lookback"))?;
+                let idx = total + k;
+                if idx < 0 || idx >= total {
+                    return Err(err(lineno, "lookback outside circuit"));
+                }
+                records.push(idx as u32);
+            }
+            if is_detector {
+                // Coordinates: DETECTOR(x, y, t).
+                let parts: Vec<i32> = arg
+                    .split(',')
+                    .filter_map(|s| s.trim().parse::<f64>().ok().map(|v| v as i32))
+                    .collect();
+                let coord = DetectorCoord {
+                    col: parts.first().copied().unwrap_or(0),
+                    row: parts.get(1).copied().unwrap_or(0),
+                    round: parts.get(2).copied().unwrap_or(0),
+                };
+                c.push_detector(records, coord);
+            } else {
+                c.push_observable(records);
+            }
+        }
+        Ok(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::build_memory_z_circuit;
+    use crate::dem::DemSampler;
+    use crate::noise::NoiseModel;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use surface_code::SurfaceCode;
+
+    #[test]
+    fn memory_circuit_round_trips() {
+        let code = SurfaceCode::new(3).unwrap();
+        let original = build_memory_z_circuit(&code, 3, NoiseModel::depolarizing(1e-3));
+        let text = original.to_stim();
+        let parsed = Circuit::from_stim(&text).expect("round trip parses");
+        assert_eq!(parsed.num_records(), original.num_records());
+        assert_eq!(parsed.num_detectors(), original.num_detectors());
+        assert_eq!(parsed.num_observables(), original.num_observables());
+        assert_eq!(parsed.ops(), original.ops());
+        for (a, b) in parsed.detectors().iter().zip(original.detectors()) {
+            assert_eq!(a.records, b.records);
+            assert_eq!(a.coord.round, b.coord.round);
+        }
+    }
+
+    #[test]
+    fn round_tripped_circuit_has_identical_error_model() {
+        // The acid test: the DEM (and therefore all decoding behaviour)
+        // must be unchanged by serialization.
+        let code = SurfaceCode::new(3).unwrap();
+        let original = build_memory_z_circuit(&code, 3, NoiseModel::depolarizing(2e-3));
+        let parsed = Circuit::from_stim(&original.to_stim()).unwrap();
+        let dem_a = original.detector_error_model();
+        let dem_b = parsed.detector_error_model();
+        assert_eq!(dem_a.mechanisms().len(), dem_b.mechanisms().len());
+        for (a, b) in dem_a.mechanisms().iter().zip(dem_b.mechanisms()) {
+            assert_eq!(a.detectors, b.detectors);
+            assert_eq!(a.observables, b.observables);
+            assert!((a.probability - b.probability).abs() < 1e-15);
+        }
+        // And sampling statistics agree for a fixed seed.
+        let mut sa = DemSampler::new(&dem_a);
+        let mut sb = DemSampler::new(&dem_b);
+        let mut ra = StdRng::seed_from_u64(9);
+        let mut rb = StdRng::seed_from_u64(9);
+        for _ in 0..100 {
+            assert_eq!(sa.sample(&mut ra), sb.sample(&mut rb));
+        }
+    }
+
+    #[test]
+    fn emits_expected_instructions() {
+        let mut c = Circuit::new(2);
+        c.push(Op::ResetZ(0));
+        c.push(Op::H(1));
+        c.push(Op::Cnot(0, 1));
+        c.push(Op::Depolarize2 {
+            a: 0,
+            b: 1,
+            p: 0.125,
+        });
+        c.push(Op::MeasureZ(1));
+        c.push_detector(
+            vec![0],
+            DetectorCoord {
+                row: 2,
+                col: 4,
+                round: 1,
+            },
+        );
+        let text = c.to_stim();
+        assert!(text.contains("R 0\n"));
+        assert!(text.contains("H 1\n"));
+        assert!(text.contains("CX 0 1\n"));
+        assert!(text.contains("DEPOLARIZE2(0.125) 0 1\n"));
+        assert!(text.contains("M 1\n"));
+        assert!(text.contains("DETECTOR(4, 2, 1) rec[-1]\n"));
+    }
+
+    #[test]
+    fn parses_comments_and_blank_lines() {
+        let text = "# a comment\n\nR 0\nM 0  # trailing\nDETECTOR(0, 0, 0) rec[-1]\n";
+        let c = Circuit::from_stim(text).unwrap();
+        assert_eq!(c.num_records(), 1);
+        assert_eq!(c.num_detectors(), 1);
+    }
+
+    #[test]
+    fn rejects_unknown_instruction() {
+        let e = Circuit::from_stim("FROB 1\n").unwrap_err();
+        assert!(e.to_string().contains("unknown instruction"));
+        assert_eq!(e.line, 1);
+    }
+
+    #[test]
+    fn rejects_bad_lookback() {
+        let e = Circuit::from_stim("M 0\nDETECTOR(0,0,0) rec[-5]\n").unwrap_err();
+        assert!(e.to_string().contains("lookback"));
+    }
+
+    #[test]
+    fn parses_multi_target_lines() {
+        let c = Circuit::from_stim("R 0 1 2\nCX 0 1 1 2\nM 0 1 2\n").unwrap();
+        assert_eq!(c.num_records(), 3);
+        assert_eq!(
+            c.ops().iter().filter(|o| matches!(o, Op::Cnot(..))).count(),
+            2
+        );
+    }
+}

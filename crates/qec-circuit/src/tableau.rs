@@ -1,0 +1,533 @@
+//! A full stabilizer-tableau simulator (Aaronson–Gottesman / CHP).
+//!
+//! The Pauli-frame sampler in [`crate::frame`] is fast because it tracks
+//! only *deviations* from a noiseless reference run — which is sound only
+//! if every declared detector is deterministic in the absence of noise.
+//! The frame sampler itself cannot check that assumption (noiseless frames
+//! are identically zero whatever the circuit does). This module provides
+//! the ground truth: a complete stabilizer simulation in the
+//! Aaronson–Gottesman tableau representation, with genuinely random
+//! measurement outcomes, against which the frame formalism is validated
+//! (see the `determinism` and cross-validation tests).
+//!
+//! The simulator supports exactly the [`Op`] set of this crate's IR:
+//! `R`, `H`, `CNOT`, `M`, the depolarizing channels, and `X_ERROR`.
+
+use crate::circuit::{Circuit, Op};
+use rand::Rng;
+
+/// A stabilizer tableau over `n` qubits: `n` destabilizer and `n`
+/// stabilizer generators, each a Pauli string with sign, stored bit-packed.
+///
+/// ```
+/// use qec_circuit::TableauSimulator;
+/// use qec_circuit::{Circuit, Op};
+/// use rand::SeedableRng;
+///
+/// // A Bell pair: the two measurement outcomes are random but equal.
+/// let mut c = Circuit::new(2);
+/// c.push(Op::ResetZ(0));
+/// c.push(Op::ResetZ(1));
+/// c.push(Op::H(0));
+/// c.push(Op::Cnot(0, 1));
+/// c.push(Op::MeasureZ(0));
+/// c.push(Op::MeasureZ(1));
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+/// for _ in 0..10 {
+///     let mut sim = TableauSimulator::new(2);
+///     let records = sim.run(&c, &mut rng);
+///     assert_eq!(records[0], records[1]);
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct TableauSimulator {
+    n: usize,
+    words: usize,
+    /// `2n` rows; row `i < n` is the i-th destabilizer, row `n + i` the
+    /// i-th stabilizer. Each row holds `words` x-words then `words`
+    /// z-words.
+    rows: Vec<u64>,
+    /// Sign bit per row (phase `(-1)^r`).
+    signs: Vec<bool>,
+}
+
+impl TableauSimulator {
+    /// Creates the tableau for the all-|0⟩ state: destabilizers `Xᵢ`,
+    /// stabilizers `Zᵢ`.
+    pub fn new(n: usize) -> TableauSimulator {
+        let words = n.div_ceil(64);
+        let mut sim = TableauSimulator {
+            n,
+            words,
+            rows: vec![0; 2 * n * 2 * words],
+            signs: vec![false; 2 * n],
+        };
+        for i in 0..n {
+            sim.set_x(i, i, true); // destabilizer i = X_i
+            sim.set_z(n + i, i, true); // stabilizer i = Z_i
+        }
+        sim
+    }
+
+    #[inline]
+    fn row_base(&self, row: usize) -> usize {
+        row * 2 * self.words
+    }
+
+    #[inline]
+    fn x(&self, row: usize, q: usize) -> bool {
+        self.rows[self.row_base(row) + q / 64] >> (q % 64) & 1 == 1
+    }
+
+    #[inline]
+    fn z(&self, row: usize, q: usize) -> bool {
+        self.rows[self.row_base(row) + self.words + q / 64] >> (q % 64) & 1 == 1
+    }
+
+    #[inline]
+    fn set_x(&mut self, row: usize, q: usize, v: bool) {
+        let idx = self.row_base(row) + q / 64;
+        if v {
+            self.rows[idx] |= 1 << (q % 64);
+        } else {
+            self.rows[idx] &= !(1 << (q % 64));
+        }
+    }
+
+    #[inline]
+    fn set_z(&mut self, row: usize, q: usize, v: bool) {
+        let idx = self.row_base(row) + self.words + q / 64;
+        if v {
+            self.rows[idx] |= 1 << (q % 64);
+        } else {
+            self.rows[idx] &= !(1 << (q % 64));
+        }
+    }
+
+    /// Applies a Hadamard on `q`.
+    pub fn h(&mut self, q: usize) {
+        for row in 0..2 * self.n {
+            let (x, z) = (self.x(row, q), self.z(row, q));
+            if x && z {
+                self.signs[row] = !self.signs[row];
+            }
+            self.set_x(row, q, z);
+            self.set_z(row, q, x);
+        }
+    }
+
+    /// Applies a CNOT with control `c` and target `t`.
+    pub fn cnot(&mut self, c: usize, t: usize) {
+        for row in 0..2 * self.n {
+            let (xc, zc) = (self.x(row, c), self.z(row, c));
+            let (xt, zt) = (self.x(row, t), self.z(row, t));
+            if xc && zt && (xt == zc) {
+                self.signs[row] = !self.signs[row];
+            }
+            self.set_x(row, t, xt ^ xc);
+            self.set_z(row, c, zc ^ zt);
+        }
+    }
+
+    /// Applies a Pauli X on `q`.
+    pub fn pauli_x(&mut self, q: usize) {
+        for row in 0..2 * self.n {
+            if self.z(row, q) {
+                self.signs[row] = !self.signs[row];
+            }
+        }
+    }
+
+    /// Applies a Pauli Z on `q`.
+    pub fn pauli_z(&mut self, q: usize) {
+        for row in 0..2 * self.n {
+            if self.x(row, q) {
+                self.signs[row] = !self.signs[row];
+            }
+        }
+    }
+
+    /// Measures `q` in the Z basis, consuming randomness only when the
+    /// outcome is genuinely random.
+    pub fn measure_z<R: Rng + ?Sized>(&mut self, q: usize, rng: &mut R) -> bool {
+        // A random outcome iff some stabilizer anticommutes with Z_q.
+        let pivot = (self.n..2 * self.n).find(|&row| self.x(row, q));
+        match pivot {
+            Some(p) => {
+                // Random case: every other row anticommuting with Z_q is
+                // multiplied by the pivot stabilizer.
+                for row in 0..2 * self.n {
+                    if row != p && self.x(row, q) {
+                        self.row_mul(row, p);
+                    }
+                }
+                // Destabilizer p−n becomes the old stabilizer p; the new
+                // stabilizer is ±Z_q with a random sign.
+                let (dst, src) = (p - self.n, p);
+                self.copy_row(dst, src);
+                self.clear_row(p);
+                self.set_z(p, q, true);
+                let outcome = rng.gen_bool(0.5);
+                self.signs[p] = outcome;
+                outcome
+            }
+            None => self.deterministic_outcome(q),
+        }
+    }
+
+    /// The deterministic Z-measurement outcome of `q` (must only be called
+    /// when no stabilizer anticommutes with `Z_q`).
+    fn deterministic_outcome(&self, q: usize) -> bool {
+        // Accumulate the product of stabilizers indicated by the
+        // destabilizers that anticommute with Z_q; its sign is the outcome.
+        let mut acc_x = vec![0u64; self.words];
+        let mut acc_z = vec![0u64; self.words];
+        let mut sign = false;
+        for i in 0..self.n {
+            if self.x(i, q) {
+                sign ^= self.product_sign_into(&mut acc_x, &mut acc_z, self.n + i);
+                sign ^= self.signs[self.n + i];
+            }
+        }
+        sign
+    }
+
+    /// Multiplies the accumulator Pauli by row `src`, returning the extra
+    /// sign bit produced by the Pauli product's phase (which is always ±1
+    /// here because stabilizer products are Hermitian).
+    fn product_sign_into(&self, acc_x: &mut [u64], acc_z: &mut [u64], src: usize) -> bool {
+        // Phase exponent of i, mod 4, accumulated 2 bits at a time.
+        let base = self.row_base(src);
+        let mut phase: i32 = 0;
+        for w in 0..self.words {
+            let (x1, z1) = (self.rows[base + w], self.rows[base + self.words + w]);
+            let (x2, z2) = (acc_x[w], acc_z[w]);
+            // g() summed over the 64 lanes of this word.
+            for bit in 0..64 {
+                let (a, b) = ((x1 >> bit & 1) as u8, (z1 >> bit & 1) as u8);
+                let (c, d) = ((x2 >> bit & 1) as u8, (z2 >> bit & 1) as u8);
+                phase += g_phase(a, b, c, d);
+            }
+            acc_x[w] ^= x1;
+            acc_z[w] ^= z1;
+        }
+        debug_assert!(phase.rem_euclid(2) == 0, "non-Hermitian stabilizer product");
+        phase.rem_euclid(4) == 2
+    }
+
+    /// Row `dst` ← row `dst` · row `src` (Pauli product with sign
+    /// tracking) — the CHP `rowsum`.
+    fn row_mul(&mut self, dst: usize, src: usize) {
+        let mut phase: i32 = if self.signs[dst] { 2 } else { 0 };
+        phase += if self.signs[src] { 2 } else { 0 };
+        let (db, sb) = (self.row_base(dst), self.row_base(src));
+        for w in 0..self.words {
+            let (x1, z1) = (self.rows[sb + w], self.rows[sb + self.words + w]);
+            let (x2, z2) = (self.rows[db + w], self.rows[db + self.words + w]);
+            for bit in 0..64 {
+                let (a, b) = ((x1 >> bit & 1) as u8, (z1 >> bit & 1) as u8);
+                let (c, d) = ((x2 >> bit & 1) as u8, (z2 >> bit & 1) as u8);
+                phase += g_phase(a, b, c, d);
+            }
+            self.rows[db + w] = x2 ^ x1;
+            self.rows[db + self.words + w] = z2 ^ z1;
+        }
+        debug_assert!(phase.rem_euclid(2) == 0);
+        self.signs[dst] = phase.rem_euclid(4) == 2;
+    }
+
+    fn copy_row(&mut self, dst: usize, src: usize) {
+        let (db, sb) = (self.row_base(dst), self.row_base(src));
+        for w in 0..2 * self.words {
+            self.rows[db + w] = self.rows[sb + w];
+        }
+        self.signs[dst] = self.signs[src];
+    }
+
+    fn clear_row(&mut self, row: usize) {
+        let base = self.row_base(row);
+        for w in 0..2 * self.words {
+            self.rows[base + w] = 0;
+        }
+        self.signs[row] = false;
+    }
+
+    /// Resets `q` to |0⟩ (measure, then flip if the outcome was 1).
+    pub fn reset_z<R: Rng + ?Sized>(&mut self, q: usize, rng: &mut R) {
+        if self.measure_z(q, rng) {
+            self.pauli_x(q);
+        }
+    }
+
+    /// Runs a full circuit, sampling noise channels stochastically, and
+    /// returns the measurement record.
+    pub fn run<R: Rng + ?Sized>(&mut self, circuit: &Circuit, rng: &mut R) -> Vec<bool> {
+        let mut records = Vec::with_capacity(circuit.num_records());
+        for op in circuit.ops() {
+            match *op {
+                Op::ResetZ(q) => self.reset_z(q as usize, rng),
+                Op::H(q) => self.h(q as usize),
+                Op::Cnot(c, t) => self.cnot(c as usize, t as usize),
+                Op::MeasureZ(q) => records.push(self.measure_z(q as usize, rng)),
+                Op::Depolarize1 { q, p } => {
+                    if rng.gen_bool(p) {
+                        match rng.gen_range(0..3u8) {
+                            0 => self.pauli_x(q as usize),
+                            1 => {
+                                self.pauli_x(q as usize);
+                                self.pauli_z(q as usize);
+                            }
+                            _ => self.pauli_z(q as usize),
+                        }
+                    }
+                }
+                Op::Depolarize2 { a, b, p } => {
+                    if rng.gen_bool(p) {
+                        let pattern = rng.gen_range(1..16u8);
+                        if pattern & 1 != 0 {
+                            self.pauli_x(a as usize);
+                        }
+                        if pattern & 2 != 0 {
+                            self.pauli_z(a as usize);
+                        }
+                        if pattern & 4 != 0 {
+                            self.pauli_x(b as usize);
+                        }
+                        if pattern & 8 != 0 {
+                            self.pauli_z(b as usize);
+                        }
+                    }
+                }
+                Op::XError { q, p } => {
+                    if rng.gen_bool(p) {
+                        self.pauli_x(q as usize);
+                    }
+                }
+                Op::Tick => {}
+            }
+        }
+        records
+    }
+
+    /// Evaluates the circuit's detectors over a measurement record.
+    pub fn detectors(circuit: &Circuit, records: &[bool]) -> Vec<bool> {
+        circuit
+            .detectors()
+            .iter()
+            .map(|d| d.records.iter().fold(false, |acc, &r| acc ^ records[r as usize]))
+            .collect()
+    }
+}
+
+/// The CHP phase function `g(x1, z1, x2, z2)`: the power of `i` produced
+/// when multiplying single-qubit Paulis `(x1, z1) · (x2, z2)`.
+fn g_phase(x1: u8, z1: u8, x2: u8, z2: u8) -> i32 {
+    match (x1, z1) {
+        (0, 0) => 0,
+        (1, 1) => z2 as i32 - x2 as i32,
+        (1, 0) => z2 as i32 * (2 * x2 as i32 - 1),
+        (0, 1) => x2 as i32 * (1 - 2 * z2 as i32),
+        _ => unreachable!(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{build_memory_x_circuit, build_memory_z_circuit};
+    use crate::frame::FrameSimulator;
+    use crate::noise::NoiseModel;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use surface_code::SurfaceCode;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn fresh_qubits_measure_zero() {
+        let mut sim = TableauSimulator::new(3);
+        let mut r = rng(1);
+        for q in 0..3 {
+            assert!(!sim.measure_z(q, &mut r));
+        }
+    }
+
+    #[test]
+    fn x_flips_measurement() {
+        let mut sim = TableauSimulator::new(1);
+        let mut r = rng(1);
+        sim.pauli_x(0);
+        assert!(sim.measure_z(0, &mut r));
+        assert!(sim.measure_z(0, &mut r), "repeated measurement is stable");
+    }
+
+    #[test]
+    fn hadamard_makes_outcomes_random_then_stable() {
+        let mut ones = 0;
+        for seed in 0..200 {
+            let mut sim = TableauSimulator::new(1);
+            let mut r = rng(seed);
+            sim.h(0);
+            let first = sim.measure_z(0, &mut r);
+            // After collapse, repeated measurement must agree.
+            assert_eq!(sim.measure_z(0, &mut r), first);
+            ones += first as u32;
+        }
+        assert!((50..=150).contains(&ones), "biased |+⟩ measurements: {ones}/200");
+    }
+
+    #[test]
+    fn bell_pair_outcomes_correlate() {
+        for seed in 0..100 {
+            let mut sim = TableauSimulator::new(2);
+            let mut r = rng(seed);
+            sim.h(0);
+            sim.cnot(0, 1);
+            let a = sim.measure_z(0, &mut r);
+            let b = sim.measure_z(1, &mut r);
+            assert_eq!(a, b, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn ghz_state_parity() {
+        // |000⟩ + |111⟩: all three outcomes equal.
+        for seed in 0..50 {
+            let mut sim = TableauSimulator::new(3);
+            let mut r = rng(seed);
+            sim.h(0);
+            sim.cnot(0, 1);
+            sim.cnot(1, 2);
+            let (a, b, c) = (
+                sim.measure_z(0, &mut r),
+                sim.measure_z(1, &mut r),
+                sim.measure_z(2, &mut r),
+            );
+            assert!(a == b && b == c);
+        }
+    }
+
+    #[test]
+    fn reset_clears_any_state() {
+        let mut sim = TableauSimulator::new(1);
+        let mut r = rng(3);
+        sim.h(0);
+        sim.reset_z(0, &mut r);
+        assert!(!sim.measure_z(0, &mut r));
+    }
+
+    #[test]
+    fn noiseless_memory_circuit_detectors_are_deterministic() {
+        // THE assumption behind frame sampling: with genuinely random
+        // ancilla outcomes (X stabilizers measure randomly in round 0!),
+        // every declared detector still evaluates to 0 noiselessly.
+        for d in [3usize, 5] {
+            let code = SurfaceCode::new(d).unwrap();
+            for circuit in [
+                build_memory_z_circuit(&code, d, NoiseModel::noiseless()),
+                build_memory_x_circuit(&code, d, NoiseModel::noiseless()),
+            ] {
+                for seed in 0..5 {
+                    let mut sim = TableauSimulator::new(circuit.num_qubits());
+                    let records = sim.run(&circuit, &mut rng(seed));
+                    let dets = TableauSimulator::detectors(&circuit, &records);
+                    assert!(
+                        dets.iter().all(|&b| !b),
+                        "nondeterministic detector in noiseless d={d} circuit (seed {seed})"
+                    );
+                    // And the observable is deterministic 0 as well.
+                    for obs in circuit.observables() {
+                        let flip = obs.iter().fold(false, |acc, &r| acc ^ records[r as usize]);
+                        assert!(!flip, "noiseless observable flip at d={d}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn frame_simulator_matches_tableau_on_detectors_and_observables() {
+        // For every single deterministic X error: the *detector* outcomes
+        // and observable flips of the full tableau simulation must equal
+        // the frame simulator's prediction. (Raw records are NOT
+        // comparable — individually random measurements collapse
+        // differently between runs; only the deterministic parities the
+        // detectors encode are physical. That distinction is exactly why
+        // frame sampling is sound for detectors and nothing else.)
+        use crate::circuit::Op;
+        let code = SurfaceCode::new(3).unwrap();
+        let clean = build_memory_z_circuit(&code, 2, NoiseModel::noiseless());
+
+        for err_qubit in 0..code.num_data_qubits() as u32 {
+            // Circuit with a deterministic X inserted after the first tick.
+            let mut noisy = Circuit::new(clean.num_qubits());
+            let mut ticks = 0;
+            for op in clean.ops() {
+                noisy.push(*op);
+                if let Op::Tick = op {
+                    ticks += 1;
+                    if ticks == 1 {
+                        noisy.push(Op::XError { q: err_qubit, p: 1.0 });
+                    }
+                }
+            }
+            for det in clean.detectors() {
+                noisy.push_detector(det.records.clone(), det.coord);
+            }
+            for obs in clean.observables() {
+                noisy.push_observable(obs.clone());
+            }
+
+            // Tableau ground truth (arbitrary seed: detectors must be
+            // seed-independent).
+            for seed in [11u64, 12] {
+                let mut sim = TableauSimulator::new(noisy.num_qubits());
+                let records = sim.run(&noisy, &mut rng(seed));
+                let tableau_dets = TableauSimulator::detectors(&noisy, &records);
+                let tableau_obs = noisy.observables()[0]
+                    .iter()
+                    .fold(false, |acc, &r| acc ^ records[r as usize]);
+
+                let mut frame = FrameSimulator::new(&noisy);
+                let (frame_dets, frame_obs) = frame.sample(&noisy, &mut rng(0));
+
+                assert_eq!(
+                    tableau_dets, frame_dets,
+                    "detector mismatch for X on {err_qubit} (seed {seed})"
+                );
+                assert_eq!(
+                    tableau_obs,
+                    frame_obs & 1 == 1,
+                    "observable mismatch for X on {err_qubit}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn logical_x_string_flips_tableau_observable() {
+        let code = SurfaceCode::new(3).unwrap();
+        let clean = build_memory_z_circuit(&code, 3, NoiseModel::noiseless());
+        let mut noisy = Circuit::new(clean.num_qubits());
+        let mut first_tick = true;
+        for op in clean.ops() {
+            noisy.push(*op);
+            if matches!(op, Op::Tick) && first_tick {
+                first_tick = false;
+                for &q in &code.logical_x_support() {
+                    noisy.push(Op::XError { q: q as u32, p: 1.0 });
+                }
+            }
+        }
+        let mut sim = TableauSimulator::new(noisy.num_qubits());
+        let records = sim.run(&noisy, &mut rng(7));
+        let dets = TableauSimulator::detectors(&noisy, &records);
+        assert!(dets.iter().all(|&b| !b));
+        let obs = clean.observables()[0]
+            .iter()
+            .fold(false, |acc, &r| acc ^ records[r as usize]);
+        assert!(obs, "logical X must flip the tableau's logical Z outcome");
+    }
+}

@@ -1,0 +1,146 @@
+//! GF(2) linear algebra over Pauli supports, used to validate the code's
+//! group structure: stabilizer independence, logical operators lying
+//! outside the stabilizer group, and the symplectic commutation pairing.
+
+/// A dense GF(2) matrix, rows bit-packed into `u64` words.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BinaryMatrix {
+    rows: Vec<Vec<u64>>,
+    cols: usize,
+}
+
+impl BinaryMatrix {
+    /// Creates an all-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> BinaryMatrix {
+        BinaryMatrix {
+            rows: vec![vec![0; cols.div_ceil(64)]; rows],
+            cols,
+        }
+    }
+
+    /// Builds a matrix from an iterator of row supports (column indices).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn from_supports<I, S>(supports: I, cols: usize) -> BinaryMatrix
+    where
+        I: IntoIterator<Item = S>,
+        S: IntoIterator<Item = usize>,
+    {
+        let mut rows = Vec::new();
+        for support in supports {
+            let mut row = vec![0u64; cols.div_ceil(64)];
+            for c in support {
+                assert!(c < cols, "column {c} out of range ({cols} columns)");
+                row[c / 64] ^= 1 << (c % 64);
+            }
+            rows.push(row);
+        }
+        BinaryMatrix { rows, cols }
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of columns.
+    pub fn num_cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Reads entry `(r, c)`.
+    pub fn get(&self, r: usize, c: usize) -> bool {
+        self.rows[r][c / 64] >> (c % 64) & 1 == 1
+    }
+
+    /// The rank over GF(2) (destructive elimination on a copy).
+    pub fn rank(&self) -> usize {
+        let mut m = self.rows.clone();
+        let mut rank = 0;
+        for col in 0..self.cols {
+            let (w, b) = (col / 64, col % 64);
+            let Some(pivot) = (rank..m.len()).find(|&r| m[r][w] >> b & 1 == 1) else {
+                continue;
+            };
+            m.swap(rank, pivot);
+            let pivot_row = m[rank].clone();
+            for (r, row) in m.iter_mut().enumerate() {
+                if r != rank && row[w] >> b & 1 == 1 {
+                    for (a, &p) in row.iter_mut().zip(&pivot_row) {
+                        *a ^= p;
+                    }
+                }
+            }
+            rank += 1;
+            if rank == m.len() {
+                break;
+            }
+        }
+        rank
+    }
+
+    /// Whether `vector` (a column-index support) lies in the row space.
+    pub fn row_space_contains<S: IntoIterator<Item = usize>>(&self, vector: S) -> bool {
+        let with = {
+            let mut m = self.clone();
+            let mut row = vec![0u64; self.cols.div_ceil(64)];
+            for c in vector {
+                assert!(c < self.cols, "column {c} out of range");
+                row[c / 64] ^= 1 << (c % 64);
+            }
+            m.rows.push(row);
+            m
+        };
+        with.rank() == self.rank()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_of_identity() {
+        let m = BinaryMatrix::from_supports((0..5).map(|i| [i]), 5);
+        assert_eq!(m.rank(), 5);
+    }
+
+    #[test]
+    fn rank_detects_dependence() {
+        // Row 2 = row 0 + row 1.
+        let m = BinaryMatrix::from_supports(
+            vec![vec![0, 1], vec![1, 2], vec![0, 2]],
+            3,
+        );
+        assert_eq!(m.rank(), 2);
+    }
+
+    #[test]
+    fn rank_of_zero_matrix() {
+        assert_eq!(BinaryMatrix::zeros(4, 7).rank(), 0);
+    }
+
+    #[test]
+    fn row_space_membership() {
+        let m = BinaryMatrix::from_supports(vec![vec![0, 1], vec![1, 2]], 4);
+        assert!(m.row_space_contains(vec![0, 2])); // sum of the two rows
+        assert!(m.row_space_contains(vec![0, 1]));
+        assert!(!m.row_space_contains(vec![3]));
+        assert!(!m.row_space_contains(vec![0]));
+    }
+
+    #[test]
+    fn wide_matrices_cross_word_boundaries() {
+        let m = BinaryMatrix::from_supports(vec![vec![0, 70], vec![70, 130]], 200);
+        assert_eq!(m.rank(), 2);
+        assert!(m.row_space_contains(vec![0, 130]));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_support() {
+        BinaryMatrix::from_supports(vec![vec![5]], 5);
+    }
+}

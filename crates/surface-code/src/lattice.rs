@@ -1,0 +1,509 @@
+//! Rotated surface code lattice construction.
+
+use crate::pauli::{Basis, Coord};
+use crate::resources::CodeResources;
+use crate::InvalidDistance;
+
+/// Number of CNOT time-steps in one syndrome-extraction round.
+pub const SCHEDULE_STEPS: usize = 4;
+
+/// Offsets (in doubled coordinates) from an ancilla to its data neighbors,
+/// in the order the **X stabilizers** interact with them.
+///
+/// X stabilizers sweep vertically first (NW, SW, NE, SE) so that hook errors
+/// on the ancilla spread to a vertical pair of data qubits, perpendicular to
+/// the horizontal logical-X string — preserving the code distance.
+const X_SCHEDULE: [(i32, i32); SCHEDULE_STEPS] = [(-1, -1), (1, -1), (-1, 1), (1, 1)];
+
+/// Offsets for the **Z stabilizers**, which sweep horizontally first
+/// (NW, NE, SW, SE) so Z-hook errors spread to a horizontal pair,
+/// perpendicular to the vertical logical-Z string.
+const Z_SCHEDULE: [(i32, i32); SCHEDULE_STEPS] = [(-1, -1), (-1, 1), (1, -1), (1, 1)];
+
+/// One stabilizer (parity check) of the rotated surface code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stabilizer {
+    /// X-type or Z-type.
+    pub basis: Basis,
+    /// Position of the measurement ancilla on the doubled lattice.
+    pub ancilla: Coord,
+    /// Indices (into [`SurfaceCode::data_coords`]) of the 2 or 4 data qubits
+    /// in the stabilizer's support.
+    pub data: Vec<usize>,
+    /// For each of the four schedule steps, the data-qubit index this
+    /// stabilizer interacts with at that step (`None` if the neighbor falls
+    /// outside the lattice).
+    pub schedule: [Option<usize>; SCHEDULE_STEPS],
+}
+
+impl Stabilizer {
+    /// The weight (number of data qubits) of this stabilizer: 2 on a
+    /// boundary, 4 in the bulk.
+    pub fn weight(&self) -> usize {
+        self.data.len()
+    }
+}
+
+/// A rotated surface code of odd distance `d ≥ 3`.
+///
+/// See the [crate docs](crate) for layout conventions. Construction is `O(d²)`
+/// and validated by internal invariants (stabilizer counts, commutation).
+///
+/// ```
+/// use surface_code::{Basis, SurfaceCode};
+///
+/// let code = SurfaceCode::new(3)?;
+/// assert_eq!(code.distance(), 3);
+/// assert_eq!(code.stabilizers().len(), 8);
+/// assert!(code.stabilizers().iter().all(|s| s.weight() == 2 || s.weight() == 4));
+/// # Ok::<(), surface_code::InvalidDistance>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SurfaceCode {
+    distance: usize,
+    data_coords: Vec<Coord>,
+    stabilizers: Vec<Stabilizer>,
+}
+
+impl SurfaceCode {
+    /// Builds the rotated surface code of the given distance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidDistance`] unless `distance` is odd and at least 3.
+    pub fn new(distance: usize) -> Result<SurfaceCode, InvalidDistance> {
+        if distance < 3 || distance % 2 == 0 {
+            return Err(InvalidDistance(distance));
+        }
+        let d = distance as i32;
+
+        // Data qubit (r, c) lives at doubled coordinate (2r + 1, 2c + 1) and
+        // has index r * d + c.
+        let mut data_coords = Vec::with_capacity(distance * distance);
+        for r in 0..d {
+            for c in 0..d {
+                data_coords.push(Coord::new(2 * r + 1, 2 * c + 1));
+            }
+        }
+
+        let data_index = |r: i32, c: i32| -> Option<usize> {
+            (r >= 0 && r < d && c >= 0 && c < d).then(|| (r * d + c) as usize)
+        };
+
+        // Stabilizer cells live on the corner grid (r, c) ∈ [0, d]².
+        // Z-type iff (r + c) is even. Interior cells are always kept;
+        // boundary cells are kept only when their type matches the boundary
+        // (Z on top/bottom rows, X on left/right columns); corners are never
+        // kept.
+        let mut stabilizers = Vec::with_capacity(distance * distance - 1);
+        for r in 0..=d {
+            for c in 0..=d {
+                let basis = if (r + c) % 2 == 0 { Basis::Z } else { Basis::X };
+                let on_row_boundary = r == 0 || r == d;
+                let on_col_boundary = c == 0 || c == d;
+                let keep = match (on_row_boundary, on_col_boundary) {
+                    (false, false) => true,
+                    (true, true) => false,
+                    (true, false) => basis == Basis::Z,
+                    (false, true) => basis == Basis::X,
+                };
+                if !keep {
+                    continue;
+                }
+
+                let schedule_offsets = match basis {
+                    Basis::X => &X_SCHEDULE,
+                    Basis::Z => &Z_SCHEDULE,
+                };
+                let mut schedule = [None; SCHEDULE_STEPS];
+                for (slot, (dr, dc)) in schedule.iter_mut().zip(schedule_offsets) {
+                    // Ancilla (2r, 2c) + offset (±1, ±1) is the data qubit at
+                    // grid position (r − 1 or r, c − 1 or c).
+                    *slot = data_index(r + (dr - 1) / 2, c + (dc - 1) / 2);
+                }
+                let data: Vec<usize> = schedule.iter().flatten().copied().collect();
+                debug_assert!(data.len() == 2 || data.len() == 4);
+
+                stabilizers.push(Stabilizer {
+                    basis,
+                    ancilla: Coord::new(2 * r, 2 * c),
+                    data,
+                    schedule,
+                });
+            }
+        }
+
+        let code = SurfaceCode {
+            distance,
+            data_coords,
+            stabilizers,
+        };
+        debug_assert_eq!(code.num_stabilizers(), distance * distance - 1);
+        Ok(code)
+    }
+
+    /// The code distance `d`.
+    pub fn distance(&self) -> usize {
+        self.distance
+    }
+
+    /// Number of data qubits, `d²`.
+    pub fn num_data_qubits(&self) -> usize {
+        self.data_coords.len()
+    }
+
+    /// Number of stabilizers (parity qubits), `d² − 1`.
+    pub fn num_stabilizers(&self) -> usize {
+        self.stabilizers.len()
+    }
+
+    /// Doubled-lattice coordinates of every data qubit, indexed by
+    /// `row * d + col`.
+    pub fn data_coords(&self) -> &[Coord] {
+        &self.data_coords
+    }
+
+    /// All stabilizers, X and Z interleaved in lattice order.
+    pub fn stabilizers(&self) -> &[Stabilizer] {
+        &self.stabilizers
+    }
+
+    /// Iterator over the Z-type stabilizers with their global stabilizer
+    /// indices, in lattice order.
+    pub fn z_stabilizers(&self) -> impl Iterator<Item = (usize, &Stabilizer)> {
+        self.stabilizers_of(Basis::Z)
+    }
+
+    /// Iterator over the X-type stabilizers with their global stabilizer
+    /// indices, in lattice order.
+    pub fn x_stabilizers(&self) -> impl Iterator<Item = (usize, &Stabilizer)> {
+        self.stabilizers_of(Basis::X)
+    }
+
+    /// Iterator over the stabilizers of one basis with their global indices.
+    pub fn stabilizers_of(&self, basis: Basis) -> impl Iterator<Item = (usize, &Stabilizer)> {
+        self.stabilizers
+            .iter()
+            .enumerate()
+            .filter(move |(_, s)| s.basis == basis)
+    }
+
+    /// Data-qubit indices in the support of logical Z (data column 0).
+    ///
+    /// An X-error chain crossing this column flips the logical Z outcome.
+    pub fn logical_z_support(&self) -> Vec<usize> {
+        (0..self.distance).map(|r| r * self.distance).collect()
+    }
+
+    /// Data-qubit indices in the support of logical X (data row 0).
+    pub fn logical_x_support(&self) -> Vec<usize> {
+        (0..self.distance).collect()
+    }
+
+    /// Resource summary for this code (the paper's Table 1 row).
+    pub fn resources(&self) -> CodeResources {
+        CodeResources::for_distance(self.distance)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_distances() -> impl Iterator<Item = SurfaceCode> {
+        [3usize, 5, 7, 9, 11]
+            .into_iter()
+            .map(|d| SurfaceCode::new(d).unwrap())
+    }
+
+    #[test]
+    fn rejects_invalid_distances() {
+        assert_eq!(SurfaceCode::new(0).unwrap_err(), InvalidDistance(0));
+        assert!(SurfaceCode::new(1).is_err());
+        assert!(SurfaceCode::new(2).is_err());
+        assert!(SurfaceCode::new(4).is_err());
+        assert!(SurfaceCode::new(3).is_ok());
+    }
+
+    #[test]
+    fn stabilizer_counts_match_table_1() {
+        for code in all_distances() {
+            let d = code.distance();
+            assert_eq!(code.num_data_qubits(), d * d);
+            assert_eq!(code.num_stabilizers(), d * d - 1);
+            assert_eq!(code.z_stabilizers().count(), (d * d - 1) / 2);
+            assert_eq!(code.x_stabilizers().count(), (d * d - 1) / 2);
+        }
+    }
+
+    #[test]
+    fn stabilizer_weights_are_2_or_4() {
+        for code in all_distances() {
+            for s in code.stabilizers() {
+                assert!(
+                    s.weight() == 2 || s.weight() == 4,
+                    "stabilizer at {} has weight {}",
+                    s.ancilla,
+                    s.weight()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bulk_stabilizers_have_weight_4() {
+        for code in all_distances() {
+            let d = 2 * code.distance() as i32;
+            for s in code.stabilizers() {
+                let interior = s.ancilla.row > 0
+                    && s.ancilla.row < d
+                    && s.ancilla.col > 0
+                    && s.ancilla.col < d;
+                if interior {
+                    assert_eq!(s.weight(), 4, "bulk stabilizer at {}", s.ancilla);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn weight_2_x_stabilizers_only_on_left_right() {
+        for code in all_distances() {
+            let d = 2 * code.distance() as i32;
+            for (_, s) in code.x_stabilizers() {
+                if s.weight() == 2 {
+                    assert!(
+                        s.ancilla.col == 0 || s.ancilla.col == d,
+                        "weight-2 X stabilizer not on a vertical boundary: {}",
+                        s.ancilla
+                    );
+                }
+            }
+            for (_, s) in code.z_stabilizers() {
+                if s.weight() == 2 {
+                    assert!(
+                        s.ancilla.row == 0 || s.ancilla.row == d,
+                        "weight-2 Z stabilizer not on a horizontal boundary: {}",
+                        s.ancilla
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn x_and_z_stabilizers_commute() {
+        // Every X stabilizer must overlap every Z stabilizer on an even
+        // number of data qubits.
+        for code in all_distances() {
+            for (_, x) in code.x_stabilizers() {
+                for (_, z) in code.z_stabilizers() {
+                    let overlap = x.data.iter().filter(|q| z.data.contains(q)).count();
+                    assert_eq!(
+                        overlap % 2,
+                        0,
+                        "X at {} and Z at {} overlap on {} qubits",
+                        x.ancilla,
+                        z.ancilla,
+                        overlap
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn logical_z_commutes_with_all_x_stabilizers() {
+        for code in all_distances() {
+            let zl = code.logical_z_support();
+            assert_eq!(zl.len(), code.distance());
+            for (_, x) in code.x_stabilizers() {
+                let overlap = x.data.iter().filter(|q| zl.contains(q)).count();
+                assert_eq!(
+                    overlap % 2,
+                    0,
+                    "logical Z anticommutes with X at {}",
+                    x.ancilla
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn logical_x_commutes_with_all_z_stabilizers() {
+        for code in all_distances() {
+            let xl = code.logical_x_support();
+            assert_eq!(xl.len(), code.distance());
+            for (_, z) in code.z_stabilizers() {
+                let overlap = z.data.iter().filter(|q| xl.contains(q)).count();
+                assert_eq!(
+                    overlap % 2,
+                    0,
+                    "logical X anticommutes with Z at {}",
+                    z.ancilla
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn logical_x_and_z_anticommute() {
+        // They overlap only on data qubit (0, 0): odd overlap.
+        for code in all_distances() {
+            let zl = code.logical_z_support();
+            let xl = code.logical_x_support();
+            let overlap = xl.iter().filter(|q| zl.contains(q)).count();
+            assert_eq!(overlap, 1);
+        }
+    }
+
+    #[test]
+    fn schedule_has_no_data_qubit_conflicts() {
+        // At every time step, each data qubit interacts with at most one
+        // ancilla.
+        for code in all_distances() {
+            for step in 0..SCHEDULE_STEPS {
+                let mut seen = vec![false; code.num_data_qubits()];
+                for s in code.stabilizers() {
+                    if let Some(q) = s.schedule[step] {
+                        assert!(
+                            !seen[q],
+                            "data qubit {q} touched twice at step {step} (d={})",
+                            code.distance()
+                        );
+                        seen[q] = true;
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn schedule_covers_exactly_the_support() {
+        for code in all_distances() {
+            for s in code.stabilizers() {
+                let scheduled: Vec<usize> = s.schedule.iter().flatten().copied().collect();
+                assert_eq!(scheduled, s.data);
+            }
+        }
+    }
+
+    #[test]
+    fn every_data_qubit_is_checked_by_both_bases() {
+        // Each data qubit must be in the support of at least one X and one Z
+        // stabilizer (otherwise errors on it would be undetectable).
+        for code in all_distances() {
+            for q in 0..code.num_data_qubits() {
+                let x = code.x_stabilizers().any(|(_, s)| s.data.contains(&q));
+                let z = code.z_stabilizers().any(|(_, s)| s.data.contains(&q));
+                assert!(x, "data qubit {q} unchecked by X stabilizers");
+                assert!(z, "data qubit {q} unchecked by Z stabilizers");
+            }
+        }
+    }
+
+    #[test]
+    fn data_coords_are_odd_and_unique() {
+        for code in all_distances() {
+            let mut coords = code.data_coords().to_vec();
+            assert!(coords.iter().all(|c| c.is_data()));
+            coords.sort();
+            coords.dedup();
+            assert_eq!(coords.len(), code.num_data_qubits());
+        }
+    }
+
+    #[test]
+    fn ancilla_coords_are_even_and_unique() {
+        for code in all_distances() {
+            let mut coords: Vec<Coord> = code.stabilizers().iter().map(|s| s.ancilla).collect();
+            assert!(coords.iter().all(|c| c.is_ancilla()));
+            coords.sort();
+            coords.dedup();
+            assert_eq!(coords.len(), code.num_stabilizers());
+        }
+    }
+
+    #[test]
+    fn single_x_error_flips_at_most_two_z_stabilizers() {
+        for code in all_distances() {
+            for q in 0..code.num_data_qubits() {
+                let flips = code
+                    .z_stabilizers()
+                    .filter(|(_, s)| s.data.contains(&q))
+                    .count();
+                assert!(
+                    (1..=2).contains(&flips),
+                    "X error on data {q} flips {flips} Z stabilizers"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod group_structure_tests {
+    //! GF(2) validation of the code's group structure: the d² − 1
+    //! stabilizers are independent, and the logical operators are not
+    //! products of stabilizers (they genuinely act on the logical qubit).
+
+    use super::*;
+    use crate::gf2::BinaryMatrix;
+
+    fn stabilizer_matrix(code: &SurfaceCode, basis: Basis) -> BinaryMatrix {
+        BinaryMatrix::from_supports(
+            code.stabilizers_of(basis).map(|(_, s)| s.data.clone()),
+            code.num_data_qubits(),
+        )
+    }
+
+    #[test]
+    fn stabilizers_are_independent() {
+        // d² − 1 independent stabilizers over d² qubits leave exactly one
+        // logical qubit — the defining count.
+        for d in [3usize, 5, 7] {
+            let code = SurfaceCode::new(d).unwrap();
+            let per_basis = (d * d - 1) / 2;
+            assert_eq!(stabilizer_matrix(&code, Basis::X).rank(), per_basis, "X rank, d={d}");
+            assert_eq!(stabilizer_matrix(&code, Basis::Z).rank(), per_basis, "Z rank, d={d}");
+        }
+    }
+
+    #[test]
+    fn logicals_are_outside_the_stabilizer_group() {
+        for d in [3usize, 5, 7] {
+            let code = SurfaceCode::new(d).unwrap();
+            let z_stabs = stabilizer_matrix(&code, Basis::Z);
+            let x_stabs = stabilizer_matrix(&code, Basis::X);
+            assert!(
+                !z_stabs.row_space_contains(code.logical_z_support()),
+                "logical Z is a stabilizer product at d={d}"
+            );
+            assert!(
+                !x_stabs.row_space_contains(code.logical_x_support()),
+                "logical X is a stabilizer product at d={d}"
+            );
+        }
+    }
+
+    #[test]
+    fn logical_z_times_z_stabilizers_stays_nontrivial() {
+        // Multiplying logical Z by any stabilizer gives another
+        // representative of the same logical class — never the identity.
+        let code = SurfaceCode::new(5).unwrap();
+        let z_stabs = stabilizer_matrix(&code, Basis::Z);
+        let zl = code.logical_z_support();
+        for (_, s) in code.z_stabilizers() {
+            let mut product: Vec<usize> = zl.clone();
+            for &q in &s.data {
+                if let Some(pos) = product.iter().position(|&x| x == q) {
+                    product.remove(pos);
+                } else {
+                    product.push(q);
+                }
+            }
+            assert!(!product.is_empty());
+            assert!(!z_stabs.row_space_contains(product));
+        }
+    }
+}

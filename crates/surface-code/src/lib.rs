@@ -1,0 +1,66 @@
+//! Rotated surface code lattices, stabilizer schedules, and logical operators.
+//!
+//! This crate models the *static* structure of a rotated surface code of odd
+//! distance `d`: the placement of data and parity (ancilla) qubits, the X/Z
+//! stabilizer supports, the four-step CNOT schedule used during syndrome
+//! extraction, and the supports of the logical operators.
+//!
+//! The conventions follow the Astrea paper (ISCA 2023) and the standard
+//! rotated-code literature:
+//!
+//! * `d * d` data qubits on a square grid, at doubled coordinates
+//!   `(2r + 1, 2c + 1)` for `r, c ∈ [0, d)`.
+//! * `d² − 1` stabilizers on the cell corners at doubled coordinates
+//!   `(2r, 2c)`, half X-type and half Z-type in a checkerboard.
+//! * X-type weight-2 stabilizers live on the **left/right** boundaries,
+//!   Z-type weight-2 stabilizers on the **top/bottom** boundaries.
+//! * Logical Z is a Z string along data **column 0**; logical X is an X
+//!   string along data **row 0**.
+//!
+//! # Examples
+//!
+//! ```
+//! use surface_code::SurfaceCode;
+//!
+//! let code = SurfaceCode::new(5).unwrap();
+//! assert_eq!(code.num_data_qubits(), 25);
+//! assert_eq!(code.num_stabilizers(), 24);
+//! assert_eq!(code.z_stabilizers().count(), 12);
+//! // Table 1 of the paper: syndrome-vector length for the Z graph.
+//! assert_eq!(code.resources().syndrome_len_per_basis, 72);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gf2;
+mod lattice;
+mod pauli;
+mod repetition;
+mod resources;
+
+pub use lattice::{Stabilizer, SurfaceCode, SCHEDULE_STEPS};
+pub use repetition::RepetitionCode;
+pub use pauli::{Basis, Coord, Pauli};
+pub use resources::CodeResources;
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when constructing a [`SurfaceCode`] with an invalid distance.
+///
+/// Rotated surface codes require an odd distance of at least 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidDistance(pub usize);
+
+impl fmt::Display for InvalidDistance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid surface code distance {}: must be odd and at least 3",
+            self.0
+        )
+    }
+}
+
+impl Error for InvalidDistance {}

@@ -1,0 +1,276 @@
+//! Elementary Pauli algebra and lattice coordinates.
+
+use std::fmt;
+use std::ops::Mul;
+
+/// A single-qubit Pauli operator, ignoring global phase.
+///
+/// Multiplication is the group product up to phase, so `Pauli::X * Pauli::Z`
+/// yields [`Pauli::Y`].
+///
+/// ```
+/// use surface_code::Pauli;
+///
+/// assert_eq!(Pauli::X * Pauli::Z, Pauli::Y);
+/// assert!(Pauli::X.anticommutes_with(Pauli::Z));
+/// assert!(!Pauli::X.anticommutes_with(Pauli::X));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub enum Pauli {
+    /// The identity operator.
+    #[default]
+    I,
+    /// The bit-flip operator.
+    X,
+    /// The combined bit- and phase-flip operator.
+    Y,
+    /// The phase-flip operator.
+    Z,
+}
+
+impl Pauli {
+    /// All four Pauli operators, in `I, X, Y, Z` order.
+    pub const ALL: [Pauli; 4] = [Pauli::I, Pauli::X, Pauli::Y, Pauli::Z];
+
+    /// The three non-identity Pauli operators, in `X, Y, Z` order.
+    pub const ERRORS: [Pauli; 3] = [Pauli::X, Pauli::Y, Pauli::Z];
+
+    /// Returns `true` if this Pauli has an X component (`X` or `Y`).
+    ///
+    /// A Pauli with an X component flips the outcome of a Z-basis
+    /// measurement.
+    #[inline]
+    pub fn has_x(self) -> bool {
+        matches!(self, Pauli::X | Pauli::Y)
+    }
+
+    /// Returns `true` if this Pauli has a Z component (`Z` or `Y`).
+    #[inline]
+    pub fn has_z(self) -> bool {
+        matches!(self, Pauli::Z | Pauli::Y)
+    }
+
+    /// Builds a Pauli from its X and Z components.
+    ///
+    /// ```
+    /// use surface_code::Pauli;
+    /// assert_eq!(Pauli::from_xz(true, true), Pauli::Y);
+    /// assert_eq!(Pauli::from_xz(false, false), Pauli::I);
+    /// ```
+    #[inline]
+    pub fn from_xz(x: bool, z: bool) -> Pauli {
+        match (x, z) {
+            (false, false) => Pauli::I,
+            (true, false) => Pauli::X,
+            (true, true) => Pauli::Y,
+            (false, true) => Pauli::Z,
+        }
+    }
+
+    /// Returns `true` if the two Paulis anticommute.
+    #[inline]
+    pub fn anticommutes_with(self, other: Pauli) -> bool {
+        self != Pauli::I && other != Pauli::I && self != other
+    }
+}
+
+impl Mul for Pauli {
+    type Output = Pauli;
+
+    #[inline]
+    fn mul(self, rhs: Pauli) -> Pauli {
+        Pauli::from_xz(self.has_x() ^ rhs.has_x(), self.has_z() ^ rhs.has_z())
+    }
+}
+
+impl fmt::Display for Pauli {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Pauli::I => "I",
+            Pauli::X => "X",
+            Pauli::Y => "Y",
+            Pauli::Z => "Z",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The measurement basis of a stabilizer (or a memory experiment).
+///
+/// Z-type stabilizers detect X errors and vice versa. The Astrea paper runs
+/// Z-basis memory experiments and decodes the Z-stabilizer graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Basis {
+    /// The X basis.
+    X,
+    /// The Z basis.
+    Z,
+}
+
+impl Basis {
+    /// The opposite basis.
+    ///
+    /// ```
+    /// use surface_code::Basis;
+    /// assert_eq!(Basis::X.conjugate(), Basis::Z);
+    /// ```
+    #[inline]
+    pub fn conjugate(self) -> Basis {
+        match self {
+            Basis::X => Basis::Z,
+            Basis::Z => Basis::X,
+        }
+    }
+
+    /// The Pauli error type *detected* by stabilizers of this basis.
+    ///
+    /// Z stabilizers detect X errors, X stabilizers detect Z errors.
+    #[inline]
+    pub fn detected_error(self) -> Pauli {
+        match self {
+            Basis::X => Pauli::Z,
+            Basis::Z => Pauli::X,
+        }
+    }
+}
+
+impl fmt::Display for Basis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Basis::X => f.write_str("X"),
+            Basis::Z => f.write_str("Z"),
+        }
+    }
+}
+
+/// A position on the doubled lattice.
+///
+/// Data qubits sit at odd/odd coordinates; stabilizer ancillas sit at
+/// even/even coordinates. Using doubled coordinates keeps all positions
+/// integral.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Coord {
+    /// Doubled row coordinate.
+    pub row: i32,
+    /// Doubled column coordinate.
+    pub col: i32,
+}
+
+impl Coord {
+    /// Creates a coordinate.
+    #[inline]
+    pub fn new(row: i32, col: i32) -> Coord {
+        Coord { row, col }
+    }
+
+    /// Offsets this coordinate by `(dr, dc)`.
+    #[inline]
+    pub fn offset(self, dr: i32, dc: i32) -> Coord {
+        Coord::new(self.row + dr, self.col + dc)
+    }
+
+    /// Manhattan (L1) distance to another coordinate.
+    ///
+    /// ```
+    /// use surface_code::Coord;
+    /// assert_eq!(Coord::new(0, 0).manhattan(Coord::new(2, -3)), 5);
+    /// ```
+    #[inline]
+    pub fn manhattan(self, other: Coord) -> u32 {
+        self.row.abs_diff(other.row) + self.col.abs_diff(other.col)
+    }
+
+    /// Returns `true` if this is a data-qubit position (odd/odd).
+    #[inline]
+    pub fn is_data(self) -> bool {
+        self.row.rem_euclid(2) == 1 && self.col.rem_euclid(2) == 1
+    }
+
+    /// Returns `true` if this is an ancilla position (even/even).
+    #[inline]
+    pub fn is_ancilla(self) -> bool {
+        self.row.rem_euclid(2) == 0 && self.col.rem_euclid(2) == 0
+    }
+}
+
+impl fmt::Display for Coord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.row, self.col)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pauli_group_product() {
+        use Pauli::*;
+        assert_eq!(X * X, I);
+        assert_eq!(Y * Y, I);
+        assert_eq!(Z * Z, I);
+        assert_eq!(X * Z, Y);
+        assert_eq!(Z * X, Y);
+        assert_eq!(X * Y, Z);
+        assert_eq!(Y * Z, X);
+        for p in Pauli::ALL {
+            assert_eq!(p * I, p);
+            assert_eq!(I * p, p);
+        }
+    }
+
+    #[test]
+    fn pauli_commutation() {
+        use Pauli::*;
+        assert!(X.anticommutes_with(Z));
+        assert!(X.anticommutes_with(Y));
+        assert!(Y.anticommutes_with(Z));
+        for p in Pauli::ALL {
+            assert!(!p.anticommutes_with(p));
+            assert!(!p.anticommutes_with(I));
+            assert!(!I.anticommutes_with(p));
+        }
+    }
+
+    #[test]
+    fn pauli_xz_roundtrip() {
+        for p in Pauli::ALL {
+            assert_eq!(Pauli::from_xz(p.has_x(), p.has_z()), p);
+        }
+    }
+
+    #[test]
+    fn basis_conjugate_is_involutive() {
+        assert_eq!(Basis::X.conjugate().conjugate(), Basis::X);
+        assert_eq!(Basis::Z.conjugate().conjugate(), Basis::Z);
+    }
+
+    #[test]
+    fn basis_detected_error() {
+        assert_eq!(Basis::Z.detected_error(), Pauli::X);
+        assert_eq!(Basis::X.detected_error(), Pauli::Z);
+    }
+
+    #[test]
+    fn coord_parity_helpers() {
+        assert!(Coord::new(1, 3).is_data());
+        assert!(!Coord::new(1, 2).is_data());
+        assert!(Coord::new(2, 4).is_ancilla());
+        assert!(!Coord::new(2, 3).is_ancilla());
+    }
+
+    #[test]
+    fn coord_manhattan_is_symmetric() {
+        let a = Coord::new(1, 5);
+        let b = Coord::new(4, -2);
+        assert_eq!(a.manhattan(b), b.manhattan(a));
+        assert_eq!(a.manhattan(a), 0);
+    }
+
+    #[test]
+    fn display_impls_are_nonempty() {
+        assert_eq!(Pauli::Y.to_string(), "Y");
+        assert_eq!(Basis::Z.to_string(), "Z");
+        assert_eq!(Coord::new(2, 3).to_string(), "(2, 3)");
+    }
+}

@@ -1,0 +1,133 @@
+//! Repetition codes: the 1-D little sibling of the surface code.
+//!
+//! Every hardware QEC demonstration the paper builds on ran repetition
+//! codes first (Google's 2021 bit-flip experiment; LILLIPUT's evaluation
+//! platform), because a distance-d repetition code needs only `2d − 1`
+//! qubits and protects against one Pauli species. The decoding problem is
+//! the same matching problem in one dimension, so the entire decoder stack
+//! in this workspace runs on it unchanged — useful both as a bring-up
+//! target and as the simplest non-trivial test of the circuit/DEM/decoder
+//! pipeline.
+
+use crate::pauli::{Basis, Coord};
+use crate::InvalidDistance;
+
+/// A distance-`d` bit-flip repetition code: `d` data qubits in a line,
+/// `d − 1` ZZ parity checks between neighbors.
+///
+/// ```
+/// use surface_code::RepetitionCode;
+///
+/// let code = RepetitionCode::new(5)?;
+/// assert_eq!(code.num_data_qubits(), 5);
+/// assert_eq!(code.num_stabilizers(), 4);
+/// # Ok::<(), surface_code::InvalidDistance>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct RepetitionCode {
+    distance: usize,
+}
+
+impl RepetitionCode {
+    /// Builds a repetition code of the given distance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidDistance`] unless `distance ≥ 2`. (Unlike the
+    /// rotated surface code, even distances are legal here.)
+    pub fn new(distance: usize) -> Result<RepetitionCode, InvalidDistance> {
+        if distance < 2 {
+            return Err(InvalidDistance(distance));
+        }
+        Ok(RepetitionCode { distance })
+    }
+
+    /// The code distance `d`.
+    pub fn distance(&self) -> usize {
+        self.distance
+    }
+
+    /// Number of data qubits, `d`.
+    pub fn num_data_qubits(&self) -> usize {
+        self.distance
+    }
+
+    /// Number of ZZ parity checks, `d − 1`.
+    pub fn num_stabilizers(&self) -> usize {
+        self.distance - 1
+    }
+
+    /// The two data qubits checked by stabilizer `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s ≥ d − 1`.
+    pub fn stabilizer_support(&self, s: usize) -> [usize; 2] {
+        assert!(s < self.num_stabilizers(), "stabilizer {s} out of range");
+        [s, s + 1]
+    }
+
+    /// The measurement basis of every check (always Z for the bit-flip
+    /// code).
+    pub fn basis(&self) -> Basis {
+        Basis::Z
+    }
+
+    /// Doubled-lattice coordinate of data qubit `q` (a 1-D line).
+    pub fn data_coord(&self, q: usize) -> Coord {
+        Coord::new(1, 2 * q as i32 + 1)
+    }
+
+    /// Doubled-lattice coordinate of the ancilla for stabilizer `s`.
+    pub fn ancilla_coord(&self, s: usize) -> Coord {
+        Coord::new(0, 2 * s as i32 + 2)
+    }
+
+    /// Support of the logical Z operator (any single data qubit
+    /// represents it; by convention qubit 0).
+    pub fn logical_z_support(&self) -> Vec<usize> {
+        vec![0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts() {
+        for d in [2usize, 3, 5, 9] {
+            let c = RepetitionCode::new(d).unwrap();
+            assert_eq!(c.num_data_qubits(), d);
+            assert_eq!(c.num_stabilizers(), d - 1);
+        }
+    }
+
+    #[test]
+    fn rejects_degenerate_distance() {
+        assert!(RepetitionCode::new(0).is_err());
+        assert!(RepetitionCode::new(1).is_err());
+    }
+
+    #[test]
+    fn supports_chain_adjacent_qubits() {
+        let c = RepetitionCode::new(4).unwrap();
+        assert_eq!(c.stabilizer_support(0), [0, 1]);
+        assert_eq!(c.stabilizer_support(2), [2, 3]);
+    }
+
+    #[test]
+    fn every_qubit_is_checked() {
+        let c = RepetitionCode::new(6).unwrap();
+        for q in 0..c.num_data_qubits() {
+            let checked = (0..c.num_stabilizers()).any(|s| c.stabilizer_support(s).contains(&q));
+            assert!(checked, "qubit {q} unchecked");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn support_bounds_checked() {
+        RepetitionCode::new(3).unwrap().stabilizer_support(2);
+    }
+}

@@ -1,0 +1,114 @@
+//! Resource accounting for surface code logical qubits (the paper's Table 1).
+
+use std::fmt;
+
+/// Physical resources required by one surface-code logical qubit, and the
+/// length of the per-basis syndrome vector a decoder must handle.
+///
+/// This reproduces Table 1 of the Astrea paper:
+///
+/// ```
+/// use surface_code::CodeResources;
+///
+/// let r = CodeResources::for_distance(7);
+/// assert_eq!(r.data_qubits, 49);
+/// assert_eq!(r.parity_qubits_x, 24);
+/// assert_eq!(r.parity_qubits_z, 24);
+/// assert_eq!(r.total_qubits, 97);
+/// assert_eq!(r.syndrome_len_per_basis, 192);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CodeResources {
+    /// Code distance `d`.
+    pub distance: usize,
+    /// Number of data qubits, `d²`.
+    pub data_qubits: usize,
+    /// Number of X-type parity qubits, `(d² − 1) / 2`.
+    pub parity_qubits_x: usize,
+    /// Number of Z-type parity qubits, `(d² − 1) / 2`.
+    pub parity_qubits_z: usize,
+    /// Total physical qubits, `2d² − 1`.
+    pub total_qubits: usize,
+    /// Length of the syndrome vector per basis: `(d² − 1)/2` detectors per
+    /// round × `(d + 1)` layers (`d` measurement rounds plus the final
+    /// data-measurement layer).
+    pub syndrome_len_per_basis: usize,
+}
+
+impl CodeResources {
+    /// Computes the resource row for a distance-`d` rotated surface code.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `distance` is even or less than 3 (such codes do not exist
+    /// in the rotated family).
+    pub fn for_distance(distance: usize) -> CodeResources {
+        assert!(
+            distance >= 3 && distance % 2 == 1,
+            "distance must be odd and ≥ 3, got {distance}"
+        );
+        let d2 = distance * distance;
+        let per_basis = (d2 - 1) / 2;
+        CodeResources {
+            distance,
+            data_qubits: d2,
+            parity_qubits_x: per_basis,
+            parity_qubits_z: per_basis,
+            total_qubits: 2 * d2 - 1,
+            syndrome_len_per_basis: per_basis * (distance + 1),
+        }
+    }
+}
+
+impl fmt::Display for CodeResources {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "d={}: {} data + {} parity ({} X + {} Z) = {} qubits, syndrome length {}/{} (X/Z)",
+            self.distance,
+            self.data_qubits,
+            self.parity_qubits_x + self.parity_qubits_z,
+            self.parity_qubits_x,
+            self.parity_qubits_z,
+            self.total_qubits,
+            self.syndrome_len_per_basis,
+            self.syndrome_len_per_basis,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_table_1() {
+        // (d, data, parity_total, total, syndrome_len)
+        let rows = [
+            (3, 9, 8, 17, 16),
+            (5, 25, 24, 49, 72),
+            (7, 49, 48, 97, 192),
+            (9, 81, 80, 161, 400),
+        ];
+        for (d, data, parity, total, synd) in rows {
+            let r = CodeResources::for_distance(d);
+            assert_eq!(r.data_qubits, data);
+            assert_eq!(r.parity_qubits_x + r.parity_qubits_z, parity);
+            assert_eq!(r.total_qubits, total);
+            assert_eq!(r.syndrome_len_per_basis, synd);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be odd")]
+    fn rejects_even_distance() {
+        CodeResources::for_distance(4);
+    }
+
+    #[test]
+    fn display_mentions_distance() {
+        let s = CodeResources::for_distance(5).to_string();
+        assert!(s.contains("d=5"));
+        assert!(s.contains("72"));
+    }
+}

@@ -1,0 +1,82 @@
+//! Property tests for the Union-Find decoder: for *any* syndrome — not
+//! just ones the noise model produces — the returned correction must
+//! annihilate the defects, and the predicted observable must equal the
+//! XOR of the correction edges' observable masks.
+
+use decoding_graph::DecodingContext;
+use proptest::prelude::*;
+use qec_circuit::NoiseModel;
+use std::sync::OnceLock;
+use surface_code::SurfaceCode;
+use union_find_decoder::{GrowthPolicy, UnionFindDecoder};
+
+fn ctx() -> &'static DecodingContext {
+    static CTX: OnceLock<DecodingContext> = OnceLock::new();
+    CTX.get_or_init(|| {
+        let code = SurfaceCode::new(5).unwrap();
+        DecodingContext::for_memory_experiment(&code, NoiseModel::depolarizing(1e-3))
+    })
+}
+
+fn subset(max_len: usize) -> impl Strategy<Value = Vec<u32>> {
+    prop::collection::btree_set(0u32..72, 0..=max_len).prop_map(|s| s.into_iter().collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    #[test]
+    fn correction_annihilates_every_syndrome(dets in subset(24)) {
+        for policy in [GrowthPolicy::Unweighted, GrowthPolicy::Weighted] {
+            let mut uf = UnionFindDecoder::with_policy(ctx().graph(), policy);
+            let (prediction, correction) = uf.decode_with_correction(&dets);
+
+            // XOR the endpoints of every correction edge; boundary absorbs.
+            let mut parity = vec![false; ctx().graph().num_detectors()];
+            let mut obs = 0u32;
+            for &e in &correction {
+                let (u, v) = uf.edge_endpoints(e);
+                parity[u as usize] = !parity[u as usize];
+                if let Some(v) = v {
+                    parity[v as usize] = !parity[v as usize];
+                }
+            }
+            for &ei in &correction {
+                // Edge observables are part of the decoder's contract.
+                let edge = &ctx().graph().edges()[ei as usize];
+                obs ^= edge.observables;
+            }
+
+            let mut expected = vec![false; ctx().graph().num_detectors()];
+            for &d in &dets {
+                expected[d as usize] = true;
+            }
+            prop_assert_eq!(
+                &parity, &expected,
+                "{:?} correction does not annihilate syndrome {:?}",
+                policy, dets
+            );
+            prop_assert_eq!(
+                prediction.observables, obs,
+                "{:?} prediction disagrees with its own correction on {:?}",
+                policy, dets
+            );
+        }
+    }
+
+    #[test]
+    fn policies_agree_on_single_edges(edge_idx in 0usize..100) {
+        let edges = ctx().graph().edges();
+        let e = &edges[edge_idx % edges.len()];
+        let dets: Vec<u32> = match e.v {
+            Some(v) => vec![e.u.min(v), e.u.max(v)],
+            None => vec![e.u],
+        };
+        let mut a = UnionFindDecoder::with_policy(ctx().graph(), GrowthPolicy::Unweighted);
+        let mut b = UnionFindDecoder::with_policy(ctx().graph(), GrowthPolicy::Weighted);
+        let (pa, _) = a.decode_with_correction(&dets);
+        let (pb, _) = b.decode_with_correction(&dets);
+        prop_assert_eq!(pa.observables, pb.observables);
+        prop_assert_eq!(pa.observables, e.observables);
+    }
+}

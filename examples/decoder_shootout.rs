@@ -1,0 +1,57 @@
+//! Decoder shoot-out: logical error rate of every decoder in the
+//! workspace on the same memory-experiment workload.
+//!
+//! This is the library-API version of the paper's Table 4 / Figure 4
+//! comparison, scaled to run in seconds: distance 3 and 5 at a physical
+//! error rate high enough for direct Monte-Carlo statistics.
+//!
+//! ```text
+//! cargo run --release --example decoder_shootout
+//! ```
+
+use astrea::prelude::*;
+use astrea_experiments::DecoderFactory;
+
+const NAMES: [&str; 6] = ["MWPM", "Local-MWPM", "Astrea", "Astrea-G", "UF (AFS)", "Clique"];
+
+fn run_one(ctx: &ExperimentContext, name: &str, trials: u64, threads: usize) -> f64 {
+    let factory: Box<DecoderFactory> = match name {
+        "MWPM" => Box::new(|c| Box::new(MwpmDecoder::new(c.gwt())) as Box<dyn Decoder>),
+        "Local-MWPM" => {
+            Box::new(|c| Box::new(LocalMwpmDecoder::new(c.graph())) as Box<dyn Decoder>)
+        }
+        "Astrea" => Box::new(|c| Box::new(AstreaDecoder::new(c.gwt())) as Box<dyn Decoder>),
+        "Astrea-G" => Box::new(|c| Box::new(AstreaGDecoder::new(c.gwt())) as Box<dyn Decoder>),
+        "UF (AFS)" => Box::new(|c| Box::new(UnionFindDecoder::new(c.graph())) as Box<dyn Decoder>),
+        "Clique" => {
+            Box::new(|c| Box::new(CliqueDecoder::new(c.graph(), c.gwt())) as Box<dyn Decoder>)
+        }
+        other => unreachable!("unknown decoder {other}"),
+    };
+    estimate_ler(ctx, trials, threads, 99, &*factory).ler()
+}
+
+fn main() {
+    let trials = 200_000;
+    let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let p = 3e-3;
+
+    println!("memory experiments, p = {p}, {trials} trials per cell\n");
+
+    let ctx3 = ExperimentContext::new(3, p);
+    let ctx5 = ExperimentContext::new(5, p);
+
+    println!("{:<12} {:>12} {:>12}", "decoder", "d=3 LER", "d=5 LER");
+    for name in NAMES {
+        let l3 = run_one(&ctx3, name, trials, threads);
+        let l5 = run_one(&ctx5, name, trials, threads);
+        println!("{name:<12} {l3:>12.3e} {l5:>12.3e}");
+    }
+
+    println!();
+    println!("Expected shape (paper Fig. 4 / Table 4): MWPM, Astrea and Astrea-G");
+    println!("coincide; the Union-Find (AFS) decoder trails by a growing factor as");
+    println!("the distance increases; Clique tracks MWPM closely because it defers");
+    println!("every non-trivial syndrome to software MWPM — at the cost of losing");
+    println!("real-time operation on exactly those syndromes.");
+}

@@ -1,0 +1,66 @@
+//! Non-uniform error rates and GWT reprogramming (paper §8.2).
+//!
+//! Real devices do not have one physical error rate: qubits vary across
+//! the chip and drift over time. The paper argues Astrea's Global Weight
+//! Table makes it uniquely flexible — the weights can simply be
+//! reprogrammed from the current calibration. This example builds a
+//! device with a hot corner, then decodes its syndromes twice: once with
+//! weights computed for the *assumed* uniform device, once with weights
+//! reprogrammed from the *true* rates.
+//!
+//! ```text
+//! cargo run --release --example nonuniform_noise
+//! ```
+
+use astrea::prelude::*;
+use astrea_experiments::DecoderFactory;
+use qec_circuit::{build_memory_circuit, NoiseMap};
+use surface_code::Basis;
+
+fn main() {
+    let d = 5;
+    let base = 1e-3;
+    let trials = 300_000;
+    let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let code = SurfaceCode::new(d).expect("distance 5 is valid");
+
+    // The true device: a 2×2 corner of data qubits runs 8× hotter than the
+    // calibrated base rate (fabrication defect, TLS, you name it).
+    let mut hot = NoiseMap::uniform(&code, NoiseModel::depolarizing(base));
+    for r in 0..2 {
+        for c in 0..2 {
+            hot.scale_qubit(r * d + c, 8.0);
+        }
+    }
+    let true_circuit = build_memory_circuit(&code, d, &hot, Basis::Z);
+    let true_ctx = ExperimentContext::from_circuit(d, base, &true_circuit);
+
+    // Decoder 1: GWT programmed for the assumed uniform device.
+    let assumed_ctx = ExperimentContext::new(d, base);
+    let stale_gwt = assumed_ctx.gwt();
+    let stale: Box<DecoderFactory> =
+        Box::new(move |_c| Box::new(AstreaGDecoder::new(stale_gwt)) as Box<dyn Decoder>);
+
+    // Decoder 2: GWT reprogrammed from the true calibration.
+    let fresh: Box<DecoderFactory> =
+        Box::new(|c| Box::new(AstreaGDecoder::new(c.gwt())) as Box<dyn Decoder>);
+
+    let r_stale = estimate_ler(&true_ctx, trials, threads, 42, &*stale);
+    let r_fresh = estimate_ler(&true_ctx, trials, threads, 42, &*fresh);
+
+    println!("distance {d}, base p = {base}, 2x2 hot corner at 8x, {trials} trials\n");
+    println!(
+        "Astrea-G with uniform-calibration GWT : LER = {:.3e}",
+        r_stale.ler()
+    );
+    println!(
+        "Astrea-G with reprogrammed GWT        : LER = {:.3e}",
+        r_fresh.ler()
+    );
+    println!(
+        "\nReprogramming the weight table recovers {:.2}x in logical error rate —",
+        r_stale.ler() / r_fresh.ler().max(1e-300)
+    );
+    println!("no gateware change required, which is §8.2's flexibility argument");
+    println!("against fixed-function decoders like NISQ+/QECOOL/AFS.");
+}

@@ -1,0 +1,66 @@
+//! Quickstart: build a surface code, sample noisy syndromes, and decode
+//! them in real time with Astrea.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use astrea::prelude::*;
+use rand::SeedableRng;
+
+fn main() {
+    // A distance-5 rotated surface code under circuit-level depolarizing
+    // noise at p = 10⁻³, decoded over d rounds (the paper's standard
+    // memory experiment).
+    let code = SurfaceCode::new(5).expect("distance 5 is valid");
+    println!("{}", code.resources());
+
+    // One-time setup: build the decoding context (detector error model,
+    // matching graph, Global Weight Table).
+    let ctx = DecodingContext::for_memory_experiment(&code, NoiseModel::depolarizing(1e-3));
+    println!(
+        "decoding graph: {} detectors, {} edges; GWT: {} bytes (8-bit quantized)",
+        ctx.graph().num_detectors(),
+        ctx.graph().edges().len(),
+        ctx.gwt().quantized_bytes(),
+    );
+
+    // Astrea (real-time brute force) and the idealized software MWPM.
+    let mut astrea = AstreaDecoder::new(ctx.gwt());
+    let mut mwpm = MwpmDecoder::new(ctx.gwt());
+
+    let mut sampler = DemSampler::new(ctx.dem());
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2023);
+    let clock = CycleModel::default();
+
+    let mut stats = (0u32, 0u32, 0u32); // (shots, astrea ok, mwpm ok)
+    println!("\n shot |  HW | Astrea ns | Astrea obs | MWPM obs | actual");
+    println!("------+-----+-----------+------------+----------+-------");
+    for shot_no in 0..10_000 {
+        let shot = sampler.sample(&mut rng);
+        let a = astrea.decode(&shot.detectors);
+        let m = mwpm.decode(&shot.detectors);
+        stats.0 += 1;
+        stats.1 += (a.observables == shot.observables) as u32;
+        stats.2 += (m.observables == shot.observables) as u32;
+        if shot.hamming_weight() >= 6 {
+            println!(
+                "{:5} | {:3} | {:9.0} | {:10} | {:8} | {}",
+                shot_no,
+                shot.hamming_weight(),
+                clock.to_ns(a.cycles),
+                a.observables,
+                m.observables,
+                shot.observables
+            );
+        }
+    }
+    println!(
+        "\n10,000 shots: Astrea corrected {} ({:.3}%), MWPM corrected {} ({:.3}%)",
+        stats.1,
+        100.0 * stats.1 as f64 / stats.0 as f64,
+        stats.2,
+        100.0 * stats.2 as f64 / stats.0 as f64,
+    );
+    println!("Astrea achieves MWPM-grade accuracy with a bounded worst case of 456 ns.");
+}

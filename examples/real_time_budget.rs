@@ -1,0 +1,91 @@
+//! Real-time decoding under the 1 µs syndrome cadence.
+//!
+//! Google Sycamore produces a syndrome round every ~1 µs; a real-time
+//! decoder must keep up or errors back up faster than they can be
+//! corrected (§1, §3.4). This example streams logical cycles for a
+//! distance-7 qubit and compares, per syndrome:
+//!
+//! * **Astrea's modeled hardware latency** (250 MHz cycle model) against
+//!   the 1 µs deadline, and
+//! * the **measured wall-clock latency of exact software MWPM** on this
+//!   machine — the comparison behind the paper's Figure 3.
+//!
+//! ```text
+//! cargo run --release --example real_time_budget
+//! ```
+
+use astrea::prelude::*;
+use rand::SeedableRng;
+use std::time::Instant;
+
+const DEADLINE_NS: f64 = 1000.0;
+
+fn main() {
+    let code = SurfaceCode::new(7).expect("distance 7 is valid");
+    // p = 10⁻³: the harsh end of the paper's regime, where Hamming
+    // weights above 10 appear and Astrea alone is not enough.
+    let ctx = DecodingContext::for_memory_experiment(&code, NoiseModel::depolarizing(1e-3));
+
+    let mut astrea = AstreaDecoder::new(ctx.gwt());
+    let mut astrea_g = AstreaGDecoder::new(ctx.gwt());
+    let mwpm = MwpmDecoder::new(ctx.gwt());
+    let clock = CycleModel::default();
+
+    let mut sampler = DemSampler::new(ctx.dem());
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+
+    let logical_cycles = 20_000;
+    let mut astrea_misses = 0u64; // deadline misses incl. HW > 10 give-ups
+    let mut astrea_g_misses = 0u64;
+    let mut sw_misses = 0u64;
+    let mut sw_worst_us = 0.0f64;
+    let mut astrea_g_worst_ns = 0.0f64;
+
+    for _ in 0..logical_cycles {
+        let shot = sampler.sample(&mut rng);
+        if shot.detectors.is_empty() {
+            continue;
+        }
+
+        let a = astrea.decode(&shot.detectors);
+        if a.deferred || a.latency_ns(250.0) > DEADLINE_NS {
+            astrea_misses += 1;
+        }
+
+        let g = astrea_g.decode(&shot.detectors);
+        astrea_g_worst_ns = astrea_g_worst_ns.max(g.latency_ns(250.0));
+        if g.deferred || g.latency_ns(250.0) > DEADLINE_NS {
+            astrea_g_misses += 1;
+        }
+
+        let t = Instant::now();
+        let _ = mwpm.decode_full(&shot.detectors);
+        let us = t.elapsed().as_secs_f64() * 1e6;
+        sw_worst_us = sw_worst_us.max(us);
+        if us * 1000.0 > DEADLINE_NS {
+            sw_misses += 1;
+        }
+    }
+
+    println!("distance 7, p = 1e-3, {logical_cycles} logical cycles\n");
+    println!(
+        "Astrea   (hardware model): {:5} deadline misses (all Hamming weight > 10)",
+        astrea_misses
+    );
+    println!(
+        "Astrea-G (hardware model): {:5} deadline misses; worst case {:.0} ns",
+        astrea_g_misses, astrea_g_worst_ns
+    );
+    println!(
+        "software MWPM (this CPU):  {:5} deadline misses; worst case {:.1} us",
+        sw_misses, sw_worst_us
+    );
+    println!();
+    println!(
+        "Astrea-G's worst case is bounded by construction ({} cycles at 250 MHz);",
+        clock.cycles_within_ns(DEADLINE_NS)
+    );
+    println!("software MWPM has no such bound — its tail is workload-dependent, which");
+    println!("is why the paper's BlossomV baseline missed 1 us on 96% of nonzero");
+    println!("syndromes despite a fine average case.");
+}

@@ -1,0 +1,108 @@
+//! Exhaustive fault injection: the circuit-level code distance, verified
+//! mechanism by mechanism.
+//!
+//! A distance-d code must correct every combination of up to ⌊(d−1)/2⌋
+//! elementary errors. Hook (CNOT) errors can silently halve the effective
+//! distance if the syndrome-extraction schedule is wrong — the classic
+//! surface-code implementation bug. These tests enumerate *every* single
+//! error mechanism (d = 3, 5) and *every pair* of mechanisms (d = 5) and
+//! assert exact MWPM corrects them all, which certifies both the
+//! hook-safe schedule in `surface-code` and the decoding stack above it.
+
+use astrea::prelude::*;
+use qec_circuit::ErrorMechanism;
+
+fn combine(mechs: &[&ErrorMechanism]) -> (Vec<u32>, u32) {
+    let mut dets: Vec<u32> = mechs.iter().flat_map(|m| m.detectors.iter().copied()).collect();
+    dets.sort_unstable();
+    let mut folded = Vec::new();
+    let mut k = 0;
+    while k < dets.len() {
+        let mut l = k + 1;
+        while l < dets.len() && dets[l] == dets[k] {
+            l += 1;
+        }
+        if (l - k) % 2 == 1 {
+            folded.push(dets[k]);
+        }
+        k = l;
+    }
+    let obs = mechs.iter().fold(0, |acc, m| acc ^ m.observables);
+    (folded, obs)
+}
+
+#[test]
+fn every_single_mechanism_is_corrected() {
+    for d in [3usize, 5] {
+        let ctx = ExperimentContext::new(d, 1e-3);
+        let mut mwpm = MwpmDecoder::new(ctx.gwt());
+        let mut astrea = AstreaDecoder::new(ctx.gwt());
+        let mut uf = UnionFindDecoder::new(ctx.graph());
+        for m in ctx.dem().mechanisms() {
+            let (dets, obs) = combine(&[m]);
+            assert_eq!(mwpm.decode(&dets).observables, obs, "MWPM, d={d}, {m:?}");
+            assert_eq!(astrea.decode(&dets).observables, obs, "Astrea, d={d}, {m:?}");
+            assert_eq!(uf.decode(&dets).observables, obs, "UF, d={d}, {m:?}");
+        }
+    }
+}
+
+#[test]
+fn every_mechanism_pair_is_corrected_at_distance_5() {
+    // 301 mechanisms → 45 150 pairs, all of which MWPM must decode
+    // correctly for the circuit-level distance to be ≥ 5.
+    let ctx = ExperimentContext::new(5, 1e-3);
+    let mut mwpm = MwpmDecoder::new(ctx.gwt());
+    let mechs = ctx.dem().mechanisms();
+    let mut failures = 0u32;
+    for i in 0..mechs.len() {
+        for j in (i + 1)..mechs.len() {
+            let (dets, obs) = combine(&[&mechs[i], &mechs[j]]);
+            failures += (mwpm.decode(&dets).observables != obs) as u32;
+        }
+    }
+    assert_eq!(
+        failures, 0,
+        "effective circuit distance < 5: a hook error leaks through the schedule"
+    );
+}
+
+#[test]
+fn astrea_matches_mwpm_on_every_mechanism_pair_at_distance_5() {
+    // Astrea's brute force must preserve the distance guarantee too
+    // (every pair produces Hamming weight ≤ 4, well within its reach).
+    let ctx = ExperimentContext::new(5, 1e-3);
+    let mut astrea = AstreaDecoder::new(ctx.gwt());
+    let mechs = ctx.dem().mechanisms();
+    let mut failures = 0u32;
+    for i in 0..mechs.len() {
+        for j in (i + 1)..mechs.len() {
+            let (dets, obs) = combine(&[&mechs[i], &mechs[j]]);
+            failures += (astrea.decode(&dets).observables != obs) as u32;
+        }
+    }
+    assert_eq!(failures, 0, "Astrea broke the distance-5 guarantee");
+}
+
+#[test]
+fn distance_3_corrects_singles_but_not_all_pairs() {
+    // Sanity check on the method itself: d = 3 corrects any one error but
+    // must fail on some pairs (⌊(3−1)/2⌋ = 1). If no pair failed, the
+    // injection harness would be vacuous.
+    let ctx = ExperimentContext::new(3, 1e-3);
+    let mut mwpm = MwpmDecoder::new(ctx.gwt());
+    let mechs = ctx.dem().mechanisms();
+    let (mut failures, mut total) = (0u32, 0u32);
+    for i in 0..mechs.len() {
+        for j in (i + 1)..mechs.len() {
+            let (dets, obs) = combine(&[&mechs[i], &mechs[j]]);
+            failures += (mwpm.decode(&dets).observables != obs) as u32;
+            total += 1;
+        }
+    }
+    assert!(failures > 0, "two errors should defeat a distance-3 code sometimes");
+    assert!(
+        failures < total / 4,
+        "but most pairs should still decode ({failures}/{total} failed)"
+    );
+}

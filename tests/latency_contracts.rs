@@ -1,0 +1,126 @@
+//! Real-time latency contracts: the cycle model guarantees of the paper's
+//! §5.4 and §7.2 hold for every syndrome either decoder accepts.
+
+use astrea::prelude::*;
+use rand::SeedableRng;
+
+#[test]
+fn astrea_never_exceeds_456ns() {
+    let ctx = ExperimentContext::new(7, 1e-3);
+    let mut astrea = AstreaDecoder::new(ctx.gwt());
+    let mut sampler = DemSampler::new(ctx.dem());
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    for _ in 0..20_000 {
+        let shot = sampler.sample(&mut rng);
+        let p = astrea.decode(&shot.detectors);
+        if !p.deferred {
+            assert!(
+                p.latency_ns(250.0) <= 456.0,
+                "hw {} took {} ns",
+                shot.hamming_weight(),
+                p.latency_ns(250.0)
+            );
+        }
+    }
+}
+
+#[test]
+fn astrea_g_never_exceeds_1us() {
+    let ctx = ExperimentContext::new(7, 1e-3);
+    let mut g = AstreaGDecoder::new(ctx.gwt());
+    let mut sampler = DemSampler::new(ctx.dem());
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let mut max_ns: f64 = 0.0;
+    for _ in 0..20_000 {
+        let shot = sampler.sample(&mut rng);
+        let p = g.decode(&shot.detectors);
+        assert!(
+            p.latency_ns(250.0) <= 1000.0,
+            "hw {} took {} ns",
+            shot.hamming_weight(),
+            p.latency_ns(250.0)
+        );
+        max_ns = max_ns.max(p.latency_ns(250.0));
+    }
+    assert!(max_ns > 0.0, "no syndromes decoded at all");
+}
+
+#[test]
+fn trivial_syndromes_cost_zero_cycles() {
+    // Figure 9: "Astrea takes 0ns to decode Hamming weight ≤ 2".
+    let ctx = ExperimentContext::new(5, 1e-3);
+    let mut astrea = AstreaDecoder::new(ctx.gwt());
+    assert_eq!(astrea.decode(&[]).cycles, 0);
+    assert_eq!(astrea.decode(&[3]).cycles, 0);
+    assert_eq!(astrea.decode(&[3, 40]).cycles, 0);
+}
+
+#[test]
+fn mean_latency_at_paper_operating_point_is_subnanosecond() {
+    // §5.4 / Figure 9: at p = 10⁻⁴ the average latency is ~1 ns because
+    // almost every syndrome is trivial.
+    use astrea_experiments::DecoderFactory;
+    let ctx = ExperimentContext::new(7, 1e-4);
+    let factory: Box<DecoderFactory> =
+        Box::new(|c: &ExperimentContext| Box::new(AstreaDecoder::new(c.gwt())) as Box<dyn Decoder>);
+    let r = estimate_ler(&ctx, 300_000, 4, 9, &*factory);
+    assert!(
+        r.latency.mean_ns(250.0) < 2.0,
+        "mean latency {} ns",
+        r.latency.mean_ns(250.0)
+    );
+}
+
+#[test]
+fn astrea_g_latency_grows_with_hamming_weight() {
+    let ctx = ExperimentContext::new(7, 1e-3);
+    let mut g = AstreaGDecoder::new(ctx.gwt());
+    let low = g.decode(&(0..4u32).collect::<Vec<_>>());
+    let high = g.decode(&(0..16u32).map(|i| i * 3).collect::<Vec<_>>());
+    assert!(high.cycles > low.cycles);
+}
+
+#[test]
+fn shrinking_the_budget_shrinks_worst_case_latency() {
+    use astrea_core::AstreaGConfig;
+    let ctx = ExperimentContext::new(7, 1e-3);
+    let dets: Vec<u32> = (0..20u32).map(|i| i * 7).collect();
+    let mut full = AstreaGDecoder::new(ctx.gwt());
+    let mut half = AstreaGDecoder::with_config(
+        ctx.gwt(),
+        AstreaGConfig {
+            cycle_budget: 125,
+            ..AstreaGConfig::default()
+        },
+    );
+    assert!(half.decode(&dets).cycles <= 125);
+    assert!(full.decode(&dets).cycles <= 250);
+}
+
+#[test]
+fn astrea_g_mean_hhw_latency_matches_calibration() {
+    // §7.4: ~450 ns average decode latency at d = 9, p = 1e-3. The cycle
+    // model is calibrated to land in that regime; assert the mean over
+    // high-Hamming-weight syndromes stays within [150, 900] ns so the
+    // calibration cannot silently drift.
+    let ctx = ExperimentContext::new(9, 1e-3);
+    let mut g = AstreaGDecoder::new(ctx.gwt());
+    let mut sampler = DemSampler::new(ctx.dem());
+    let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+    let (mut sum_ns, mut count) = (0.0f64, 0u32);
+    for _ in 0..60_000 {
+        let shot = sampler.sample(&mut rng);
+        if shot.detectors.len() <= 10 {
+            continue;
+        }
+        let p = g.decode(&shot.detectors);
+        sum_ns += p.latency_ns(250.0);
+        count += 1;
+    }
+    assert!(count > 300, "need high-HW syndromes, got {count}");
+    let mean = sum_ns / count as f64;
+    assert!(
+        (150.0..=900.0).contains(&mean),
+        "mean HHW latency {mean} ns drifted from the ~450 ns calibration"
+    );
+}

@@ -1,0 +1,120 @@
+//! Cross-crate checks of the paper's closed-form numbers: Table 1
+//! resources, equation (2) matching counts, §5.4 latencies, Table 6 SRAM
+//! sizes, Table 7 bandwidths, and the LILLIPUT scaling argument.
+
+use astrea::prelude::*;
+use astrea_core::hw6::num_perfect_matchings;
+use astrea_core::overheads::{required_bandwidth_mbps, StorageModel};
+use astrea_core::{astrea_decode_cycles, astrea_fetch_cycles, lilliput_table_bytes};
+
+#[test]
+fn table_1_resources() {
+    for (d, data, parity, total, synd) in [
+        (3, 9, 8, 17, 16),
+        (5, 25, 24, 49, 72),
+        (7, 49, 48, 97, 192),
+        (9, 81, 80, 161, 400),
+    ] {
+        let r = CodeResources::for_distance(d);
+        assert_eq!(
+            (
+                r.data_qubits,
+                r.parity_qubits_x + r.parity_qubits_z,
+                r.total_qubits,
+                r.syndrome_len_per_basis
+            ),
+            (data, parity, total, synd)
+        );
+        // And the actual lattice agrees with the closed form.
+        let code = SurfaceCode::new(d).unwrap();
+        assert_eq!(code.num_data_qubits(), data);
+        assert_eq!(code.num_stabilizers(), parity);
+    }
+}
+
+#[test]
+fn equation_2_matching_counts() {
+    // §4.3: w = 4 → 3 matchings, w = 10 → 945, w = 20 → 6.5e8.
+    assert_eq!(num_perfect_matchings(4), 3);
+    assert_eq!(num_perfect_matchings(10), 945);
+    assert_eq!(num_perfect_matchings(20), 654_729_075);
+    // §5.3: HW-8 = 7 HW6 accesses; HW-10 = 63 accesses.
+    assert_eq!(num_perfect_matchings(8) / num_perfect_matchings(6), 7);
+    assert_eq!(num_perfect_matchings(10) / num_perfect_matchings(6), 63);
+}
+
+#[test]
+fn section_5_4_latency_model() {
+    // Worst case 114 cycles = 456 ns at 250 MHz.
+    assert_eq!(astrea_fetch_cycles(10) + astrea_decode_cycles(10), 114);
+    let p = Prediction {
+        observables: 0,
+        cycles: 114,
+        deferred: false,
+    };
+    assert_eq!(p.latency_ns(250.0), 456.0);
+}
+
+#[test]
+fn table_6_sram_model() {
+    let model = StorageModel::default();
+    let o7 = model.overheads(7);
+    let o9 = model.overheads(9);
+    assert_eq!(o7.gwt_bytes, 36 * 1024);
+    assert_eq!(o9.gwt_bytes, 160_000);
+    assert_eq!(o7.mwpm_register_bytes, 24);
+    assert_eq!(o9.mwpm_register_bytes, 30);
+    assert_eq!(o7.lwt_bytes, 512);
+    // GWT dominates, as the paper notes.
+    assert!(o9.gwt_bytes > o9.total_bytes() * 9 / 10);
+}
+
+#[test]
+fn table_7_bandwidths() {
+    for (trans_ns, mbps) in [
+        (100.0, 100.0),
+        (200.0, 50.0),
+        (300.0, 80.0 / 8.0 / 300.0 * 1e3),
+        (500.0, 20.0),
+    ] {
+        assert!((required_bandwidth_mbps(9, trans_ns) - mbps).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn lilliput_memory_wall() {
+    // §5.6: d = 5 over full rounds is already hopeless; d = 7 overflows
+    // even u128 bookkeeping.
+    let d3 = lilliput_table_bytes(3, 3).unwrap();
+    assert_eq!(d3, 2u128 << 16);
+    let d5 = lilliput_table_bytes(5, 5).unwrap();
+    assert!(d5 > 1u128 << 70);
+    assert!(lilliput_table_bytes(7, 7).is_none());
+}
+
+#[test]
+fn gwt_sizes_match_syndrome_lengths() {
+    for d in [3usize, 5] {
+        let ctx = ExperimentContext::new(d, 1e-3);
+        let expected = CodeResources::for_distance(d).syndrome_len_per_basis;
+        assert_eq!(ctx.gwt().len(), expected);
+        assert_eq!(ctx.gwt().quantized_bytes(), expected * expected);
+    }
+}
+
+#[test]
+fn analytic_model_upper_bounds_observation() {
+    // Figure 6's defining property: the binomial model is an upper bound
+    // on the observed tail at every Hamming weight.
+    use astrea_experiments::{analytic, hamming::HammingHistogram};
+    let ctx = ExperimentContext::new(5, 1e-3);
+    let h = HammingHistogram::sample(&ctx, 200_000, 4, 3);
+    for hw in [2usize, 4, 6, 8] {
+        let model_tail = analytic::hamming_weight_tail(5, 1e-3, hw - 1);
+        let observed_tail = h.tail_probability(hw - 1);
+        assert!(
+            model_tail >= observed_tail * 0.9,
+            "hw {hw}: model {model_tail} < observed {observed_tail}"
+        );
+    }
+}

@@ -1,0 +1,130 @@
+//! Cross-crate property tests: every decoder must behave sanely on
+//! *arbitrary* detector subsets, not only on syndromes the noise model
+//! happens to produce.
+
+use astrea::prelude::*;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn ctx() -> &'static ExperimentContext {
+    static CTX: OnceLock<ExperimentContext> = OnceLock::new();
+    CTX.get_or_init(|| ExperimentContext::new(3, 2e-3))
+}
+
+fn ctx5() -> &'static ExperimentContext {
+    static CTX: OnceLock<ExperimentContext> = OnceLock::new();
+    CTX.get_or_init(|| ExperimentContext::new(5, 2e-3))
+}
+
+/// Arbitrary sorted detector subsets of the d=3 graph (16 detectors).
+fn subset(max_len: usize) -> impl Strategy<Value = Vec<u32>> {
+    prop::collection::btree_set(0u32..16, 0..=max_len).prop_map(|s| s.into_iter().collect())
+}
+
+/// Arbitrary sorted detector subsets of the d=5 graph (72 detectors).
+fn subset5(max_len: usize) -> impl Strategy<Value = Vec<u32>> {
+    prop::collection::btree_set(0u32..72, 0..=max_len).prop_map(|s| s.into_iter().collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn astrea_matches_quantized_mwpm_weight_on_any_subset(dets in subset(10)) {
+        let gwt = ctx().gwt();
+        let astrea = AstreaDecoder::new(gwt);
+        let mwpm = MwpmDecoder::with_quantized_weights(gwt);
+        let a = astrea.decode_full(&dets).expect("within Astrea's ceiling");
+        let m = mwpm.decode_full(&dets);
+        prop_assert!(a.is_perfect_over(&dets));
+        prop_assert!(m.is_perfect_over(&dets));
+        // Quantized matching weights must agree exactly (both are optimal
+        // over the same u8 table).
+        let qw = |s: &blossom_mwpm::MatchingSolution| -> u32 {
+            s.pairs.iter().map(|&(x, y)| gwt.pair_weight_q(x, y) as u32).sum::<u32>()
+                + s.to_boundary.iter().map(|&x| gwt.boundary_weight_q(x) as u32).sum::<u32>()
+        };
+        prop_assert_eq!(qw(&a), qw(&m), "dets {:?}", dets);
+    }
+
+    #[test]
+    fn astrea_g_defaults_agree_with_astrea_below_cutoff(dets in subset(10)) {
+        let gwt = ctx().gwt();
+        let mut g = AstreaGDecoder::new(gwt);
+        let mut a = AstreaDecoder::new(gwt);
+        prop_assert_eq!(g.decode(&dets), a.decode(&dets));
+    }
+
+    #[test]
+    fn every_decoder_is_total_and_deterministic(dets in subset5(20)) {
+        let c = ctx5();
+        let mut decoders: Vec<Box<dyn Decoder>> = vec![
+            Box::new(MwpmDecoder::new(c.gwt())),
+            Box::new(AstreaGDecoder::new(c.gwt())),
+            Box::new(UnionFindDecoder::new(c.graph())),
+            Box::new(CliqueDecoder::new(c.graph(), c.gwt())),
+        ];
+        for d in &mut decoders {
+            let p1 = d.decode(&dets);
+            let p2 = d.decode(&dets);
+            prop_assert_eq!(p1, p2, "{} is nondeterministic", d.name());
+            prop_assert!(p1.observables <= 1, "{} predicted unknown observable", d.name());
+        }
+    }
+
+    #[test]
+    fn mwpm_weight_is_a_lower_bound_for_astrea_g(dets in subset5(24)) {
+        // Greedy can only do worse-or-equal in weight, never better than
+        // the exact optimum (sanity: exactness of the baseline).
+        let c = ctx5();
+        let gwt = c.gwt();
+        let g = AstreaGDecoder::new(gwt);
+        let mwpm = MwpmDecoder::with_quantized_weights(gwt);
+        let (_, greedy) = g.decode_full(&dets);
+        let exact = mwpm.decode_full(&dets);
+        if let Some(greedy) = greedy {
+            let qw = |s: &blossom_mwpm::MatchingSolution| -> u32 {
+                s.pairs.iter().map(|&(x, y)| gwt.pair_weight_q(x, y) as u32).sum::<u32>()
+                    + s.to_boundary.iter().map(|&x| gwt.boundary_weight_q(x) as u32).sum::<u32>()
+            };
+            prop_assert!(
+                qw(&greedy) >= qw(&exact),
+                "greedy ({}) beat the exact optimum ({}) on {:?}",
+                qw(&greedy), qw(&exact), dets
+            );
+        }
+    }
+
+    #[test]
+    fn predictions_depend_only_on_the_syndrome(dets in subset(8), salt in any::<u64>()) {
+        // Shuffling construction order of the decoder must not matter.
+        let gwt = ctx().gwt();
+        let mut a1 = AstreaDecoder::new(gwt);
+        let _ = salt; // decoders take no randomness; salt documents intent
+        let mut a2 = AstreaDecoder::new(gwt);
+        prop_assert_eq!(a1.decode(&dets), a2.decode(&dets));
+    }
+}
+
+#[test]
+fn uf_decoder_handles_adversarial_full_syndrome() {
+    // All 16 detectors fired: valid input, must terminate and produce a
+    // prediction.
+    let c = ctx();
+    let mut uf = UnionFindDecoder::new(c.graph());
+    let dets: Vec<u32> = (0..16).collect();
+    let p = uf.decode(&dets);
+    assert!(p.observables <= 1);
+}
+
+#[test]
+fn astrea_g_handles_adversarial_spread_syndromes() {
+    // Maximally spread detectors at d=5 (every 3rd detector): high
+    // Hamming weight, mostly far-apart pairs — worst case for the filter.
+    let c = ctx5();
+    let mut g = AstreaGDecoder::new(c.gwt());
+    let dets: Vec<u32> = (0..72u32).step_by(3).collect(); // 24 detectors
+    let p = g.decode(&dets);
+    assert!(!p.deferred);
+    assert!(p.cycles <= 250);
+}

@@ -1,0 +1,500 @@
+//! Batched decoding over a persistent worker pool.
+//!
+//! Monte-Carlo experiments decode millions of independent shots; spawning
+//! threads (and rebuilding decoders) per call wastes most of the runtime
+//! at realistic error rates where the typical syndrome is trivial. This
+//! module provides the workspace's batched hot path:
+//!
+//! * [`SyndromeBatch`] — a flattened, cheaply shareable column of shots
+//!   (detector lists + expected observable masks) behind an `Arc`.
+//! * [`BatchDecoder`] — a persistent worker pool. Workers are spawned
+//!   once at construction, each owning one decoder instance (built by the
+//!   caller's factory against the shared [`DecodingContext`]) and one
+//!   reusable [`DecodeScratch`] arena; batches are fed to them over
+//!   channels as contiguous index ranges.
+//! * [`decode_slice`] — the single shot-loop both the pool workers and
+//!   scoped-thread harnesses (`astrea-experiments`) run, so every decode
+//!   path shares one definition of "decode a shot and account for it".
+//!
+//! Determinism: shots are decoded independently, results are written back
+//! by shot index, and all [`LatencyStats`] counters are sums or maxima,
+//! so a batched run is bit-identical to a sequential run regardless of
+//! the pool size. Harnesses that sample shots seed a fresh RNG per shot
+//! from [`shot_seed`]`(seed, shot_index)`, which makes the *sampled
+//! batches* thread-count-independent too.
+
+use std::ops::Range;
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+
+use crate::latency::LatencyStats;
+use decoding_graph::{DecodeScratch, Decoder, DecodingContext, Prediction};
+
+/// Derives the per-shot RNG seed for shot `index` of a run seeded with
+/// `seed` (a SplitMix64 mix of the pair).
+///
+/// Seeding each shot's RNG independently — instead of one stream per
+/// worker — is what makes sampled results identical for every thread
+/// count and lets batched runs reproduce sequential ones bit-for-bit.
+pub fn shot_seed(seed: u64, index: u64) -> u64 {
+    let mut z = seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[derive(Debug, Default)]
+struct BatchInner {
+    /// `offsets[i]..offsets[i + 1]` indexes shot `i`'s detectors.
+    offsets: Vec<u32>,
+    detectors: Vec<u32>,
+    observables: Vec<u32>,
+}
+
+/// A column of syndromes to decode: per-shot detector lists (flattened)
+/// plus the actual observable-flip mask of each shot.
+///
+/// Cloning is an `Arc` bump; a batch can be shared with a worker pool
+/// without copying shot data.
+#[derive(Debug, Clone, Default)]
+pub struct SyndromeBatch {
+    inner: Arc<BatchInner>,
+}
+
+impl SyndromeBatch {
+    /// An incremental builder for a batch.
+    pub fn builder() -> SyndromeBatchBuilder {
+        SyndromeBatchBuilder::default()
+    }
+
+    /// Number of shots in the batch.
+    pub fn len(&self) -> usize {
+        self.inner.observables.len()
+    }
+
+    /// True if the batch holds no shots.
+    pub fn is_empty(&self) -> bool {
+        self.inner.observables.is_empty()
+    }
+
+    /// The sorted fired-detector indices of shot `i`.
+    pub fn detectors(&self, i: usize) -> &[u32] {
+        let lo = self.inner.offsets[i] as usize;
+        let hi = self.inner.offsets[i + 1] as usize;
+        &self.inner.detectors[lo..hi]
+    }
+
+    /// The actual observable-flip mask of shot `i`.
+    pub fn observables(&self, i: usize) -> u32 {
+        self.inner.observables[i]
+    }
+
+    /// The Hamming weight (fired-detector count) of shot `i`.
+    pub fn hamming_weight(&self, i: usize) -> usize {
+        (self.inner.offsets[i + 1] - self.inner.offsets[i]) as usize
+    }
+}
+
+/// Builds a [`SyndromeBatch`] shot by shot.
+#[derive(Debug, Default)]
+pub struct SyndromeBatchBuilder {
+    detectors: Vec<u32>,
+    // Lazily seeded with the leading 0 on first use.
+    offsets: Vec<u32>,
+    observables: Vec<u32>,
+}
+
+impl SyndromeBatchBuilder {
+    /// Appends one shot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the flattened detector column would overflow the `u32`
+    /// offset space (> 4 billion fired detectors per batch).
+    pub fn push(&mut self, detectors: &[u32], observables: u32) {
+        if self.offsets.is_empty() {
+            self.offsets.push(0);
+        }
+        self.detectors.extend_from_slice(detectors);
+        let end: u32 = self
+            .detectors
+            .len()
+            .try_into()
+            .expect("batch detector column exceeds u32 offsets");
+        self.offsets.push(end);
+        self.observables.push(observables);
+    }
+
+    /// Appends every shot of `other` after this builder's shots —
+    /// used to concatenate per-thread partial batches in index order.
+    pub fn append(&mut self, other: SyndromeBatchBuilder) {
+        if self.offsets.is_empty() {
+            self.offsets.push(0);
+        }
+        let base: u32 = self
+            .detectors
+            .len()
+            .try_into()
+            .expect("batch detector column exceeds u32 offsets");
+        self.detectors.extend_from_slice(&other.detectors);
+        self.offsets
+            .extend(other.offsets.iter().skip(1).map(|&o| base + o));
+        self.observables.extend_from_slice(&other.observables);
+    }
+
+    /// Number of shots pushed so far.
+    pub fn len(&self) -> usize {
+        self.observables.len()
+    }
+
+    /// True if no shots have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.observables.is_empty()
+    }
+
+    /// Finalizes the batch.
+    pub fn finish(mut self) -> SyndromeBatch {
+        if self.offsets.is_empty() {
+            self.offsets.push(0);
+        }
+        SyndromeBatch {
+            inner: Arc::new(BatchInner {
+                offsets: self.offsets,
+                detectors: self.detectors,
+                observables: self.observables,
+            }),
+        }
+    }
+}
+
+/// The accounting produced by decoding a contiguous slice of a batch.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SliceOutcome {
+    /// One prediction per shot, in shot order.
+    pub predictions: Vec<Prediction>,
+    /// Latency statistics over the slice (HW histogram, cycle bands,
+    /// trivial shots included).
+    pub stats: LatencyStats,
+    /// Shots whose predicted observable mask missed the actual one.
+    pub failures: u64,
+    /// Shots the decoder declined to decode in real time.
+    pub deferred: u64,
+}
+
+/// Decodes shots `range` of `batch` with one decoder + scratch arena,
+/// accumulating predictions and statistics.
+///
+/// This is the single shot-loop every decode path shares: the
+/// [`BatchDecoder`] workers call it, and scoped-thread harnesses call it
+/// directly on borrowed decoders. Trivial (empty) syndromes are counted
+/// with zero cycles and an identity prediction without touching the
+/// decoder, matching the hardware model.
+pub fn decode_slice(
+    decoder: &mut dyn Decoder,
+    scratch: &mut DecodeScratch,
+    batch: &SyndromeBatch,
+    range: Range<usize>,
+) -> SliceOutcome {
+    let mut out = SliceOutcome {
+        predictions: Vec::with_capacity(range.len()),
+        ..SliceOutcome::default()
+    };
+    for i in range {
+        let detectors = batch.detectors(i);
+        let actual = batch.observables(i);
+        if detectors.is_empty() {
+            out.stats.record(0, 0);
+            out.failures += u64::from(actual != 0);
+            out.predictions.push(Prediction::identity());
+            continue;
+        }
+        let p = decoder.decode_with_scratch(detectors, scratch);
+        out.stats.record(detectors.len(), p.cycles);
+        out.deferred += u64::from(p.deferred);
+        out.failures += u64::from(p.observables != actual);
+        out.predictions.push(p);
+    }
+    out
+}
+
+/// The aggregate result of decoding one batch.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BatchResult {
+    /// One prediction per shot, indexed exactly like the input batch.
+    pub predictions: Vec<Prediction>,
+    /// Batch counters: shot count, nontrivial syndromes, the
+    /// Hamming-weight histogram, and modeled cycle statistics.
+    pub stats: LatencyStats,
+    /// Shots whose predicted observable mask missed the actual one.
+    pub failures: u64,
+    /// Shots the decoder declined to decode in real time.
+    pub deferred: u64,
+}
+
+/// Builds one decoder per worker against the shared context. The
+/// returned decoder may borrow from the context (every decoder in the
+/// workspace borrows its weight table), hence the HRTB.
+pub type BatchDecoderFactory =
+    dyn for<'c> Fn(&'c DecodingContext) -> Box<dyn Decoder + 'c> + Send + Sync;
+
+struct Job {
+    batch: SyndromeBatch,
+    range: Range<usize>,
+    reply: mpsc::Sender<(usize, SliceOutcome)>,
+}
+
+/// A persistent pool of decode workers.
+///
+/// Workers (and their decoder + scratch-arena instances) are created
+/// once in [`BatchDecoder::new`] and fed shot ranges over channels on
+/// every [`BatchDecoder::decode_batch`] call; nothing is spawned or
+/// rebuilt per batch. Results are placed by shot index, so the output is
+/// bit-identical to a sequential run for any pool size.
+pub struct BatchDecoder {
+    senders: Vec<mpsc::Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl BatchDecoder {
+    /// Spawns `threads` persistent workers (at least one), each building
+    /// its own decoder from `factory` against `ctx`.
+    pub fn new(
+        ctx: Arc<DecodingContext>,
+        threads: usize,
+        factory: Arc<BatchDecoderFactory>,
+    ) -> BatchDecoder {
+        let threads = threads.max(1);
+        let mut senders = Vec::with_capacity(threads);
+        let mut workers = Vec::with_capacity(threads);
+        for w in 0..threads {
+            let (tx, rx) = mpsc::channel::<Job>();
+            let ctx = Arc::clone(&ctx);
+            let factory = Arc::clone(&factory);
+            let handle = std::thread::Builder::new()
+                .name(format!("astrea-batch-{w}"))
+                .spawn(move || {
+                    let mut decoder = factory(&ctx);
+                    let mut scratch = DecodeScratch::new();
+                    while let Ok(job) = rx.recv() {
+                        let start = job.range.start;
+                        let outcome =
+                            decode_slice(decoder.as_mut(), &mut scratch, &job.batch, job.range);
+                        // A dropped receiver just means the caller went
+                        // away mid-batch; nothing to clean up.
+                        let _ = job.reply.send((start, outcome));
+                    }
+                })
+                .expect("failed to spawn batch decode worker");
+            senders.push(tx);
+            workers.push(handle);
+        }
+        BatchDecoder { senders, workers }
+    }
+
+    /// The number of persistent workers in the pool.
+    pub fn threads(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Decodes every shot of `shots` across the pool.
+    ///
+    /// Shots are sharded into contiguous ranges (one per worker) and the
+    /// per-range outcomes are merged by shot index, so the result is
+    /// independent of worker count and scheduling order.
+    pub fn decode_batch(&mut self, shots: &SyndromeBatch) -> BatchResult {
+        let n = shots.len();
+        let mut result = BatchResult {
+            predictions: vec![Prediction::identity(); n],
+            ..BatchResult::default()
+        };
+        if n == 0 {
+            return result;
+        }
+
+        let chunk = n.div_ceil(self.senders.len());
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let mut outstanding = 0usize;
+        for (w, tx) in self.senders.iter().enumerate() {
+            let start = w * chunk;
+            if start >= n {
+                break;
+            }
+            let end = (start + chunk).min(n);
+            tx.send(Job {
+                batch: shots.clone(),
+                range: start..end,
+                reply: reply_tx.clone(),
+            })
+            .expect("batch decode worker exited unexpectedly");
+            outstanding += 1;
+        }
+        drop(reply_tx);
+
+        for _ in 0..outstanding {
+            let (start, outcome) = reply_rx
+                .recv()
+                .expect("batch decode worker dropped a job reply");
+            result.predictions[start..start + outcome.predictions.len()]
+                .copy_from_slice(&outcome.predictions);
+            result.stats.merge(&outcome.stats);
+            result.failures += outcome.failures;
+            result.deferred += outcome.deferred;
+        }
+        result
+    }
+}
+
+impl Drop for BatchDecoder {
+    fn drop(&mut self) {
+        // Closing the job channels ends each worker's receive loop.
+        self.senders.clear();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AstreaDecoder;
+    use blossom_mwpm::MwpmDecoder;
+    use qec_circuit::{DemSampler, NoiseModel, Shot};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use surface_code::SurfaceCode;
+
+    fn ctx(d: usize, p: f64) -> Arc<DecodingContext> {
+        let code = SurfaceCode::new(d).unwrap();
+        Arc::new(DecodingContext::for_memory_experiment(
+            &code,
+            NoiseModel::depolarizing(p),
+        ))
+    }
+
+    fn sample_batch(ctx: &DecodingContext, shots: usize, seed: u64) -> SyndromeBatch {
+        let mut sampler = DemSampler::new(ctx.dem());
+        let mut builder = SyndromeBatch::builder();
+        let mut shot = Shot::default();
+        for i in 0..shots {
+            let mut rng = StdRng::seed_from_u64(shot_seed(seed, i as u64));
+            sampler.sample_into(&mut rng, &mut shot);
+            builder.push(&shot.detectors, shot.observables);
+        }
+        builder.finish()
+    }
+
+    fn mwpm_factory() -> Arc<BatchDecoderFactory> {
+        Arc::new(|c: &DecodingContext| Box::new(MwpmDecoder::new(c.gwt())) as Box<dyn Decoder>)
+    }
+
+    #[test]
+    fn empty_batch_decodes_to_nothing() {
+        let ctx = ctx(3, 1e-3);
+        let mut pool = BatchDecoder::new(Arc::clone(&ctx), 2, mwpm_factory());
+        let result = pool.decode_batch(&SyndromeBatch::builder().finish());
+        assert_eq!(result, BatchResult::default());
+    }
+
+    #[test]
+    fn pool_size_does_not_change_the_result() {
+        let ctx = ctx(3, 5e-3);
+        let batch = sample_batch(&ctx, 2_000, 11);
+        let mut reference = None;
+        for threads in [1, 2, 3, 8] {
+            let mut pool = BatchDecoder::new(Arc::clone(&ctx), threads, mwpm_factory());
+            let result = pool.decode_batch(&batch);
+            assert_eq!(result.predictions.len(), batch.len());
+            match &reference {
+                None => reference = Some(result),
+                Some(r) => assert_eq!(&result, r, "diverged at {threads} threads"),
+            }
+        }
+    }
+
+    #[test]
+    fn batched_matches_direct_decode_slice() {
+        let ctx = ctx(3, 5e-3);
+        let batch = sample_batch(&ctx, 1_500, 3);
+        let mut pool = BatchDecoder::new(Arc::clone(&ctx), 4, mwpm_factory());
+        let batched = pool.decode_batch(&batch);
+
+        let mut decoder = MwpmDecoder::new(ctx.gwt());
+        let mut scratch = DecodeScratch::new();
+        let seq = decode_slice(&mut decoder, &mut scratch, &batch, 0..batch.len());
+        assert_eq!(batched.predictions, seq.predictions);
+        assert_eq!(batched.stats, seq.stats);
+        assert_eq!(batched.failures, seq.failures);
+        assert_eq!(batched.deferred, seq.deferred);
+    }
+
+    #[test]
+    fn stats_count_every_shot_and_trivial_ones_are_free() {
+        let ctx = ctx(3, 5e-3);
+        let batch = sample_batch(&ctx, 4_000, 7);
+        let factory: Arc<BatchDecoderFactory> = Arc::new(|c: &DecodingContext| {
+            Box::new(AstreaDecoder::new(c.gwt())) as Box<dyn Decoder>
+        });
+        let mut pool = BatchDecoder::new(Arc::clone(&ctx), 3, factory);
+        let result = pool.decode_batch(&batch);
+        assert_eq!(result.stats.shots, 4_000);
+        let hist = result.stats.hw_histogram();
+        let nontrivial: u64 = hist.iter().skip(3).sum();
+        assert_eq!(result.stats.nontrivial_shots, nontrivial);
+        // Trivial shots decode in 0 cycles; the histogram's bucket 0
+        // must cover at least the HW ≤ 2 population.
+        assert!(result.stats.cycle_histogram()[0] >= hist[0] + hist[1] + hist[2]);
+        assert!(result.stats.max_cycles <= 114);
+    }
+
+    #[test]
+    fn batch_indexing_round_trips() {
+        let mut builder = SyndromeBatch::builder();
+        builder.push(&[1, 5, 9], 0b10);
+        builder.push(&[], 0);
+        builder.push(&[2], 1);
+        let batch = builder.finish();
+        assert_eq!(batch.len(), 3);
+        assert_eq!(batch.detectors(0), &[1, 5, 9]);
+        assert_eq!(batch.hamming_weight(0), 3);
+        assert_eq!(batch.observables(0), 0b10);
+        assert_eq!(batch.detectors(1), &[] as &[u32]);
+        assert_eq!(batch.detectors(2), &[2]);
+        assert_eq!(batch.observables(2), 1);
+    }
+
+    #[test]
+    fn append_preserves_shot_order_and_offsets() {
+        let mut a = SyndromeBatch::builder();
+        a.push(&[1, 2], 1);
+        let mut b = SyndromeBatch::builder();
+        b.push(&[3], 2);
+        b.push(&[4, 5, 6], 3);
+        a.append(b);
+        let batch = a.finish();
+        assert_eq!(batch.len(), 3);
+        assert_eq!(batch.detectors(0), &[1, 2]);
+        assert_eq!(batch.detectors(1), &[3]);
+        assert_eq!(batch.detectors(2), &[4, 5, 6]);
+        assert_eq!(batch.observables(1), 2);
+        // Appending into an empty builder must also work.
+        let mut empty = SyndromeBatch::builder();
+        let mut c = SyndromeBatch::builder();
+        c.push(&[7], 4);
+        empty.append(c);
+        let batch = empty.finish();
+        assert_eq!(batch.detectors(0), &[7]);
+    }
+
+    #[test]
+    fn shot_seed_decorrelates_neighbours() {
+        let a = shot_seed(42, 0);
+        let b = shot_seed(42, 1);
+        let c = shot_seed(43, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        // Stable across calls.
+        assert_eq!(shot_seed(42, 0), a);
+    }
+}

@@ -17,7 +17,10 @@
 /// assert_eq!(num_perfect_matchings(10), 945);
 /// ```
 pub fn num_perfect_matchings(n: usize) -> u64 {
-    assert!(n % 2 == 0, "perfect matchings need an even node count");
+    assert!(
+        n.is_multiple_of(2),
+        "perfect matchings need an even node count"
+    );
     let mut r = 1u64;
     let mut k = n as u64;
     while k > 1 {

@@ -64,6 +64,146 @@ impl CycleModel {
     }
 }
 
+/// Hamming-weight histogram buckets tracked by [`LatencyStats`]; the last
+/// bucket collects every weight `≥ HW_BUCKETS − 1`.
+pub const HW_BUCKETS: usize = 16;
+
+/// Power-of-two cycle histogram buckets tracked by [`LatencyStats`]:
+/// bucket 0 holds zero-cycle (trivial) shots, bucket `b ≥ 1` holds cycle
+/// counts in `[2^(b−1), 2^b)`, and the last bucket collects everything
+/// beyond.
+pub const CYCLE_BUCKETS: usize = 16;
+
+/// Mergeable per-batch latency statistics in decoder cycles.
+///
+/// Tracks totals, the worst case, and two fixed-size histograms (syndrome
+/// Hamming weight and power-of-two cycle bands) so batches can report
+/// percentiles without storing per-shot samples. All counters are plain
+/// sums or maxima, so merging partial results is associative and
+/// order-independent — batched and sequential runs produce identical
+/// statistics. "Nontrivial" means Hamming weight > 2, the paper's
+/// "Mean (HW > 2 Only)" series in Figure 9.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencyStats {
+    /// Total cycles across all shots.
+    pub total_cycles: u64,
+    /// Total cycles across shots with Hamming weight > 2.
+    pub total_cycles_nontrivial: u64,
+    /// Number of shots with Hamming weight > 2.
+    pub nontrivial_shots: u64,
+    /// Worst-case cycles observed.
+    pub max_cycles: u64,
+    /// Number of shots observed (including trivial ones).
+    pub shots: u64,
+    hw_hist: [u64; HW_BUCKETS],
+    cycle_hist: [u64; CYCLE_BUCKETS],
+}
+
+impl LatencyStats {
+    /// Records one decoded shot.
+    pub fn record(&mut self, hamming_weight: usize, cycles: u64) {
+        self.shots += 1;
+        self.total_cycles += cycles;
+        self.max_cycles = self.max_cycles.max(cycles);
+        if hamming_weight > 2 {
+            self.total_cycles_nontrivial += cycles;
+            self.nontrivial_shots += 1;
+        }
+        self.hw_hist[hamming_weight.min(HW_BUCKETS - 1)] += 1;
+        self.cycle_hist[Self::cycle_bucket(cycles)] += 1;
+    }
+
+    /// Folds another partial result in (order-independent).
+    pub fn merge(&mut self, other: &LatencyStats) {
+        self.total_cycles += other.total_cycles;
+        self.total_cycles_nontrivial += other.total_cycles_nontrivial;
+        self.nontrivial_shots += other.nontrivial_shots;
+        self.max_cycles = self.max_cycles.max(other.max_cycles);
+        self.shots += other.shots;
+        for (a, b) in self.hw_hist.iter_mut().zip(other.hw_hist.iter()) {
+            *a += b;
+        }
+        for (a, b) in self.cycle_hist.iter_mut().zip(other.cycle_hist.iter()) {
+            *a += b;
+        }
+    }
+
+    fn cycle_bucket(cycles: u64) -> usize {
+        if cycles == 0 {
+            0
+        } else {
+            ((64 - cycles.leading_zeros()) as usize).min(CYCLE_BUCKETS - 1)
+        }
+    }
+
+    /// Shots recorded in each Hamming-weight bucket (`hw_histogram()[h]`
+    /// counts shots of weight `h`; the last bucket aggregates the tail).
+    pub fn hw_histogram(&self) -> &[u64; HW_BUCKETS] {
+        &self.hw_hist
+    }
+
+    /// Shots recorded in each power-of-two cycle bucket.
+    pub fn cycle_histogram(&self) -> &[u64; CYCLE_BUCKETS] {
+        &self.cycle_hist
+    }
+
+    /// An upper bound on the `pct`-th percentile (0–100) of the per-shot
+    /// cycle count: the upper edge of the histogram bucket containing that
+    /// rank, clamped to the observed maximum. Exact whenever the rank
+    /// falls in the top bucket or a bucket holding a single distinct
+    /// value (e.g. trivial zero-cycle shots). Returns 0 for an empty
+    /// batch.
+    pub fn percentile_cycles(&self, pct: f64) -> u64 {
+        if self.shots == 0 {
+            return 0;
+        }
+        let pct = pct.clamp(0.0, 100.0);
+        let rank = ((pct / 100.0 * self.shots as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (b, &count) in self.cycle_hist.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                let upper = if b == 0 { 0 } else { (1u64 << b) - 1 };
+                return upper.min(self.max_cycles);
+            }
+        }
+        self.max_cycles
+    }
+
+    /// [`LatencyStats::percentile_cycles`] in nanoseconds at `freq_mhz`.
+    pub fn percentile_ns(&self, pct: f64, freq_mhz: f64) -> f64 {
+        self.percentile_cycles(pct) as f64 * 1e3 / freq_mhz
+    }
+
+    /// Mean cycles over all shots (0 for an empty batch).
+    pub fn mean_cycles(&self) -> f64 {
+        if self.shots == 0 {
+            0.0
+        } else {
+            self.total_cycles as f64 / self.shots as f64
+        }
+    }
+
+    /// Mean latency over all shots, in nanoseconds at the given frequency.
+    pub fn mean_ns(&self, freq_mhz: f64) -> f64 {
+        self.mean_cycles() * 1e3 / freq_mhz
+    }
+
+    /// Mean latency over shots with Hamming weight > 2.
+    pub fn mean_nontrivial_ns(&self, freq_mhz: f64) -> f64 {
+        if self.nontrivial_shots == 0 {
+            0.0
+        } else {
+            self.total_cycles_nontrivial as f64 / self.nontrivial_shots as f64 * 1e3 / freq_mhz
+        }
+    }
+
+    /// Worst-case latency in nanoseconds.
+    pub fn max_ns(&self, freq_mhz: f64) -> f64 {
+        self.max_cycles as f64 * 1e3 / freq_mhz
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -102,5 +242,71 @@ mod tests {
     #[test]
     fn real_time_budget_is_250_cycles() {
         assert_eq!(CycleModel::default().cycles_within_ns(1000.0), 250);
+    }
+
+    #[test]
+    fn latency_stats_track_means_max_and_histograms() {
+        let mut s = LatencyStats::default();
+        s.record(0, 0);
+        s.record(4, 6);
+        s.record(10, 114);
+        assert_eq!(s.shots, 3);
+        assert_eq!(s.nontrivial_shots, 2);
+        assert_eq!(s.max_cycles, 114);
+        assert_eq!(s.mean_ns(250.0), 160.0);
+        assert_eq!(s.mean_nontrivial_ns(250.0), 240.0);
+        assert_eq!(s.max_ns(250.0), 456.0);
+        assert_eq!(s.hw_histogram()[0], 1);
+        assert_eq!(s.hw_histogram()[4], 1);
+        assert_eq!(s.hw_histogram()[10], 1);
+        // 6 lands in [4, 8), 114 in [64, 128).
+        assert_eq!(s.cycle_histogram()[0], 1);
+        assert_eq!(s.cycle_histogram()[3], 1);
+        assert_eq!(s.cycle_histogram()[7], 1);
+    }
+
+    #[test]
+    fn merge_equals_single_stream() {
+        let mut all = LatencyStats::default();
+        let mut a = LatencyStats::default();
+        let mut b = LatencyStats::default();
+        for (i, &(hw, cyc)) in [(0, 0), (3, 1), (7, 18), (10, 114), (16, 250)]
+            .iter()
+            .enumerate()
+        {
+            all.record(hw, cyc);
+            if i % 2 == 0 {
+                a.record(hw, cyc)
+            } else {
+                b.record(hw, cyc)
+            }
+        }
+        let mut merged = a;
+        merged.merge(&b);
+        assert_eq!(merged, all);
+    }
+
+    #[test]
+    fn percentiles_bound_the_distribution() {
+        let mut s = LatencyStats::default();
+        for _ in 0..90 {
+            s.record(0, 0);
+        }
+        for _ in 0..9 {
+            s.record(4, 6);
+        }
+        s.record(10, 114);
+        assert_eq!(s.percentile_cycles(50.0), 0);
+        assert_eq!(s.percentile_cycles(90.0), 0);
+        assert_eq!(s.percentile_cycles(95.0), 7); // bucket [4, 8) upper edge
+        assert_eq!(s.percentile_cycles(100.0), 114); // exact: top bucket clamps to max
+    }
+
+    #[test]
+    fn hw_tail_aggregates_into_last_bucket() {
+        let mut s = LatencyStats::default();
+        s.record(15, 1);
+        s.record(40, 1);
+        assert_eq!(s.hw_histogram()[HW_BUCKETS - 1], 2);
     }
 }

@@ -37,6 +37,7 @@
 
 mod astrea;
 mod astrea_g;
+pub mod batch;
 mod clique;
 pub mod compression;
 pub mod hw6;
@@ -46,7 +47,14 @@ pub mod overheads;
 
 pub use astrea::{AstreaConfig, AstreaDecoder};
 pub use astrea_g::{AstreaGConfig, AstreaGDecoder};
+pub use batch::{
+    decode_slice, shot_seed, BatchDecoder, BatchDecoderFactory, BatchResult, SliceOutcome,
+    SyndromeBatch, SyndromeBatchBuilder,
+};
 pub use clique::CliqueDecoder;
 pub use compression::SyndromeCompressor;
-pub use latency::{astrea_decode_cycles, astrea_fetch_cycles, CycleModel, DEFAULT_FREQ_MHZ};
+pub use latency::{
+    astrea_decode_cycles, astrea_fetch_cycles, CycleModel, LatencyStats, CYCLE_BUCKETS,
+    DEFAULT_FREQ_MHZ, HW_BUCKETS,
+};
 pub use lut::{lilliput_table_bytes, LutDecoder, MAX_LUT_BITS};

@@ -59,7 +59,7 @@ impl LutDecoder {
             dets.clear();
             let mut s = syndrome;
             while s != 0 {
-                dets.push(s.trailing_zeros() as u32);
+                dets.push(s.trailing_zeros());
                 s &= s - 1;
             }
             let solution = mwpm.decode_full(&dets);
@@ -159,7 +159,7 @@ mod tests {
         let ctx = small_ctx();
         let lut = LutDecoder::build(ctx.gwt());
         // 2^8 entries, one bit each = 32 bytes, padded to u64 words.
-        assert_eq!(lut.table_bytes(), 32.max(8));
+        assert_eq!(lut.table_bytes(), 32);
     }
 
     #[test]

@@ -1,0 +1,113 @@
+//! Per-shot vs batched decode throughput (the tentpole claim of the
+//! batch engine).
+//!
+//! Both arms decode an identical pre-sampled stream of syndrome batches
+//! with the same decoder (software MWPM) and the same parallelism:
+//!
+//! * `per_shot` — the pre-batch architecture: worker threads are spawned
+//!   per request, each builds a fresh decoder, and every shot decodes
+//!   through [`Decoder::decode`], allocating its working memory per call.
+//! * `batched` — a persistent [`BatchDecoder`] pool: workers, decoder
+//!   instances, and scratch arenas are created once and fed every request
+//!   over channels.
+//!
+//! Throughput is reported in shots per second over the whole stream, so
+//! the two arms are directly comparable; `EXPERIMENTS.md` records the
+//! measured ratios.
+
+use astrea_core::{BatchDecoder, BatchDecoderFactory, SyndromeBatch};
+use astrea_experiments::{sample_batch, ExperimentContext};
+use blossom_mwpm::MwpmDecoder;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use decoding_graph::{Decoder, DecodingContext};
+use std::hint::black_box;
+use std::sync::Arc;
+
+/// Worker threads for both arms.
+const THREADS: usize = 8;
+/// Requests (batches) per stream.
+const REQUESTS: usize = 16;
+/// Shots per request.
+const BATCH_SHOTS: u64 = 512;
+
+/// Builds the request stream for one `(d, p)` point: `REQUESTS` batches
+/// of `BATCH_SHOTS` shots each, deterministically sampled.
+fn request_stream(ctx: &ExperimentContext) -> Vec<SyndromeBatch> {
+    (0..REQUESTS)
+        .map(|r| sample_batch(ctx, BATCH_SHOTS, THREADS, r as u64))
+        .collect()
+}
+
+/// The pre-batch architecture: spawn workers per request, fresh decoder
+/// per worker, allocating `decode` per shot. Returns the failure count so
+/// the work cannot be optimized away.
+fn per_shot_decode(ctx: &ExperimentContext, batch: &SyndromeBatch) -> u64 {
+    let n = batch.len();
+    let chunk = n.div_ceil(THREADS).max(1);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for start in (0..n).step_by(chunk) {
+            let end = (start + chunk).min(n);
+            handles.push(scope.spawn(move || {
+                let mut dec = MwpmDecoder::new(ctx.gwt());
+                let mut failures = 0u64;
+                for i in start..end {
+                    let p = dec.decode(batch.detectors(i));
+                    failures += u64::from(p.observables != batch.observables(i));
+                }
+                failures
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("per-shot worker panicked"))
+            .sum()
+    })
+}
+
+fn bench_batch_vs_per_shot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch_throughput");
+    group.sample_size(15);
+    group.throughput(Throughput::Elements(REQUESTS as u64 * BATCH_SHOTS));
+    for d in [3usize, 5, 7] {
+        let ctx = ExperimentContext::new(d, 1e-3);
+        let stream = request_stream(&ctx);
+
+        group.bench_with_input(
+            BenchmarkId::new("per_shot", format!("d{d}")),
+            &stream,
+            |b, stream| {
+                b.iter(|| {
+                    let mut failures = 0u64;
+                    for batch in stream {
+                        failures += per_shot_decode(&ctx, batch);
+                    }
+                    black_box(failures)
+                })
+            },
+        );
+
+        let pool_ctx = Arc::new(ctx.decoding().clone());
+        let factory: Arc<BatchDecoderFactory> =
+            Arc::new(|c: &DecodingContext| Box::new(MwpmDecoder::new(c.gwt())) as Box<dyn Decoder>);
+        group.bench_with_input(
+            BenchmarkId::new("batched", format!("d{d}")),
+            &stream,
+            |b, stream| {
+                let mut pool =
+                    BatchDecoder::new(Arc::clone(&pool_ctx), THREADS, Arc::clone(&factory));
+                b.iter(|| {
+                    let mut failures = 0u64;
+                    for batch in stream {
+                        failures += pool.decode_batch(batch).failures;
+                    }
+                    black_box(failures)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch_vs_per_shot);
+criterion_main!(benches);

@@ -5,16 +5,27 @@
 //! The hardware claims (1 ns mean, 456 ns worst case) come from the cycle
 //! model — asserted in `tests/latency_contracts.rs`; this bench shows the
 //! *software* cost of each decoder on identical syndromes, which is what
-//! a simulator user experiences.
+//! a simulator user experiences. Each class decodes through the shared
+//! [`decode_slice`] batch loop with a reused scratch arena, i.e. exactly
+//! the hot path `BatchDecoder` workers run.
 
 use astrea_bench::SyndromeCorpus;
-use astrea_core::{AstreaDecoder, AstreaGDecoder};
+use astrea_core::{decode_slice, AstreaDecoder, AstreaGDecoder, SyndromeBatch};
 use astrea_experiments::ExperimentContext;
 use blossom_mwpm::MwpmDecoder;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use decoding_graph::Decoder;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use decoding_graph::{DecodeScratch, Decoder};
 use std::hint::black_box;
 use union_find_decoder::UnionFindDecoder;
+
+/// Packs a weight-class slice of the corpus into a batch.
+fn class_batch(corpus: &SyndromeCorpus, lo: usize, hi: usize, cap: usize) -> SyndromeBatch {
+    let mut builder = SyndromeBatch::builder();
+    for s in corpus.with_weight(lo, hi).into_iter().take(cap) {
+        builder.push(s, 0);
+    }
+    builder.finish()
+}
 
 fn bench_by_weight_class(c: &mut Criterion) {
     let ctx = ExperimentContext::new(7, 1e-3);
@@ -28,46 +39,30 @@ fn bench_by_weight_class(c: &mut Criterion) {
         ("hw_7_10", 7, 10),
         ("hw_11_20", 11, 20),
     ] {
-        let set: Vec<Vec<u32>> = corpus
-            .with_weight(lo, hi)
-            .into_iter()
-            .take(64)
-            .cloned()
-            .collect();
-        if set.is_empty() {
+        let batch = class_batch(&corpus, lo, hi, 64);
+        if batch.is_empty() {
             continue;
         }
-        group.bench_with_input(BenchmarkId::new("astrea", label), &set, |b, set| {
+        group.throughput(Throughput::Elements(batch.len() as u64));
+        group.bench_with_input(BenchmarkId::new("astrea", label), &batch, |b, batch| {
             let mut dec = AstreaDecoder::new(ctx.gwt());
-            b.iter(|| {
-                for s in set {
-                    black_box(dec.decode(black_box(s)));
-                }
-            })
+            let mut scratch = DecodeScratch::new();
+            b.iter(|| black_box(decode_slice(&mut dec, &mut scratch, batch, 0..batch.len())))
         });
-        group.bench_with_input(BenchmarkId::new("astrea_g", label), &set, |b, set| {
+        group.bench_with_input(BenchmarkId::new("astrea_g", label), &batch, |b, batch| {
             let mut dec = AstreaGDecoder::new(ctx.gwt());
-            b.iter(|| {
-                for s in set {
-                    black_box(dec.decode(black_box(s)));
-                }
-            })
+            let mut scratch = DecodeScratch::new();
+            b.iter(|| black_box(decode_slice(&mut dec, &mut scratch, batch, 0..batch.len())))
         });
-        group.bench_with_input(BenchmarkId::new("mwpm", label), &set, |b, set| {
+        group.bench_with_input(BenchmarkId::new("mwpm", label), &batch, |b, batch| {
             let mut dec = MwpmDecoder::new(ctx.gwt());
-            b.iter(|| {
-                for s in set {
-                    black_box(dec.decode(black_box(s)));
-                }
-            })
+            let mut scratch = DecodeScratch::new();
+            b.iter(|| black_box(decode_slice(&mut dec, &mut scratch, batch, 0..batch.len())))
         });
-        group.bench_with_input(BenchmarkId::new("union_find", label), &set, |b, set| {
+        group.bench_with_input(BenchmarkId::new("union_find", label), &batch, |b, batch| {
             let mut dec = UnionFindDecoder::new(ctx.graph());
-            b.iter(|| {
-                for s in set {
-                    black_box(dec.decode(black_box(s)));
-                }
-            })
+            let mut scratch = DecodeScratch::new();
+            b.iter(|| black_box(decode_slice(&mut dec, &mut scratch, batch, 0..batch.len())))
         });
     }
     group.finish();

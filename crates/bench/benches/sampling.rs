@@ -2,7 +2,7 @@
 //! table in the paper (§3.4's "1B trials" runs are only feasible because
 //! DEM sampling skips untriggered mechanisms geometrically).
 
-use astrea_experiments::ExperimentContext;
+use astrea_experiments::{sample_batch, ExperimentContext};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use qec_circuit::{build_memory_z_circuit, DemSampler, FrameSimulator, NoiseModel, Shot};
 use rand::rngs::StdRng;
@@ -49,5 +49,31 @@ fn bench_frame_simulator(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_dem_sampler, bench_frame_simulator);
+fn bench_batch_sampling(c: &mut Criterion) {
+    // Filling a SyndromeBatch across threads with per-shot seeding — the
+    // front half of every batched LER run. Throughput is shots per second
+    // for the whole batch, including the index-order concatenation.
+    const SHOTS: u64 = 20_000;
+    let mut group = c.benchmark_group("sample_batch");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(SHOTS));
+    for d in [3usize, 7] {
+        let ctx = ExperimentContext::new(d, 1e-3);
+        for threads in [1usize, 8] {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(format!("d{d}_t{threads}")),
+                &ctx,
+                |b, ctx| b.iter(|| black_box(sample_batch(ctx, SHOTS, threads, 5))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dem_sampler,
+    bench_frame_simulator,
+    bench_batch_sampling
+);
 criterion_main!(benches);

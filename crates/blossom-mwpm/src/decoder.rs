@@ -2,7 +2,7 @@
 
 use crate::solution::MatchingSolution;
 use crate::{dense_blossom, subset_dp};
-use decoding_graph::{Decoder, GlobalWeightTable, Prediction};
+use decoding_graph::{DecodeScratch, Decoder, GlobalWeightTable, Prediction};
 
 /// Above this many active detectors the decoder switches from the subset
 /// DP to the blossom algorithm (the DP's memory is `O(2^k)`).
@@ -123,7 +123,7 @@ impl<'a> MwpmDecoder<'a> {
 
     fn decode_blossom(&self, dets: &[u32]) -> MatchingSolution {
         let k = dets.len();
-        let n = if k % 2 == 0 { k } else { k + 1 }; // virtual boundary node last
+        let n = if k.is_multiple_of(2) { k } else { k + 1 }; // virtual boundary node last
         let eff = |i: usize, j: usize| -> f64 {
             if i >= k || j >= k {
                 // Edge to the virtual boundary node.
@@ -172,6 +172,44 @@ impl Decoder for MwpmDecoder<'_> {
         let solution = self.decode_full(detectors);
         Prediction {
             observables: solution.observables,
+            cycles: 0,
+            deferred: false,
+        }
+    }
+
+    fn decode_with_scratch(
+        &mut self,
+        detectors: &[u32],
+        scratch: &mut DecodeScratch,
+    ) -> Prediction {
+        let k = detectors.len();
+        if k == 0 || k > DP_NODE_LIMIT {
+            // Blossom fallback is rare at realistic error rates; reuse the
+            // allocating path there.
+            return self.decode(detectors);
+        }
+        // Subset DP with all O(2^k) tables drawn from the arena, and the
+        // observable mask folded straight off the mate assignment — no
+        // MatchingSolution vectors on the hot path.
+        subset_dp::solve_with_scratch(
+            k,
+            |i, j| {
+                self.pair_w(detectors[i], detectors[j])
+                    .min(2.0 * WEIGHT_CLAMP)
+            },
+            |i| self.boundary_w(detectors[i]),
+            scratch,
+        );
+        let mut observables = 0u32;
+        for (i, &m) in scratch.mate[..k].iter().enumerate() {
+            if m == usize::MAX {
+                observables ^= self.gwt.boundary_obs(detectors[i]);
+            } else if m > i {
+                observables ^= self.gwt.pair_obs(detectors[i], detectors[m]);
+            }
+        }
+        Prediction {
+            observables,
             cycles: 0,
             deferred: false,
         }
@@ -280,6 +318,25 @@ mod tests {
         let sol_e = exact.decode_full(&[0, 5, 9, 12]);
         let sol_q = quant.decode_full(&[0, 5, 9, 12]);
         assert!((sol_e.weight - sol_q.weight).abs() < 1.0);
+    }
+
+    #[test]
+    fn scratch_path_matches_allocating_path() {
+        use qec_circuit::DemSampler;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let ctx = ctx(5, 5e-3);
+        let mut dec = MwpmDecoder::new(ctx.gwt());
+        let mut sampler = DemSampler::new(ctx.dem());
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut scratch = DecodeScratch::new();
+        for _ in 0..300 {
+            let shot = sampler.sample(&mut rng);
+            let plain = dec.decode(&shot.detectors);
+            let fast = dec.decode_with_scratch(&shot.detectors, &mut scratch);
+            assert_eq!(plain, fast, "diverged on {:?}", shot.detectors);
+        }
     }
 
     #[test]

@@ -474,7 +474,7 @@ pub fn min_weight_perfect_matching(
     weights: impl Fn(usize, usize) -> i64,
 ) -> (Vec<usize>, i64) {
     assert!(
-        n > 0 && n % 2 == 0,
+        n > 0 && n.is_multiple_of(2),
         "need an even, positive vertex count, got {n}"
     );
     let weights = &weights;

@@ -104,10 +104,7 @@ impl<'a> LocalMwpmDecoder<'a> {
         // from both ends can never appear in the optimum, so no search
         // needs to look past its own boundary cost plus the largest
         // boundary cost among the fired detectors.
-        let b_max = boundary
-            .iter()
-            .map(|c| c.weight)
-            .fold(0.0f64, f64::max);
+        let b_max = boundary.iter().map(|c| c.weight).fold(0.0f64, f64::max);
         for (i, &src) in detectors.iter().enumerate() {
             let radius = boundary[i].weight + b_max;
             self.search_from(src, i, target, radius, &mut pair_candidates);
@@ -123,7 +120,11 @@ impl<'a> LocalMwpmDecoder<'a> {
             let via = boundary[i].weight + boundary[j].weight;
             match pair_candidates.get(&key) {
                 Some(c) if c.weight <= via => (c.weight, c.observables, true),
-                _ => (via, boundary[i].observables ^ boundary[j].observables, false),
+                _ => (
+                    via,
+                    boundary[i].observables ^ boundary[j].observables,
+                    false,
+                ),
             }
         };
 
@@ -141,8 +142,7 @@ impl<'a> LocalMwpmDecoder<'a> {
                 };
                 (w.min(1e4) * 65_536.0).round() as i64 + 1
             });
-            mate
-                .into_iter()
+            mate.into_iter()
                 .take(m)
                 .map(|v| (v < m).then_some(v))
                 .collect()
@@ -206,10 +206,7 @@ impl<'a> LocalMwpmDecoder<'a> {
             if u != src && self.active_slot[u as usize] != u32::MAX {
                 // Reached another fired detector: record the candidate.
                 let j = self.active_slot[u as usize] as usize;
-                let key = (
-                    (src_slot.min(j)) as u32,
-                    (src_slot.max(j)) as u32,
-                );
+                let key = ((src_slot.min(j)) as u32, (src_slot.max(j)) as u32);
                 let cand = Candidate {
                     weight: d,
                     observables: self.parity[u as usize],
@@ -355,7 +352,7 @@ mod tests {
     fn agrees_with_full_mwpm_on_sampled_syndromes() {
         let ctx = ctx(5, 5e-3);
         let mut local = LocalMwpmDecoder::new(ctx.graph());
-        let mut full = MwpmDecoder::new(ctx.gwt());
+        let full = MwpmDecoder::new(ctx.gwt());
         let mut sampler = DemSampler::new(ctx.dem());
         let mut rng = StdRng::seed_from_u64(8);
         let (mut n, mut same, mut weight_optimal) = (0u32, 0u32, 0u32);

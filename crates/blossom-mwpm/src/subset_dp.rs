@@ -8,6 +8,8 @@
 //! transition set `O(k)`, for `O(2^k · k)` total time — exact and fast for
 //! the Hamming weights the Astrea paper targets (`k ≤ 20`).
 
+use decoding_graph::DecodeScratch;
+
 /// Hard cap on the number of nodes the DP will accept (memory is `O(2^k)`).
 pub const MAX_DP_NODES: usize = 26;
 
@@ -36,20 +38,50 @@ pub const MAX_DP_NODES: usize = 26;
 /// Panics if `k > MAX_DP_NODES`.
 pub fn solve(
     k: usize,
+    pair_weight: impl FnMut(usize, usize) -> f64,
+    boundary_weight: impl FnMut(usize) -> f64,
+) -> (Vec<Option<usize>>, f64) {
+    let mut scratch = DecodeScratch::new();
+    let cost = solve_with_scratch(k, pair_weight, boundary_weight, &mut scratch);
+    let mate = scratch.mate[..k]
+        .iter()
+        .map(|&m| if m == usize::MAX { None } else { Some(m) })
+        .collect();
+    (mate, cost)
+}
+
+/// [`solve`] with caller-provided working memory — the batched hot path.
+///
+/// All `O(2^k)` tables live in `scratch` and keep their capacity across
+/// calls; steady-state decoding performs no allocation. On return,
+/// `scratch.mate[..k]` holds the assignment (`usize::MAX` = boundary
+/// match) and the optimal total weight is returned.
+///
+/// # Panics
+///
+/// Panics if `k > MAX_DP_NODES`.
+pub fn solve_with_scratch(
+    k: usize,
     mut pair_weight: impl FnMut(usize, usize) -> f64,
     mut boundary_weight: impl FnMut(usize) -> f64,
-) -> (Vec<Option<usize>>, f64) {
+    scratch: &mut DecodeScratch,
+) -> f64 {
     assert!(
         k <= MAX_DP_NODES,
         "subset DP limited to {MAX_DP_NODES} nodes, got {k}"
     );
+    scratch.mate.clear();
     if k == 0 {
-        return (Vec::new(), 0.0);
+        return 0.0;
     }
 
     // Cache the weight oracle into dense arrays.
-    let mut w = vec![0.0f64; k * k];
-    let mut b = vec![0.0f64; k];
+    let w = &mut scratch.weights;
+    let b = &mut scratch.boundary;
+    w.clear();
+    w.resize(k * k, 0.0);
+    b.clear();
+    b.resize(k, 0.0);
     for i in 0..k {
         b[i] = boundary_weight(i);
         for j in (i + 1)..k {
@@ -60,10 +92,14 @@ pub fn solve(
     }
 
     let full = (1usize << k) - 1;
-    let mut cost = vec![f64::INFINITY; full + 1];
+    let cost = &mut scratch.cost;
+    cost.clear();
+    cost.resize(full + 1, f64::INFINITY);
     // choice[s]: the node the lowest set bit of s was matched with, or
     // usize::MAX for a boundary match.
-    let mut choice = vec![usize::MAX; full + 1];
+    let choice = &mut scratch.choice;
+    choice.clear();
+    choice.resize(full + 1, usize::MAX);
     cost[0] = 0.0;
 
     for s in 1..=full {
@@ -88,23 +124,23 @@ pub fn solve(
     }
 
     // Reconstruct.
-    let mut mate = vec![None; k];
+    scratch.mate.resize(k, usize::MAX);
     let mut s = full;
     while s != 0 {
         let i = s.trailing_zeros() as usize;
         let j = choice[s];
         if j == usize::MAX {
-            mate[i] = None;
+            scratch.mate[i] = usize::MAX;
             s &= !(1 << i);
         } else {
-            mate[i] = Some(j);
-            mate[j] = Some(i);
+            scratch.mate[i] = j;
+            scratch.mate[j] = i;
             s &= !(1 << i);
             s &= !(1 << j);
         }
     }
 
-    (mate, cost[full])
+    cost[full]
 }
 
 #[cfg(test)]
@@ -227,5 +263,25 @@ mod tests {
     #[should_panic(expected = "limited to")]
     fn rejects_oversized_input() {
         solve(MAX_DP_NODES + 1, |_, _| 0.0, |_| 0.0);
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_solve() {
+        // A dirty arena from a bigger problem must not leak into later,
+        // smaller solves.
+        let w = |i: usize, j: usize| (((i * 7 + j * 13) % 11) + 1) as f64;
+        let b = |i: usize| (((i * 5) % 7) + 2) as f64;
+        let mut scratch = DecodeScratch::new();
+        let _ = solve_with_scratch(7, w, b, &mut scratch);
+        for k in [0usize, 1, 3, 5] {
+            let (mate, cost) = solve(k, w, b);
+            let cost_s = solve_with_scratch(k, w, b, &mut scratch);
+            assert_eq!(cost, cost_s, "k={k}");
+            let mate_s: Vec<Option<usize>> = scratch.mate[..k]
+                .iter()
+                .map(|&m| if m == usize::MAX { None } else { Some(m) })
+                .collect();
+            assert_eq!(mate, mate_s, "k={k}");
+        }
     }
 }

@@ -10,6 +10,9 @@ use surface_code::SurfaceCode;
 /// Random even-sized complete graphs with positive integer weights.
 fn weight_matrix(n: usize) -> impl Strategy<Value = Vec<Vec<i64>>> {
     prop::collection::vec(prop::collection::vec(1i64..1000, n), n).prop_map(move |mut m| {
+        // Mirror the upper triangle onto the lower one and zero the
+        // diagonal (symmetric indexing keeps the range loop readable).
+        #[allow(clippy::needless_range_loop)]
         for i in 0..n {
             for j in 0..i {
                 m[i][j] = m[j][i];

@@ -1,5 +1,7 @@
 //! The decoder interface shared by every decoder in the workspace.
 
+use crate::scratch::DecodeScratch;
+
 /// The result of decoding one syndrome vector.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Prediction {
@@ -46,6 +48,23 @@ pub trait Decoder {
     /// Decodes one syndrome vector given the fired detectors, sorted
     /// ascending.
     fn decode(&mut self, detectors: &[u32]) -> Prediction;
+
+    /// Decodes one syndrome vector reusing caller-provided scratch
+    /// buffers — the batched hot path.
+    ///
+    /// Must return exactly what [`Decoder::decode`] returns for the same
+    /// input; the scratch arena only changes where working memory comes
+    /// from. The default implementation ignores the arena and delegates
+    /// to `decode`, so decoders whose working set is trivial need not
+    /// override it.
+    fn decode_with_scratch(
+        &mut self,
+        detectors: &[u32],
+        scratch: &mut DecodeScratch,
+    ) -> Prediction {
+        let _ = scratch;
+        self.decode(detectors)
+    }
 
     /// A short human-readable name ("MWPM", "Astrea", …) used in reports.
     fn name(&self) -> &'static str;

@@ -3,6 +3,10 @@
 use qec_circuit::{Circuit, DetectorCoord, DetectorErrorModel, ErrorMechanism};
 use std::collections::HashMap;
 
+/// Merged-edge accumulator keyed by detector pair (`u32::MAX` = boundary):
+/// total probability plus per-observable-mask probability votes.
+type MergedEdges = HashMap<(u32, u32), (f64, HashMap<u32, f64>)>;
+
 /// Minimum probability an edge can carry; prevents infinite weights for
 /// pathological inputs.
 const MIN_EDGE_PROBABILITY: f64 = 1e-30;
@@ -112,14 +116,8 @@ impl MatchingGraph {
         let coords: Vec<DetectorCoord> = circuit.detectors().iter().map(|d| d.coord).collect();
 
         // Pass 1: direct edges from 1- and 2-detector mechanisms.
-        let mut merged: HashMap<(u32, u32), (f64, HashMap<u32, f64>)> = HashMap::new();
-        fn add(
-            merged: &mut HashMap<(u32, u32), (f64, HashMap<u32, f64>)>,
-            u: u32,
-            v: Option<u32>,
-            p: f64,
-            obs: u32,
-        ) {
+        let mut merged: MergedEdges = HashMap::new();
+        fn add(merged: &mut MergedEdges, u: u32, v: Option<u32>, p: f64, obs: u32) {
             let key = match v {
                 Some(v) => (u.min(v), u.max(v)),
                 None => (u, u32::MAX),
@@ -165,7 +163,7 @@ impl MatchingGraph {
         let mut edges: Vec<Edge> = merged
             .into_iter()
             .map(|((a, b), (p, obs_votes))| {
-                let p = p.max(MIN_EDGE_PROBABILITY).min(1.0 - 1e-15);
+                let p = p.clamp(MIN_EDGE_PROBABILITY, 1.0 - 1e-15);
                 // Majority (by probability mass) observable interpretation.
                 let observables = obs_votes
                     .into_iter()
@@ -283,7 +281,7 @@ impl MatchingGraph {
 fn decompose(
     dets: &[u32],
     obs: u32,
-    existing: &HashMap<(u32, u32), (f64, HashMap<u32, f64>)>,
+    existing: &MergedEdges,
     coords: &[DetectorCoord],
 ) -> Vec<(u32, Option<u32>, u32)> {
     let has_pair = |a: u32, b: u32| existing.contains_key(&(a.min(b), a.max(b)));

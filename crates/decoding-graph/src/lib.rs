@@ -35,9 +35,11 @@ mod decoder;
 mod graph;
 mod gwt;
 mod paths;
+mod scratch;
 
 pub use context::DecodingContext;
 pub use decoder::{Decoder, Prediction};
 pub use graph::{Edge, EdgeKind, MatchingGraph};
 pub use gwt::GlobalWeightTable;
 pub use paths::PathReconstructor;
+pub use scratch::DecodeScratch;

@@ -1,0 +1,69 @@
+//! Reusable decode scratch buffers.
+//!
+//! Batched decoding runs millions of shots through one decoder instance;
+//! allocating working memory per shot dominates the runtime of the
+//! software decoders (the subset DP alone needs `O(2^k)` floats). A
+//! [`DecodeScratch`] is an arena of growable buffers that a worker owns
+//! alongside its decoder and passes into
+//! [`Decoder::decode_with_scratch`](crate::Decoder::decode_with_scratch)
+//! for every shot: buffers are cleared, never shrunk, so steady-state
+//! decoding performs no allocation.
+//!
+//! The buffers are deliberately generic (weight tables, per-node costs,
+//! index maps) so that any decoder in the workspace can reuse the same
+//! arena without this crate knowing its internals.
+
+/// A reusable arena of decode working buffers.
+///
+/// All buffers keep their capacity across calls. A decoder using the
+/// arena must not assume the buffers are empty on entry — clear (or
+/// `resize`) what it uses.
+#[derive(Debug, Clone, Default)]
+pub struct DecodeScratch {
+    /// Dense pairwise weight matrix (row-major, `k × k`).
+    pub weights: Vec<f64>,
+    /// Per-node boundary weights.
+    pub boundary: Vec<f64>,
+    /// Per-state cost table (e.g. the subset DP's `2^k` entries).
+    pub cost: Vec<f64>,
+    /// Per-state choice/backtracking table.
+    pub choice: Vec<usize>,
+    /// Per-node mate assignment; `usize::MAX` means "boundary".
+    pub mate: Vec<usize>,
+    /// Detector-index working buffer.
+    pub detectors: Vec<u32>,
+}
+
+impl DecodeScratch {
+    /// A fresh, empty arena.
+    pub fn new() -> DecodeScratch {
+        DecodeScratch::default()
+    }
+
+    /// Clears every buffer without releasing capacity.
+    pub fn clear(&mut self) {
+        self.weights.clear();
+        self.boundary.clear();
+        self.cost.clear();
+        self.choice.clear();
+        self.mate.clear();
+        self.detectors.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let mut s = DecodeScratch::new();
+        s.cost.resize(1 << 10, 0.0);
+        s.mate.resize(16, usize::MAX);
+        let cap = s.cost.capacity();
+        s.clear();
+        assert!(s.cost.is_empty());
+        assert!(s.mate.is_empty());
+        assert_eq!(s.cost.capacity(), cap);
+    }
+}

@@ -50,7 +50,7 @@ fn parse_args() -> Result<Options, String> {
         trials: None,
         per_k: None,
         threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
-        seed: 0xA57E_A0,
+        seed: 0x00A5_7EA0,
         fast: false,
     };
     while let Some(arg) = args.next() {
@@ -498,7 +498,10 @@ fn fig3(opts: &Options) {
         let _ = local.decode_full(&shot.detectors);
         local_us.push(t.elapsed().as_secs_f64() * 1e6);
     }
-    for (name, latencies_us) in [("dense exact MWPM", &mut dense_us), ("local sparse MWPM", &mut local_us)] {
+    for (name, latencies_us) in [
+        ("dense exact MWPM", &mut dense_us),
+        ("local sparse MWPM", &mut local_us),
+    ] {
         latencies_us.sort_by(f64::total_cmp);
         let n = latencies_us.len().max(1);
         let pct = |q: f64| latencies_us[((n as f64 * q) as usize).min(n - 1)];
@@ -609,7 +612,7 @@ fn fig10(opts: &Options) {
             } else {
                 gwt.pair_weight(i, j)
             };
-            let bucket = (w.min(32.0).max(0.0)) as usize;
+            let bucket = w.clamp(0.0, 32.0) as usize;
             hist[bucket.min(32)] += 1;
             total += 1;
         }
@@ -1130,7 +1133,13 @@ fn backlog(opts: &Options) {
     print!(
         "{}",
         report::render_table(
-            &["decoder", "max backlog", "p99 sojourn ns", "max sojourn ns", "late windows"],
+            &[
+                "decoder",
+                "max backlog",
+                "p99 sojourn ns",
+                "max sojourn ns",
+                "late windows"
+            ],
             &rows
         )
     );

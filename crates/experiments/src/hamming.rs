@@ -2,6 +2,7 @@
 //! Table 5, Figure 6).
 
 use crate::harness::ExperimentContext;
+use astrea_core::batch::shot_seed;
 use qec_circuit::{DemSampler, Shot};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -15,7 +16,9 @@ pub struct HammingHistogram {
 
 impl HammingHistogram {
     /// Samples `trials` syndromes and histograms their Hamming weights,
-    /// splitting the work across `threads` threads.
+    /// splitting the work across `threads` threads. Each shot seeds its
+    /// own RNG from its index, so the histogram depends only on
+    /// `(trials, seed)`.
     pub fn sample(
         ctx: &ExperimentContext,
         trials: u64,
@@ -23,19 +26,18 @@ impl HammingHistogram {
         seed: u64,
     ) -> HammingHistogram {
         let threads = threads.max(1);
-        let per = trials / threads as u64;
-        let rem = trials % threads as u64;
-        crossbeam::thread::scope(|scope| {
+        let n = trials as usize;
+        let chunk = n.div_ceil(threads).max(1);
+        std::thread::scope(|scope| {
             let mut handles = Vec::new();
-            for tid in 0..threads {
-                let n = per + u64::from((tid as u64) < rem);
-                handles.push(scope.spawn(move |_| {
+            for start in (0..n).step_by(chunk) {
+                let end = (start + chunk).min(n);
+                handles.push(scope.spawn(move || {
                     let mut sampler = DemSampler::new(ctx.dem());
-                    let mut rng =
-                        StdRng::seed_from_u64(seed.wrapping_add(0xABCD_EF01 * (tid as u64 + 1)));
                     let mut local = HammingHistogram::default();
                     let mut shot = Shot::default();
-                    for _ in 0..n {
+                    for i in start..end {
+                        let mut rng = StdRng::seed_from_u64(shot_seed(seed, i as u64));
                         sampler.sample_into(&mut rng, &mut shot);
                         local.record(shot.hamming_weight());
                     }
@@ -48,7 +50,6 @@ impl HammingHistogram {
             }
             total
         })
-        .expect("thread scope failed")
     }
 
     fn record(&mut self, hw: usize) {

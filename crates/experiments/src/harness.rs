@@ -1,10 +1,19 @@
-//! Parallel Monte-Carlo memory experiments.
+//! Parallel Monte-Carlo memory experiments, built on the batched decode
+//! engine in [`astrea_core::batch`].
+//!
+//! Sampling and decoding are both deterministic in `seed` *alone*: every
+//! shot draws its own RNG from [`shot_seed`]`(seed, shot_index)` and all
+//! counters merge order-independently, so results are bit-identical for
+//! any thread count.
 
-use decoding_graph::{Decoder, DecodingContext};
+use astrea_core::batch::{decode_slice, shot_seed, SyndromeBatch, SyndromeBatchBuilder};
+use decoding_graph::{DecodeScratch, Decoder, DecodingContext};
 use qec_circuit::{DemSampler, NoiseModel, Shot};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use surface_code::SurfaceCode;
+
+pub use astrea_core::LatencyStats;
 
 /// A decoding context plus the experiment parameters that produced it.
 ///
@@ -111,83 +120,111 @@ impl LerResult {
         let p = self.ler();
         (p * (1.0 - p) / self.trials as f64).sqrt()
     }
-
-    fn merge(&mut self, other: &LerResult) {
-        self.trials += other.trials;
-        self.failures += other.failures;
-        self.deferred += other.deferred;
-        self.latency.merge(&other.latency);
-    }
 }
 
-/// Mergeable latency statistics in decoder cycles.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct LatencyStats {
-    /// Total cycles across all shots.
-    pub total_cycles: u64,
-    /// Total cycles across shots with Hamming weight > 2 (the paper's
-    /// "Mean (HW > 2 Only)" series in Figure 9).
-    pub total_cycles_nontrivial: u64,
-    /// Number of shots with Hamming weight > 2.
-    pub nontrivial_shots: u64,
-    /// Worst-case cycles observed.
-    pub max_cycles: u64,
-    /// Number of shots observed (including trivial ones).
-    pub shots: u64,
+/// Samples `trials` shots from the context's detector error model into a
+/// [`SyndromeBatch`], splitting the work across `threads` threads.
+///
+/// Shot `i` is drawn from a fresh RNG seeded with [`shot_seed`]`(seed,
+/// i)` and the per-thread partial batches are concatenated in index
+/// order, so the batch depends only on `(trials, seed)` — never on the
+/// thread count.
+pub fn sample_batch(
+    ctx: &ExperimentContext,
+    trials: u64,
+    threads: usize,
+    seed: u64,
+) -> SyndromeBatch {
+    let threads = threads.max(1);
+    let n = trials as usize;
+    let chunk = n.div_ceil(threads).max(1);
+    let parts: Vec<SyndromeBatchBuilder> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for start in (0..n).step_by(chunk) {
+            let end = (start + chunk).min(n);
+            let dem = ctx.dem();
+            handles.push(scope.spawn(move || {
+                let mut sampler = DemSampler::new(dem);
+                let mut builder = SyndromeBatchBuilder::default();
+                let mut shot = Shot::default();
+                for i in start..end {
+                    let mut rng = StdRng::seed_from_u64(shot_seed(seed, i as u64));
+                    sampler.sample_into(&mut rng, &mut shot);
+                    builder.push(&shot.detectors, shot.observables);
+                }
+                builder
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sampler thread panicked"))
+            .collect()
+    });
+    let mut all = SyndromeBatch::builder();
+    for part in parts {
+        all.append(part);
+    }
+    all.finish()
 }
 
-impl LatencyStats {
-    fn record(&mut self, hamming_weight: usize, cycles: u64) {
-        self.shots += 1;
-        self.total_cycles += cycles;
-        self.max_cycles = self.max_cycles.max(cycles);
-        if hamming_weight > 2 {
-            self.total_cycles_nontrivial += cycles;
-            self.nontrivial_shots += 1;
+/// Decodes a prepared batch with scoped worker threads, one decoder from
+/// `factory` plus one scratch arena per worker, and folds the outcome
+/// into a [`LerResult`].
+///
+/// This is the borrowed-factory twin of
+/// [`astrea_core::BatchDecoder::decode_batch`]: both run the shared
+/// [`decode_slice`] loop over contiguous shot ranges, so their accounting
+/// is identical; this one allows decoders that borrow from the
+/// experiment context (at the cost of spawning threads per call).
+pub fn decode_batch_ler<'a>(
+    ctx: &'a ExperimentContext,
+    batch: &SyndromeBatch,
+    threads: usize,
+    factory: &DecoderFactory<'a>,
+) -> LerResult {
+    let threads = threads.max(1);
+    let n = batch.len();
+    let mut result = LerResult {
+        trials: n as u64,
+        ..LerResult::default()
+    };
+    if n == 0 {
+        return result;
+    }
+    let chunk = n.div_ceil(threads);
+    let outcomes = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for start in (0..n).step_by(chunk) {
+            let end = (start + chunk).min(n);
+            handles.push(scope.spawn(move || {
+                let mut decoder = factory(ctx);
+                let mut scratch = DecodeScratch::new();
+                decode_slice(decoder.as_mut(), &mut scratch, batch, start..end)
+            }));
         }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("decode worker panicked"))
+            .collect::<Vec<_>>()
+    });
+    for outcome in &outcomes {
+        result.failures += outcome.failures;
+        result.deferred += outcome.deferred;
+        result.latency.merge(&outcome.stats);
     }
-
-    fn merge(&mut self, other: &LatencyStats) {
-        self.total_cycles += other.total_cycles;
-        self.total_cycles_nontrivial += other.total_cycles_nontrivial;
-        self.nontrivial_shots += other.nontrivial_shots;
-        self.max_cycles = self.max_cycles.max(other.max_cycles);
-        self.shots += other.shots;
-    }
-
-    /// Mean latency over all shots, in nanoseconds at the given frequency.
-    pub fn mean_ns(&self, freq_mhz: f64) -> f64 {
-        if self.shots == 0 {
-            0.0
-        } else {
-            self.total_cycles as f64 / self.shots as f64 * 1e3 / freq_mhz
-        }
-    }
-
-    /// Mean latency over shots with Hamming weight > 2.
-    pub fn mean_nontrivial_ns(&self, freq_mhz: f64) -> f64 {
-        if self.nontrivial_shots == 0 {
-            0.0
-        } else {
-            self.total_cycles_nontrivial as f64 / self.nontrivial_shots as f64 * 1e3 / freq_mhz
-        }
-    }
-
-    /// Worst-case latency in nanoseconds.
-    pub fn max_ns(&self, freq_mhz: f64) -> f64 {
-        self.max_cycles as f64 * 1e3 / freq_mhz
-    }
+    result
 }
 
 /// Estimates the logical error rate of a decoder by running `trials`
 /// memory experiments across `threads` worker threads.
 ///
-/// Each worker samples shots from the detector error model (statistically
+/// Shots are sampled from the detector error model (statistically
 /// identical to full circuit-level Pauli-frame simulation — see
-/// `qec-circuit`'s validation tests), decodes them with its own decoder
-/// instance from `factory`, and counts a failure whenever the predicted
-/// observable flip disagrees with the actual one. Runs are reproducible
-/// for a fixed `(trials, threads, seed)` triple.
+/// `qec-circuit`'s validation tests) into a [`SyndromeBatch`], then
+/// decoded through the shared batch path with one decoder instance from
+/// `factory` per worker. A failure is counted whenever the predicted
+/// observable flip disagrees with the actual one. Results depend only on
+/// `(trials, seed)`: any thread count produces bit-identical output.
 pub fn estimate_ler<'a>(
     ctx: &'a ExperimentContext,
     trials: u64,
@@ -195,49 +232,8 @@ pub fn estimate_ler<'a>(
     seed: u64,
     factory: &DecoderFactory<'a>,
 ) -> LerResult {
-    let threads = threads.max(1);
-    let per_thread = trials / threads as u64;
-    let remainder = trials % threads as u64;
-
-    let results = crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(threads);
-        for tid in 0..threads {
-            let thread_trials = per_thread + u64::from((tid as u64) < remainder);
-            let handle = scope.spawn(move |_| {
-                let mut decoder = factory(ctx);
-                let mut sampler = DemSampler::new(ctx.dem());
-                let mut rng = StdRng::seed_from_u64(
-                    seed ^ (0x9E37_79B9_7F4A_7C15u64).wrapping_mul(tid as u64 + 1),
-                );
-                let mut local = LerResult::default();
-                let mut shot = Shot::default();
-                for _ in 0..thread_trials {
-                    sampler.sample_into(&mut rng, &mut shot);
-                    local.trials += 1;
-                    if shot.detectors.is_empty() {
-                        // Trivial shot: identity prediction, zero latency.
-                        local.latency.record(0, 0);
-                        local.failures += u64::from(shot.observables != 0);
-                        continue;
-                    }
-                    let p = decoder.decode(&shot.detectors);
-                    local.latency.record(shot.detectors.len(), p.cycles);
-                    local.deferred += u64::from(p.deferred);
-                    local.failures += u64::from(p.observables != shot.observables);
-                }
-                local
-            });
-            handles.push(handle);
-        }
-        let mut total = LerResult::default();
-        for h in handles {
-            total.merge(&h.join().expect("worker thread panicked"));
-        }
-        total
-    })
-    .expect("thread scope failed");
-
-    results
+    let batch = sample_batch(ctx, trials, threads, seed);
+    decode_batch_ler(ctx, &batch, threads, factory)
 }
 
 #[cfg(test)]
@@ -265,12 +261,29 @@ mod tests {
     }
 
     #[test]
-    fn thread_count_does_not_change_trial_count() {
+    fn thread_count_does_not_change_any_result() {
+        // Stronger than trial-count preservation: per-shot seeding makes
+        // the whole LerResult (failures, latency histograms, everything)
+        // identical for every thread count.
         let ctx = ExperimentContext::new(3, 5e-3);
         let factory: Box<DecoderFactory> = Box::new(|c| Box::new(MwpmDecoder::new(c.gwt())));
-        for threads in [1, 2, 5] {
+        let reference = estimate_ler(&ctx, 1_003, 1, 9, &*factory);
+        assert_eq!(reference.trials, 1_003);
+        for threads in [2, 5, 16] {
             let r = estimate_ler(&ctx, 1_003, threads, 9, &*factory);
-            assert_eq!(r.trials, 1_003);
+            assert_eq!(r, reference, "diverged at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn sampled_batches_are_thread_count_independent() {
+        let ctx = ExperimentContext::new(3, 5e-3);
+        let a = sample_batch(&ctx, 501, 1, 7);
+        let b = sample_batch(&ctx, 501, 4, 7);
+        assert_eq!(a.len(), b.len());
+        for i in 0..a.len() {
+            assert_eq!(a.detectors(i), b.detectors(i), "shot {i}");
+            assert_eq!(a.observables(i), b.observables(i), "shot {i}");
         }
     }
 

@@ -26,4 +26,7 @@ pub mod realtime;
 pub mod report;
 pub mod stratified;
 
-pub use harness::{estimate_ler, DecoderFactory, ExperimentContext, LatencyStats, LerResult};
+pub use harness::{
+    decode_batch_ler, estimate_ler, sample_batch, DecoderFactory, ExperimentContext, LatencyStats,
+    LerResult,
+};

@@ -63,7 +63,7 @@ pub fn parse_trials(s: &str) -> Result<u64, String> {
         return Ok(n);
     }
     match s.parse::<f64>() {
-        Ok(x) if x >= 1.0 && x < 1e18 => Ok(x as u64),
+        Ok(x) if (1.0..1e18).contains(&x) => Ok(x as u64),
         _ => Err(format!("invalid trial count: {s}")),
     }
 }

@@ -16,6 +16,8 @@
 //! proportional to their rates).
 
 use crate::harness::{DecoderFactory, ExperimentContext};
+use astrea_core::batch::shot_seed;
+use decoding_graph::DecodeScratch;
 use qec_circuit::ErrorMechanism;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -83,7 +85,7 @@ pub fn poisson_binomial(probabilities: &[f64], max_k: usize) -> (Vec<f64>, f64) 
         dist[0] *= 1.0 - p;
         // Mass leaving the tracked range. (Tail re-entry is impossible:
         // counts never decrease.)
-        tail = tail + spill;
+        tail += spill;
     }
     (dist, tail)
 }
@@ -93,7 +95,9 @@ pub fn poisson_binomial(probabilities: &[f64], max_k: usize) -> (Vec<f64>, f64) 
 /// For each `k ∈ [1, max_k]`, draws `trials_per_k` syndromes from exactly
 /// `k` distinct mechanisms (selected with probability proportional to
 /// their rates), decodes each, and combines the conditional failure rates
-/// with the exact Poisson–binomial occurrence probabilities.
+/// with the exact Poisson–binomial occurrence probabilities. Each trial
+/// seeds its own RNG from its `(stratum, trial)` index, so the estimate
+/// is bit-identical for every thread count.
 pub fn estimate_stratified<'a>(
     ctx: &'a ExperimentContext,
     max_k: usize,
@@ -118,25 +122,24 @@ pub fn estimate_stratified<'a>(
     let threads = threads.max(1);
     let strata: Vec<KStratum> = (1..=max_k)
         .map(|k| {
-            let per = trials_per_k / threads as u64;
-            let rem = trials_per_k % threads as u64;
-            let failures: u64 = crossbeam::thread::scope(|scope| {
+            let n = trials_per_k as usize;
+            let chunk = n.div_ceil(threads).max(1);
+            let stratum_seed = seed ^ ((k as u64) << 32);
+            let failures: u64 = std::thread::scope(|scope| {
                 let cumulative = &cumulative;
                 let mut handles = Vec::new();
-                for tid in 0..threads {
-                    let n = per + u64::from((tid as u64) < rem);
-                    handles.push(scope.spawn(move |_| {
+                for start in (0..n).step_by(chunk) {
+                    let end = (start + chunk).min(n);
+                    handles.push(scope.spawn(move || {
                         let mut decoder = factory(ctx);
-                        let mut rng = StdRng::seed_from_u64(
-                            seed ^ (k as u64) << 32
-                                ^ (tid as u64).wrapping_mul(0xDEAD_BEEF_1234_5678),
-                        );
+                        let mut scratch = DecodeScratch::new();
                         let mut fails = 0u64;
                         let mut chosen: Vec<usize> = Vec::with_capacity(k);
-                        for _ in 0..n {
+                        for t in start..end {
+                            let mut rng = StdRng::seed_from_u64(shot_seed(stratum_seed, t as u64));
                             sample_k_mechanisms(&mut rng, cumulative, total_rate, k, &mut chosen);
                             let (dets, obs) = combine(mechanisms, &chosen);
-                            let p = decoder.decode(&dets);
+                            let p = decoder.decode_with_scratch(&dets, &mut scratch);
                             fails += u64::from(p.observables != obs);
                         }
                         fails
@@ -146,8 +149,7 @@ pub fn estimate_stratified<'a>(
                     .into_iter()
                     .map(|h| h.join().expect("worker panicked"))
                     .sum()
-            })
-            .expect("thread scope failed");
+            });
             KStratum {
                 k,
                 trials: trials_per_k,

@@ -511,7 +511,7 @@ mod tests {
             for (i, &b) in dets.iter().enumerate() {
                 frame_counts[i] += b as u32;
             }
-            frame_obs += (obs & 1) as u32;
+            frame_obs += obs & 1;
         }
 
         let mut dem_counts = vec![0u32; dem.num_detectors()];
@@ -524,7 +524,7 @@ mod tests {
             for &d in &shot.detectors {
                 dem_counts[d as usize] += 1;
             }
-            dem_obs += (shot.observables & 1) as u32;
+            dem_obs += shot.observables & 1;
         }
 
         for (i, (&f, &s)) in frame_counts.iter().zip(&dem_counts).enumerate() {

@@ -40,12 +40,18 @@ pub fn build_repetition_memory_circuit(
         c.push(Op::Tick);
         if noise.data > 0.0 {
             for q in 0..n_data {
-                c.push(Op::Depolarize1 { q: q as u32, p: noise.data });
+                c.push(Op::Depolarize1 {
+                    q: q as u32,
+                    p: noise.data,
+                });
             }
         }
         if noise.reset > 0.0 {
             for s in 0..n_stab {
-                c.push(Op::Depolarize1 { q: ancilla(s), p: noise.reset });
+                c.push(Op::Depolarize1 {
+                    q: ancilla(s),
+                    p: noise.reset,
+                });
             }
         }
         // Two CNOT steps: left neighbors, then right neighbors.
@@ -64,7 +70,10 @@ pub fn build_repetition_memory_circuit(
         }
         if noise.measure > 0.0 {
             for s in 0..n_stab {
-                c.push(Op::Depolarize1 { q: ancilla(s), p: noise.measure });
+                c.push(Op::Depolarize1 {
+                    q: ancilla(s),
+                    p: noise.measure,
+                });
             }
         }
         let base = (round * n_stab) as u32;
@@ -72,9 +81,9 @@ pub fn build_repetition_memory_circuit(
             c.push(Op::MeasureZ(ancilla(s)));
             c.push(Op::ResetZ(ancilla(s)));
         }
-        for s in 0..n_stab {
+        for (s, prev) in prev_rec.iter_mut().enumerate() {
             let rec = base + s as u32;
-            let records = match prev_rec[s] {
+            let records = match *prev {
                 None => vec![rec],
                 Some(prev) => vec![prev, rec],
             };
@@ -87,28 +96,31 @@ pub fn build_repetition_memory_circuit(
                     round: round as i32,
                 },
             );
-            prev_rec[s] = Some(rec);
+            *prev = Some(rec);
         }
     }
 
     c.push(Op::Tick);
     if noise.final_measure > 0.0 {
         for q in 0..n_data {
-            c.push(Op::Depolarize1 { q: q as u32, p: noise.final_measure });
+            c.push(Op::Depolarize1 {
+                q: q as u32,
+                p: noise.final_measure,
+            });
         }
     }
     let data_base = (rounds * n_stab) as u32;
     for q in 0..n_data {
         c.push(Op::MeasureZ(q as u32));
     }
-    for s in 0..n_stab {
+    for (s, prev) in prev_rec.iter().enumerate() {
         let [a, b] = code.stabilizer_support(s);
         let coord = code.ancilla_coord(s);
         c.push_detector(
             vec![
                 data_base + a as u32,
                 data_base + b as u32,
-                prev_rec[s].expect("measured every round"),
+                prev.expect("measured every round"),
             ],
             DetectorCoord {
                 row: coord.row,

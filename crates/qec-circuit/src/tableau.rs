@@ -314,7 +314,11 @@ impl TableauSimulator {
         circuit
             .detectors()
             .iter()
-            .map(|d| d.records.iter().fold(false, |acc, &r| acc ^ records[r as usize]))
+            .map(|d| {
+                d.records
+                    .iter()
+                    .fold(false, |acc, &r| acc ^ records[r as usize])
+            })
             .collect()
     }
 }
@@ -375,7 +379,10 @@ mod tests {
             assert_eq!(sim.measure_z(0, &mut r), first);
             ones += first as u32;
         }
-        assert!((50..=150).contains(&ones), "biased |+⟩ measurements: {ones}/200");
+        assert!(
+            (50..=150).contains(&ones),
+            "biased |+⟩ measurements: {ones}/200"
+        );
     }
 
     #[test]
@@ -469,7 +476,10 @@ mod tests {
                 if let Op::Tick = op {
                     ticks += 1;
                     if ticks == 1 {
-                        noisy.push(Op::XError { q: err_qubit, p: 1.0 });
+                        noisy.push(Op::XError {
+                            q: err_qubit,
+                            p: 1.0,
+                        });
                     }
                 }
             }
@@ -517,7 +527,10 @@ mod tests {
             if matches!(op, Op::Tick) && first_tick {
                 first_tick = false;
                 for &q in &code.logical_x_support() {
-                    noisy.push(Op::XError { q: q as u32, p: 1.0 });
+                    noisy.push(Op::XError {
+                        q: q as u32,
+                        p: 1.0,
+                    });
                 }
             }
         }

@@ -110,10 +110,7 @@ mod tests {
     #[test]
     fn rank_detects_dependence() {
         // Row 2 = row 0 + row 1.
-        let m = BinaryMatrix::from_supports(
-            vec![vec![0, 1], vec![1, 2], vec![0, 2]],
-            3,
-        );
+        let m = BinaryMatrix::from_supports(vec![vec![0, 1], vec![1, 2], vec![0, 2]], 3);
         assert_eq!(m.rank(), 2);
     }
 

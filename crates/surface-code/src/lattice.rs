@@ -72,7 +72,7 @@ impl SurfaceCode {
     ///
     /// Returns [`InvalidDistance`] unless `distance` is odd and at least 3.
     pub fn new(distance: usize) -> Result<SurfaceCode, InvalidDistance> {
-        if distance < 3 || distance % 2 == 0 {
+        if distance < 3 || distance.is_multiple_of(2) {
             return Err(InvalidDistance(distance));
         }
         let d = distance as i32;
@@ -464,8 +464,16 @@ mod group_structure_tests {
         for d in [3usize, 5, 7] {
             let code = SurfaceCode::new(d).unwrap();
             let per_basis = (d * d - 1) / 2;
-            assert_eq!(stabilizer_matrix(&code, Basis::X).rank(), per_basis, "X rank, d={d}");
-            assert_eq!(stabilizer_matrix(&code, Basis::Z).rank(), per_basis, "Z rank, d={d}");
+            assert_eq!(
+                stabilizer_matrix(&code, Basis::X).rank(),
+                per_basis,
+                "X rank, d={d}"
+            );
+            assert_eq!(
+                stabilizer_matrix(&code, Basis::Z).rank(),
+                per_basis,
+                "Z rank, d={d}"
+            );
         }
     }
 

@@ -40,8 +40,8 @@ mod repetition;
 mod resources;
 
 pub use lattice::{Stabilizer, SurfaceCode, SCHEDULE_STEPS};
-pub use repetition::RepetitionCode;
 pub use pauli::{Basis, Coord, Pauli};
+pub use repetition::RepetitionCode;
 pub use resources::CodeResources;
 
 use std::error::Error;

@@ -199,8 +199,8 @@ impl UnionFindDecoder {
         loop {
             // Collect roots of odd, non-boundary clusters.
             let mut active_roots: Vec<u32> = Vec::new();
-            for i in 0..detectors.len() {
-                let r = self.find(detectors[i]);
+            for &d in detectors {
+                let r = self.find(d);
                 if self.odd[r as usize] && !self.has_boundary[r as usize] {
                     active_roots.push(r);
                 }

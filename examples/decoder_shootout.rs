@@ -12,7 +12,14 @@
 use astrea::prelude::*;
 use astrea_experiments::DecoderFactory;
 
-const NAMES: [&str; 6] = ["MWPM", "Local-MWPM", "Astrea", "Astrea-G", "UF (AFS)", "Clique"];
+const NAMES: [&str; 6] = [
+    "MWPM",
+    "Local-MWPM",
+    "Astrea",
+    "Astrea-G",
+    "UF (AFS)",
+    "Clique",
+];
 
 fn run_one(ctx: &ExperimentContext, name: &str, trials: u64, threads: usize) -> f64 {
     let factory: Box<DecoderFactory> = match name {

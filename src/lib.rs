@@ -51,13 +51,17 @@ pub use union_find_decoder;
 /// The most common imports, bundled.
 pub mod prelude {
     pub use astrea_core::{
-        AstreaConfig, AstreaDecoder, AstreaGConfig, AstreaGDecoder, CliqueDecoder, CycleModel,
-        LutDecoder, SyndromeCompressor,
+        decode_slice, shot_seed, AstreaConfig, AstreaDecoder, AstreaGConfig, AstreaGDecoder,
+        BatchDecoder, BatchDecoderFactory, BatchResult, CliqueDecoder, CycleModel, LatencyStats,
+        LutDecoder, SliceOutcome, SyndromeBatch, SyndromeBatchBuilder, SyndromeCompressor,
     };
-    pub use astrea_experiments::{estimate_ler, ExperimentContext, LerResult};
+    pub use astrea_experiments::{
+        decode_batch_ler, estimate_ler, sample_batch, ExperimentContext, LerResult,
+    };
     pub use blossom_mwpm::{LocalMwpmDecoder, MwpmDecoder};
     pub use decoding_graph::{
-        Decoder, DecodingContext, GlobalWeightTable, MatchingGraph, PathReconstructor, Prediction,
+        DecodeScratch, Decoder, DecodingContext, GlobalWeightTable, MatchingGraph,
+        PathReconstructor, Prediction,
     };
     pub use qec_circuit::{
         build_memory_x_circuit, build_memory_z_circuit, Circuit, DemSampler, DetectorErrorModel,

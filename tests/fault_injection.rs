@@ -13,7 +13,10 @@ use astrea::prelude::*;
 use qec_circuit::ErrorMechanism;
 
 fn combine(mechs: &[&ErrorMechanism]) -> (Vec<u32>, u32) {
-    let mut dets: Vec<u32> = mechs.iter().flat_map(|m| m.detectors.iter().copied()).collect();
+    let mut dets: Vec<u32> = mechs
+        .iter()
+        .flat_map(|m| m.detectors.iter().copied())
+        .collect();
     dets.sort_unstable();
     let mut folded = Vec::new();
     let mut k = 0;
@@ -41,7 +44,11 @@ fn every_single_mechanism_is_corrected() {
         for m in ctx.dem().mechanisms() {
             let (dets, obs) = combine(&[m]);
             assert_eq!(mwpm.decode(&dets).observables, obs, "MWPM, d={d}, {m:?}");
-            assert_eq!(astrea.decode(&dets).observables, obs, "Astrea, d={d}, {m:?}");
+            assert_eq!(
+                astrea.decode(&dets).observables,
+                obs,
+                "Astrea, d={d}, {m:?}"
+            );
             assert_eq!(uf.decode(&dets).observables, obs, "UF, d={d}, {m:?}");
         }
     }
@@ -100,7 +107,10 @@ fn distance_3_corrects_singles_but_not_all_pairs() {
             total += 1;
         }
     }
-    assert!(failures > 0, "two errors should defeat a distance-3 code sometimes");
+    assert!(
+        failures > 0,
+        "two errors should defeat a distance-3 code sometimes"
+    );
     assert!(
         failures < total / 4,
         "but most pairs should still decode ({failures}/{total} failed)"

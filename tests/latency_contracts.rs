@@ -98,6 +98,97 @@ fn shrinking_the_budget_shrinks_worst_case_latency() {
 }
 
 #[test]
+fn latency_stats_empty_batch_reports_zeros() {
+    // Regression: an empty batch must report zero everywhere instead of
+    // dividing by zero or returning garbage percentiles.
+    let s = LatencyStats::default();
+    assert_eq!(s.shots, 0);
+    assert_eq!(s.mean_cycles(), 0.0);
+    assert_eq!(s.mean_ns(250.0), 0.0);
+    assert_eq!(s.mean_nontrivial_ns(250.0), 0.0);
+    assert_eq!(s.max_ns(250.0), 0.0);
+    for pct in [0.0, 50.0, 99.0, 100.0] {
+        assert_eq!(s.percentile_cycles(pct), 0, "p{pct}");
+    }
+
+    // The batch engine agrees end to end.
+    let ctx = ExperimentContext::new(3, 1e-3);
+    let empty = SyndromeBatch::builder().finish();
+    let r = decode_batch_ler(&ctx, &empty, 4, &|c: &ExperimentContext| {
+        Box::new(AstreaDecoder::new(c.gwt())) as Box<dyn Decoder>
+    });
+    assert_eq!(r.trials, 0);
+    assert_eq!(r.latency, LatencyStats::default());
+    assert_eq!(r.ler(), 0.0);
+    assert_eq!(r.std_err(), 0.0);
+}
+
+#[test]
+fn latency_stats_all_trivial_batch_is_free() {
+    // A batch of all-trivial syndromes (HW ≤ 2) costs zero cycles: means,
+    // maxima, and every percentile collapse to zero, and nothing counts
+    // as nontrivial.
+    let mut s = LatencyStats::default();
+    for _ in 0..100 {
+        s.record(0, 0);
+    }
+    for _ in 0..40 {
+        s.record(2, 0);
+    }
+    assert_eq!(s.shots, 140);
+    assert_eq!(s.nontrivial_shots, 0);
+    assert_eq!(s.mean_cycles(), 0.0);
+    assert_eq!(s.mean_nontrivial_ns(250.0), 0.0);
+    assert_eq!(s.max_cycles, 0);
+    assert_eq!(s.percentile_cycles(100.0), 0);
+    assert_eq!(s.hw_histogram()[0], 100);
+    assert_eq!(s.hw_histogram()[2], 40);
+    assert_eq!(s.cycle_histogram()[0], 140);
+
+    // End to end: decoding only-empty syndromes through the batch path.
+    let ctx = ExperimentContext::new(3, 1e-3);
+    let mut builder = SyndromeBatch::builder();
+    for _ in 0..50 {
+        builder.push(&[], 0);
+    }
+    let r = decode_batch_ler(&ctx, &builder.finish(), 3, &|c: &ExperimentContext| {
+        Box::new(AstreaDecoder::new(c.gwt())) as Box<dyn Decoder>
+    });
+    assert_eq!(r.trials, 50);
+    assert_eq!(r.failures, 0);
+    assert_eq!(r.latency.shots, 50);
+    assert_eq!(r.latency.total_cycles, 0);
+    assert_eq!(r.latency.percentile_cycles(100.0), 0);
+}
+
+#[test]
+fn latency_stats_single_shot_batch_is_exact() {
+    // With one shot, every statistic must equal that shot's cost exactly
+    // — including the bucketed percentiles, which clamp to the observed
+    // maximum.
+    let mut s = LatencyStats::default();
+    s.record(10, 114);
+    assert_eq!(s.shots, 1);
+    assert_eq!(s.nontrivial_shots, 1);
+    assert_eq!(s.mean_cycles(), 114.0);
+    assert_eq!(s.mean_ns(250.0), 456.0);
+    assert_eq!(s.mean_nontrivial_ns(250.0), 456.0);
+    assert_eq!(s.max_ns(250.0), 456.0);
+    for pct in [1.0, 50.0, 100.0] {
+        assert_eq!(s.percentile_cycles(pct), 114, "p{pct}");
+    }
+    assert_eq!(s.percentile_ns(100.0, 250.0), 456.0);
+
+    // A single *trivial* shot stays all-zero.
+    let mut t = LatencyStats::default();
+    t.record(1, 0);
+    assert_eq!(t.shots, 1);
+    assert_eq!(t.nontrivial_shots, 0);
+    assert_eq!(t.percentile_cycles(100.0), 0);
+    assert_eq!(t.mean_cycles(), 0.0);
+}
+
+#[test]
 fn astrea_g_mean_hhw_latency_matches_calibration() {
     // §7.4: ~450 ns average decode latency at d = 9, p = 1e-3. The cycle
     // model is calibrated to land in that regime; assert the mean over

@@ -1,0 +1,538 @@
+//! Offline stand-in for `proptest` (1.x-compatible subset).
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the slice of proptest it uses: the [`proptest!`] macro with an
+//! optional `#![proptest_config(...)]` attribute, `prop_assert!` /
+//! `prop_assert_eq!` / `prop_assert_ne!`, the [`Strategy`] trait with
+//! `prop_map`, range strategies, [`collection::vec`],
+//! [`collection::btree_set`], [`sample::select`], and [`any`].
+//!
+//! Differences from upstream, by design:
+//!
+//! * **No shrinking.** A failing case reports the concrete generated
+//!   values and the case's deterministic seed, but is not minimized.
+//! * **Deterministic.** Cases are generated from a fixed per-test seed,
+//!   so failures reproduce exactly across runs and machines.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+// The `proptest!` doc example necessarily shows `#[test]` functions
+// inside the macro invocation; they are illustrative, not executable.
+#![allow(clippy::test_attr_in_doctest)]
+
+use rand::rngs::StdRng;
+
+/// Runner configuration (subset of upstream's `ProptestConfig`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Generates one value.
+    fn new_value(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The [`Strategy::prop_map`] adapter.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn new_value(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut StdRng) -> $t {
+                use rand::Rng;
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut StdRng) -> $t {
+                use rand::Rng;
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+
+    fn new_value(&self, rng: &mut StdRng) -> f64 {
+        use rand::Rng;
+        rng.gen_range(self.clone())
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// The strategy returned by [`any`].
+    type Strategy: Strategy<Value = Self>;
+
+    /// The full-range strategy for this type.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Full-range strategy for primitive types.
+#[derive(Debug, Clone, Default)]
+pub struct AnyPrimitive<T>(core::marker::PhantomData<T>);
+
+macro_rules! arbitrary_int {
+    ($($t:ty => $gen:expr),*) => {$(
+        impl Strategy for AnyPrimitive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut StdRng) -> $t {
+                let f: fn(&mut StdRng) -> $t = $gen;
+                f(rng)
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = AnyPrimitive<$t>;
+            fn arbitrary() -> AnyPrimitive<$t> {
+                AnyPrimitive(core::marker::PhantomData)
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(
+    u8 => |r| rand::RngCore::next_u64(r) as u8,
+    u16 => |r| rand::RngCore::next_u64(r) as u16,
+    u32 => |r| rand::RngCore::next_u32(r),
+    u64 => |r| rand::RngCore::next_u64(r),
+    usize => |r| rand::RngCore::next_u64(r) as usize,
+    i32 => |r| rand::RngCore::next_u32(r) as i32,
+    i64 => |r| rand::RngCore::next_u64(r) as i64,
+    bool => |r| rand::RngCore::next_u64(r) & 1 == 1
+);
+
+/// The strategy generating any value of `T`.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Collection strategies (upstream's `prop::collection`).
+pub mod collection {
+    use super::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A size specification: any `usize` range-ish value.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // inclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    impl SizeRange {
+        fn pick(&self, rng: &mut StdRng) -> usize {
+            rng.gen_range(self.lo..=self.hi)
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// The [`vec`] strategy.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = self.size.pick(rng);
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>` with a target size drawn from
+    /// `size` (duplicates may yield a smaller set, as upstream allows).
+    pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// The [`btree_set`] strategy.
+    #[derive(Debug, Clone)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = std::collections::BTreeSet<S::Value>;
+
+        fn new_value(&self, rng: &mut StdRng) -> std::collections::BTreeSet<S::Value> {
+            let target = self.size.pick(rng);
+            let mut set = std::collections::BTreeSet::new();
+            // Bounded attempts: duplicates shrink the set rather than loop.
+            for _ in 0..target.saturating_mul(4) {
+                if set.len() >= target {
+                    break;
+                }
+                set.insert(self.element.new_value(rng));
+            }
+            set
+        }
+    }
+}
+
+/// Sampling strategies (upstream's `prop::sample`).
+pub mod sample {
+    use super::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Strategy choosing one element of `options` uniformly.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select over an empty list");
+        Select { options }
+    }
+
+    /// The [`select`] strategy.
+    #[derive(Debug, Clone)]
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn new_value(&self, rng: &mut StdRng) -> T {
+            self.options[rng.gen_range(0..self.options.len())].clone()
+        }
+    }
+}
+
+/// Upstream-style `prop::` facade module.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::sample;
+}
+
+/// Everything a property test file needs.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig,
+        Strategy,
+    };
+    pub use rand::rngs::StdRng as TestRng;
+}
+
+/// The deterministic per-case seed: test name hash × case index.
+pub fn case_seed(test_name: &str, case: u32) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h ^ ((case as u64) << 32 | case as u64)
+}
+
+/// Runs one property across `config.cases` deterministic cases.
+///
+/// `generate` draws the inputs; `run` returns `Err(message)` on a
+/// `prop_assert!` failure. Used by the [`proptest!`] macro — not public
+/// API in upstream, but harmless to expose here.
+pub fn run_property<V: core::fmt::Debug>(
+    test_name: &str,
+    config: &ProptestConfig,
+    generate: impl Fn(&mut StdRng) -> V,
+    run: impl Fn(&V) -> Result<(), String>,
+) {
+    use rand::SeedableRng;
+    for case in 0..config.cases {
+        let seed = case_seed(test_name, case);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let value = generate(&mut rng);
+        if let Err(message) = run(&value) {
+            panic!(
+                "proptest case {case}/{} failed for `{test_name}`\n\
+                 inputs: {value:#?}\n\
+                 seed: {seed:#x}\n\
+                 {message}",
+                config.cases
+            );
+        }
+    }
+}
+
+/// Fails the current property case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err(format!("prop_assert!({}) failed", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return Err(format!(
+                "prop_assert!({}) failed: {}",
+                stringify!($cond),
+                format!($($fmt)*)
+            ));
+        }
+    };
+}
+
+/// Fails the current property case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err(format!(
+                "prop_assert_eq! failed: {:?} != {:?}  ({} vs {})",
+                l,
+                r,
+                stringify!($left),
+                stringify!($right)
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err(format!(
+                "prop_assert_eq! failed: {:?} != {:?}: {}",
+                l,
+                r,
+                format!($($fmt)*)
+            ));
+        }
+    }};
+}
+
+/// Fails the current property case if the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return Err(format!(
+                "prop_assert_ne! failed: both {:?}  ({} vs {})",
+                l,
+                stringify!($left),
+                stringify!($right)
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return Err(format!(
+                "prop_assert_ne! failed: both {:?}: {}",
+                l,
+                format!($($fmt)*)
+            ));
+        }
+    }};
+}
+
+/// Declares deterministic randomized property tests.
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///
+///     #[test]
+///     fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    // Internal arms first: the public catch-all below would otherwise
+    // swallow recursive `@tests` calls and loop forever.
+    (@tests ($config:expr)) => {};
+    (
+        @tests ($config:expr)
+        $(#[$meta:meta])+
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])+
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            $crate::run_property(
+                stringify!($name),
+                &config,
+                |rng| {
+                    $(let $arg = $crate::Strategy::new_value(&($strategy), rng);)+
+                    ($($arg,)+)
+                },
+                |&($(ref $arg,)+)| {
+                    // Bind by cloning so the body can consume the inputs.
+                    $(let $arg = ::core::clone::Clone::clone($arg);)+
+                    $body
+                    #[allow(unreachable_code)]
+                    Ok(())
+                },
+            );
+        }
+        $crate::proptest!(@tests ($config) $($rest)*);
+    };
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@tests ($config) $($rest)*);
+    };
+    (
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@tests ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(50))]
+
+        #[test]
+        fn vec_lengths_respect_size(v in prop::collection::vec(0u32..10, 2..=5)) {
+            prop_assert!((2..=5).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 10));
+        }
+
+        #[test]
+        fn btree_sets_are_sorted_and_bounded(s in prop::collection::btree_set(0u32..16, 0..=10)) {
+            let v: Vec<u32> = s.into_iter().collect();
+            prop_assert!(v.len() <= 10);
+            prop_assert!(v.windows(2).all(|w| w[0] < w[1]));
+        }
+
+        #[test]
+        fn select_picks_from_options(n in prop::sample::select(vec![2usize, 4, 6]), x in any::<u32>()) {
+            let _ = x;
+            prop_assert!(n == 2 || n == 4 || n == 6);
+        }
+
+        #[test]
+        fn map_applies(v in (0u32..5).prop_map(|x| x * 2)) {
+            prop_assert!(v % 2 == 0 && v < 10);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "prop_assert")]
+    fn failures_report_inputs() {
+        crate::run_property(
+            "always_fails",
+            &ProptestConfig::with_cases(10),
+            |rng| Strategy::new_value(&(0u32..10), rng),
+            |&x| {
+                prop_assert!(x > 100, "x was {}", x);
+                Ok(())
+            },
+        );
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        assert_eq!(crate::case_seed("foo", 3), crate::case_seed("foo", 3));
+        assert_ne!(crate::case_seed("foo", 3), crate::case_seed("foo", 4));
+        assert_ne!(crate::case_seed("foo", 3), crate::case_seed("bar", 3));
+    }
+}

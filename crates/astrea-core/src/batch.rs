@@ -7,6 +7,11 @@
 //!
 //! * [`SyndromeBatch`] — a flattened, cheaply shareable column of shots
 //!   (detector lists + expected observable masks) behind an `Arc`.
+//!   Batches are built shot-by-shot, or ingested 64 shots per word from
+//!   the bit-packed samplers via
+//!   [`SyndromeBatchBuilder::push_packed`] / [`SyndromeBatch::from_packed`],
+//!   which screen out all-zero (trivial) shots at word level before
+//!   materializing sparse detector lists.
 //! * [`BatchDecoder`] — a persistent worker pool. Workers are spawned
 //!   once at construction, each owning one decoder instance (built by the
 //!   caller's factory against the shared [`DecodingContext`]) and one
@@ -29,6 +34,7 @@ use std::thread::JoinHandle;
 
 use crate::latency::LatencyStats;
 use decoding_graph::{DecodeScratch, Decoder, DecodingContext, Prediction};
+use qec_circuit::BitTable;
 
 /// Derives the per-shot RNG seed for shot `index` of a run seeded with
 /// `seed` (a SplitMix64 mix of the pair).
@@ -94,6 +100,15 @@ impl SyndromeBatch {
     pub fn hamming_weight(&self, i: usize) -> usize {
         (self.inner.offsets[i + 1] - self.inner.offsets[i]) as usize
     }
+
+    /// Converts packed detector/observable tables (from the word-parallel
+    /// samplers in `qec-circuit`) into a batch — see
+    /// [`SyndromeBatchBuilder::push_packed`].
+    pub fn from_packed(detectors: &BitTable, observables: &BitTable) -> SyndromeBatch {
+        let mut builder = SyndromeBatch::builder();
+        builder.push_packed(detectors, observables);
+        builder.finish()
+    }
 }
 
 /// Builds a [`SyndromeBatch`] shot by shot.
@@ -103,6 +118,11 @@ pub struct SyndromeBatchBuilder {
     // Lazily seeded with the leading 0 on first use.
     offsets: Vec<u32>,
     observables: Vec<u32>,
+    // Reusable scratch for `push_packed`: `(shot << 32 | detector)`
+    // pairs in detector-major extraction order, and the per-shot
+    // counting-sort histogram/cursor.
+    pairs: Vec<u64>,
+    counts: Vec<u32>,
 }
 
 impl SyndromeBatchBuilder {
@@ -124,6 +144,115 @@ impl SyndromeBatchBuilder {
             .expect("batch detector column exceeds u32 offsets");
         self.offsets.push(end);
         self.observables.push(observables);
+    }
+
+    /// Appends every shot of packed detector/observable tables, in shot
+    /// order — the bridge from the word-parallel samplers
+    /// (`qec_circuit::BatchDemSampler` / `BatchFrameSimulator`) into the
+    /// decode path.
+    ///
+    /// The conversion is a counting sort: one row-major sweep over the
+    /// detector table extracts `(shot, detector)` pairs from the set
+    /// bits (a zero word — no shot in the column fired this detector,
+    /// the common case at low p — costs one compare, which doubles as
+    /// the trivial-shot screen) while histogramming fired counts per
+    /// shot, then a prefix sum fixes every shot's slice and a stable
+    /// scatter drops each pair into place. Row-ascending extraction
+    /// keeps every shot's detector list sorted. Padding lanes of a
+    /// partial final word are masked off during extraction.
+    ///
+    /// Callers converting large runs should feed tables tile-by-tile
+    /// (as `astrea-experiments::sample_batch` does): the scatter's
+    /// working set is the current table, so cache-resident tiles keep
+    /// it out of DRAM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two tables disagree on shot count, if `observables`
+    /// has more than 32 rows (observable masks are `u32`), or if the
+    /// flattened detector column would overflow the `u32` offset space.
+    pub fn push_packed(&mut self, detectors: &BitTable, observables: &BitTable) {
+        let num_shots = detectors.num_shots();
+        assert_eq!(
+            num_shots,
+            observables.num_shots(),
+            "detector/observable tables disagree on shot count"
+        );
+        assert!(
+            observables.num_bits() <= 32,
+            "observable masks are u32 (≤ 32 observables)"
+        );
+        if num_shots == 0 {
+            return;
+        }
+        if self.offsets.is_empty() {
+            self.offsets.push(0);
+        }
+        let num_words = detectors.num_words();
+        let last = num_words - 1;
+        let last_mask = detectors.valid_lanes(last);
+
+        // Pass 1: extract (shot, detector) pairs row-major and histogram
+        // the per-shot fired counts into `counts[shot + 1]`.
+        let mut pairs = std::mem::take(&mut self.pairs);
+        pairs.clear();
+        self.counts.clear();
+        self.counts.resize(num_shots + 1, 0);
+        for d in 0..detectors.num_bits() {
+            let row = detectors.row(d);
+            let mut extract = |w: usize, word: u64| {
+                let mut m = word;
+                while m != 0 {
+                    let shot = w * 64 + m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    pairs.push((shot as u64) << 32 | d as u64);
+                    self.counts[shot + 1] += 1;
+                }
+            };
+            for (w, &word) in row[..last].iter().enumerate() {
+                extract(w, word);
+            }
+            extract(last, row[last] & last_mask);
+        }
+
+        // Pass 2: prefix-sum into per-shot cursors and stable-scatter the
+        // pairs; afterwards `counts[shot]` is the end of `shot`'s slice.
+        let base = self.detectors.len();
+        assert!(
+            u32::try_from(base + pairs.len()).is_ok(),
+            "batch detector column exceeds u32 offsets"
+        );
+        for s in 0..num_shots {
+            self.counts[s + 1] += self.counts[s];
+        }
+        self.detectors.resize(base + pairs.len(), 0);
+        let out = &mut self.detectors[base..];
+        for &pair in &pairs {
+            let shot = (pair >> 32) as usize;
+            out[self.counts[shot] as usize] = pair as u32;
+            self.counts[shot] += 1;
+        }
+        self.pairs = pairs;
+        self.offsets.reserve(num_shots);
+        let base = base as u32;
+        self.offsets
+            .extend((0..num_shots).map(|s| base + self.counts[s]));
+
+        // Pass 3: per-shot observable masks from the packed rows.
+        let obs_base = self.observables.len();
+        self.observables.resize(obs_base + num_shots, 0);
+        let obs_out = &mut self.observables[obs_base..];
+        for i in 0..observables.num_bits() {
+            let row = observables.row(i);
+            for (w, &word) in row.iter().enumerate() {
+                let mut m = word & observables.valid_lanes(w);
+                while m != 0 {
+                    let shot = w * 64 + m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    obs_out[shot] |= 1 << i;
+                }
+            }
+        }
     }
 
     /// Appends every shot of `other` after this builder's shots —
@@ -485,6 +614,74 @@ mod tests {
         empty.append(c);
         let batch = empty.finish();
         assert_eq!(batch.detectors(0), &[7]);
+    }
+
+    #[test]
+    fn push_packed_round_trips_sparse_shots() {
+        // 3 detectors, 2 observables, 70 shots (partial final word).
+        let num_shots = 70;
+        let mut det = BitTable::new(3, num_shots);
+        let mut obs = BitTable::new(2, num_shots);
+        let shots: Vec<(Vec<u32>, u32)> = (0..num_shots)
+            .map(|s| match s % 5 {
+                0 => (vec![0, 2], 0b01),
+                1 => (vec![], 0b10),
+                2 => (vec![1], 0),
+                _ => (vec![], 0),
+            })
+            .collect();
+        for (s, (dets, mask)) in shots.iter().enumerate() {
+            for &d in dets {
+                det.set(d as usize, s, true);
+            }
+            for bit in 0..2 {
+                if mask >> bit & 1 == 1 {
+                    obs.set(bit, s, true);
+                }
+            }
+        }
+        let batch = SyndromeBatch::from_packed(&det, &obs);
+        assert_eq!(batch.len(), num_shots);
+        for (s, (dets, mask)) in shots.iter().enumerate() {
+            assert_eq!(batch.detectors(s), dets.as_slice(), "shot {s}");
+            assert_eq!(batch.observables(s), *mask, "shot {s}");
+        }
+    }
+
+    #[test]
+    fn push_packed_all_zero_words_yield_trivial_shots() {
+        let det = BitTable::new(5, 130);
+        let mut obs = BitTable::new(1, 130);
+        obs.set(0, 129, true);
+        let batch = SyndromeBatch::from_packed(&det, &obs);
+        assert_eq!(batch.len(), 130);
+        for s in 0..130 {
+            assert!(batch.detectors(s).is_empty());
+            assert_eq!(batch.observables(s), u32::from(s == 129));
+        }
+    }
+
+    #[test]
+    fn push_packed_matches_scalar_push_on_sampled_data() {
+        let ctx = ctx(3, 5e-3);
+        let sampler = qec_circuit::BatchDemSampler::new(ctx.dem());
+        let (det, obs) = sampler.sample(17, 500);
+        let packed = SyndromeBatch::from_packed(&det, &obs);
+        let mut scalar = SyndromeBatch::builder();
+        for s in 0..500 {
+            let dets: Vec<u32> = (0..det.num_bits())
+                .filter(|&d| det.get(d, s))
+                .map(|d| d as u32)
+                .collect();
+            let mask = u32::from(obs.get(0, s));
+            scalar.push(&dets, mask);
+        }
+        let scalar = scalar.finish();
+        assert_eq!(packed.len(), scalar.len());
+        for s in 0..500 {
+            assert_eq!(packed.detectors(s), scalar.detectors(s), "shot {s}");
+            assert_eq!(packed.observables(s), scalar.observables(s), "shot {s}");
+        }
     }
 
     #[test]

@@ -1,0 +1,49 @@
+//! Scalar vs bit-packed syndrome-sampling throughput (the tentpole claim
+//! of the word-parallel sampling layer).
+//!
+//! Both arms produce a complete [`astrea_core::SyndromeBatch`] for the
+//! same `(d, p)` point and trial count, so the numbers are end-to-end
+//! sampling throughput (RNG + trigger generation + sparse-list
+//! materialization), directly comparable in shots per second:
+//!
+//! * `scalar` — the pre-packed architecture: one fresh RNG and one
+//!   `DemSampler::sample_into` call per shot.
+//! * `packed` — the word-parallel `BatchDemSampler`: 64 shots per `u64`
+//!   word, geometric skip-sampling over the mechanism-major trial space,
+//!   word-level screening of trivial shots during batch conversion.
+//!
+//! Each arm runs single-threaded and with 8 threads; `EXPERIMENTS.md`
+//! records the measured ratios.
+
+use astrea_experiments::{sample_batch, sample_batch_scalar, ExperimentContext};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+/// Trials per sampled batch.
+const TRIALS: u64 = 50_000;
+
+fn bench_sampling_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sampling_throughput");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(TRIALS));
+    for d in [3usize, 5, 7] {
+        for p in [1e-3, 5e-3] {
+            let ctx = ExperimentContext::new(d, p);
+            let point = format!("d{d}_p{p:.0e}");
+            for threads in [1usize, 8] {
+                group.bench_function(
+                    BenchmarkId::new(format!("scalar_t{threads}"), &point),
+                    |b| b.iter(|| black_box(sample_batch_scalar(&ctx, TRIALS, threads, 7)).len()),
+                );
+                group.bench_function(
+                    BenchmarkId::new(format!("packed_t{threads}"), &point),
+                    |b| b.iter(|| black_box(sample_batch(&ctx, TRIALS, threads, 7)).len()),
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sampling_throughput);
+criterion_main!(benches);

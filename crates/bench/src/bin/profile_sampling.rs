@@ -1,0 +1,79 @@
+//! Quick wall-clock profiler behind the `EXPERIMENTS.md` sampling
+//! numbers: splits the packed path into raw sampling vs batch
+//! conversion, compares against the scalar sampler, and times
+//! `estimate_ler` end to end (sample + decode) on both sampling
+//! front-ends. Reports min-of-N to shrug off scheduler noise;
+//! `cargo bench -p astrea-bench --bench sampling_throughput` has the
+//! statistically careful version of the sampling half.
+
+use astrea_experiments::{
+    decode_batch_ler, sample_batch, sample_batch_scalar, DecoderFactory, ExperimentContext,
+};
+use blossom_mwpm::MwpmDecoder;
+use qec_circuit::BatchDemSampler;
+use std::time::{Duration, Instant};
+
+fn min_of<F: FnMut()>(reps: usize, mut f: F) -> Duration {
+    (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed()
+        })
+        .min()
+        .unwrap()
+}
+
+fn main() {
+    let trials: usize = 50_000;
+    let ctx = ExperimentContext::new(7, 1e-3);
+    let sampler = BatchDemSampler::new(ctx.dem());
+
+    let raw = min_of(7, || {
+        std::hint::black_box(sampler.sample(7, trials));
+    });
+    println!("raw packed sample:   {raw:?}");
+
+    let (det, obs) = sampler.sample(7, trials);
+    let conv = min_of(7, || {
+        std::hint::black_box(astrea_core::SyndromeBatch::from_packed(&det, &obs));
+    });
+    println!("from_packed only:    {conv:?}");
+
+    let packed = min_of(7, || {
+        std::hint::black_box(sample_batch(&ctx, trials as u64, 1, 7));
+    });
+    println!("sample_batch (t1):   {packed:?}");
+
+    let scalar = min_of(5, || {
+        std::hint::black_box(sample_batch_scalar(&ctx, trials as u64, 1, 7));
+    });
+    println!("scalar (t1):         {scalar:?}");
+    println!(
+        "packed/scalar ratio: {:.2}x",
+        scalar.as_secs_f64() / packed.as_secs_f64()
+    );
+
+    // End-to-end LER estimation: PR 1's batched baseline (scalar
+    // sampling feeding the batched decode path) vs the packed front-end.
+    let factory: Box<DecoderFactory> = Box::new(|c| Box::new(MwpmDecoder::new(c.gwt())));
+    for threads in [1usize, 8] {
+        let e2e_scalar = min_of(3, || {
+            let batch = sample_batch_scalar(&ctx, trials as u64, threads, 7);
+            std::hint::black_box(decode_batch_ler(&ctx, &batch, threads, &*factory));
+        });
+        let e2e_packed = min_of(3, || {
+            std::hint::black_box(astrea_experiments::estimate_ler(
+                &ctx,
+                trials as u64,
+                threads,
+                7,
+                &*factory,
+            ));
+        });
+        println!(
+            "estimate_ler t{threads}: scalar-sampled {e2e_scalar:?}, packed {e2e_packed:?}, {:.2}x",
+            e2e_scalar.as_secs_f64() / e2e_packed.as_secs_f64()
+        );
+    }
+}

@@ -639,7 +639,7 @@ fn fig10(opts: &Options) {
     let shot = loop {
         let s = sampler.sample(&mut rng);
         if s.detectors.len() == 16 {
-            break s;
+            break s.clone();
         }
     };
     let wth = 8.0;

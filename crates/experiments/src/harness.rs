@@ -1,14 +1,17 @@
 //! Parallel Monte-Carlo memory experiments, built on the batched decode
-//! engine in [`astrea_core::batch`].
+//! engine in [`astrea_core::batch`] and the word-parallel samplers in
+//! `qec-circuit`.
 //!
-//! Sampling and decoding are both deterministic in `seed` *alone*: every
-//! shot draws its own RNG from [`shot_seed`]`(seed, shot_index)` and all
+//! Sampling and decoding are both deterministic in `seed` *alone*: the
+//! packed sampler seeds every 64-shot word column from
+//! [`qec_circuit::column_seed`]`(seed, word)` (the scalar reference path
+//! seeds every shot from [`shot_seed`]`(seed, shot_index)`) and all
 //! counters merge order-independently, so results are bit-identical for
 //! any thread count.
 
 use astrea_core::batch::{decode_slice, shot_seed, SyndromeBatch, SyndromeBatchBuilder};
 use decoding_graph::{DecodeScratch, Decoder, DecodingContext};
-use qec_circuit::{DemSampler, NoiseModel, Shot};
+use qec_circuit::{BatchDemSampler, BitTable, DemSampler, NoiseModel, Shot};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use surface_code::SurfaceCode;
@@ -123,13 +126,87 @@ impl LerResult {
 }
 
 /// Samples `trials` shots from the context's detector error model into a
-/// [`SyndromeBatch`], splitting the work across `threads` threads.
+/// [`SyndromeBatch`] with the bit-packed, word-parallel
+/// [`BatchDemSampler`] (64 shots per bitwise op), splitting the work
+/// across `threads` threads at word boundaries.
 ///
-/// Shot `i` is drawn from a fresh RNG seeded with [`shot_seed`]`(seed,
-/// i)` and the per-thread partial batches are concatenated in index
-/// order, so the batch depends only on `(trials, seed)` — never on the
-/// thread count.
+/// Word column `w` (shots `64w .. 64w + 64`) is drawn from a fresh RNG
+/// seeded with [`qec_circuit::column_seed`]`(seed, w)`, threads take
+/// word-aligned chunks, and the per-thread partial batches are
+/// concatenated in index order — so the batch depends only on `(trials,
+/// seed)`, never on the thread count, and the first `n` shots agree with
+/// any longer run with the same seed.
+///
+/// The packed stream intentionally differs from the per-shot stream of
+/// [`sample_batch_scalar`]; both are statistically identical samples of
+/// the model (see the `packed_bridge` tests in `qec-circuit`).
 pub fn sample_batch(
+    ctx: &ExperimentContext,
+    trials: u64,
+    threads: usize,
+    seed: u64,
+) -> SyndromeBatch {
+    let threads = threads.max(1);
+    let n = trials as usize;
+    let total_words = n.div_ceil(64);
+    if total_words == 0 {
+        return SyndromeBatch::builder().finish();
+    }
+    let words_per_chunk = total_words.div_ceil(threads).max(1);
+    let sampler = BatchDemSampler::new(ctx.dem());
+    let parts: Vec<SyndromeBatchBuilder> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for first_word in (0..total_words).step_by(words_per_chunk) {
+            let last_word = (first_word + words_per_chunk).min(total_words);
+            let sampler = &sampler;
+            handles.push(scope.spawn(move || {
+                // Tile the chunk: sampling writes and conversion reads
+                // both sweep the whole packed table, so a 128-word tile
+                // (8192 shots, ~200 KB at d = 7) keeps the working set
+                // cache-resident instead of streaming through DRAM. The
+                // column-seeding contract makes tiling invisible in the
+                // output.
+                const TILE_WORDS: usize = 128;
+                let mut builder = SyndromeBatchBuilder::default();
+                let mut det = BitTable::new(sampler.num_detectors(), TILE_WORDS * 64);
+                let mut obs = BitTable::new(sampler.num_observables(), TILE_WORDS * 64);
+                let mut w = first_word;
+                while w < last_word {
+                    let tile_end = (w + TILE_WORDS).min(last_word);
+                    let tile_shots = (tile_end * 64).min(n) - w * 64;
+                    if tile_shots < TILE_WORDS * 64 {
+                        det = BitTable::new(sampler.num_detectors(), tile_shots);
+                        obs = BitTable::new(sampler.num_observables(), tile_shots);
+                    }
+                    sampler.sample_words(seed, w, &mut det, &mut obs);
+                    builder.push_packed(&det, &obs);
+                    w = tile_end;
+                }
+                builder
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sampler thread panicked"))
+            .collect()
+    });
+    let mut all = SyndromeBatch::builder();
+    for part in parts {
+        all.append(part);
+    }
+    all.finish()
+}
+
+/// The scalar (shot-at-a-time) reference sampler the packed
+/// [`sample_batch`] replaced: one fresh RNG per shot from
+/// [`shot_seed`]`(seed, i)`, one [`DemSampler::sample_into`] call per
+/// shot.
+///
+/// Kept as the baseline for the `sampling_throughput` bench and for
+/// statistical cross-checks; its stream differs from the packed one, but
+/// both are exact samples of the same model and are thread-count- and
+/// shot-count-invariant.
+pub fn sample_batch_scalar(
     ctx: &ExperimentContext,
     trials: u64,
     threads: usize,
@@ -218,13 +295,14 @@ pub fn decode_batch_ler<'a>(
 /// Estimates the logical error rate of a decoder by running `trials`
 /// memory experiments across `threads` worker threads.
 ///
-/// Shots are sampled from the detector error model (statistically
-/// identical to full circuit-level Pauli-frame simulation — see
-/// `qec-circuit`'s validation tests) into a [`SyndromeBatch`], then
-/// decoded through the shared batch path with one decoder instance from
-/// `factory` per worker. A failure is counted whenever the predicted
-/// observable flip disagrees with the actual one. Results depend only on
-/// `(trials, seed)`: any thread count produces bit-identical output.
+/// Shots are sampled from the detector error model with the word-parallel
+/// packed sampler (statistically identical to full circuit-level
+/// Pauli-frame simulation — see `qec-circuit`'s validation tests) into a
+/// [`SyndromeBatch`], then decoded through the shared batch path with one
+/// decoder instance from `factory` per worker. A failure is counted
+/// whenever the predicted observable flip disagrees with the actual one.
+/// Results depend only on `(trials, seed)`: any thread count produces
+/// bit-identical output.
 pub fn estimate_ler<'a>(
     ctx: &'a ExperimentContext,
     trials: u64,
@@ -284,6 +362,29 @@ mod tests {
         for i in 0..a.len() {
             assert_eq!(a.detectors(i), b.detectors(i), "shot {i}");
             assert_eq!(a.observables(i), b.observables(i), "shot {i}");
+        }
+    }
+
+    #[test]
+    fn scalar_sampler_is_thread_count_invariant() {
+        let ctx = ExperimentContext::new(3, 5e-3);
+        let a = sample_batch_scalar(&ctx, 501, 1, 7);
+        let b = sample_batch_scalar(&ctx, 501, 4, 7);
+        assert_eq!(a.len(), b.len());
+        for i in 0..a.len() {
+            assert_eq!(a.detectors(i), b.detectors(i), "shot {i}");
+            assert_eq!(a.observables(i), b.observables(i), "shot {i}");
+        }
+    }
+
+    #[test]
+    fn packed_sampler_trial_count_is_a_prefix_property() {
+        let ctx = ExperimentContext::new(3, 5e-3);
+        let short = sample_batch(&ctx, 70, 2, 13);
+        let long = sample_batch(&ctx, 500, 3, 13);
+        for i in 0..short.len() {
+            assert_eq!(short.detectors(i), long.detectors(i), "shot {i}");
+            assert_eq!(short.observables(i), long.observables(i), "shot {i}");
         }
     }
 

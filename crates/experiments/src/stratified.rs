@@ -16,7 +16,7 @@
 //! proportional to their rates).
 
 use crate::harness::{DecoderFactory, ExperimentContext};
-use astrea_core::batch::shot_seed;
+use astrea_core::batch::{decode_slice, shot_seed, SyndromeBatchBuilder};
 use decoding_graph::DecodeScratch;
 use qec_circuit::ErrorMechanism;
 use rand::rngs::StdRng;
@@ -97,7 +97,10 @@ pub fn poisson_binomial(probabilities: &[f64], max_k: usize) -> (Vec<f64>, f64) 
 /// their rates), decodes each, and combines the conditional failure rates
 /// with the exact Poisson–binomial occurrence probabilities. Each trial
 /// seeds its own RNG from its `(stratum, trial)` index, so the estimate
-/// is bit-identical for every thread count.
+/// is bit-identical for every thread count. Each worker assembles its
+/// trials into a `SyndromeBatch` and decodes it through the shared
+/// [`decode_slice`] loop, so the stratified estimator accounts for shots
+/// exactly like the direct Monte-Carlo path.
 pub fn estimate_stratified<'a>(
     ctx: &'a ExperimentContext,
     max_k: usize,
@@ -131,18 +134,19 @@ pub fn estimate_stratified<'a>(
                 for start in (0..n).step_by(chunk) {
                     let end = (start + chunk).min(n);
                     handles.push(scope.spawn(move || {
-                        let mut decoder = factory(ctx);
-                        let mut scratch = DecodeScratch::new();
-                        let mut fails = 0u64;
                         let mut chosen: Vec<usize> = Vec::with_capacity(k);
+                        let mut builder = SyndromeBatchBuilder::default();
                         for t in start..end {
                             let mut rng = StdRng::seed_from_u64(shot_seed(stratum_seed, t as u64));
                             sample_k_mechanisms(&mut rng, cumulative, total_rate, k, &mut chosen);
                             let (dets, obs) = combine(mechanisms, &chosen);
-                            let p = decoder.decode_with_scratch(&dets, &mut scratch);
-                            fails += u64::from(p.observables != obs);
+                            builder.push(&dets, obs);
                         }
-                        fails
+                        let batch = builder.finish();
+                        let mut decoder = factory(ctx);
+                        let mut scratch = DecodeScratch::new();
+                        decode_slice(decoder.as_mut(), &mut scratch, &batch, 0..batch.len())
+                            .failures
                     }));
                 }
                 handles

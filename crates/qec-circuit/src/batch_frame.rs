@@ -1,0 +1,338 @@
+//! Word-parallel Pauli-frame Monte-Carlo sampling: 64 shots per bitwise op.
+//!
+//! [`BatchFrameSimulator`] is the packed counterpart of
+//! [`crate::FrameSimulator`]: it propagates the X/Z error frames of 64
+//! shots at once, one `u64` per qubit, so every Clifford operation costs
+//! a constant number of bitwise instructions for the whole lane block —
+//! a CNOT is two XORs for 64 shots, a Hadamard is one swap. Noise
+//! channels draw a 64-lane trigger mask with geometric skip-sampling
+//! (cost `O(64·p)` per channel, not `O(64)`), so the per-shot cost of a
+//! noisy circuit approaches `ops / 64` word operations plus the
+//! (probability-proportional) cost of the triggers themselves.
+//!
+//! # Seeding contract
+//!
+//! Shots are processed in word columns of 64; column `w` (shots `64w ..
+//! 64w + 64`) runs the entire circuit with its own RNG seeded by
+//! [`crate::column_seed`]`(seed, w)`, and every column always draws all
+//! 64 lanes — padding lanes of a partial final column included. The
+//! first `n` shots of a run are therefore bit-identical for any
+//! requested shot count `≥ n` and any chunking of columns across
+//! threads.
+
+use crate::bittable::{column_seed, BitTable};
+use crate::circuit::{Circuit, Op};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Draws a 64-lane Bernoulli(`p`) trigger mask with geometrically
+/// distributed skips between set lanes, so the cost is proportional to
+/// the expected number of triggers rather than to 64.
+pub(crate) fn bernoulli_mask<R: Rng + ?Sized>(rng: &mut R, p: f64) -> u64 {
+    if p >= 1.0 {
+        return !0;
+    }
+    if p <= 0.0 {
+        return 0;
+    }
+    let log1mp = (1.0 - p).ln();
+    let mut mask = 0u64;
+    let mut lane = 0usize;
+    loop {
+        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        let skip = (u.ln() / log1mp).floor();
+        if skip >= (64 - lane) as f64 {
+            break;
+        }
+        lane += skip as usize;
+        mask |= 1u64 << lane;
+        lane += 1;
+        if lane >= 64 {
+            break;
+        }
+    }
+    mask
+}
+
+/// A word-parallel Pauli-frame simulator: 64 shots per `u64`, one column
+/// of 64 shots per circuit pass.
+///
+/// Produces the same *distribution* as [`crate::FrameSimulator`] (their
+/// RNG streams differ), and bit-identical outcomes under deterministic
+/// (`p = 1`) error injections — see the `packed_bridge` integration
+/// tests.
+///
+/// ```
+/// use qec_circuit::{build_memory_z_circuit, BatchFrameSimulator, NoiseModel};
+/// use surface_code::SurfaceCode;
+///
+/// let code = SurfaceCode::new(3)?;
+/// let circuit = build_memory_z_circuit(&code, 3, NoiseModel::noiseless());
+/// let mut sim = BatchFrameSimulator::new(&circuit);
+/// let (detectors, observables) = sim.sample(&circuit, 7, 100);
+/// assert_eq!(detectors.num_shots(), 100);
+/// assert!((0..circuit.num_detectors()).all(|d| detectors.count_row_ones(d) == 0));
+/// assert_eq!(observables.count_row_ones(0), 0);
+/// # Ok::<(), surface_code::InvalidDistance>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct BatchFrameSimulator {
+    /// X frame of 64 shots per qubit.
+    x_frame: Vec<u64>,
+    /// Z frame of 64 shots per qubit.
+    z_frame: Vec<u64>,
+    /// Measurement records of 64 shots per record slot.
+    records: Vec<u64>,
+}
+
+impl BatchFrameSimulator {
+    /// Creates a simulator sized for the given circuit.
+    pub fn new(circuit: &Circuit) -> BatchFrameSimulator {
+        BatchFrameSimulator {
+            x_frame: vec![0; circuit.num_qubits()],
+            z_frame: vec![0; circuit.num_qubits()],
+            records: vec![0; circuit.num_records()],
+        }
+    }
+
+    /// Samples `num_shots` shots, returning the packed detector table
+    /// (`num_detectors × num_shots`) and observable table
+    /// (`num_observables × num_shots`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `circuit` has more qubits or records than the circuit
+    /// this simulator was created for.
+    pub fn sample(
+        &mut self,
+        circuit: &Circuit,
+        seed: u64,
+        num_shots: usize,
+    ) -> (BitTable, BitTable) {
+        let mut detectors = BitTable::new(circuit.num_detectors(), num_shots);
+        let mut observables = BitTable::new(circuit.num_observables(), num_shots);
+        self.sample_words(circuit, seed, 0, &mut detectors, &mut observables);
+        (detectors, observables)
+    }
+
+    /// Fills pre-sized tables with word columns `first_word ..
+    /// first_word + detectors.num_words()` of the global packed stream —
+    /// the chunked entry point for splitting one logical run across
+    /// threads. Local word `w` of the tables is global column
+    /// `first_word + w` and is seeded with
+    /// [`column_seed`]`(seed, first_word + w)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tables' row counts don't match the circuit's
+    /// detector/observable counts or their shot counts differ.
+    pub fn sample_words(
+        &mut self,
+        circuit: &Circuit,
+        seed: u64,
+        first_word: usize,
+        detectors: &mut BitTable,
+        observables: &mut BitTable,
+    ) {
+        assert_eq!(detectors.num_bits(), circuit.num_detectors());
+        assert_eq!(observables.num_bits(), circuit.num_observables());
+        assert_eq!(detectors.num_shots(), observables.num_shots());
+        for w in 0..detectors.num_words() {
+            let mut rng = StdRng::seed_from_u64(column_seed(seed, (first_word + w) as u64));
+            self.run_column(circuit, &mut rng);
+            for (d, det) in circuit.detectors().iter().enumerate() {
+                let folded = det
+                    .records
+                    .iter()
+                    .fold(0u64, |acc, &r| acc ^ self.records[r as usize]);
+                detectors.set_word(d, w, folded);
+            }
+            for (i, obs) in circuit.observables().iter().enumerate() {
+                let folded = obs
+                    .iter()
+                    .fold(0u64, |acc, &r| acc ^ self.records[r as usize]);
+                observables.set_word(i, w, folded);
+            }
+        }
+    }
+
+    /// Propagates one 64-shot column through the circuit, leaving the
+    /// packed measurement records in `self.records`.
+    fn run_column(&mut self, circuit: &Circuit, rng: &mut StdRng) {
+        self.x_frame.fill(0);
+        self.z_frame.fill(0);
+        self.records.fill(0);
+        let mut next_record = 0usize;
+
+        for op in circuit.ops() {
+            match *op {
+                Op::ResetZ(q) => {
+                    self.x_frame[q as usize] = 0;
+                    self.z_frame[q as usize] = 0;
+                }
+                Op::H(q) => {
+                    let q = q as usize;
+                    std::mem::swap(&mut self.x_frame[q], &mut self.z_frame[q]);
+                }
+                Op::Cnot(c, t) => {
+                    let (c, t) = (c as usize, t as usize);
+                    self.x_frame[t] ^= self.x_frame[c];
+                    self.z_frame[c] ^= self.z_frame[t];
+                }
+                Op::MeasureZ(q) => {
+                    self.records[next_record] = self.x_frame[q as usize];
+                    next_record += 1;
+                }
+                Op::Depolarize1 { q, p } => {
+                    let mut triggered = bernoulli_mask(rng, p);
+                    if triggered != 0 {
+                        let q = q as usize;
+                        let (mut xm, mut zm) = (0u64, 0u64);
+                        while triggered != 0 {
+                            let lane = triggered.trailing_zeros();
+                            triggered &= triggered - 1;
+                            match rng.gen_range(0..3u8) {
+                                0 => xm |= 1u64 << lane,
+                                1 => {
+                                    xm |= 1u64 << lane;
+                                    zm |= 1u64 << lane;
+                                }
+                                _ => zm |= 1u64 << lane,
+                            }
+                        }
+                        self.x_frame[q] ^= xm;
+                        self.z_frame[q] ^= zm;
+                    }
+                }
+                Op::Depolarize2 { a, b, p } => {
+                    let mut triggered = bernoulli_mask(rng, p);
+                    if triggered != 0 {
+                        let (a, b) = (a as usize, b as usize);
+                        let (mut xa, mut za, mut xb, mut zb) = (0u64, 0u64, 0u64, 0u64);
+                        while triggered != 0 {
+                            let lane = triggered.trailing_zeros();
+                            triggered &= triggered - 1;
+                            // One of the 15 non-identity two-qubit
+                            // Paulis as a nonzero (xa, za, xb, zb)
+                            // pattern, matching the scalar simulator.
+                            let pattern = rng.gen_range(1..16u8);
+                            let bit = 1u64 << lane;
+                            if pattern & 1 != 0 {
+                                xa |= bit;
+                            }
+                            if pattern & 2 != 0 {
+                                za |= bit;
+                            }
+                            if pattern & 4 != 0 {
+                                xb |= bit;
+                            }
+                            if pattern & 8 != 0 {
+                                zb |= bit;
+                            }
+                        }
+                        self.x_frame[a] ^= xa;
+                        self.z_frame[a] ^= za;
+                        self.x_frame[b] ^= xb;
+                        self.z_frame[b] ^= zb;
+                    }
+                }
+                Op::XError { q, p } => {
+                    self.x_frame[q as usize] ^= bernoulli_mask(rng, p);
+                }
+                Op::Tick => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::build_memory_z_circuit;
+    use crate::circuit::DetectorCoord;
+    use crate::noise::NoiseModel;
+    use surface_code::SurfaceCode;
+
+    #[test]
+    fn noiseless_columns_are_silent() {
+        let code = SurfaceCode::new(3).unwrap();
+        let circuit = build_memory_z_circuit(&code, 3, NoiseModel::noiseless());
+        let mut sim = BatchFrameSimulator::new(&circuit);
+        let (det, obs) = sim.sample(&circuit, 3, 200);
+        for d in 0..det.num_bits() {
+            assert_eq!(det.count_row_ones(d), 0);
+        }
+        assert_eq!(obs.count_row_ones(0), 0);
+    }
+
+    #[test]
+    fn deterministic_x_error_flips_every_lane() {
+        let mut c = Circuit::new(1);
+        c.push(Op::ResetZ(0));
+        c.push(Op::XError { q: 0, p: 1.0 });
+        c.push(Op::MeasureZ(0));
+        c.push(Op::ResetZ(0));
+        c.push(Op::MeasureZ(0));
+        c.push_detector(vec![0], DetectorCoord::default());
+        c.push_detector(vec![1], DetectorCoord::default());
+        let mut sim = BatchFrameSimulator::new(&c);
+        let (det, _) = sim.sample(&c, 9, 100);
+        assert_eq!(det.count_row_ones(0), 100);
+        assert_eq!(det.count_row_ones(1), 0);
+    }
+
+    #[test]
+    fn bernoulli_mask_extremes_and_rate() {
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(bernoulli_mask(&mut rng, 0.0), 0);
+        assert_eq!(bernoulli_mask(&mut rng, 1.0), !0);
+        let mut ones = 0u32;
+        for _ in 0..2_000 {
+            ones += bernoulli_mask(&mut rng, 0.25).count_ones();
+        }
+        let rate = ones as f64 / (2_000.0 * 64.0);
+        assert!((rate - 0.25).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn shot_count_is_a_prefix_property() {
+        let code = SurfaceCode::new(3).unwrap();
+        let circuit = build_memory_z_circuit(&code, 3, NoiseModel::depolarizing(5e-3));
+        let mut sim = BatchFrameSimulator::new(&circuit);
+        let (small_det, small_obs) = sim.sample(&circuit, 11, 70);
+        let (big_det, big_obs) = sim.sample(&circuit, 11, 200);
+        for shot in 0..70 {
+            for d in 0..small_det.num_bits() {
+                assert_eq!(
+                    small_det.get(d, shot),
+                    big_det.get(d, shot),
+                    "det {d}/{shot}"
+                );
+            }
+            assert_eq!(small_obs.get(0, shot), big_obs.get(0, shot), "obs {shot}");
+        }
+    }
+
+    #[test]
+    fn chunked_sampling_matches_monolithic() {
+        let code = SurfaceCode::new(3).unwrap();
+        let circuit = build_memory_z_circuit(&code, 3, NoiseModel::depolarizing(5e-3));
+        let mut sim = BatchFrameSimulator::new(&circuit);
+        let (whole_det, whole_obs) = sim.sample(&circuit, 21, 192);
+        let mut part_det = BitTable::new(circuit.num_detectors(), 64);
+        let mut part_obs = BitTable::new(circuit.num_observables(), 64);
+        for chunk in 0..3 {
+            sim.sample_words(&circuit, 21, chunk, &mut part_det, &mut part_obs);
+            for shot in 0..64 {
+                for d in 0..part_det.num_bits() {
+                    assert_eq!(
+                        part_det.get(d, shot),
+                        whole_det.get(d, chunk * 64 + shot),
+                        "chunk {chunk} det {d} shot {shot}"
+                    );
+                }
+                assert_eq!(part_obs.get(0, shot), whole_obs.get(0, chunk * 64 + shot));
+            }
+        }
+    }
+}

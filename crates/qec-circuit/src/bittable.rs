@@ -1,0 +1,303 @@
+//! Bit-packed shot tables: 64 Monte-Carlo shots per machine word.
+//!
+//! Stim-style frame simulation gets its throughput from *word
+//! parallelism*: instead of processing one shot at a time, every boolean
+//! per-shot quantity (a frame bit, a measurement record, a detector
+//! outcome) is stored for 64 shots at once in one `u64`, and every
+//! bitwise operation — a CNOT's frame XOR, a detector's record fold, a
+//! mechanism's symptom toggle — advances all 64 shots in a single
+//! instruction. [`BitTable`] is the workspace's container for that
+//! layout, shared by [`crate::BatchFrameSimulator`] and
+//! [`crate::BatchDemSampler`].
+//!
+//! # Layout
+//!
+//! A `BitTable` is a `num_bits × num_shots` boolean matrix packed
+//! row-major into `u64` words: row `b` (a detector, observable, qubit, or
+//! record index) is a contiguous slice of `num_shots.div_ceil(64)` words,
+//! and bit `s % 64` of word `s / 64` in that row is shot `s`. Rows are
+//! the unit of word-parallel work; shots are the packed axis.
+//!
+//! The trailing word of each row may contain *padding lanes* (shots `≥
+//! num_shots`). Samplers deliberately fill padding lanes with real draws
+//! — always processing full 64-lane words is what makes packed streams
+//! reproducible at any shot count (see [`column_seed`]) — so every
+//! reading accessor ([`BitTable::get`], [`BitTable::count_row_ones`],
+//! [`BitTable::iter_row_ones`]) masks them out via
+//! [`BitTable::valid_lanes`].
+//!
+//! # Seeding contract
+//!
+//! Packed samplers draw randomness per *word column* (a block of 64
+//! consecutive shots), seeding column `w` with [`column_seed`]`(seed,
+//! w)`. Because each column's stream is independent of every other
+//! column and the sampler always draws all 64 lanes of a column (padding
+//! included), the first `n` shots of a packed run are bit-identical for
+//! every requested shot count `≥ n` and for every thread count — chunking
+//! a run at word boundaries never changes which RNG draws produce which
+//! shot.
+
+/// Derives the RNG seed for word column `word` (shots `64·word ..
+/// 64·word + 64`) of a packed sampling run seeded with `seed`.
+///
+/// The same SplitMix64 mix as `astrea_core::batch::shot_seed`, applied to
+/// word-column indices instead of shot indices: neighbouring columns get
+/// decorrelated streams, and a column's seed depends only on `(seed,
+/// word)` — not on the total shot count or the thread layout.
+pub fn column_seed(seed: u64, word: u64) -> u64 {
+    let mut z = seed ^ word.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A `num_bits × num_shots` bit matrix, packed 64 shots per `u64` word.
+///
+/// See the [module docs](self) for the layout and padding-lane rules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitTable {
+    num_bits: usize,
+    num_shots: usize,
+    words_per_row: usize,
+    words: Vec<u64>,
+}
+
+impl BitTable {
+    /// Creates an all-zero table with `num_bits` rows over `num_shots`
+    /// packed shots.
+    pub fn new(num_bits: usize, num_shots: usize) -> BitTable {
+        let words_per_row = num_shots.div_ceil(64);
+        BitTable {
+            num_bits,
+            num_shots,
+            words_per_row,
+            words: vec![0; num_bits * words_per_row],
+        }
+    }
+
+    /// Number of rows (bits tracked per shot).
+    pub fn num_bits(&self) -> usize {
+        self.num_bits
+    }
+
+    /// Number of logical shots (packed columns).
+    pub fn num_shots(&self) -> usize {
+        self.num_shots
+    }
+
+    /// Number of `u64` words per row (`num_shots.div_ceil(64)`).
+    pub fn num_words(&self) -> usize {
+        self.words_per_row
+    }
+
+    /// The words of row `bit`, 64 shots per word.
+    pub fn row(&self, bit: usize) -> &[u64] {
+        let lo = bit * self.words_per_row;
+        &self.words[lo..lo + self.words_per_row]
+    }
+
+    /// Mutable access to the words of row `bit`.
+    pub fn row_mut(&mut self, bit: usize) -> &mut [u64] {
+        let lo = bit * self.words_per_row;
+        &mut self.words[lo..lo + self.words_per_row]
+    }
+
+    /// Word `word` of row `bit` (shots `64·word .. 64·word + 64`).
+    #[inline]
+    pub fn word(&self, bit: usize, word: usize) -> u64 {
+        debug_assert!(bit < self.num_bits && word < self.words_per_row);
+        self.words[bit * self.words_per_row + word]
+    }
+
+    /// Overwrites word `word` of row `bit`.
+    #[inline]
+    pub fn set_word(&mut self, bit: usize, word: usize, value: u64) {
+        debug_assert!(bit < self.num_bits && word < self.words_per_row);
+        self.words[bit * self.words_per_row + word] = value;
+    }
+
+    /// XORs `mask` into word `word` of row `bit` — one bitwise op
+    /// toggling the bit for up to 64 shots at once.
+    #[inline]
+    pub fn xor_word(&mut self, bit: usize, word: usize, mask: u64) {
+        debug_assert!(bit < self.num_bits && word < self.words_per_row);
+        self.words[bit * self.words_per_row + word] ^= mask;
+    }
+
+    /// The mask of valid (non-padding) lanes in word `word`: all 64 for
+    /// interior words, the low `num_shots % 64` for a partial final word.
+    #[inline]
+    pub fn valid_lanes(&self, word: usize) -> u64 {
+        debug_assert!(word < self.words_per_row);
+        if word + 1 < self.words_per_row || self.num_shots.is_multiple_of(64) {
+            !0
+        } else {
+            (1u64 << (self.num_shots % 64)) - 1
+        }
+    }
+
+    /// Reads bit `bit` of shot `shot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit` or `shot` is out of range.
+    #[inline]
+    pub fn get(&self, bit: usize, shot: usize) -> bool {
+        assert!(bit < self.num_bits, "bit {bit} of {}", self.num_bits);
+        assert!(shot < self.num_shots, "shot {shot} of {}", self.num_shots);
+        self.words[bit * self.words_per_row + shot / 64] >> (shot % 64) & 1 == 1
+    }
+
+    /// Sets bit `bit` of shot `shot` to `value`.
+    #[inline]
+    pub fn set(&mut self, bit: usize, shot: usize, value: bool) {
+        assert!(bit < self.num_bits, "bit {bit} of {}", self.num_bits);
+        assert!(shot < self.num_shots, "shot {shot} of {}", self.num_shots);
+        let w = &mut self.words[bit * self.words_per_row + shot / 64];
+        let mask = 1u64 << (shot % 64);
+        if value {
+            *w |= mask;
+        } else {
+            *w &= !mask;
+        }
+    }
+
+    /// Toggles bit `bit` of shot `shot`.
+    #[inline]
+    pub fn toggle(&mut self, bit: usize, shot: usize) {
+        assert!(bit < self.num_bits, "bit {bit} of {}", self.num_bits);
+        assert!(shot < self.num_shots, "shot {shot} of {}", self.num_shots);
+        self.words[bit * self.words_per_row + shot / 64] ^= 1u64 << (shot % 64);
+    }
+
+    /// Zeroes the whole table.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Popcount of row `bit` over valid lanes: in how many shots the bit
+    /// is set.
+    pub fn count_row_ones(&self, bit: usize) -> usize {
+        self.row(bit)
+            .iter()
+            .enumerate()
+            .map(|(w, &word)| (word & self.valid_lanes(w)).count_ones() as usize)
+            .sum()
+    }
+
+    /// Iterates the shot indices (ascending) where row `bit` is set,
+    /// padding lanes excluded.
+    pub fn iter_row_ones(&self, bit: usize) -> impl Iterator<Item = usize> + '_ {
+        self.row(bit)
+            .iter()
+            .enumerate()
+            .flat_map(move |(w, &word)| {
+                let mut m = word & self.valid_lanes(w);
+                std::iter::from_fn(move || {
+                    if m == 0 {
+                        None
+                    } else {
+                        let lane = m.trailing_zeros() as usize;
+                        m &= m - 1;
+                        Some(w * 64 + lane)
+                    }
+                })
+            })
+    }
+
+    /// ORs every row into `out` (resized to `num_words`), giving the
+    /// per-word mask of shots where *any* tracked bit is set — the
+    /// word-level screen for all-zero (trivial) shots. Padding lanes are
+    /// masked off.
+    pub fn or_rows_into(&self, out: &mut Vec<u64>) {
+        out.clear();
+        out.resize(self.words_per_row, 0);
+        for bit in 0..self.num_bits {
+            for (acc, &w) in out.iter_mut().zip(self.row(bit)) {
+                *acc |= w;
+            }
+        }
+        for (w, acc) in out.iter_mut().enumerate() {
+            *acc &= self.valid_lanes(w);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_set_toggle_round_trip() {
+        let mut t = BitTable::new(3, 130);
+        t.set(0, 0, true);
+        t.set(1, 64, true);
+        t.set(2, 129, true);
+        t.toggle(1, 64);
+        assert!(t.get(0, 0));
+        assert!(!t.get(1, 64));
+        assert!(t.get(2, 129));
+        assert_eq!(t.num_words(), 3);
+        assert_eq!(t.count_row_ones(0), 1);
+        assert_eq!(t.count_row_ones(1), 0);
+        assert_eq!(t.iter_row_ones(2).collect::<Vec<_>>(), vec![129]);
+    }
+
+    #[test]
+    fn valid_lanes_mask_padding() {
+        let t = BitTable::new(1, 70);
+        assert_eq!(t.valid_lanes(0), !0);
+        assert_eq!(t.valid_lanes(1), (1 << 6) - 1);
+        let aligned = BitTable::new(1, 128);
+        assert_eq!(aligned.valid_lanes(1), !0);
+    }
+
+    #[test]
+    fn padding_lanes_are_invisible_to_readers() {
+        let mut t = BitTable::new(2, 66);
+        // Write garbage into padding lanes via raw word access, as the
+        // packed samplers do.
+        t.set_word(0, 1, !0);
+        t.set_word(1, 1, 0xFF00);
+        assert_eq!(t.count_row_ones(0), 2); // only shots 64, 65
+        assert_eq!(t.iter_row_ones(0).collect::<Vec<_>>(), vec![64, 65]);
+        assert_eq!(t.count_row_ones(1), 0); // bits 8.. are padding
+        let mut any = Vec::new();
+        t.or_rows_into(&mut any);
+        assert_eq!(any, vec![0, 0b11]);
+    }
+
+    #[test]
+    fn xor_word_toggles_64_shots() {
+        let mut t = BitTable::new(1, 64);
+        t.xor_word(0, 0, !0);
+        assert_eq!(t.count_row_ones(0), 64);
+        t.xor_word(0, 0, 0b1010);
+        assert!(!t.get(0, 1));
+        assert!(!t.get(0, 3));
+        assert_eq!(t.count_row_ones(0), 62);
+    }
+
+    #[test]
+    fn zero_sized_axes() {
+        let t = BitTable::new(0, 100);
+        assert_eq!(t.num_bits(), 0);
+        assert_eq!(t.num_words(), 2);
+        let t = BitTable::new(4, 0);
+        assert_eq!(t.num_words(), 0);
+        let mut any = Vec::new();
+        t.or_rows_into(&mut any);
+        assert!(any.is_empty());
+    }
+
+    #[test]
+    fn column_seed_decorrelates_and_is_stable() {
+        let a = column_seed(42, 0);
+        let b = column_seed(42, 1);
+        let c = column_seed(43, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(column_seed(42, 0), a);
+    }
+}

@@ -8,9 +8,11 @@
 //! Astrea paper targets, because shots can skip directly between triggered
 //! mechanisms.
 
+use crate::bittable::{column_seed, BitTable};
 use crate::circuit::{Circuit, Op};
 use crate::recordset::RecordSet;
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 
 /// One independent error mechanism of a [`DetectorErrorModel`].
@@ -284,11 +286,36 @@ impl Shot {
     }
 }
 
+/// Groups mechanism indices by exact probability, highest first.
+///
+/// The ordering is deterministic (probabilities are distinct group keys and
+/// indices are pushed in mechanism order), which both samplers rely on for
+/// reproducible streams.
+fn probability_groups(dem: &DetectorErrorModel) -> Vec<(f64, Vec<u32>)> {
+    let mut by_p: HashMap<u64, Vec<u32>> = HashMap::new();
+    for (i, m) in dem.mechanisms().iter().enumerate() {
+        by_p.entry(m.probability.to_bits())
+            .or_default()
+            .push(i as u32);
+    }
+    let mut groups: Vec<(f64, Vec<u32>)> = by_p
+        .into_iter()
+        .map(|(bits, idxs)| (f64::from_bits(bits), idxs))
+        .collect();
+    groups.sort_by(|a, b| b.0.total_cmp(&a.0));
+    groups
+}
+
 /// Fast Monte-Carlo sampler over a [`DetectorErrorModel`].
 ///
 /// Mechanisms are grouped by probability; within each group the sampler
 /// jumps between triggered mechanisms with geometrically distributed skips,
 /// so a shot costs `O(groups + triggers)` instead of `O(mechanisms)`.
+///
+/// [`DemSampler::sample_into`] is the primary per-shot path (zero
+/// allocation once the buffer has grown); for bulk sampling prefer the
+/// word-parallel [`BatchDemSampler`], which amortizes the group walk over
+/// 64 shots per bitwise op.
 #[derive(Debug, Clone)]
 pub struct DemSampler {
     /// `(probability, mechanism indices)` groups.
@@ -297,35 +324,30 @@ pub struct DemSampler {
     mechanisms: Vec<ErrorMechanism>,
     parity: Vec<bool>,
     touched: Vec<u32>,
+    /// Reused output buffer for [`DemSampler::sample`].
+    shot: Shot,
 }
 
 impl DemSampler {
     /// Prepares a sampler for the given model.
     pub fn new(dem: &DetectorErrorModel) -> DemSampler {
-        let mut by_p: HashMap<u64, Vec<u32>> = HashMap::new();
-        for (i, m) in dem.mechanisms().iter().enumerate() {
-            by_p.entry(m.probability.to_bits())
-                .or_default()
-                .push(i as u32);
-        }
-        let mut groups: Vec<(f64, Vec<u32>)> = by_p
-            .into_iter()
-            .map(|(bits, idxs)| (f64::from_bits(bits), idxs))
-            .collect();
-        groups.sort_by(|a, b| b.0.total_cmp(&a.0));
         DemSampler {
-            groups,
+            groups: probability_groups(dem),
             mechanisms: dem.mechanisms().to_vec(),
             parity: vec![false; dem.num_detectors()],
             touched: Vec::new(),
+            shot: Shot::default(),
         }
     }
 
-    /// Samples one shot.
-    pub fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Shot {
-        let mut shot = Shot::default();
+    /// Samples one shot into an internal buffer and returns a reference to
+    /// it — no allocation after the first call. Clone the result if it must
+    /// outlive the next `sample`/`sample_into` call.
+    pub fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R) -> &Shot {
+        let mut shot = std::mem::take(&mut self.shot);
         self.sample_into(rng, &mut shot);
-        shot
+        self.shot = shot;
+        &self.shot
     }
 
     /// Samples one shot into an existing buffer, avoiding allocation.
@@ -383,6 +405,179 @@ impl DemSampler {
         for &d in &self.touched {
             if self.parity[d as usize] {
                 shot.detectors.push(d);
+            }
+        }
+    }
+}
+
+/// XORs a 64-lane trigger mask into the detector and observable rows a
+/// mechanism flips — one word op per symptom for 64 shots.
+#[inline]
+fn apply_mechanism_mask(
+    m: &ErrorMechanism,
+    word: usize,
+    mask: u64,
+    detectors: &mut BitTable,
+    observables: &mut BitTable,
+) {
+    for &d in &m.detectors {
+        detectors.xor_word(d as usize, word, mask);
+    }
+    let mut obs = m.observables;
+    while obs != 0 {
+        let bit = obs.trailing_zeros() as usize;
+        obs &= obs - 1;
+        observables.xor_word(bit, word, mask);
+    }
+}
+
+/// Word-parallel Monte-Carlo sampler over a [`DetectorErrorModel`]: 64
+/// shots per `u64` word.
+///
+/// Samples the same independent-Bernoulli process as [`DemSampler`], but
+/// per *word column* of 64 shots: within each probability group the sampler
+/// geometric-skips over the flattened `mechanism-major × lane` trial space
+/// (`mechanisms_in_group × 64` trials per column), accumulates consecutive
+/// hits on one mechanism into a single 64-lane trigger mask, and applies
+/// the mask with one XOR per flipped detector/observable row. A column
+/// therefore costs `O(groups + triggers)` — the group walk is amortized 64×
+/// relative to the scalar sampler, and symptom application is
+/// word-parallel.
+///
+/// # Seeding contract
+///
+/// Column `w` (shots `64w .. 64w + 64`) is seeded with
+/// [`column_seed`]`(seed, w)` and always draws all 64 lanes, padding
+/// included, so the first `n` shots are bit-identical for any shot count
+/// `≥ n` and any word-aligned chunking across threads (see
+/// [`crate::bittable`]).
+#[derive(Debug, Clone)]
+pub struct BatchDemSampler {
+    groups: Vec<(f64, Vec<u32>)>,
+    mechanisms: Vec<ErrorMechanism>,
+    num_detectors: usize,
+    num_observables: usize,
+}
+
+impl BatchDemSampler {
+    /// Prepares a word-parallel sampler for the given model.
+    pub fn new(dem: &DetectorErrorModel) -> BatchDemSampler {
+        BatchDemSampler {
+            groups: probability_groups(dem),
+            mechanisms: dem.mechanisms().to_vec(),
+            num_detectors: dem.num_detectors(),
+            num_observables: dem.num_observables(),
+        }
+    }
+
+    /// Number of detectors in the underlying model.
+    pub fn num_detectors(&self) -> usize {
+        self.num_detectors
+    }
+
+    /// Number of logical observables in the underlying model.
+    pub fn num_observables(&self) -> usize {
+        self.num_observables
+    }
+
+    /// Samples `num_shots` shots, returning packed
+    /// `num_detectors × num_shots` and `num_observables × num_shots`
+    /// tables.
+    pub fn sample(&self, seed: u64, num_shots: usize) -> (BitTable, BitTable) {
+        let mut detectors = BitTable::new(self.num_detectors, num_shots);
+        let mut observables = BitTable::new(self.num_observables, num_shots);
+        self.sample_words(seed, 0, &mut detectors, &mut observables);
+        (detectors, observables)
+    }
+
+    /// Fills pre-sized tables with word columns `first_word .. first_word +
+    /// detectors.num_words()` of the global packed stream — the chunked
+    /// entry point for splitting one logical run across threads. Local word
+    /// `w` of the tables is global column `first_word + w`, seeded with
+    /// [`column_seed`]`(seed, first_word + w)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tables' row counts don't match the model's
+    /// detector/observable counts or their shot counts differ.
+    pub fn sample_words(
+        &self,
+        seed: u64,
+        first_word: usize,
+        detectors: &mut BitTable,
+        observables: &mut BitTable,
+    ) {
+        assert_eq!(detectors.num_bits(), self.num_detectors);
+        assert_eq!(observables.num_bits(), self.num_observables);
+        assert_eq!(detectors.num_shots(), observables.num_shots());
+        // Row-sequential zeroing (a memset per row) beats zeroing inside
+        // the per-column loop, which would stride across the whole table.
+        detectors.clear();
+        observables.clear();
+        for w in 0..detectors.num_words() {
+            let mut rng = StdRng::seed_from_u64(column_seed(seed, (first_word + w) as u64));
+            for (p, idxs) in &self.groups {
+                let p = *p;
+                if p <= 0.0 {
+                    continue;
+                }
+                if p >= 1.0 {
+                    for &mi in idxs {
+                        apply_mechanism_mask(
+                            &self.mechanisms[mi as usize],
+                            w,
+                            !0,
+                            detectors,
+                            observables,
+                        );
+                    }
+                    continue;
+                }
+                // Geometric skip over the flattened mechanism-major trial
+                // space: trial `f` is lane `f % 64` of mechanism `f / 64`
+                // within this group. Consecutive hits on one mechanism
+                // accumulate into a single 64-lane mask before flushing.
+                let total = idxs.len() * 64;
+                let inv_log1mp = (1.0 - p).ln().recip();
+                let mut f = 0usize;
+                let mut cur = usize::MAX;
+                let mut mask = 0u64;
+                loop {
+                    let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+                    let skip = (u.ln() * inv_log1mp).floor();
+                    if skip >= (total - f) as f64 {
+                        break;
+                    }
+                    f += skip as usize;
+                    let mech = f / 64;
+                    if mech != cur {
+                        if cur != usize::MAX {
+                            apply_mechanism_mask(
+                                &self.mechanisms[idxs[cur] as usize],
+                                w,
+                                mask,
+                                detectors,
+                                observables,
+                            );
+                        }
+                        cur = mech;
+                        mask = 0;
+                    }
+                    mask |= 1u64 << (f % 64);
+                    f += 1;
+                    if f >= total {
+                        break;
+                    }
+                }
+                if cur != usize::MAX {
+                    apply_mechanism_mask(
+                        &self.mechanisms[idxs[cur] as usize],
+                        w,
+                        mask,
+                        detectors,
+                        observables,
+                    );
+                }
             }
         }
     }
@@ -575,5 +770,91 @@ mod tests {
             observables: 0,
         };
         assert_eq!(shot.hamming_weight(), 3);
+    }
+
+    #[test]
+    fn sample_reuses_buffer_and_matches_sample_into() {
+        let dem = d3_model(5e-3);
+        let mut a = DemSampler::new(&dem);
+        let mut b = DemSampler::new(&dem);
+        let mut rng_a = StdRng::seed_from_u64(77);
+        let mut rng_b = StdRng::seed_from_u64(77);
+        let mut shot = Shot::default();
+        for _ in 0..200 {
+            let by_ref = a.sample(&mut rng_a).clone();
+            b.sample_into(&mut rng_b, &mut shot);
+            assert_eq!(by_ref, shot);
+        }
+    }
+
+    #[test]
+    fn batch_sampler_fires_unit_probability_mechanism_in_every_lane() {
+        let dem = DetectorErrorModel::from_mechanisms(
+            2,
+            1,
+            vec![ErrorMechanism {
+                detectors: vec![1],
+                observables: 1,
+                probability: 1.0,
+            }],
+        );
+        let sampler = BatchDemSampler::new(&dem);
+        let (det, obs) = sampler.sample(3, 130);
+        assert_eq!(det.count_row_ones(0), 0);
+        assert_eq!(det.count_row_ones(1), 130);
+        assert_eq!(obs.count_row_ones(0), 130);
+    }
+
+    #[test]
+    fn batch_sampler_is_shot_count_prefix_invariant() {
+        let dem = d3_model(5e-3);
+        let sampler = BatchDemSampler::new(&dem);
+        let (small_det, small_obs) = sampler.sample(9, 70);
+        let (big_det, big_obs) = sampler.sample(9, 300);
+        for shot in 0..70 {
+            for d in 0..dem.num_detectors() {
+                assert_eq!(small_det.get(d, shot), big_det.get(d, shot));
+            }
+            assert_eq!(small_obs.get(0, shot), big_obs.get(0, shot));
+        }
+    }
+
+    #[test]
+    fn batch_sampler_chunked_matches_monolithic() {
+        let dem = d3_model(5e-3);
+        let sampler = BatchDemSampler::new(&dem);
+        let (whole_det, whole_obs) = sampler.sample(13, 192);
+        let mut part_det = BitTable::new(dem.num_detectors(), 64);
+        let mut part_obs = BitTable::new(dem.num_observables(), 64);
+        for chunk in 0..3 {
+            sampler.sample_words(13, chunk, &mut part_det, &mut part_obs);
+            for shot in 0..64 {
+                for d in 0..dem.num_detectors() {
+                    assert_eq!(part_det.get(d, shot), whole_det.get(d, chunk * 64 + shot));
+                }
+                assert_eq!(part_obs.get(0, shot), whole_obs.get(0, chunk * 64 + shot));
+            }
+        }
+    }
+
+    #[test]
+    fn batch_sampler_mean_triggers_matches_expectation() {
+        let dem = d3_model(2e-3);
+        let sampler = BatchDemSampler::new(&dem);
+        let shots = 40_000;
+        let (det, _) = sampler.sample(5, shots);
+        let total: usize = (0..dem.num_detectors())
+            .map(|d| det.count_row_ones(d))
+            .sum();
+        let expected: f64 = dem
+            .mechanisms()
+            .iter()
+            .map(|m| m.probability * m.detectors.len() as f64)
+            .sum();
+        let mean = total as f64 / shots as f64;
+        assert!(
+            (mean - expected).abs() / expected < 0.1,
+            "mean {mean}, expected {expected}"
+        );
     }
 }

@@ -1,5 +1,6 @@
 //! Exact Pauli-frame Monte-Carlo sampling of a noisy Clifford circuit.
 
+use crate::bittable::BitTable;
 use crate::circuit::{Circuit, Op};
 use rand::Rng;
 
@@ -33,54 +34,81 @@ use rand::Rng;
 pub struct FrameSimulator {
     x_frame: Vec<bool>,
     z_frame: Vec<bool>,
-    records: Vec<bool>,
+    /// Measurement-record flips of the current shot, bit-packed (bit
+    /// `r % 64` of word `r / 64` is record `r`).
+    records: Vec<u64>,
+    /// Row `d` marks the records detector `d` folds over; detector
+    /// outcomes are the AND-popcount parity of a row against `records`.
+    det_masks: BitTable,
+    /// Row `i` marks the records observable `i` folds over.
+    obs_masks: BitTable,
 }
 
 impl FrameSimulator {
-    /// Creates a simulator sized for the given circuit.
+    /// Creates a simulator sized for the given circuit, precomputing the
+    /// packed record masks of its detectors and observables.
     pub fn new(circuit: &Circuit) -> FrameSimulator {
+        let mut det_masks = BitTable::new(circuit.num_detectors(), circuit.num_records());
+        for (d, det) in circuit.detectors().iter().enumerate() {
+            for &r in &det.records {
+                det_masks.toggle(d, r as usize);
+            }
+        }
+        let mut obs_masks = BitTable::new(circuit.num_observables(), circuit.num_records());
+        for (i, obs) in circuit.observables().iter().enumerate() {
+            for &r in obs {
+                obs_masks.toggle(i, r as usize);
+            }
+        }
         FrameSimulator {
             x_frame: vec![false; circuit.num_qubits()],
             z_frame: vec![false; circuit.num_qubits()],
-            records: vec![false; circuit.num_records()],
+            records: vec![0; circuit.num_records().div_ceil(64)],
+            det_masks,
+            obs_masks,
         }
     }
 
     /// Samples one shot, returning the detector outcomes and the observable
     /// flip mask (bit `i` set iff observable `i` flipped).
     ///
+    /// Detector folds are word-parallel: each outcome is the parity of a
+    /// precomputed record mask ANDed against the packed record words.
+    ///
     /// # Panics
     ///
-    /// Panics if `circuit` has more qubits or records than the circuit this
-    /// simulator was created for.
+    /// Panics if `circuit`'s qubit, record, detector, or observable counts
+    /// don't match the circuit this simulator was created for.
     pub fn sample<R: Rng + ?Sized>(&mut self, circuit: &Circuit, rng: &mut R) -> (Vec<bool>, u32) {
+        assert_eq!(circuit.num_detectors(), self.det_masks.num_bits());
+        assert_eq!(circuit.num_observables(), self.obs_masks.num_bits());
         self.sample_records(circuit, rng);
-        let detectors = circuit
-            .detectors()
-            .iter()
-            .map(|det| {
-                det.records
-                    .iter()
-                    .fold(false, |acc, &r| acc ^ self.records[r as usize])
-            })
+        let word_parity = |mask: &[u64], recs: &[u64]| {
+            mask.iter()
+                .zip(recs)
+                .map(|(&m, &r)| (m & r).count_ones())
+                .sum::<u32>()
+                & 1
+                == 1
+        };
+        let detectors = (0..self.det_masks.num_bits())
+            .map(|d| word_parity(self.det_masks.row(d), &self.records))
             .collect();
         let mut obs_mask = 0u32;
-        for (i, obs) in circuit.observables().iter().enumerate() {
-            let flipped = obs
-                .iter()
-                .fold(false, |acc, &r| acc ^ self.records[r as usize]);
-            if flipped {
+        for i in 0..self.obs_masks.num_bits() {
+            if word_parity(self.obs_masks.row(i), &self.records) {
                 obs_mask |= 1 << i;
             }
         }
         (detectors, obs_mask)
     }
 
-    /// Samples one shot and returns only the raw measurement-record flips.
-    pub fn sample_records<R: Rng + ?Sized>(&mut self, circuit: &Circuit, rng: &mut R) -> &[bool] {
+    /// Samples one shot and returns the raw measurement-record flips,
+    /// bit-packed 64 records per word.
+    pub fn sample_records<R: Rng + ?Sized>(&mut self, circuit: &Circuit, rng: &mut R) -> &[u64] {
         self.x_frame.fill(false);
         self.z_frame.fill(false);
-        self.records.fill(false);
+        self.records.fill(0);
         let mut next_record = 0usize;
 
         for op in circuit.ops() {
@@ -103,7 +131,9 @@ impl FrameSimulator {
                     }
                 }
                 Op::MeasureZ(q) => {
-                    self.records[next_record] = self.x_frame[q as usize];
+                    if self.x_frame[q as usize] {
+                        self.records[next_record / 64] |= 1u64 << (next_record % 64);
+                    }
                     next_record += 1;
                 }
                 Op::Depolarize1 { q, p } => {
@@ -193,7 +223,7 @@ mod tests {
         c.push(Op::MeasureZ(0));
         let mut sim = FrameSimulator::new(&c);
         let recs = sim.sample_records(&c, &mut rng()).to_vec();
-        assert_eq!(recs, vec![true, false]);
+        assert_eq!(recs, vec![0b01]);
     }
 
     #[test]
@@ -211,7 +241,7 @@ mod tests {
         let mut sim = FrameSimulator::new(&c);
         let recs = sim.sample_records(&c, &mut rng()).to_vec();
         // H X H = Z, and Z does not flip a Z-basis measurement.
-        assert_eq!(recs, vec![false]);
+        assert_eq!(recs, vec![0]);
     }
 
     #[test]
@@ -225,7 +255,7 @@ mod tests {
         c.push(Op::MeasureZ(1));
         let mut sim = FrameSimulator::new(&c);
         let recs = sim.sample_records(&c, &mut rng()).to_vec();
-        assert_eq!(recs, vec![true, true]);
+        assert_eq!(recs, vec![0b11]);
     }
 
     #[test]
@@ -239,7 +269,7 @@ mod tests {
         c.push(Op::MeasureZ(1));
         let mut sim = FrameSimulator::new(&c);
         let recs = sim.sample_records(&c, &mut rng()).to_vec();
-        assert_eq!(recs, vec![false, true]);
+        assert_eq!(recs, vec![0b10]);
     }
 
     #[test]

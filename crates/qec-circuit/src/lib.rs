@@ -15,7 +15,12 @@
 //!   propagating every elementary error mechanism to the detectors and
 //!   logical observables it flips, plus [`DemSampler`], a fast
 //!   geometric-skip sampler over the model that is equivalent in
-//!   distribution to the frame simulator.
+//!   distribution to the frame simulator;
+//! * bit-packed, word-parallel bulk samplers — [`BitTable`] (64 shots per
+//!   `u64` word), [`BatchFrameSimulator`], and [`BatchDemSampler`] — which
+//!   advance 64 Monte-Carlo shots per bitwise operation and are the
+//!   throughput path for LER estimation (see [`bittable`] for the layout
+//!   and the per-word-column seeding contract).
 //!
 //! # Example: sampling syndromes for a distance-3 memory experiment
 //!
@@ -37,6 +42,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch_frame;
+pub mod bittable;
 mod builder;
 mod circuit;
 mod dem;
@@ -48,12 +55,14 @@ mod repetition_builder;
 mod stim_io;
 mod tableau;
 
+pub use batch_frame::BatchFrameSimulator;
+pub use bittable::{column_seed, BitTable};
 pub use builder::{
     build_memory_circuit, build_memory_x_circuit, build_memory_z_circuit, memory_layout,
     MemoryCircuitLayout,
 };
 pub use circuit::{Circuit, Detector, DetectorCoord, Op};
-pub use dem::{DemSampler, DetectorErrorModel, ErrorMechanism, Shot};
+pub use dem::{BatchDemSampler, DemSampler, DetectorErrorModel, ErrorMechanism, Shot};
 pub use dem_io::ParseDemError;
 pub use frame::FrameSimulator;
 pub use noise::{NoiseMap, NoiseModel};

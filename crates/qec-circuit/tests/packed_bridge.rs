@@ -1,0 +1,246 @@
+//! Bridge tests between the scalar and bit-packed samplers.
+//!
+//! Deterministic half: under fixed error masks (`XError` with `p = 1`
+//! spliced into otherwise noiseless circuits), error propagation has no
+//! randomness, so every packed lane must match the scalar simulator
+//! bit-for-bit — for d ∈ {3, 5, 7} and several mask shapes.
+//!
+//! Statistical half: under real noise the packed samplers draw a
+//! different (word-column-seeded) RNG stream than the scalar ones, so
+//! outcomes can only agree in distribution; per-detector trigger rates
+//! must match within Monte-Carlo error at p = 1e-2.
+
+use qec_circuit::{
+    build_memory_z_circuit, BatchDemSampler, BatchFrameSimulator, Circuit, DemSampler,
+    DetectorErrorModel, ErrorMechanism, FrameSimulator, NoiseModel, Op, Shot,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use surface_code::SurfaceCode;
+
+/// Rebuilds `clean` with deterministic `XError { p: 1.0 }` ops on the
+/// given qubits spliced in after the `after_tick`-th `Tick`, keeping all
+/// detector/observable annotations.
+fn splice_x_errors(clean: &Circuit, after_tick: usize, qubits: &[u32]) -> Circuit {
+    let mut c = Circuit::new(clean.num_qubits());
+    let mut ticks = 0;
+    for op in clean.ops() {
+        c.push(*op);
+        if let Op::Tick = op {
+            ticks += 1;
+            if ticks == after_tick {
+                for &q in qubits {
+                    c.push(Op::XError { q, p: 1.0 });
+                }
+            }
+        }
+    }
+    for det in clean.detectors() {
+        c.push_detector(det.records.clone(), det.coord);
+    }
+    for obs in clean.observables() {
+        c.push_observable(obs.clone());
+    }
+    c
+}
+
+#[test]
+fn packed_frame_matches_scalar_bit_for_bit_under_fixed_masks() {
+    for d in [3usize, 5, 7] {
+        let code = SurfaceCode::new(d).unwrap();
+        let clean = build_memory_z_circuit(&code, d, NoiseModel::noiseless());
+        let nq = clean.num_qubits() as u32;
+        // Several deterministic mask shapes: single qubit, a spread-out
+        // triple, and a dense stripe, at different rounds.
+        let masks: Vec<(usize, Vec<u32>)> = vec![
+            (1, vec![0]),
+            (2, vec![1, nq / 2, nq - 1]),
+            (1, (0..nq).step_by(3).collect()),
+        ];
+        for (after_tick, qubits) in masks {
+            let c = splice_x_errors(&clean, after_tick, &qubits);
+            let mut scalar = FrameSimulator::new(&c);
+            // The circuit is deterministic; the RNG is never consulted
+            // for an outcome.
+            let (want_dets, want_obs) = scalar.sample(&c, &mut StdRng::seed_from_u64(0));
+            let mut packed = BatchFrameSimulator::new(&c);
+            let shots = 130;
+            let (det, obs) = packed.sample(&c, 99, shots);
+            for s in 0..shots {
+                for (i, &w) in want_dets.iter().enumerate() {
+                    assert_eq!(
+                        det.get(i, s),
+                        w,
+                        "d={d} mask {qubits:?}: detector {i} shot {s}"
+                    );
+                }
+                for bit in 0..c.num_observables() {
+                    assert_eq!(
+                        obs.get(bit, s),
+                        want_obs >> bit & 1 == 1,
+                        "d={d} mask {qubits:?}: observable {bit} shot {s}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn packed_dem_matches_scalar_bit_for_bit_under_deterministic_mechanisms() {
+    // Circuit-derived: one deterministic X error yields a p = 1 mechanism.
+    for d in [3usize, 5, 7] {
+        let code = SurfaceCode::new(d).unwrap();
+        let clean = build_memory_z_circuit(&code, d, NoiseModel::noiseless());
+        let c = splice_x_errors(&clean, 1, &[0]);
+        let dem = c.detector_error_model();
+        assert!(
+            dem.mechanisms().iter().all(|m| m.probability == 1.0),
+            "d={d}: expected only deterministic mechanisms"
+        );
+        let mut scalar = DemSampler::new(&dem);
+        let mut shot = Shot::default();
+        scalar.sample_into(&mut StdRng::seed_from_u64(0), &mut shot);
+        let batch = BatchDemSampler::new(&dem);
+        let shots = 100;
+        let (det, obs) = batch.sample(55, shots);
+        for s in 0..shots {
+            let fired: Vec<u32> = (0..dem.num_detectors())
+                .filter(|&i| det.get(i, s))
+                .map(|i| i as u32)
+                .collect();
+            assert_eq!(fired, shot.detectors, "d={d} shot {s}");
+            let mask: u32 = (0..dem.num_observables())
+                .map(|b| u32::from(obs.get(b, s)) << b)
+                .sum();
+            assert_eq!(mask, shot.observables, "d={d} shot {s}");
+        }
+    }
+
+    // Hand-built: overlapping deterministic mechanisms must XOR-cancel
+    // identically in both samplers.
+    let dem = DetectorErrorModel::from_mechanisms(
+        4,
+        2,
+        vec![
+            ErrorMechanism {
+                detectors: vec![0, 1],
+                observables: 0b01,
+                probability: 1.0,
+            },
+            ErrorMechanism {
+                detectors: vec![1, 3],
+                observables: 0b11,
+                probability: 1.0,
+            },
+        ],
+    );
+    let mut scalar = DemSampler::new(&dem);
+    let want = scalar.sample(&mut StdRng::seed_from_u64(0)).clone();
+    assert_eq!(want.detectors, vec![0, 3]);
+    assert_eq!(want.observables, 0b10);
+    let batch = BatchDemSampler::new(&dem);
+    let (det, obs) = batch.sample(7, 70);
+    for s in 0..70 {
+        let fired: Vec<u32> = (0..4)
+            .filter(|&i| det.get(i, s))
+            .map(|i| i as u32)
+            .collect();
+        assert_eq!(fired, want.detectors, "shot {s}");
+        assert!(!obs.get(0, s));
+        assert!(obs.get(1, s));
+    }
+}
+
+/// Asserts two per-detector firing-rate vectors agree within a 5-sigma
+/// binomial tolerance, mirroring the scalar DEM-vs-frame statistical test.
+fn assert_rates_close(a: &[f64], b: &[f64], shots: usize, what: &str) {
+    for (i, (&f, &s)) in a.iter().zip(b).enumerate() {
+        let sigma = (f.max(s).max(1.0 / shots as f64) / shots as f64).sqrt();
+        assert!(
+            (f - s).abs() < 5.0 * sigma + 1e-4,
+            "{what}: detector {i} rates {f} vs {s}"
+        );
+    }
+}
+
+#[test]
+fn packed_frame_statistics_match_scalar_at_high_noise() {
+    let p = 1e-2;
+    let code = SurfaceCode::new(3).unwrap();
+    let circuit = build_memory_z_circuit(&code, 3, NoiseModel::depolarizing(p));
+    let shots = 40_000;
+
+    let mut scalar = FrameSimulator::new(&circuit);
+    let mut rng = StdRng::seed_from_u64(21);
+    let mut scalar_counts = vec![0u32; circuit.num_detectors()];
+    let mut scalar_obs = 0u32;
+    for _ in 0..shots {
+        let (dets, obs) = scalar.sample(&circuit, &mut rng);
+        for (i, &b) in dets.iter().enumerate() {
+            scalar_counts[i] += b as u32;
+        }
+        scalar_obs += obs & 1;
+    }
+
+    let mut packed = BatchFrameSimulator::new(&circuit);
+    let (det, obs) = packed.sample(&circuit, 22, shots);
+    let packed_rates: Vec<f64> = (0..circuit.num_detectors())
+        .map(|i| det.count_row_ones(i) as f64 / shots as f64)
+        .collect();
+    let scalar_rates: Vec<f64> = scalar_counts
+        .iter()
+        .map(|&c| c as f64 / shots as f64)
+        .collect();
+    assert_rates_close(
+        &scalar_rates,
+        &packed_rates,
+        shots,
+        "frame packed-vs-scalar",
+    );
+
+    let (f, s) = (
+        scalar_obs as f64 / shots as f64,
+        obs.count_row_ones(0) as f64 / shots as f64,
+    );
+    assert!((f - s).abs() < 0.01, "obs rates: scalar {f}, packed {s}");
+}
+
+#[test]
+fn packed_dem_statistics_match_scalar_at_high_noise() {
+    let p = 1e-2;
+    let code = SurfaceCode::new(3).unwrap();
+    let circuit = build_memory_z_circuit(&code, 3, NoiseModel::depolarizing(p));
+    let dem = circuit.detector_error_model();
+    let shots = 40_000;
+
+    let mut scalar = DemSampler::new(&dem);
+    let mut rng = StdRng::seed_from_u64(31);
+    let mut shot = Shot::default();
+    let mut scalar_counts = vec![0u32; dem.num_detectors()];
+    let mut scalar_obs = 0u32;
+    for _ in 0..shots {
+        scalar.sample_into(&mut rng, &mut shot);
+        for &d in &shot.detectors {
+            scalar_counts[d as usize] += 1;
+        }
+        scalar_obs += shot.observables & 1;
+    }
+
+    let packed = BatchDemSampler::new(&dem);
+    let (det, obs) = packed.sample(32, shots);
+    let packed_rates: Vec<f64> = (0..dem.num_detectors())
+        .map(|i| det.count_row_ones(i) as f64 / shots as f64)
+        .collect();
+    let scalar_rates: Vec<f64> = scalar_counts
+        .iter()
+        .map(|&c| c as f64 / shots as f64)
+        .collect();
+    assert_rates_close(&scalar_rates, &packed_rates, shots, "dem packed-vs-scalar");
+
+    let (f, s) = (
+        scalar_obs as f64 / shots as f64,
+        obs.count_row_ones(0) as f64 / shots as f64,
+    );
+    assert!((f - s).abs() < 0.01, "obs rates: scalar {f}, packed {s}");
+}

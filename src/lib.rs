@@ -56,7 +56,8 @@ pub mod prelude {
         LutDecoder, SliceOutcome, SyndromeBatch, SyndromeBatchBuilder, SyndromeCompressor,
     };
     pub use astrea_experiments::{
-        decode_batch_ler, estimate_ler, sample_batch, ExperimentContext, LerResult,
+        decode_batch_ler, estimate_ler, sample_batch, sample_batch_scalar, ExperimentContext,
+        LerResult,
     };
     pub use blossom_mwpm::{LocalMwpmDecoder, MwpmDecoder};
     pub use decoding_graph::{
@@ -64,8 +65,9 @@ pub mod prelude {
         PathReconstructor, Prediction,
     };
     pub use qec_circuit::{
-        build_memory_x_circuit, build_memory_z_circuit, Circuit, DemSampler, DetectorErrorModel,
-        FrameSimulator, NoiseMap, NoiseModel, Shot, TableauSimulator,
+        build_memory_x_circuit, build_memory_z_circuit, column_seed, BatchDemSampler,
+        BatchFrameSimulator, BitTable, Circuit, DemSampler, DetectorErrorModel, FrameSimulator,
+        NoiseMap, NoiseModel, Shot, TableauSimulator,
     };
     pub use surface_code::{Basis, CodeResources, Coord, Pauli, SurfaceCode};
     pub use union_find_decoder::{GrowthPolicy, UnionFindDecoder};

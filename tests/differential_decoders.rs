@@ -89,7 +89,7 @@ fn corpus(ctx: &ExperimentContext, sampled: usize, random: usize, seed: u64) -> 
     while out.len() < sampled {
         let shot = sampler.sample(&mut rng);
         if (1..=10).contains(&shot.detectors.len()) {
-            out.push(shot.detectors);
+            out.push(shot.detectors.clone());
         }
     }
     let detectors = ctx.gwt().len() as u32;

@@ -16,7 +16,10 @@
 //!   once at construction, each owning one decoder instance (built by the
 //!   caller's factory against the shared [`DecodingContext`]) and one
 //!   reusable [`DecodeScratch`] arena; batches are fed to them over
-//!   channels as contiguous index ranges.
+//!   channels as interleaved index ranges
+//!   ([`BatchDecoder::decode_batch`]), or packed tiles are streamed to
+//!   them through a shared queue ([`BatchDecoder::decode_stream`], see
+//!   [`crate::pipeline`]).
 //! * [`decode_slice`] — the single shot-loop both the pool workers and
 //!   scoped-thread harnesses (`astrea-experiments`) run, so every decode
 //!   path shares one definition of "decode a shot and account for it".
@@ -33,8 +36,9 @@ use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 
 use crate::latency::LatencyStats;
+use crate::pipeline::{consume_tiles, StreamOutcome, TileQueue, TileScratch};
 use decoding_graph::{DecodeScratch, Decoder, DecodingContext, Prediction};
-use qec_circuit::BitTable;
+use qec_circuit::{BitTable, SyndromeTile};
 
 /// Derives the per-shot RNG seed for shot `index` of a run seeded with
 /// `seed` (a SplitMix64 mix of the pair).
@@ -367,10 +371,18 @@ pub struct BatchResult {
 pub type BatchDecoderFactory =
     dyn for<'c> Fn(&'c DecodingContext) -> Box<dyn Decoder + 'c> + Send + Sync;
 
-struct Job {
-    batch: SyndromeBatch,
-    range: Range<usize>,
-    reply: mpsc::Sender<(usize, SliceOutcome)>,
+enum Job {
+    /// Decode a contiguous shot range of a shared batch.
+    Slice {
+        batch: SyndromeBatch,
+        range: Range<usize>,
+        reply: mpsc::Sender<(usize, SliceOutcome)>,
+    },
+    /// Drain a shared tile queue until the producers hang up.
+    Stream {
+        queue: TileQueue,
+        reply: mpsc::Sender<StreamOutcome>,
+    },
 }
 
 /// A persistent pool of decode workers.
@@ -405,13 +417,33 @@ impl BatchDecoder {
                 .spawn(move || {
                     let mut decoder = factory(&ctx);
                     let mut scratch = DecodeScratch::new();
+                    // Tile scratch persists across streamed batches so the
+                    // HW ≤ 2 prediction cache keeps paying off.
+                    let mut tiles = TileScratch::new();
                     while let Ok(job) = rx.recv() {
-                        let start = job.range.start;
-                        let outcome =
-                            decode_slice(decoder.as_mut(), &mut scratch, &job.batch, job.range);
                         // A dropped receiver just means the caller went
                         // away mid-batch; nothing to clean up.
-                        let _ = job.reply.send((start, outcome));
+                        match job {
+                            Job::Slice {
+                                batch,
+                                range,
+                                reply,
+                            } => {
+                                let start = range.start;
+                                let outcome =
+                                    decode_slice(decoder.as_mut(), &mut scratch, &batch, range);
+                                let _ = reply.send((start, outcome));
+                            }
+                            Job::Stream { queue, reply } => {
+                                let outcome = consume_tiles(
+                                    decoder.as_mut(),
+                                    &mut scratch,
+                                    &mut tiles,
+                                    &queue,
+                                );
+                                let _ = reply.send(outcome);
+                            }
+                        }
                     }
                 })
                 .expect("failed to spawn batch decode worker");
@@ -428,9 +460,12 @@ impl BatchDecoder {
 
     /// Decodes every shot of `shots` across the pool.
     ///
-    /// Shots are sharded into contiguous ranges (one per worker) and the
-    /// per-range outcomes are merged by shot index, so the result is
-    /// independent of worker count and scheduling order.
+    /// Shots are sharded into contiguous ranges dealt round-robin to the
+    /// workers — several small shards per worker rather than one large
+    /// chunk each, because nontrivial shots cluster and a single unlucky
+    /// chunk would stall the whole pool behind one worker. Outcomes are
+    /// merged by shot index, so the result is independent of worker
+    /// count, shard size, and scheduling order.
     pub fn decode_batch(&mut self, shots: &SyndromeBatch) -> BatchResult {
         let n = shots.len();
         let mut result = BatchResult {
@@ -441,21 +476,23 @@ impl BatchDecoder {
             return result;
         }
 
-        let chunk = n.div_ceil(self.senders.len());
+        // ~8 shards per worker bounds the load imbalance to one shard
+        // while keeping per-shard channel traffic negligible; the floor
+        // keeps shards from degenerating into per-shot messages on small
+        // batches.
+        let workers = self.senders.len();
+        let chunk = n.div_ceil(workers * 8).max(32);
         let (reply_tx, reply_rx) = mpsc::channel();
         let mut outstanding = 0usize;
-        for (w, tx) in self.senders.iter().enumerate() {
-            let start = w * chunk;
-            if start >= n {
-                break;
-            }
+        for (shard, start) in (0..n).step_by(chunk).enumerate() {
             let end = (start + chunk).min(n);
-            tx.send(Job {
-                batch: shots.clone(),
-                range: start..end,
-                reply: reply_tx.clone(),
-            })
-            .expect("batch decode worker exited unexpectedly");
+            self.senders[shard % workers]
+                .send(Job::Slice {
+                    batch: shots.clone(),
+                    range: start..end,
+                    reply: reply_tx.clone(),
+                })
+                .expect("batch decode worker exited unexpectedly");
             outstanding += 1;
         }
         drop(reply_tx);
@@ -471,6 +508,39 @@ impl BatchDecoder {
             result.deferred += outcome.deferred;
         }
         result
+    }
+
+    /// Decodes a stream of packed syndrome tiles across the pool — the
+    /// pipelined entry point that overlaps decoding with whatever is
+    /// producing `tiles` (see [`crate::pipeline`]).
+    ///
+    /// Every worker pulls tiles from the shared queue as it finishes the
+    /// previous one (dynamic load balancing), screens them word-parallel,
+    /// and decodes only the hard shots; the call returns once the
+    /// producers have dropped their senders and the queue drained. The
+    /// outcome is bit-identical to converting the same tiles into a
+    /// [`SyndromeBatch`] and calling [`BatchDecoder::decode_batch`],
+    /// minus the per-shot predictions (totals only).
+    pub fn decode_stream(&mut self, tiles: mpsc::Receiver<SyndromeTile>) -> StreamOutcome {
+        let queue = TileQueue::new(tiles);
+        let (reply_tx, reply_rx) = mpsc::channel();
+        for tx in &self.senders {
+            tx.send(Job::Stream {
+                queue: queue.clone(),
+                reply: reply_tx.clone(),
+            })
+            .expect("batch decode worker exited unexpectedly");
+        }
+        drop(reply_tx);
+        let mut out = StreamOutcome::default();
+        for _ in 0..self.senders.len() {
+            out.merge(
+                &reply_rx
+                    .recv()
+                    .expect("batch decode worker dropped a stream reply"),
+            );
+        }
+        out
     }
 }
 
@@ -575,6 +645,36 @@ mod tests {
         // must cover at least the HW ≤ 2 population.
         assert!(result.stats.cycle_histogram()[0] >= hist[0] + hist[1] + hist[2]);
         assert!(result.stats.max_cycles <= 114);
+    }
+
+    #[test]
+    fn decode_stream_matches_decode_batch_totals() {
+        use crate::pipeline::tile_channel;
+        use qec_circuit::tiles::{PackedSyndromeSource, TileLayout};
+
+        let ctx = ctx(3, 5e-3);
+        let shots = 3_000;
+        let sampler = qec_circuit::BatchDemSampler::new(ctx.dem());
+        let (det, obs) = sampler.sample(19, shots);
+        let batch = SyndromeBatch::from_packed(&det, &obs);
+        let mut pool = BatchDecoder::new(Arc::clone(&ctx), 3, mwpm_factory());
+        let barrier = pool.decode_batch(&batch);
+
+        let layout = TileLayout::new(shots, 5);
+        let (tx, rx) = tile_channel(4);
+        let producer = std::thread::spawn(move || {
+            let mut sampler = sampler;
+            for t in 0..layout.num_tiles() {
+                tx.send(sampler.sample_tile(19, &layout, t)).unwrap();
+            }
+        });
+        let streamed = pool.decode_stream(rx);
+        producer.join().unwrap();
+        assert_eq!(streamed.stats, barrier.stats);
+        assert_eq!(streamed.failures, barrier.failures);
+        assert_eq!(streamed.deferred, barrier.deferred);
+        // The pool survives a stream and still serves plain batches.
+        assert_eq!(pool.decode_batch(&batch), barrier);
     }
 
     #[test]

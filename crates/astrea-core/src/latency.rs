@@ -113,6 +113,26 @@ impl LatencyStats {
         self.cycle_hist[Self::cycle_bucket(cycles)] += 1;
     }
 
+    /// Records `count` shots that all share one Hamming weight and cycle
+    /// count — exactly equivalent to `count` [`LatencyStats::record`]
+    /// calls, but O(1). The word-parallel screening path uses this to
+    /// account for a whole popcounted population (e.g. every trivial shot
+    /// of a 64-shot word) at once.
+    pub fn record_many(&mut self, hamming_weight: usize, cycles: u64, count: u64) {
+        if count == 0 {
+            return;
+        }
+        self.shots += count;
+        self.total_cycles += cycles * count;
+        self.max_cycles = self.max_cycles.max(cycles);
+        if hamming_weight > 2 {
+            self.total_cycles_nontrivial += cycles * count;
+            self.nontrivial_shots += count;
+        }
+        self.hw_hist[hamming_weight.min(HW_BUCKETS - 1)] += count;
+        self.cycle_hist[Self::cycle_bucket(cycles)] += count;
+    }
+
     /// Folds another partial result in (order-independent).
     pub fn merge(&mut self, other: &LatencyStats) {
         self.total_cycles += other.total_cycles;
@@ -263,6 +283,20 @@ mod tests {
         assert_eq!(s.cycle_histogram()[0], 1);
         assert_eq!(s.cycle_histogram()[3], 1);
         assert_eq!(s.cycle_histogram()[7], 1);
+    }
+
+    #[test]
+    fn record_many_equals_repeated_record() {
+        let mut looped = LatencyStats::default();
+        let mut bulk = LatencyStats::default();
+        for (hw, cyc, count) in [(0usize, 0u64, 90u64), (1, 0, 5), (4, 6, 3), (10, 114, 1)] {
+            for _ in 0..count {
+                looped.record(hw, cyc);
+            }
+            bulk.record_many(hw, cyc, count);
+        }
+        bulk.record_many(7, 18, 0); // no-op: must not disturb max/histograms
+        assert_eq!(bulk, looped);
     }
 
     #[test]

@@ -18,6 +18,12 @@
 //!   with software-MWPM fallback.
 //! * [`overheads`] — the storage and bandwidth models behind Tables 6–7.
 //!
+//! Bulk decoding runs through the [`batch`] engine (persistent
+//! [`BatchDecoder`] worker pool) or, fastest, the streaming [`pipeline`]:
+//! packed syndrome tiles flow from sampler producers over a bounded
+//! channel into consumers that screen shots word-parallel ([`screen`])
+//! and only materialize sparse detector lists for Hamming weight ≥ 3.
+//!
 //! ```
 //! use astrea_core::{AstreaDecoder, AstreaGDecoder};
 //! use decoding_graph::{Decoder, DecodingContext};
@@ -44,6 +50,8 @@ pub mod hw6;
 mod latency;
 mod lut;
 pub mod overheads;
+pub mod pipeline;
+pub mod screen;
 
 pub use astrea::{AstreaConfig, AstreaDecoder};
 pub use astrea_g::{AstreaGConfig, AstreaGDecoder};
@@ -58,3 +66,8 @@ pub use latency::{
     DEFAULT_FREQ_MHZ, HW_BUCKETS,
 };
 pub use lut::{lilliput_table_bytes, LutDecoder, MAX_LUT_BITS};
+pub use pipeline::{
+    consume_tiles, decode_tile, tile_channel, StreamOutcome, TileQueue, TileScratch,
+    DEFAULT_CHANNEL_DEPTH, DEFAULT_TILE_WORDS,
+};
+pub use screen::{ScreenCache, TileScreen};

@@ -1,0 +1,362 @@
+//! Streaming sampler→decoder pipeline over packed syndrome tiles.
+//!
+//! The barrier path (`sample → SyndromeBatch → decode`) materializes
+//! every shot as a sparse detector list before any decoder runs, and
+//! sampling finishes before decoding starts. This module streams instead:
+//! producer threads emit fixed-size packed [`SyndromeTile`]s over a
+//! bounded channel, and consumers pull tiles as they arrive, screen them
+//! word-parallel with [`TileScreen`](crate::screen::TileScreen), and only
+//! build sparse lists for shots of Hamming weight ≥ 3 ([`decode_tile`]).
+//! Sampling and decoding overlap end-to-end, and the ~99% of shots that
+//! are trivial or HW ≤ 2 at low physical error rate never touch a batch
+//! structure at all.
+//!
+//! # Exactness
+//!
+//! The streamed path reproduces the barrier path *bit-identically*, for
+//! every tile size, producer count, and consumer count:
+//!
+//! * tiles inherit the `column_seed` contract (see `qec_circuit::tiles`),
+//!   so the sampled shot stream is one fixed function of `(seed, shot)`;
+//! * every per-shot quantity the barrier path accounts (Hamming weight,
+//!   predicted observables, modeled cycles, deferral) is reproduced
+//!   exactly — trivial shots by word-parallel counting, HW ≤ 2 shots by
+//!   replaying the decoder through a [`ScreenCache`], hard shots by the
+//!   same `decode_with_scratch` call;
+//! * all accounting ([`StreamOutcome`], [`LatencyStats`]) is sums and
+//!   maxima, so any interleaving of tiles across consumers merges to the
+//!   same totals.
+//!
+//! Consumers share one [`TileQueue`], so a tile is decoded by whichever
+//! worker is free — there is no static shot-to-worker assignment to
+//! imbalance. The cost is that per-shot predictions are not returned in
+//! order (use [`BatchDecoder::decode_batch`](crate::BatchDecoder) when
+//! predictions matter); LER estimation only needs the totals.
+
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::{mpsc, Arc, Mutex};
+
+use crate::latency::LatencyStats;
+use crate::screen::{ScreenCache, TileScreen};
+use decoding_graph::{DecodeScratch, Decoder};
+use qec_circuit::SyndromeTile;
+
+/// Default tile size in packed words (8192 shots): large enough to
+/// amortize channel traffic, small enough that a tile's detector table
+/// stays cache-resident through screening and extraction.
+pub const DEFAULT_TILE_WORDS: usize = 128;
+
+/// Default bound on the tile channel: producers run at most this many
+/// tiles ahead of the consumers, capping pipeline memory at
+/// `depth + producers + consumers` tiles in flight.
+pub const DEFAULT_CHANNEL_DEPTH: usize = 8;
+
+/// Creates the bounded tile channel connecting producers to consumers.
+pub fn tile_channel(depth: usize) -> (SyncSender<SyndromeTile>, Receiver<SyndromeTile>) {
+    mpsc::sync_channel(depth.max(1))
+}
+
+/// The consumer end of a tile channel, shareable across decode workers.
+///
+/// Workers pull tiles whenever they finish one — dynamic load balancing
+/// with no assignment step. The queue yields `None` once every producer
+/// has dropped its sender and the channel drained.
+#[derive(Clone)]
+pub struct TileQueue {
+    shared: Arc<Mutex<Receiver<SyndromeTile>>>,
+}
+
+impl TileQueue {
+    /// Wraps a channel receiver for shared consumption.
+    pub fn new(tiles: Receiver<SyndromeTile>) -> TileQueue {
+        TileQueue {
+            shared: Arc::new(Mutex::new(tiles)),
+        }
+    }
+
+    /// Blocks for the next tile; `None` when the stream is exhausted.
+    pub fn next_tile(&self) -> Option<SyndromeTile> {
+        self.shared.lock().expect("tile queue poisoned").recv().ok()
+    }
+}
+
+/// The accounting produced by streaming tiles through a decoder: exactly
+/// the totals `estimate_ler` needs, without per-shot predictions.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StreamOutcome {
+    /// Latency statistics over every consumed shot (trivial included).
+    pub stats: LatencyStats,
+    /// Shots whose predicted observable mask missed the actual one.
+    pub failures: u64,
+    /// Shots the decoder declined to decode in real time.
+    pub deferred: u64,
+}
+
+impl StreamOutcome {
+    /// Folds another partial outcome in (order-independent).
+    pub fn merge(&mut self, other: &StreamOutcome) {
+        self.stats.merge(&other.stats);
+        self.failures += other.failures;
+        self.deferred += other.deferred;
+    }
+}
+
+/// Reusable per-worker scratch for tile decoding: the bit-sliced
+/// [`TileScreen`], the lazy HW ≤ 2 [`ScreenCache`], and the extraction
+/// buffers for hard shots.
+///
+/// Keep one per consumer thread; the cache warms across tiles and
+/// batches.
+#[derive(Debug, Default)]
+pub struct TileScratch {
+    screen: TileScreen,
+    cache: ScreenCache,
+    /// Per-lane detector lists for the word being extracted (64 lanes).
+    buckets: Vec<Vec<u32>>,
+}
+
+impl TileScratch {
+    /// Empty scratch; buffers and cache size to the first tile decoded.
+    pub fn new() -> TileScratch {
+        TileScratch::default()
+    }
+
+    /// The warmed HW ≤ 2 prediction cache.
+    pub fn cache(&self) -> &ScreenCache {
+        &self.cache
+    }
+}
+
+/// Screens and decodes one packed tile, folding the accounting into
+/// `out`.
+///
+/// Word-parallel pre-decode screen first: trivial shots are popcounted
+/// (their failures read off a word-level observable OR) without being
+/// materialized. Nontrivial lanes are extracted one 64-shot word at a
+/// time into per-lane detector buckets — a masked row sweep whose
+/// working set (one word column) stays L1-resident, and whose output is
+/// already shot-grouped with detectors ascending, so no sort is needed.
+/// HW ≤ 2 shots are decided by the scratch's [`ScreenCache`] (replaying
+/// the decoder exactly); only HW ≥ 3 shots reach
+/// [`Decoder::decode_with_scratch`] with a sparse list. The result is
+/// bit-identical to pushing the tile through a
+/// [`SyndromeBatch`](crate::SyndromeBatch) and
+/// [`decode_slice`](crate::batch::decode_slice).
+pub fn decode_tile(
+    decoder: &mut dyn Decoder,
+    scratch: &mut DecodeScratch,
+    tile_scratch: &mut TileScratch,
+    tile: &SyndromeTile,
+    out: &mut StreamOutcome,
+) {
+    let det = tile.detectors();
+    let obs = tile.observables();
+    if tile.num_shots() == 0 {
+        return;
+    }
+    if tile_scratch.cache.num_detectors() != det.num_bits() {
+        tile_scratch.cache = ScreenCache::new(det.num_bits());
+    }
+    let TileScratch {
+        screen,
+        cache,
+        buckets,
+    } = tile_scratch;
+    screen.compute(det);
+    buckets.resize_with(64, Vec::new);
+
+    let words = det.num_words();
+    for w in 0..words {
+        // Word-parallel accounting of trivial shots: count them, and
+        // read their failures (actual observable flip with no syndrome)
+        // off an OR of the packed observable rows.
+        let valid = det.valid_lanes(w);
+        let mut obs_any = 0u64;
+        for i in 0..obs.num_bits() {
+            obs_any |= obs.word(i, w);
+        }
+        let trivial = screen.hw0(w) & valid;
+        out.stats.record_many(0, 0, u64::from(trivial.count_ones()));
+        out.failures += u64::from((trivial & obs_any).count_ones());
+
+        // Sparse extraction of this word's nontrivial lanes into
+        // per-lane buckets: one AND per detector row, detectors arrive
+        // in ascending order per lane.
+        let mask = screen.nonzero(w) & valid;
+        if mask == 0 {
+            continue;
+        }
+        let mut m = mask;
+        while m != 0 {
+            buckets[m.trailing_zeros() as usize].clear();
+            m &= m - 1;
+        }
+        for d in 0..det.num_bits() {
+            let mut m = det.row(d)[w] & mask;
+            while m != 0 {
+                buckets[m.trailing_zeros() as usize].push(d as u32);
+                m &= m - 1;
+            }
+        }
+
+        let mut m = mask;
+        while m != 0 {
+            let lane = m.trailing_zeros() as usize;
+            m &= m - 1;
+            let dets = &buckets[lane];
+            let mut actual = 0u32;
+            for b in 0..obs.num_bits() {
+                actual |= ((obs.word(b, w) >> lane & 1) as u32) << b;
+            }
+            let p = match dets[..] {
+                [d] => cache.single(d, decoder, scratch),
+                [a, b] => cache.pair(a, b, decoder, scratch),
+                _ => decoder.decode_with_scratch(dets, scratch),
+            };
+            out.stats.record(dets.len(), p.cycles);
+            out.deferred += u64::from(p.deferred);
+            out.failures += u64::from(p.observables != actual);
+        }
+    }
+}
+
+/// Drains `queue` through one decoder, returning the aggregate outcome —
+/// the consumer loop every streamed decode path runs (the
+/// [`BatchDecoder`](crate::BatchDecoder) pool workers and the scoped
+/// harness consumers in `astrea-experiments` alike).
+pub fn consume_tiles(
+    decoder: &mut dyn Decoder,
+    scratch: &mut DecodeScratch,
+    tile_scratch: &mut TileScratch,
+    queue: &TileQueue,
+) -> StreamOutcome {
+    let mut out = StreamOutcome::default();
+    while let Some(tile) = queue.next_tile() {
+        decode_tile(decoder, scratch, tile_scratch, &tile, &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::{decode_slice, SyndromeBatch};
+    use crate::AstreaDecoder;
+    use blossom_mwpm::MwpmDecoder;
+    use decoding_graph::DecodingContext;
+    use qec_circuit::tiles::{PackedSyndromeSource, TileLayout};
+    use qec_circuit::{BatchDemSampler, NoiseModel};
+    use std::sync::Arc;
+    use surface_code::SurfaceCode;
+
+    fn ctx(d: usize, p: f64) -> Arc<DecodingContext> {
+        let code = SurfaceCode::new(d).unwrap();
+        Arc::new(DecodingContext::for_memory_experiment(
+            &code,
+            NoiseModel::depolarizing(p),
+        ))
+    }
+
+    /// Barrier reference: same tiles, pushed through a batch and
+    /// `decode_slice`.
+    fn barrier_reference(ctx: &DecodingContext, shots: usize, seed: u64) -> StreamOutcome {
+        let sampler = BatchDemSampler::new(ctx.dem());
+        let (det, obs) = sampler.sample(seed, shots);
+        let batch = SyndromeBatch::from_packed(&det, &obs);
+        let mut decoder = MwpmDecoder::new(ctx.gwt());
+        let mut scratch = DecodeScratch::new();
+        let s = decode_slice(&mut decoder, &mut scratch, &batch, 0..batch.len());
+        StreamOutcome {
+            stats: s.stats,
+            failures: s.failures,
+            deferred: s.deferred,
+        }
+    }
+
+    #[test]
+    fn decode_tile_matches_barrier_for_any_tile_size() {
+        let ctx = ctx(3, 8e-3);
+        let shots = 700;
+        let reference = barrier_reference(&ctx, shots, 5);
+        for tile_words in [1usize, 7, 64] {
+            let layout = TileLayout::new(shots, tile_words);
+            let mut sampler = BatchDemSampler::new(ctx.dem());
+            let mut decoder = MwpmDecoder::new(ctx.gwt());
+            let mut scratch = DecodeScratch::new();
+            let mut ts = TileScratch::new();
+            let mut out = StreamOutcome::default();
+            for t in 0..layout.num_tiles() {
+                let tile = sampler.sample_tile(5, &layout, t);
+                decode_tile(&mut decoder, &mut scratch, &mut ts, &tile, &mut out);
+            }
+            assert_eq!(out, reference, "tile_words {tile_words}");
+        }
+    }
+
+    #[test]
+    fn decode_tile_accounts_astrea_cycles_and_deferrals_exactly() {
+        // Astrea models nonzero cycles for HW ≤ 2 lookups and defers
+        // beyond HW 10; both must survive the screened path bit-for-bit.
+        let ctx = ctx(3, 2e-2);
+        let shots = 600;
+        let sampler = BatchDemSampler::new(ctx.dem());
+        let (det, obs) = sampler.sample(3, shots);
+        let batch = SyndromeBatch::from_packed(&det, &obs);
+        let mut decoder = AstreaDecoder::new(ctx.gwt());
+        let mut scratch = DecodeScratch::new();
+        let s = decode_slice(&mut decoder, &mut scratch, &batch, 0..batch.len());
+
+        let layout = TileLayout::new(shots, 3);
+        let mut sampler = BatchDemSampler::new(ctx.dem());
+        let mut decoder = AstreaDecoder::new(ctx.gwt());
+        let mut scratch = DecodeScratch::new();
+        let mut ts = TileScratch::new();
+        let mut out = StreamOutcome::default();
+        for t in 0..layout.num_tiles() {
+            let tile = sampler.sample_tile(3, &layout, t);
+            decode_tile(&mut decoder, &mut scratch, &mut ts, &tile, &mut out);
+        }
+        assert_eq!(out.stats, s.stats);
+        assert_eq!(out.failures, s.failures);
+        assert_eq!(out.deferred, s.deferred);
+        assert!(out.deferred > 0 || out.stats.max_cycles > 0);
+    }
+
+    #[test]
+    fn queue_distributes_every_tile_exactly_once() {
+        let ctx = ctx(3, 5e-3);
+        let shots = 1000;
+        let reference = barrier_reference(&ctx, shots, 11);
+        let layout = TileLayout::new(shots, 2);
+        let (tx, rx) = tile_channel(4);
+        let queue = TileQueue::new(rx);
+        let outcome: StreamOutcome = std::thread::scope(|scope| {
+            let producer_ctx = Arc::clone(&ctx);
+            scope.spawn(move || {
+                let mut sampler = BatchDemSampler::new(producer_ctx.dem());
+                for t in 0..layout.num_tiles() {
+                    tx.send(sampler.sample_tile(11, &layout, t)).unwrap();
+                }
+            });
+            let consumers: Vec<_> = (0..3)
+                .map(|_| {
+                    let queue = queue.clone();
+                    let ctx = Arc::clone(&ctx);
+                    scope.spawn(move || {
+                        let mut decoder = MwpmDecoder::new(ctx.gwt());
+                        let mut scratch = DecodeScratch::new();
+                        let mut ts = TileScratch::new();
+                        consume_tiles(&mut decoder, &mut scratch, &mut ts, &queue)
+                    })
+                })
+                .collect();
+            let mut total = StreamOutcome::default();
+            for c in consumers {
+                total.merge(&c.join().unwrap());
+            }
+            total
+        });
+        assert_eq!(outcome, reference);
+        assert_eq!(outcome.stats.shots, shots as u64);
+    }
+}

@@ -1,0 +1,137 @@
+//! Wall-clock profiler for the streaming sampler→decoder pipeline: times
+//! the barrier path (`estimate_ler_barrier`: sample everything, then
+//! decode everything) against the streamed path (`estimate_ler`: packed
+//! tiles over a bounded channel into screening consumers) per `(d, p)`
+//! point, asserts the two are bit-identical, and writes the numbers to
+//! `results/BENCH_pipeline.json` for `EXPERIMENTS.md`.
+//!
+//! Usage: `profile_pipeline [trials] [output.json]` — pass a small trial
+//! count (e.g. `2000`) for a CI smoke run; defaults to 50 000 trials and
+//! `results/BENCH_pipeline.json`. Reports min-of-N wall times to shrug
+//! off scheduler noise.
+
+use astrea_experiments::{
+    estimate_ler_barrier, estimate_ler_streamed, DecoderFactory, ExperimentContext, PipelineConfig,
+};
+use blossom_mwpm::MwpmDecoder;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+const SEED: u64 = 7;
+const THREADS: usize = 8;
+
+fn min_of<F: FnMut()>(reps: usize, mut f: F) -> Duration {
+    (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed()
+        })
+        .min()
+        .unwrap()
+}
+
+struct Point {
+    distance: usize,
+    p: f64,
+    barrier: Duration,
+    streamed: Duration,
+    trials: u64,
+}
+
+impl Point {
+    fn speedup(&self) -> f64 {
+        self.barrier.as_secs_f64() / self.streamed.as_secs_f64()
+    }
+
+    fn shots_per_s(&self, t: Duration) -> f64 {
+        self.trials as f64 / t.as_secs_f64()
+    }
+}
+
+fn measure(distance: usize, p: f64, trials: u64, reps: usize) -> Point {
+    let ctx = ExperimentContext::new(distance, p);
+    let factory: Box<DecoderFactory> = Box::new(|c| Box::new(MwpmDecoder::new(c.gwt())));
+    let config = PipelineConfig::for_threads(THREADS);
+
+    // Exactness first: the streamed run must reproduce the barrier run
+    // bit-for-bit before its timing means anything.
+    let reference = estimate_ler_barrier(&ctx, trials, THREADS, SEED, &*factory);
+    let streamed_result = estimate_ler_streamed(&ctx, trials, SEED, &*factory, config);
+    assert_eq!(
+        streamed_result, reference,
+        "streamed result diverged from barrier at d={distance} p={p}"
+    );
+
+    let barrier = min_of(reps, || {
+        std::hint::black_box(estimate_ler_barrier(&ctx, trials, THREADS, SEED, &*factory));
+    });
+    let streamed = min_of(reps, || {
+        std::hint::black_box(estimate_ler_streamed(&ctx, trials, SEED, &*factory, config));
+    });
+    Point {
+        distance,
+        p,
+        barrier,
+        streamed,
+        trials,
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let trials: u64 = args
+        .next()
+        .map(|a| a.parse().expect("trials must be an integer"))
+        .unwrap_or(50_000);
+    let out_path = args
+        .next()
+        .unwrap_or_else(|| "results/BENCH_pipeline.json".to_string());
+    let reps = if trials >= 20_000 { 5 } else { 3 };
+
+    let points: Vec<Point> = [(3usize, 1e-3), (5, 1e-3), (7, 1e-3), (7, 5e-3)]
+        .into_iter()
+        .map(|(d, p)| {
+            let pt = measure(d, p, trials, reps);
+            println!(
+                "d={d} p={p:.0e}: barrier {:?}, streamed {:?}, {:.2}x ({:.0} shots/s streamed)",
+                pt.barrier,
+                pt.streamed,
+                pt.speedup(),
+                pt.shots_per_s(pt.streamed),
+            );
+            pt
+        })
+        .collect();
+
+    // Hand-rolled JSON: the workspace has no serde and the shape is flat.
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"trials\": {trials},");
+    let _ = writeln!(json, "  \"threads\": {THREADS},");
+    let _ = writeln!(json, "  \"seed\": {SEED},");
+    json.push_str("  \"points\": [\n");
+    for (i, pt) in points.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"distance\": {}, \"p\": {}, \"barrier_ms\": {:.3}, \"streamed_ms\": {:.3}, \
+             \"speedup\": {:.3}, \"barrier_shots_per_s\": {:.0}, \"streamed_shots_per_s\": {:.0}}}",
+            pt.distance,
+            pt.p,
+            pt.barrier.as_secs_f64() * 1e3,
+            pt.streamed.as_secs_f64() * 1e3,
+            pt.speedup(),
+            pt.shots_per_s(pt.barrier),
+            pt.shots_per_s(pt.streamed),
+        );
+        json.push_str(if i + 1 < points.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create results directory");
+        }
+    }
+    std::fs::write(&out_path, &json).expect("write benchmark JSON");
+    println!("wrote {out_path}");
+}

@@ -5,8 +5,28 @@
 //! resolving exactly the detectors in `S`, where each detector is either
 //! paired with another in `S` or matched to the boundary. Fixing the lowest
 //! set bit of `S` as the next detector to resolve makes each state's
-//! transition set `O(k)`, for `O(2^k · k)` total time — exact and fast for
-//! the Hamming weights the Astrea paper targets (`k ≤ 20`).
+//! transition set `O(k)` — exact and fast for the Hamming weights the
+//! Astrea paper targets (`k ≤ 20`).
+//!
+//! Two exact prunings cut the naive `O(2^k · k)` well below it on real
+//! syndromes without changing the optimal weight:
+//!
+//! * **Transition filter** — a pair `(i, j)` with
+//!   `w(i, j) ≥ b(i) + b(j)` can always be replaced by two boundary
+//!   matches at no extra cost (within any subset), so such transitions
+//!   are skipped. On surface-code syndromes roughly half of all pairs
+//!   are filtered.
+//! * **Cluster decomposition** — the optimum decomposes over connected
+//!   components of the surviving pair graph: a cross-component pair is
+//!   filtered by definition. Each component runs its own DP over only
+//!   the `2^c` submask states of its member mask (enumerated in
+//!   ascending order), so an 8-detector syndrome made of four local
+//!   2-detector clusters costs `4 · 2²` states instead of `2⁸`.
+//!
+//! Both prunings only drop pair options that tie or lose against
+//! boundary matches, so the returned weight is still the exact optimum;
+//! at exact weight ties the returned *assignment* prefers boundary
+//! matches, deterministically.
 
 use decoding_graph::DecodeScratch;
 
@@ -74,6 +94,9 @@ pub fn solve_with_scratch(
     if k == 0 {
         return 0.0;
     }
+    if k <= 4 {
+        return solve_closed_form(k, pair_weight, boundary_weight, scratch);
+    }
 
     // Cache the weight oracle into dense arrays.
     let w = &mut scratch.weights;
@@ -91,56 +114,221 @@ pub fn solve_with_scratch(
         }
     }
 
-    let full = (1usize << k) - 1;
-    let cost = &mut scratch.cost;
-    cost.clear();
-    cost.resize(full + 1, f64::INFINITY);
-    // choice[s]: the node the lowest set bit of s was matched with, or
-    // usize::MAX for a boundary match.
-    let choice = &mut scratch.choice;
-    choice.clear();
-    choice.resize(full + 1, usize::MAX);
-    cost[0] = 0.0;
-
-    for s in 1..=full {
-        let i = s.trailing_zeros() as usize;
-        let without_i = s & !(1 << i);
-        // Option 1: match i to the boundary.
-        let mut best = cost[without_i] + b[i];
-        let mut best_choice = usize::MAX;
-        // Option 2: match i with another node j in s.
-        let mut rest = without_i;
-        while rest != 0 {
-            let j = rest.trailing_zeros() as usize;
-            rest &= rest - 1;
-            let c = cost[without_i & !(1 << j)] + w[i * k + j];
-            if c < best {
-                best = c;
-                best_choice = j;
+    // Adjacency masks: bit j of adj[i] is set iff pairing (i, j) can
+    // strictly beat sending both nodes to the boundary. Everything else
+    // is pruned from the DP transitions (exact — see module docs).
+    let adj = &mut scratch.parent;
+    adj.clear();
+    adj.resize(k, 0u32);
+    for i in 0..k {
+        for j in (i + 1)..k {
+            if w[i * k + j] < b[i] + b[j] {
+                adj[i] |= 1 << j;
+                adj[j] |= 1 << i;
             }
         }
-        cost[s] = best;
-        choice[s] = best_choice;
     }
 
-    // Reconstruct.
+    // k ≤ MAX_DP_NODES = 26, so component masks fit in u32.
+    let full: u32 = (1u32 << k) - 1;
+    let cost = &mut scratch.cost;
+    // Only submask states of each component are ever read, and every
+    // one is written before it is read (ascending enumeration from
+    // cost[0]); stale entries from earlier calls are harmless, so the
+    // table is grown without the O(2^k) clear.
+    if cost.len() <= full as usize {
+        cost.resize(full as usize + 1, f64::INFINITY);
+    }
+    cost[0] = 0.0;
     scratch.mate.resize(k, usize::MAX);
-    let mut s = full;
-    while s != 0 {
-        let i = s.trailing_zeros() as usize;
-        let j = choice[s];
-        if j == usize::MAX {
-            scratch.mate[i] = usize::MAX;
-            s &= !(1 << i);
-        } else {
-            scratch.mate[i] = j;
-            scratch.mate[j] = i;
-            s &= !(1 << i);
-            s &= !(1 << j);
+
+    let mut total = 0.0;
+    let mut unvisited = full;
+    while unvisited != 0 {
+        // Flood-fill one connected component of the surviving pair graph
+        // from the lowest unvisited node.
+        let mut comp = unvisited & unvisited.wrapping_neg();
+        loop {
+            let mut grown = comp;
+            let mut bits = comp;
+            while bits != 0 {
+                let i = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                grown |= adj[i];
+            }
+            if grown == comp {
+                break;
+            }
+            comp = grown;
+        }
+        unvisited &= !comp;
+
+        if comp.count_ones() == 1 {
+            let i = comp.trailing_zeros() as usize;
+            total += b[i];
+            continue;
+        }
+
+        // DP over the submasks of comp in ascending numeric order (every
+        // proper submask is numerically smaller, so dependencies are
+        // ready). `(s | !comp) + 1 & comp` increments s as a counter over
+        // the component's bit positions. No backtracking table: the
+        // argmin of the few states on the reconstruction path is
+        // re-derived afterwards, which keeps the per-state work to one
+        // table write.
+        let not_comp = !comp;
+        let mut s = comp & comp.wrapping_neg();
+        loop {
+            let i = s.trailing_zeros() as usize;
+            let without_i = s & !(1 << i);
+            // Option 1: match i to the boundary.
+            let mut best = cost[without_i as usize] + b[i];
+            // Option 2: match i with a surviving partner j in s.
+            let mut rest = without_i & adj[i];
+            while rest != 0 {
+                let j = rest.trailing_zeros() as usize;
+                rest &= rest - 1;
+                let c = cost[(without_i & !(1 << j)) as usize] + w[i * k + j];
+                if c < best {
+                    best = c;
+                }
+            }
+            cost[s as usize] = best;
+            if s == comp {
+                break;
+            }
+            s = (s | not_comp).wrapping_add(1) & comp;
+        }
+        total += cost[comp as usize];
+
+        // Reconstruct by re-deriving each path state's argmin: the first
+        // candidate (boundary, then partners in ascending order) whose
+        // re-computed cost equals the stored optimum is exactly the last
+        // strict improvement of the forward pass — identical expressions
+        // over identical operands compare bit-equal.
+        let mut s = comp;
+        while s != 0 {
+            let i = s.trailing_zeros() as usize;
+            let without_i = s & !(1 << i);
+            let c_s = cost[s as usize];
+            if cost[without_i as usize] + b[i] == c_s {
+                s = without_i;
+                continue;
+            }
+            let mut rest = without_i & adj[i];
+            let mut next = without_i;
+            while rest != 0 {
+                let j = rest.trailing_zeros() as usize;
+                rest &= rest - 1;
+                if cost[(without_i & !(1 << j)) as usize] + w[i * k + j] == c_s {
+                    scratch.mate[i] = j;
+                    scratch.mate[j] = i;
+                    next = without_i & !(1 << j);
+                    break;
+                }
+            }
+            debug_assert_ne!(next, without_i, "backtrack failed to re-derive a choice");
+            s = next;
         }
     }
 
-    cost[full]
+    total
+}
+
+/// Exhaustive matching for `k ≤ 4`: every matching-with-boundary is one
+/// of at most 10 candidate sums, decided in registers — no tables, no
+/// adjacency pass. Candidates are evaluated boundary-heaviest first with
+/// strict improvement, so exact ties prefer boundary matches like the DP.
+fn solve_closed_form(
+    k: usize,
+    mut pair_weight: impl FnMut(usize, usize) -> f64,
+    mut boundary_weight: impl FnMut(usize) -> f64,
+    scratch: &mut DecodeScratch,
+) -> f64 {
+    scratch.mate.resize(k, usize::MAX);
+    match k {
+        1 => boundary_weight(0),
+        2 => {
+            let (b0, b1) = (boundary_weight(0), boundary_weight(1));
+            let w01 = pair_weight(0, 1);
+            if w01 < b0 + b1 {
+                scratch.mate[0] = 1;
+                scratch.mate[1] = 0;
+                w01
+            } else {
+                b0 + b1
+            }
+        }
+        3 => {
+            let b = [boundary_weight(0), boundary_weight(1), boundary_weight(2)];
+            let mut best = b[0] + b[1] + b[2];
+            let mut pick = usize::MAX;
+            for (idx, (i, j)) in [(0usize, 1usize), (0, 2), (1, 2)].into_iter().enumerate() {
+                let spare = 3 - i - j;
+                let c = pair_weight(i, j) + b[spare];
+                if c < best {
+                    best = c;
+                    pick = idx;
+                }
+            }
+            if pick != usize::MAX {
+                let (i, j) = [(0, 1), (0, 2), (1, 2)][pick];
+                scratch.mate[i] = j;
+                scratch.mate[j] = i;
+            }
+            best
+        }
+        4 => {
+            let b = [
+                boundary_weight(0),
+                boundary_weight(1),
+                boundary_weight(2),
+                boundary_weight(3),
+            ];
+            let w = [
+                pair_weight(0, 1),
+                pair_weight(0, 2),
+                pair_weight(0, 3),
+                pair_weight(1, 2),
+                pair_weight(1, 3),
+                pair_weight(2, 3),
+            ];
+            // Pair order above; PAIRS[p] = (i, j), COMPLEMENT[p] = the
+            // opposite pair's index in the same order.
+            const PAIRS: [(usize, usize); 6] = [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)];
+            const COMPLEMENT: [usize; 3] = [5, 4, 3]; // (0,1)↔(2,3), (0,2)↔(1,3), (0,3)↔(1,2)
+            let mut best = b[0] + b[1] + b[2] + b[3];
+            let mut pick = usize::MAX; // 0..6 single pair, 6..9 double pairing
+            for (p, &(i, j)) in PAIRS.iter().enumerate() {
+                let (u, v) = PAIRS[5 - p]; // the two nodes not in pair p
+                debug_assert_eq!(i + j + u + v, 6);
+                let c = w[p] + b[u] + b[v];
+                if c < best {
+                    best = c;
+                    pick = p;
+                }
+            }
+            for p in 0..3 {
+                let c = w[p] + w[COMPLEMENT[p]];
+                if c < best {
+                    best = c;
+                    pick = 6 + p;
+                }
+            }
+            if pick != usize::MAX {
+                let (i, j) = PAIRS[if pick < 6 { pick } else { pick - 6 }];
+                scratch.mate[i] = j;
+                scratch.mate[j] = i;
+                if pick >= 6 {
+                    let (u, v) = PAIRS[COMPLEMENT[pick - 6]];
+                    scratch.mate[u] = v;
+                    scratch.mate[v] = u;
+                }
+            }
+            best
+        }
+        _ => unreachable!("closed form limited to k ≤ 4"),
+    }
 }
 
 #[cfg(test)]

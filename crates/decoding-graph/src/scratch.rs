@@ -26,12 +26,13 @@ pub struct DecodeScratch {
     pub boundary: Vec<f64>,
     /// Per-state cost table (e.g. the subset DP's `2^k` entries).
     pub cost: Vec<f64>,
-    /// Per-state choice/backtracking table.
-    pub choice: Vec<usize>,
     /// Per-node mate assignment; `usize::MAX` means "boundary".
     pub mate: Vec<usize>,
     /// Detector-index working buffer.
     pub detectors: Vec<u32>,
+    /// Per-node bitmask working buffer (e.g. the subset DP's pruned
+    /// adjacency masks for cluster decomposition).
+    pub parent: Vec<u32>,
 }
 
 impl DecodeScratch {
@@ -45,9 +46,9 @@ impl DecodeScratch {
         self.weights.clear();
         self.boundary.clear();
         self.cost.clear();
-        self.choice.clear();
         self.mate.clear();
         self.detectors.clear();
+        self.parent.clear();
     }
 }
 

@@ -1,16 +1,30 @@
-//! Parallel Monte-Carlo memory experiments, built on the batched decode
-//! engine in [`astrea_core::batch`] and the word-parallel samplers in
-//! `qec-circuit`.
+//! Parallel Monte-Carlo memory experiments, built on the streaming
+//! sampler→decoder pipeline in [`astrea_core::pipeline`], the batched
+//! decode engine in [`astrea_core::batch`], and the word-parallel
+//! samplers in `qec-circuit`.
+//!
+//! [`estimate_ler`] runs the streamed path: producer threads cut the run
+//! into packed tiles ([`qec_circuit::TileLayout`]) and feed them over a
+//! bounded channel to consumers that screen shots word-parallel and
+//! decode only the hard ones, so sampling and decoding overlap
+//! end-to-end. The barrier reference path ([`estimate_ler_barrier`]:
+//! sample everything, then decode everything) is kept for benchmarking
+//! and differential testing — the two are bit-identical by construction.
 //!
 //! Sampling and decoding are both deterministic in `seed` *alone*: the
-//! packed sampler seeds every 64-shot word column from
+//! packed samplers seed every 64-shot word column from
 //! [`qec_circuit::column_seed`]`(seed, word)` (the scalar reference path
 //! seeds every shot from [`shot_seed`]`(seed, shot_index)`) and all
 //! counters merge order-independently, so results are bit-identical for
-//! any thread count.
+//! any thread count, producer/consumer split, and tile size.
 
 use astrea_core::batch::{decode_slice, shot_seed, SyndromeBatch, SyndromeBatchBuilder};
+use astrea_core::pipeline::{
+    consume_tiles, tile_channel, StreamOutcome, TileQueue, TileScratch, DEFAULT_CHANNEL_DEPTH,
+    DEFAULT_TILE_WORDS,
+};
 use decoding_graph::{DecodeScratch, Decoder, DecodingContext};
+use qec_circuit::tiles::{FrameSimSource, PackedSyndromeSource, TileLayout};
 use qec_circuit::{BatchDemSampler, BitTable, DemSampler, NoiseModel, Shot};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -88,6 +102,90 @@ impl ExperimentContext {
 
 /// A thread-safe factory producing one decoder instance per worker thread.
 pub type DecoderFactory<'a> = dyn Fn(&'a ExperimentContext) -> Box<dyn Decoder + 'a> + Sync + 'a;
+
+/// Which packed sampler feeds the pipeline's producers.
+///
+/// Both honour the `column_seed` determinism contract, so either source
+/// yields thread/tile-invariant runs; their shot *streams* differ (they
+/// consume randomness differently) but sample the same distribution —
+/// cross-validating them end-to-end is exactly the point of offering
+/// both (see ROADMAP item 3).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum SyndromeSource {
+    /// Geometric-skip sampling over the extracted detector error model —
+    /// the fast path.
+    #[default]
+    Dem,
+    /// Full circuit-level Pauli-frame simulation
+    /// ([`qec_circuit::BatchFrameSimulator`]) — slower, but exercises the
+    /// whole circuit rather than the extracted model.
+    FrameSim,
+}
+
+impl SyndromeSource {
+    /// Builds one producer-owned sampler over the context's model or
+    /// circuit.
+    pub fn sampler(&self, ctx: &ExperimentContext) -> Box<dyn PackedSyndromeSource> {
+        match self {
+            SyndromeSource::Dem => Box::new(BatchDemSampler::new(ctx.dem())),
+            SyndromeSource::FrameSim => Box::new(FrameSimSource::new(ctx.decoding().circuit())),
+        }
+    }
+}
+
+/// Shape of the streamed [`estimate_ler_streamed`] pipeline.
+///
+/// Every field only affects *performance*: the result is bit-identical
+/// for any tile size, producer count, consumer count, and channel depth
+/// (per-word-column seeding plus order-independent accounting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineConfig {
+    /// Packed words per tile (≤ 64·`tile_words` shots each).
+    pub tile_words: usize,
+    /// Sampler (producer) threads.
+    pub producers: usize,
+    /// Decoder (consumer) threads.
+    pub consumers: usize,
+    /// Bound on tiles buffered between producers and consumers.
+    pub channel_depth: usize,
+    /// Which packed sampler produces the tiles.
+    pub source: SyndromeSource,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> PipelineConfig {
+        PipelineConfig::for_threads(1)
+    }
+}
+
+impl PipelineConfig {
+    /// The default split of a `threads`-sized budget: all `threads` as
+    /// consumers (decoding dominates once sampling is packed) plus a
+    /// quarter as many producers, which overlap with consumers blocking
+    /// on the bounded channel rather than oversubscribing the CPU.
+    ///
+    /// The budget is clamped to the machine's available parallelism
+    /// first: threads beyond physical cores cannot overlap anything and
+    /// only add context-switch and allocation overhead to a
+    /// latency-sensitive loop (results are bit-identical either way).
+    pub fn for_threads(threads: usize) -> PipelineConfig {
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let threads = threads.max(1).min(cores);
+        PipelineConfig {
+            tile_words: DEFAULT_TILE_WORDS,
+            producers: (threads / 4).max(1),
+            consumers: threads,
+            channel_depth: DEFAULT_CHANNEL_DEPTH,
+            source: SyndromeSource::Dem,
+        }
+    }
+
+    /// Same shape, different syndrome source.
+    pub fn with_source(mut self, source: SyndromeSource) -> PipelineConfig {
+        self.source = source;
+        self
+    }
+}
 
 /// The outcome of a logical-error-rate estimation run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -292,18 +390,87 @@ pub fn decode_batch_ler<'a>(
     result
 }
 
-/// Estimates the logical error rate of a decoder by running `trials`
-/// memory experiments across `threads` worker threads.
+/// Estimates the logical error rate with the streaming pipeline:
+/// producers sample packed tiles and consumers screen + decode them
+/// concurrently, overlapping sampling and decoding end-to-end.
 ///
-/// Shots are sampled from the detector error model with the word-parallel
-/// packed sampler (statistically identical to full circuit-level
-/// Pauli-frame simulation — see `qec-circuit`'s validation tests) into a
-/// [`SyndromeBatch`], then decoded through the shared batch path with one
-/// decoder instance from `factory` per worker. A failure is counted
-/// whenever the predicted observable flip disagrees with the actual one.
-/// Results depend only on `(trials, seed)`: any thread count produces
-/// bit-identical output.
-pub fn estimate_ler<'a>(
+/// Producer `p` samples tiles `p, p + P, p + 2P, …` of the
+/// [`TileLayout`] and sends them over a bounded channel; consumers pull
+/// from a shared [`TileQueue`] (dynamic load balancing), screen each tile
+/// word-parallel, and decode only the Hamming-weight ≥ 3 shots with the
+/// real decoder ([`astrea_core::pipeline::decode_tile`]). The result is
+/// bit-identical to [`estimate_ler_barrier`] for every `config`: tiles
+/// inherit the `column_seed` contract, screening replays the decoder
+/// exactly, and all accounting merges order-independently.
+pub fn estimate_ler_streamed<'a>(
+    ctx: &'a ExperimentContext,
+    trials: u64,
+    seed: u64,
+    factory: &DecoderFactory<'a>,
+    config: PipelineConfig,
+) -> LerResult {
+    let mut result = LerResult {
+        trials,
+        ..LerResult::default()
+    };
+    if trials == 0 {
+        return result;
+    }
+    let layout = TileLayout::new(trials as usize, config.tile_words.max(1));
+    let producers = config.producers.max(1).min(layout.num_tiles());
+    let consumers = config.consumers.max(1);
+    let (tx, rx) = tile_channel(config.channel_depth);
+    let queue = TileQueue::new(rx);
+    let outcome = std::thread::scope(|scope| {
+        for p in 0..producers {
+            let tx = tx.clone();
+            let mut source = config.source.sampler(ctx);
+            scope.spawn(move || {
+                let mut t = p;
+                while t < layout.num_tiles() {
+                    let tile = source.sample_tile(seed, &layout, t);
+                    // A send error means every consumer is gone (one
+                    // panicked); stop producing and let join surface it.
+                    if tx.send(tile).is_err() {
+                        return;
+                    }
+                    t += producers;
+                }
+            });
+        }
+        // Drop the original sender so the queue drains to `None` once the
+        // producers finish.
+        drop(tx);
+        let handles: Vec<_> = (0..consumers)
+            .map(|_| {
+                let queue = queue.clone();
+                scope.spawn(move || {
+                    let mut decoder = factory(ctx);
+                    let mut scratch = DecodeScratch::new();
+                    let mut tile_scratch = TileScratch::new();
+                    consume_tiles(decoder.as_mut(), &mut scratch, &mut tile_scratch, &queue)
+                })
+            })
+            .collect();
+        let mut total = StreamOutcome::default();
+        for h in handles {
+            total.merge(&h.join().expect("decode consumer panicked"));
+        }
+        total
+    });
+    result.failures = outcome.failures;
+    result.deferred = outcome.deferred;
+    result.latency = outcome.stats;
+    result
+}
+
+/// The barrier reference path: sample *everything* into a
+/// [`SyndromeBatch`], then decode it — no overlap, full per-shot sparse
+/// materialization.
+///
+/// Kept as the differential-testing and benchmarking reference for
+/// [`estimate_ler`]; the streamed path reproduces it bit-identically.
+pub fn estimate_ler_barrier<'a>(
     ctx: &'a ExperimentContext,
     trials: u64,
     threads: usize,
@@ -312,6 +479,34 @@ pub fn estimate_ler<'a>(
 ) -> LerResult {
     let batch = sample_batch(ctx, trials, threads, seed);
     decode_batch_ler(ctx, &batch, threads, factory)
+}
+
+/// Estimates the logical error rate of a decoder by running `trials`
+/// memory experiments across `threads` worker threads.
+///
+/// Runs the streaming pipeline ([`estimate_ler_streamed`] with
+/// [`PipelineConfig::for_threads`]): shots are sampled from the detector
+/// error model with the word-parallel packed sampler into fixed-size
+/// tiles that stream straight into screening consumers — sampling and
+/// decoding overlap, and only Hamming-weight ≥ 3 shots pay a real decoder
+/// call. A failure is counted whenever the predicted observable flip
+/// disagrees with the actual one. Results depend only on `(trials,
+/// seed)`: any thread count produces bit-identical output, equal to the
+/// barrier path's ([`estimate_ler_barrier`]).
+pub fn estimate_ler<'a>(
+    ctx: &'a ExperimentContext,
+    trials: u64,
+    threads: usize,
+    seed: u64,
+    factory: &DecoderFactory<'a>,
+) -> LerResult {
+    estimate_ler_streamed(
+        ctx,
+        trials,
+        seed,
+        factory,
+        PipelineConfig::for_threads(threads),
+    )
 }
 
 #[cfg(test)]
@@ -409,6 +604,77 @@ mod tests {
             r3.ler(),
             r5.ler()
         );
+    }
+
+    #[test]
+    fn streamed_is_bit_identical_to_barrier() {
+        let ctx = ExperimentContext::new(3, 5e-3);
+        let factory: Box<DecoderFactory> = Box::new(|c| Box::new(MwpmDecoder::new(c.gwt())));
+        let barrier = estimate_ler_barrier(&ctx, 4_003, 2, 17, &*factory);
+        for (tile_words, producers, consumers) in [(1, 1, 1), (3, 2, 3), (64, 1, 2)] {
+            let config = PipelineConfig {
+                tile_words,
+                producers,
+                consumers,
+                channel_depth: 2,
+                source: SyndromeSource::Dem,
+            };
+            let streamed = estimate_ler_streamed(&ctx, 4_003, 17, &*factory, config);
+            assert_eq!(streamed, barrier, "config {config:?}");
+        }
+    }
+
+    #[test]
+    fn framesim_source_is_config_invariant() {
+        let ctx = ExperimentContext::new(3, 5e-3);
+        let factory: Box<DecoderFactory> = Box::new(|c| Box::new(MwpmDecoder::new(c.gwt())));
+        let reference = estimate_ler_streamed(
+            &ctx,
+            1_003,
+            23,
+            &*factory,
+            PipelineConfig::default().with_source(SyndromeSource::FrameSim),
+        );
+        let config = PipelineConfig {
+            tile_words: 2,
+            producers: 2,
+            consumers: 3,
+            channel_depth: 2,
+            source: SyndromeSource::FrameSim,
+        };
+        let other = estimate_ler_streamed(&ctx, 1_003, 23, &*factory, config);
+        assert_eq!(other, reference);
+        assert_eq!(reference.trials, 1_003);
+        assert_eq!(reference.latency.shots, 1_003);
+    }
+
+    #[test]
+    fn dem_and_framesim_sources_cross_validate() {
+        // The DEM sampler and the full circuit-level frame simulator are
+        // independent implementations of the same error process; their LER
+        // estimates must agree statistically at every distance.
+        for (d, p, trials) in [(3usize, 8e-3, 30_000u64), (5, 8e-3, 20_000)] {
+            let ctx = ExperimentContext::new(d, p);
+            let factory: Box<DecoderFactory> = Box::new(|c| Box::new(MwpmDecoder::new(c.gwt())));
+            let dem =
+                estimate_ler_streamed(&ctx, trials, 101, &*factory, PipelineConfig::for_threads(4));
+            let frame = estimate_ler_streamed(
+                &ctx,
+                trials,
+                202,
+                &*factory,
+                PipelineConfig::for_threads(4).with_source(SyndromeSource::FrameSim),
+            );
+            assert!(dem.failures > 10, "d={d}: too few DEM failures");
+            assert!(frame.failures > 10, "d={d}: too few frame-sim failures");
+            let tolerance = 5.0 * (dem.std_err().powi(2) + frame.std_err().powi(2)).sqrt();
+            assert!(
+                (dem.ler() - frame.ler()).abs() <= tolerance,
+                "d={d}: DEM {} vs frame-sim {} (tolerance {tolerance})",
+                dem.ler(),
+                frame.ler(),
+            );
+        }
     }
 
     #[test]

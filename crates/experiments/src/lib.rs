@@ -27,6 +27,7 @@ pub mod report;
 pub mod stratified;
 
 pub use harness::{
-    decode_batch_ler, estimate_ler, sample_batch, sample_batch_scalar, DecoderFactory,
-    ExperimentContext, LatencyStats, LerResult,
+    decode_batch_ler, estimate_ler, estimate_ler_barrier, estimate_ler_streamed, sample_batch,
+    sample_batch_scalar, DecoderFactory, ExperimentContext, LatencyStats, LerResult,
+    PipelineConfig, SyndromeSource,
 };

@@ -20,7 +20,11 @@
 //!   `u64` word), [`BatchFrameSimulator`], and [`BatchDemSampler`] — which
 //!   advance 64 Monte-Carlo shots per bitwise operation and are the
 //!   throughput path for LER estimation (see [`bittable`] for the layout
-//!   and the per-word-column seeding contract).
+//!   and the per-word-column seeding contract);
+//! * tile iteration over packed runs — [`TileLayout`], [`SyndromeTile`],
+//!   and the [`PackedSyndromeSource`] trait unifying both packed samplers
+//!   — the producer half of the streaming sampler→decoder pipeline (see
+//!   [`tiles`] for the tile-level determinism contract).
 //!
 //! # Example: sampling syndromes for a distance-3 memory experiment
 //!
@@ -54,6 +58,7 @@ pub(crate) mod recordset;
 mod repetition_builder;
 mod stim_io;
 mod tableau;
+pub mod tiles;
 
 pub use batch_frame::BatchFrameSimulator;
 pub use bittable::{column_seed, BitTable};
@@ -69,3 +74,4 @@ pub use noise::{NoiseMap, NoiseModel};
 pub use repetition_builder::build_repetition_memory_circuit;
 pub use stim_io::ParseStimError;
 pub use tableau::TableauSimulator;
+pub use tiles::{FrameSimSource, PackedSyndromeSource, SyndromeTile, TileLayout};

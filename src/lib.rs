@@ -56,8 +56,8 @@ pub mod prelude {
         LutDecoder, SliceOutcome, SyndromeBatch, SyndromeBatchBuilder, SyndromeCompressor,
     };
     pub use astrea_experiments::{
-        decode_batch_ler, estimate_ler, sample_batch, sample_batch_scalar, ExperimentContext,
-        LerResult,
+        decode_batch_ler, estimate_ler, estimate_ler_barrier, estimate_ler_streamed, sample_batch,
+        sample_batch_scalar, ExperimentContext, LerResult, PipelineConfig, SyndromeSource,
     };
     pub use blossom_mwpm::{LocalMwpmDecoder, MwpmDecoder};
     pub use decoding_graph::{

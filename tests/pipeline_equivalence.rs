@@ -1,0 +1,101 @@
+//! Equivalence of the streaming sampler→decoder pipeline with the
+//! barrier path.
+//!
+//! The streamed estimator (`estimate_ler_streamed`) cuts a run into
+//! packed tiles, overlaps sampling with decoding across producer and
+//! consumer threads, and screens shots word-parallel so only Hamming
+//! weight ≥ 3 syndromes reach the real decoder. None of that may change
+//! a single bit of the result: tiles inherit the per-word-column seeding
+//! contract (`qec_circuit::column_seed`), the HW ≤ 2 screen replays the
+//! decoder through a memo cache, and every counter merges
+//! order-independently. These properties hold for arbitrary tile sizes
+//! (one word, odd sizes, whole-batch), producer/consumer splits, and
+//! seeds — enforced by proptest against the barrier reference.
+
+use astrea::prelude::*;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// Distances × error rates covered by the properties; contexts are built
+/// once and shared across cases (DEM extraction is the expensive part).
+fn grid() -> &'static [ExperimentContext] {
+    static GRID: OnceLock<Vec<ExperimentContext>> = OnceLock::new();
+    GRID.get_or_init(|| {
+        [(3, 2e-3), (3, 8e-3), (5, 2e-3), (5, 6e-3)]
+            .into_iter()
+            .map(|(d, p)| ExperimentContext::new(d, p))
+            .collect()
+    })
+}
+
+fn mwpm_factory() -> Box<astrea_experiments::DecoderFactory<'static>> {
+    Box::new(|c: &ExperimentContext| Box::new(MwpmDecoder::new(c.gwt())) as Box<dyn Decoder + '_>)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn streamed_estimate_is_bit_identical_to_barrier(
+        ctx_idx in 0usize..4,
+        seed in any::<u64>(),
+        tile_choice in 0usize..3,
+        producers in 1usize..4,
+        consumers in prop::sample::select(vec![1usize, 3, 8]),
+        trials in 1u64..2_000,
+    ) {
+        let ctx = &grid()[ctx_idx];
+        let factory = mwpm_factory();
+        let barrier = estimate_ler_barrier(ctx, trials, 2, seed, &*factory);
+        // Tile sizes from the spec: a single word, a small odd count, and
+        // one tile covering the whole batch.
+        let tile_words = [1, 7, (trials as usize).div_ceil(64)][tile_choice];
+        let config = PipelineConfig {
+            tile_words,
+            producers,
+            consumers,
+            channel_depth: 2,
+            source: SyndromeSource::Dem,
+        };
+        let streamed = estimate_ler_streamed(ctx, trials, seed, &*factory, config);
+        prop_assert_eq!(streamed, barrier, "config {:?}", config);
+    }
+
+    #[test]
+    fn streamed_estimate_is_config_invariant_with_astrea(
+        ctx_idx in 0usize..4,
+        seed in any::<u64>(),
+        tile_words in 1usize..20,
+        consumers in 1usize..9,
+    ) {
+        // Astrea's cycle model and deferrals stress the accounting (the
+        // screen must replay modeled cycles exactly); every pipeline shape
+        // must agree with the single-threaded single-tile run.
+        let ctx = &grid()[ctx_idx];
+        let factory: Box<astrea_experiments::DecoderFactory> =
+            Box::new(|c| Box::new(AstreaDecoder::new(c.gwt())));
+        let trials = 1_001u64;
+        let reference = estimate_ler_streamed(
+            ctx,
+            trials,
+            seed,
+            &*factory,
+            PipelineConfig {
+                tile_words: (trials as usize).div_ceil(64),
+                producers: 1,
+                consumers: 1,
+                channel_depth: 1,
+                source: SyndromeSource::Dem,
+            },
+        );
+        let config = PipelineConfig {
+            tile_words,
+            producers: 2,
+            consumers,
+            channel_depth: 3,
+            source: SyndromeSource::Dem,
+        };
+        let streamed = estimate_ler_streamed(ctx, trials, seed, &*factory, config);
+        prop_assert_eq!(streamed, reference, "config {:?}", config);
+    }
+}

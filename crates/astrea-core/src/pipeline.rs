@@ -37,7 +37,7 @@ use std::sync::mpsc::{Receiver, SyncSender};
 use std::sync::{mpsc, Arc, Mutex};
 
 use crate::latency::LatencyStats;
-use crate::screen::{ScreenCache, TileScreen};
+use crate::screen::{HardSyndromeCache, ScreenCache, TileScreen};
 use decoding_graph::{DecodeScratch, Decoder};
 use qec_circuit::SyndromeTile;
 
@@ -50,6 +50,67 @@ pub const DEFAULT_TILE_WORDS: usize = 128;
 /// tiles ahead of the consumers, capping pipeline memory at
 /// `depth + producers + consumers` tiles in flight.
 pub const DEFAULT_CHANNEL_DEPTH: usize = 8;
+
+/// Default per-worker capacity of the hard-syndrome prediction cache
+/// (predictions, not bytes; ~40 bytes each). Sized to stay L2-resident:
+/// on i.i.d. sampled streams distinct hard syndromes dominate and the
+/// hit rate is low, so a bigger footprint costs more in probe-time
+/// cache misses than the extra hits return (correlated or replayed
+/// streams hit regardless of size).
+pub const DEFAULT_HARD_CACHE_ENTRIES: usize = 1024;
+
+/// Largest Hamming weight the `MwpmDecoder` still routes to the subset
+/// DP; everything above goes to blossom. Mirrors
+/// [`blossom_mwpm::DP_NODE_LIMIT`] — the counters classify hard shots
+/// by the band they land in.
+const DP_BAND_MAX: usize = blossom_mwpm::DP_NODE_LIMIT;
+
+/// Per-stage shot counters for the screened decode path: how many shots
+/// each stage of the hard-shot fast path absorbed.
+///
+/// Kept separate from [`LatencyStats`] / [`StreamOutcome`] on purpose:
+/// those are part of the bit-identity contract between the streamed and
+/// barrier paths (compared with `==` in tests and the harness), while
+/// these counters describe *stages that only exist on the streamed
+/// path*. They accumulate in the worker's [`TileScratch`] and are
+/// summed across workers by the harness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PipelineCounters {
+    /// Shots classified by the word-parallel screen (every shot).
+    pub shots_screened: u64,
+    /// Shots with an all-zero syndrome (counted, never materialized).
+    pub trivial_shots: u64,
+    /// Shots decided by the HW-1 lookup cache.
+    pub hw1_shots: u64,
+    /// Shots decided by the HW-2 lookup cache.
+    pub hw2_shots: u64,
+    /// Hard shots (HW 3–4) decided by the GWT-direct closed form.
+    pub closed_form_shots: u64,
+    /// Hard shots served from the [`HardSyndromeCache`].
+    pub hard_cache_hits: u64,
+    /// Cacheable hard shots that missed and paid a real decode.
+    pub hard_cache_misses: u64,
+    /// Hard shots decoded by the subset DP band (HW 5..=11, cache
+    /// misses included).
+    pub dp_shots: u64,
+    /// Hard shots beyond the DP band (HW ≥ 12, blossom for MWPM).
+    pub blossom_shots: u64,
+}
+
+impl PipelineCounters {
+    /// Folds another worker's counters in (order-independent).
+    pub fn merge(&mut self, other: &PipelineCounters) {
+        self.shots_screened += other.shots_screened;
+        self.trivial_shots += other.trivial_shots;
+        self.hw1_shots += other.hw1_shots;
+        self.hw2_shots += other.hw2_shots;
+        self.closed_form_shots += other.closed_form_shots;
+        self.hard_cache_hits += other.hard_cache_hits;
+        self.hard_cache_misses += other.hard_cache_misses;
+        self.dp_shots += other.dp_shots;
+        self.blossom_shots += other.blossom_shots;
+    }
+}
 
 /// Creates the bounded tile channel connecting producers to consumers.
 pub fn tile_channel(depth: usize) -> (SyncSender<SyndromeTile>, Receiver<SyndromeTile>) {
@@ -101,29 +162,86 @@ impl StreamOutcome {
     }
 }
 
+/// One hard shot staged for HW-sorted dispatch: its detector list lives
+/// in the scratch's flat arena at `dets_start..dets_start + hw`, and
+/// `actual` is the shot's true observable-flip mask.
+#[derive(Debug, Clone, Copy)]
+struct HardShot {
+    dets_start: u32,
+    hw: u32,
+    actual: u32,
+}
+
+/// Number of Hamming-weight dispatch buckets; the last one collects the
+/// whole tail.
+const HW_DISPATCH_BUCKETS: usize = 16;
+
 /// Reusable per-worker scratch for tile decoding: the bit-sliced
-/// [`TileScreen`], the lazy HW ≤ 2 [`ScreenCache`], and the extraction
-/// buffers for hard shots.
+/// [`TileScreen`], the lazy HW ≤ 2 [`ScreenCache`], the bounded
+/// [`HardSyndromeCache`], the flat hard-shot staging arena, and the
+/// per-stage [`PipelineCounters`].
 ///
-/// Keep one per consumer thread; the cache warms across tiles and
-/// batches.
-#[derive(Debug, Default)]
+/// Keep one per consumer thread; the caches warm and the counters
+/// accumulate across tiles and batches.
+#[derive(Debug)]
 pub struct TileScratch {
     screen: TileScreen,
     cache: ScreenCache,
+    /// Bounded hard-shot memo, sized lazily on the first tile (like
+    /// `cache`) from `hard_cache_entries`.
+    hard_cache: HardSyndromeCache,
+    hard_cache_entries: usize,
     /// Per-lane detector lists for the word being extracted (64 lanes).
     buckets: Vec<Vec<u32>>,
+    /// Flat arena of hard-shot detector lists for the tile in flight —
+    /// one growable buffer reused across words and tiles instead of
+    /// per-word allocations.
+    hard_dets: Vec<u32>,
+    /// Hard shots staged for dispatch, indexing into `hard_dets`.
+    hard_shots: Vec<HardShot>,
+    /// Dispatch order: indices into `hard_shots`, bucketed by Hamming
+    /// weight so same-weight shots decode back-to-back.
+    by_hw: Vec<Vec<u32>>,
+    counters: PipelineCounters,
+}
+
+impl Default for TileScratch {
+    fn default() -> TileScratch {
+        TileScratch::with_hard_cache(DEFAULT_HARD_CACHE_ENTRIES)
+    }
 }
 
 impl TileScratch {
-    /// Empty scratch; buffers and cache size to the first tile decoded.
+    /// Empty scratch; buffers and caches size to the first tile decoded.
     pub fn new() -> TileScratch {
         TileScratch::default()
+    }
+
+    /// Empty scratch whose hard-syndrome cache holds at most `entries`
+    /// predictions (0 disables it).
+    pub fn with_hard_cache(entries: usize) -> TileScratch {
+        TileScratch {
+            screen: TileScreen::new(),
+            cache: ScreenCache::new(0),
+            hard_cache: HardSyndromeCache::new(0, 0),
+            hard_cache_entries: entries,
+            buckets: Vec::new(),
+            hard_dets: Vec::new(),
+            hard_shots: Vec::new(),
+            by_hw: Vec::new(),
+            counters: PipelineCounters::default(),
+        }
     }
 
     /// The warmed HW ≤ 2 prediction cache.
     pub fn cache(&self) -> &ScreenCache {
         &self.cache
+    }
+
+    /// Per-stage counters accumulated over every tile this scratch
+    /// decoded.
+    pub fn counters(&self) -> &PipelineCounters {
+        &self.counters
     }
 }
 
@@ -137,11 +255,18 @@ impl TileScratch {
 /// working set (one word column) stays L1-resident, and whose output is
 /// already shot-grouped with detectors ascending, so no sort is needed.
 /// HW ≤ 2 shots are decided by the scratch's [`ScreenCache`] (replaying
-/// the decoder exactly); only HW ≥ 3 shots reach
-/// [`Decoder::decode_with_scratch`] with a sparse list. The result is
+/// the decoder exactly) as they are extracted; HW ≥ 3 shots are staged
+/// into a flat arena and dispatched *after* the sweep in ascending
+/// Hamming-weight order, so same-weight shots decode back-to-back
+/// (closed form, then cacheable DP weights, then the deep tail) and
+/// cacheable ones consult the [`HardSyndromeCache`] first.
+///
+/// Every prediction still comes from the decoder itself (caches only
+/// replay it) and all accounting is sums and maxima, so the result is
 /// bit-identical to pushing the tile through a
 /// [`SyndromeBatch`](crate::SyndromeBatch) and
-/// [`decode_slice`](crate::batch::decode_slice).
+/// [`decode_slice`](crate::batch::decode_slice) — dispatch order and
+/// cache hits never show through.
 pub fn decode_tile(
     decoder: &mut dyn Decoder,
     scratch: &mut DecodeScratch,
@@ -156,14 +281,29 @@ pub fn decode_tile(
     }
     if tile_scratch.cache.num_detectors() != det.num_bits() {
         tile_scratch.cache = ScreenCache::new(det.num_bits());
+        tile_scratch.hard_cache =
+            HardSyndromeCache::new(tile_scratch.hard_cache_entries, det.num_bits());
     }
     let TileScratch {
         screen,
         cache,
+        hard_cache,
         buckets,
+        hard_dets,
+        hard_shots,
+        by_hw,
+        counters,
+        ..
     } = tile_scratch;
     screen.compute(det);
     buckets.resize_with(64, Vec::new);
+    by_hw.resize_with(HW_DISPATCH_BUCKETS, Vec::new);
+    hard_dets.clear();
+    hard_shots.clear();
+    for bucket in by_hw.iter_mut() {
+        bucket.clear();
+    }
+    counters.shots_screened += tile.num_shots() as u64;
 
     let words = det.num_words();
     for w in 0..words {
@@ -178,6 +318,7 @@ pub fn decode_tile(
         let trivial = screen.hw0(w) & valid;
         out.stats.record_many(0, 0, u64::from(trivial.count_ones()));
         out.failures += u64::from((trivial & obs_any).count_ones());
+        counters.trivial_shots += u64::from(trivial.count_ones());
 
         // Sparse extraction of this word's nontrivial lanes into
         // per-lane buckets: one AND per detector row, detectors arrive
@@ -209,13 +350,65 @@ pub fn decode_tile(
                 actual |= ((obs.word(b, w) >> lane & 1) as u32) << b;
             }
             let p = match dets[..] {
-                [d] => cache.single(d, decoder, scratch),
-                [a, b] => cache.pair(a, b, decoder, scratch),
-                _ => decoder.decode_with_scratch(dets, scratch),
+                [d] => {
+                    counters.hw1_shots += 1;
+                    cache.single(d, decoder, scratch)
+                }
+                [a, b] => {
+                    counters.hw2_shots += 1;
+                    cache.pair(a, b, decoder, scratch)
+                }
+                _ => {
+                    // Hard shot: stage it in the flat arena for the
+                    // weight-sorted dispatch below.
+                    let start = hard_dets.len() as u32;
+                    hard_dets.extend_from_slice(dets);
+                    by_hw[dets.len().min(HW_DISPATCH_BUCKETS - 1)].push(hard_shots.len() as u32);
+                    hard_shots.push(HardShot {
+                        dets_start: start,
+                        hw: dets.len() as u32,
+                        actual,
+                    });
+                    continue;
+                }
             };
             out.stats.record(dets.len(), p.cycles);
             out.deferred += u64::from(p.deferred);
             out.failures += u64::from(p.observables != actual);
+        }
+    }
+
+    // Hard dispatch, one Hamming-weight band at a time.
+    for bucket in by_hw.iter() {
+        for &idx in bucket {
+            let shot = hard_shots[idx as usize];
+            let k = shot.hw as usize;
+            let dets = &hard_dets[shot.dets_start as usize..shot.dets_start as usize + k];
+            let p = if k <= 4 {
+                // GWT-direct closed form inside the decoder — no weight
+                // matrix, no DP table.
+                counters.closed_form_shots += 1;
+                decoder.decode_with_scratch(dets, scratch)
+            } else if hard_cache.caches(k) {
+                let (p, hit) = hard_cache.get_or_decode(dets, decoder, scratch);
+                if hit {
+                    counters.hard_cache_hits += 1;
+                } else {
+                    counters.hard_cache_misses += 1;
+                    counters.dp_shots += 1;
+                }
+                p
+            } else {
+                if k <= DP_BAND_MAX {
+                    counters.dp_shots += 1;
+                } else {
+                    counters.blossom_shots += 1;
+                }
+                decoder.decode_with_scratch(dets, scratch)
+            };
+            out.stats.record(k, p.cycles);
+            out.deferred += u64::from(p.deferred);
+            out.failures += u64::from(p.observables != shot.actual);
         }
     }
 }

@@ -24,9 +24,48 @@
 //! batch-invariance already demands.
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 use decoding_graph::{DecodeScratch, Decoder, Prediction};
 use qec_circuit::BitTable;
+
+/// A multiplicative word hasher for the screen cache's packed integer
+/// keys.
+///
+/// The HW-2 cache is keyed by `(a << 32) | b` over detector indices that
+/// are already uniformly spread; SipHash's per-lookup cost (keyed rounds
+/// for HashDoS resistance) is pure overhead on a table whose keys the
+/// process generates itself. One odd-constant multiply plus a xor-fold
+/// of the high half mixes every input bit into the table index bits at
+/// ~1 ns per lookup.
+#[derive(Debug, Default)]
+pub struct WordHasher(u64);
+
+impl Hasher for WordHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        // Fibonacci hashing: multiply by 2^64/φ, then fold the
+        // well-mixed high bits down onto the low (table-index) bits.
+        let h = (self.0 ^ n).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.0 = h ^ (h >> 32);
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.write_u64(u64::from_le_bytes(buf));
+        }
+    }
+}
+
+/// [`HashMap`] state plugging [`WordHasher`] into the screen caches.
+pub type WordHashState = BuildHasherDefault<WordHasher>;
 
 /// Bit-sliced Hamming-weight classification of one packed tile: for each
 /// 64-shot word, the lanes whose syndrome weight is 0, 1, 2, or ≥ 3.
@@ -129,7 +168,7 @@ impl TileScreen {
 #[derive(Debug, Default)]
 pub struct ScreenCache {
     hw1: Vec<Option<Prediction>>,
-    hw2: HashMap<u64, Prediction>,
+    hw2: HashMap<u64, Prediction, WordHashState>,
 }
 
 impl ScreenCache {
@@ -137,7 +176,7 @@ impl ScreenCache {
     pub fn new(num_detectors: usize) -> ScreenCache {
         ScreenCache {
             hw1: vec![None; num_detectors],
-            hw2: HashMap::new(),
+            hw2: HashMap::default(),
         }
     }
 
@@ -185,6 +224,139 @@ impl ScreenCache {
                 p
             }
         }
+    }
+}
+
+/// Smallest Hamming weight the [`HardSyndromeCache`] memoizes. Below
+/// this the GWT-direct closed form decides the shot in registers for
+/// less than the cost of hashing the key.
+pub const HARD_CACHE_MIN_HW: usize = 5;
+
+/// Largest Hamming weight the [`HardSyndromeCache`] memoizes: 8 sorted
+/// detector indices pack exactly into the 16-bit fields of a `u128` key.
+pub const HARD_CACHE_MAX_HW: usize = 8;
+
+/// A bounded memo of hard-shot [`Prediction`]s, keyed by the full sparse
+/// detector list.
+///
+/// Distinct hard syndromes repeat far less often than HW ≤ 2 ones, so
+/// unlike [`ScreenCache`] this cache must be *bounded*: it is organized
+/// as a 2-way set-associative array with one LRU bit per set, giving
+/// O(1) lookup and eviction with no allocation after construction. Keys
+/// pack the sorted detector list (each index stored as `d + 1` in a
+/// 16-bit field, so the all-zero key never collides with a real
+/// syndrome) for Hamming weights [`HARD_CACHE_MIN_HW`]`..=`
+/// [`HARD_CACHE_MAX_HW`].
+///
+/// Like the screen cache it fills lazily from the real decoder, so a
+/// cached run is bit-identical to an uncached one; only the time to
+/// produce a repeated prediction changes. Keep one per worker thread —
+/// hit rates are workload-dependent (cold i.i.d. sampling repeats few
+/// hard syndromes; correlated or long-running streams repeat many), so
+/// lookups are instrumented and reported per run.
+#[derive(Debug)]
+pub struct HardSyndromeCache {
+    /// Packed keys, two ways per set; 0 = empty slot.
+    keys: Vec<[u128; 2]>,
+    preds: Vec<[Prediction; 2]>,
+    /// Per-set way to evict next (flipped on hit/fill).
+    lru: Vec<bool>,
+    /// `sets.len() - 1` for power-of-two indexing; `usize::MAX` when
+    /// disabled.
+    mask: usize,
+}
+
+impl HardSyndromeCache {
+    /// A cache holding at most `entries` predictions (rounded up to a
+    /// power of two; two ways per set) over `num_detectors` detectors.
+    ///
+    /// `entries == 0` disables the cache, as does a detector count too
+    /// large for the 16-bit key fields — every lookup then misses
+    /// without storing anything.
+    pub fn new(entries: usize, num_detectors: usize) -> HardSyndromeCache {
+        if entries == 0 || num_detectors >= 0xFFFF {
+            return HardSyndromeCache {
+                keys: Vec::new(),
+                preds: Vec::new(),
+                lru: Vec::new(),
+                mask: usize::MAX,
+            };
+        }
+        let sets = entries.div_ceil(2).next_power_of_two();
+        HardSyndromeCache {
+            keys: vec![[0; 2]; sets],
+            preds: vec![[Prediction::default(); 2]; sets],
+            lru: vec![false; sets],
+            mask: sets - 1,
+        }
+    }
+
+    /// Whether lookups can ever hit (nonzero capacity and packable keys).
+    pub fn is_enabled(&self) -> bool {
+        self.mask != usize::MAX
+    }
+
+    /// Number of predictions the cache can hold.
+    pub fn capacity(&self) -> usize {
+        self.keys.len() * 2
+    }
+
+    /// Whether `k` fired detectors are worth caching at all.
+    #[inline]
+    pub fn caches(&self, k: usize) -> bool {
+        self.mask != usize::MAX && (HARD_CACHE_MIN_HW..=HARD_CACHE_MAX_HW).contains(&k)
+    }
+
+    /// The packed key for a sorted detector list (distinct lists map to
+    /// distinct keys; never 0).
+    #[inline]
+    fn key(dets: &[u32]) -> u128 {
+        let mut key = 0u128;
+        for (slot, &d) in dets.iter().enumerate() {
+            key |= ((d as u128) + 1) << (16 * slot);
+        }
+        key
+    }
+
+    /// The set index for `key`, by Fibonacci-hashing the folded halves.
+    #[inline]
+    fn set_of(&self, key: u128) -> usize {
+        let folded = (key as u64) ^ ((key >> 64) as u64);
+        let h = folded.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        ((h >> 32) ^ h) as usize & self.mask
+    }
+
+    /// The decoder's prediction for the hard syndrome `dets` (sorted
+    /// ascending), consulting the cache when the weight is cacheable.
+    ///
+    /// Returns the prediction and whether it was served from the cache;
+    /// a miss calls the decoder once and (if cacheable) fills the
+    /// set's LRU way.
+    #[inline]
+    pub fn get_or_decode(
+        &mut self,
+        dets: &[u32],
+        decoder: &mut dyn Decoder,
+        scratch: &mut DecodeScratch,
+    ) -> (Prediction, bool) {
+        if !self.caches(dets.len()) {
+            return (decoder.decode_with_scratch(dets, scratch), false);
+        }
+        let key = Self::key(dets);
+        let set = self.set_of(key);
+        for way in 0..2 {
+            if self.keys[set][way] == key {
+                // Protect the hit way: mark the other one for eviction.
+                self.lru[set] = way == 0;
+                return (self.preds[set][way], true);
+            }
+        }
+        let p = decoder.decode_with_scratch(dets, scratch);
+        let way = usize::from(self.lru[set]);
+        self.keys[set][way] = key;
+        self.preds[set][way] = p;
+        self.lru[set] = way == 0;
+        (p, false)
     }
 }
 
@@ -272,6 +444,83 @@ mod tests {
                     assert_eq!(p, direct.decode(&[a, b]), "hw2 ({a},{b})");
                 }
             }
+        }
+    }
+
+    #[test]
+    fn hard_cache_replays_decoder_predictions_exactly() {
+        let code = SurfaceCode::new(5).unwrap();
+        let ctx = DecodingContext::for_memory_experiment(&code, NoiseModel::depolarizing(1e-3));
+        let n = ctx.dem().num_detectors() as u32;
+        let mut cached = MwpmDecoder::new(ctx.gwt());
+        let mut direct = MwpmDecoder::new(ctx.gwt());
+        let mut scratch = DecodeScratch::new();
+        let mut cache = HardSyndromeCache::new(64, n as usize);
+        assert!(cache.is_enabled());
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..200 {
+            let k = rng.gen_range(HARD_CACHE_MIN_HW..=HARD_CACHE_MAX_HW);
+            let mut dets: Vec<u32> = Vec::new();
+            while dets.len() < k {
+                let d = rng.gen_range(0..n);
+                if !dets.contains(&d) {
+                    dets.push(d);
+                }
+            }
+            dets.sort_unstable();
+            let (p, _) = cache.get_or_decode(&dets, &mut cached, &mut scratch);
+            assert_eq!(p, direct.decode(&dets));
+            // Immediate repeat must hit and replay the same prediction.
+            let (p2, hit) = cache.get_or_decode(&dets, &mut cached, &mut scratch);
+            assert!(hit);
+            assert_eq!(p2, p);
+        }
+    }
+
+    #[test]
+    fn hard_cache_skips_uncacheable_weights_and_disabled_instances() {
+        let code = SurfaceCode::new(3).unwrap();
+        let ctx = DecodingContext::for_memory_experiment(&code, NoiseModel::depolarizing(1e-3));
+        let mut decoder = MwpmDecoder::new(ctx.gwt());
+        let mut scratch = DecodeScratch::new();
+
+        let mut enabled = HardSyndromeCache::new(16, ctx.dem().num_detectors());
+        assert!(!enabled.caches(HARD_CACHE_MIN_HW - 1));
+        assert!(!enabled.caches(HARD_CACHE_MAX_HW + 1));
+        let low: Vec<u32> = (0..HARD_CACHE_MIN_HW as u32 - 1).collect();
+        let (_, hit) = enabled.get_or_decode(&low, &mut decoder, &mut scratch);
+        assert!(!hit);
+        let (_, hit) = enabled.get_or_decode(&low, &mut decoder, &mut scratch);
+        assert!(!hit, "below-threshold weights must never be stored");
+
+        let mut disabled = HardSyndromeCache::new(0, ctx.dem().num_detectors());
+        assert!(!disabled.is_enabled());
+        assert_eq!(disabled.capacity(), 0);
+        let dets: Vec<u32> = (0..HARD_CACHE_MIN_HW as u32).collect();
+        for _ in 0..2 {
+            let (p, hit) = disabled.get_or_decode(&dets, &mut decoder, &mut scratch);
+            assert!(!hit);
+            assert_eq!(p, decoder.decode(&dets));
+        }
+    }
+
+    #[test]
+    fn hard_cache_evicts_within_bounds() {
+        // A 1-entry request rounds to one set × two ways; hammering many
+        // distinct syndromes must stay bounded and keep replaying
+        // correct predictions whether it hits or misses.
+        let code = SurfaceCode::new(5).unwrap();
+        let ctx = DecodingContext::for_memory_experiment(&code, NoiseModel::depolarizing(1e-3));
+        let n = ctx.dem().num_detectors() as u32;
+        let mut decoder = MwpmDecoder::new(ctx.gwt());
+        let mut direct = MwpmDecoder::new(ctx.gwt());
+        let mut scratch = DecodeScratch::new();
+        let mut cache = HardSyndromeCache::new(1, n as usize);
+        assert_eq!(cache.capacity(), 2);
+        for start in 0..40u32 {
+            let dets: Vec<u32> = (start..start + HARD_CACHE_MIN_HW as u32).collect();
+            let (p, _) = cache.get_or_decode(&dets, &mut decoder, &mut scratch);
+            assert_eq!(p, direct.decode(&dets), "start {start}");
         }
     }
 

@@ -3,15 +3,20 @@
 //! decode everything) against the streamed path (`estimate_ler`: packed
 //! tiles over a bounded channel into screening consumers) per `(d, p)`
 //! point, asserts the two are bit-identical, and writes the numbers to
-//! `results/BENCH_pipeline.json` for `EXPERIMENTS.md`.
+//! `results/BENCH_pipeline.json` plus the per-stage hard-path breakdown
+//! (screen / closed form / cache / DP / blossom shot counters and the
+//! speedup over the pre-hard-path baseline) to
+//! `results/BENCH_hardpath.json` for `EXPERIMENTS.md`.
 //!
-//! Usage: `profile_pipeline [trials] [output.json]` — pass a small trial
-//! count (e.g. `2000`) for a CI smoke run; defaults to 50 000 trials and
-//! `results/BENCH_pipeline.json`. Reports min-of-N wall times to shrug
+//! Usage: `profile_pipeline [--smoke] [trials] [output.json]` — defaults
+//! to 50 000 trials and `results/BENCH_pipeline.json`. `--smoke` runs a
+//! small CI check (2 000 trials, single rep) and asserts every hard-path
+//! stage actually absorbed shots. Reports min-of-N wall times to shrug
 //! off scheduler noise.
 
 use astrea_experiments::{
-    estimate_ler_barrier, estimate_ler_streamed, DecoderFactory, ExperimentContext, PipelineConfig,
+    estimate_ler_barrier, estimate_ler_streamed, estimate_ler_streamed_counted, DecoderFactory,
+    ExperimentContext, PipelineConfig, PipelineCounters,
 };
 use blossom_mwpm::MwpmDecoder;
 use std::fmt::Write as _;
@@ -19,6 +24,18 @@ use std::time::{Duration, Instant};
 
 const SEED: u64 = 7;
 const THREADS: usize = 8;
+
+/// Streamed/barrier wall times measured at the PR 3 tip (commit
+/// `030eeed`, 50 000 trials, this benchmark, same host class) — the
+/// "before" column for the hard-path tail reduction. Only attached to
+/// full-size runs; a smoke run's times are not comparable.
+const BASELINE_MS: [(usize, f64, f64, f64); 4] = [
+    (3, 1e-3, 0.718, 1.917),
+    (5, 1e-3, 3.125, 4.403),
+    (7, 1e-3, 13.657, 14.492),
+    (7, 5e-3, 612.476, 646.311),
+];
+const BASELINE_TRIALS: u64 = 50_000;
 
 fn min_of<F: FnMut()>(reps: usize, mut f: F) -> Duration {
     (0..reps)
@@ -37,6 +54,7 @@ struct Point {
     barrier: Duration,
     streamed: Duration,
     trials: u64,
+    counters: PipelineCounters,
 }
 
 impl Point {
@@ -47,6 +65,17 @@ impl Point {
     fn shots_per_s(&self, t: Duration) -> f64 {
         self.trials as f64 / t.as_secs_f64()
     }
+
+    /// Baseline streamed wall time for this point, when comparable.
+    fn baseline_streamed_ms(&self) -> Option<f64> {
+        if self.trials != BASELINE_TRIALS {
+            return None;
+        }
+        BASELINE_MS
+            .iter()
+            .find(|(d, p, ..)| *d == self.distance && *p == self.p)
+            .map(|(_, _, streamed, _)| *streamed)
+    }
 }
 
 fn measure(distance: usize, p: f64, trials: u64, reps: usize) -> Point {
@@ -55,9 +84,12 @@ fn measure(distance: usize, p: f64, trials: u64, reps: usize) -> Point {
     let config = PipelineConfig::for_threads(THREADS);
 
     // Exactness first: the streamed run must reproduce the barrier run
-    // bit-for-bit before its timing means anything.
+    // bit-for-bit before its timing means anything. The same run yields
+    // the per-stage counters (they are deterministic in the shot stream,
+    // so any rep would report the same values).
     let reference = estimate_ler_barrier(&ctx, trials, THREADS, SEED, &*factory);
-    let streamed_result = estimate_ler_streamed(&ctx, trials, SEED, &*factory, config);
+    let (streamed_result, counters) =
+        estimate_ler_streamed_counted(&ctx, trials, SEED, &*factory, config);
     assert_eq!(
         streamed_result, reference,
         "streamed result diverged from barrier at d={distance} p={p}"
@@ -75,19 +107,66 @@ fn measure(distance: usize, p: f64, trials: u64, reps: usize) -> Point {
         barrier,
         streamed,
         trials,
+        counters,
     }
 }
 
+fn counters_json(c: &PipelineCounters) -> String {
+    format!(
+        "{{\"shots_screened\": {}, \"trivial\": {}, \"hw1\": {}, \"hw2\": {}, \
+         \"closed_form\": {}, \"hard_cache_hits\": {}, \"hard_cache_misses\": {}, \
+         \"dp\": {}, \"blossom\": {}}}",
+        c.shots_screened,
+        c.trivial_shots,
+        c.hw1_shots,
+        c.hw2_shots,
+        c.closed_form_shots,
+        c.hard_cache_hits,
+        c.hard_cache_misses,
+        c.dp_shots,
+        c.blossom_shots,
+    )
+}
+
+fn write_json(path: &str, json: &str) {
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create results directory");
+        }
+    }
+    std::fs::write(path, json).expect("write benchmark JSON");
+    println!("wrote {path}");
+}
+
 fn main() {
-    let mut args = std::env::args().skip(1);
-    let trials: u64 = args
-        .next()
+    let mut smoke = false;
+    let mut positional: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        if arg == "--smoke" {
+            smoke = true;
+        } else {
+            positional.push(arg);
+        }
+    }
+    let trials: u64 = positional
+        .first()
         .map(|a| a.parse().expect("trials must be an integer"))
-        .unwrap_or(50_000);
-    let out_path = args
-        .next()
+        .unwrap_or(if smoke { 2_000 } else { 50_000 });
+    let out_path = positional
+        .get(1)
+        .cloned()
         .unwrap_or_else(|| "results/BENCH_pipeline.json".to_string());
-    let reps = if trials >= 20_000 { 5 } else { 3 };
+    let hardpath_out = std::path::Path::new(&out_path)
+        .with_file_name("BENCH_hardpath.json")
+        .to_string_lossy()
+        .into_owned();
+    let reps = if smoke {
+        1
+    } else if trials >= 20_000 {
+        5
+    } else {
+        3
+    };
 
     let points: Vec<Point> = [(3usize, 1e-3), (5, 1e-3), (7, 1e-3), (7, 5e-3)]
         .into_iter()
@@ -100,9 +179,45 @@ fn main() {
                 pt.speedup(),
                 pt.shots_per_s(pt.streamed),
             );
+            let c = &pt.counters;
+            println!(
+                "  stages: trivial {} | hw1 {} | hw2 {} | closed-form {} | cache {}/{} | dp {} | blossom {}",
+                c.trivial_shots,
+                c.hw1_shots,
+                c.hw2_shots,
+                c.closed_form_shots,
+                c.hard_cache_hits,
+                c.hard_cache_hits + c.hard_cache_misses,
+                c.dp_shots,
+                c.blossom_shots,
+            );
             pt
         })
         .collect();
+
+    if smoke {
+        // CI gate: every hard-path stage must have absorbed shots, and the
+        // screen must have accounted for every trial at every point.
+        let mut total = PipelineCounters::default();
+        for pt in &points {
+            assert_eq!(
+                pt.counters.shots_screened, pt.trials,
+                "screen missed shots at d={} p={}",
+                pt.distance, pt.p
+            );
+            total.merge(&pt.counters);
+        }
+        assert!(total.trivial_shots > 0, "no trivial shots screened");
+        assert!(total.hw1_shots > 0, "HW-1 lookup stage idle");
+        assert!(total.hw2_shots > 0, "HW-2 lookup stage idle");
+        assert!(total.closed_form_shots > 0, "closed-form stage idle");
+        assert!(
+            total.hard_cache_hits + total.hard_cache_misses > 0,
+            "hard-syndrome cache never consulted"
+        );
+        assert!(total.dp_shots > 0, "subset-DP stage idle");
+        println!("smoke OK: all hard-path stages absorbed shots");
+    }
 
     // Hand-rolled JSON: the workspace has no serde and the shape is flat.
     let mut json = String::from("{\n");
@@ -126,12 +241,38 @@ fn main() {
         json.push_str(if i + 1 < points.len() { ",\n" } else { "\n" });
     }
     json.push_str("  ]\n}\n");
+    write_json(&out_path, &json);
 
-    if let Some(dir) = std::path::Path::new(&out_path).parent() {
-        if !dir.as_os_str().is_empty() {
-            std::fs::create_dir_all(dir).expect("create results directory");
+    // Hard-path breakdown: per-stage shot counters plus the tail
+    // reduction against the pre-hard-path baseline (when comparable).
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"trials\": {trials},");
+    let _ = writeln!(json, "  \"threads\": {THREADS},");
+    let _ = writeln!(json, "  \"seed\": {SEED},");
+    let _ = writeln!(
+        json,
+        "  \"baseline\": \"PR 3 tip (030eeed), {BASELINE_TRIALS} trials, same benchmark\","
+    );
+    json.push_str("  \"points\": [\n");
+    for (i, pt) in points.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"distance\": {}, \"p\": {}, \"streamed_ms\": {:.3}",
+            pt.distance,
+            pt.p,
+            pt.streamed.as_secs_f64() * 1e3,
+        );
+        if let Some(base) = pt.baseline_streamed_ms() {
+            let _ = write!(
+                json,
+                ", \"baseline_streamed_ms\": {:.3}, \"speedup_vs_baseline\": {:.3}",
+                base,
+                base / (pt.streamed.as_secs_f64() * 1e3),
+            );
         }
+        let _ = write!(json, ", \"counters\": {}}}", counters_json(&pt.counters));
+        json.push_str(if i + 1 < points.len() { ",\n" } else { "\n" });
     }
-    std::fs::write(&out_path, &json).expect("write benchmark JSON");
-    println!("wrote {out_path}");
+    json.push_str("  ]\n}\n");
+    write_json(&hardpath_out, &json);
 }

@@ -2,7 +2,7 @@
 
 use crate::solution::MatchingSolution;
 use crate::{dense_blossom, subset_dp};
-use decoding_graph::{DecodeScratch, Decoder, GlobalWeightTable, Prediction};
+use decoding_graph::{DecodeScratch, Decoder, GlobalWeightTable, Prediction, QuantizedBlock};
 
 /// Above this many active detectors in one matching cluster the decoder
 /// switches from the subset DP to the blossom algorithm: the DP's time
@@ -17,6 +17,14 @@ const BLOSSOM_SCALE: f64 = 65_536.0;
 /// Weights above this (in `−log₁₀ P` units) are clamped before integer
 /// conversion; far beyond any realistic matching weight.
 const WEIGHT_CLAMP: f64 = 1e4;
+
+/// Index of pair `(i, j)` (`i < j < k`) in the triangular pair order
+/// `(0,1), (0,2), …` used by the small-gather helpers.
+#[inline]
+fn tri_index(k: usize, i: usize, j: usize) -> usize {
+    debug_assert!(i < j && j < k);
+    i * k - i * (i + 1) / 2 + (j - i - 1)
+}
 
 /// The idealized software MWPM decoder.
 ///
@@ -44,6 +52,8 @@ const WEIGHT_CLAMP: f64 = 1e4;
 pub struct MwpmDecoder<'a> {
     gwt: &'a GlobalWeightTable,
     use_quantized: bool,
+    /// Destination for batched quantized gathers on the scratch path.
+    qblock: QuantizedBlock,
 }
 
 impl<'a> MwpmDecoder<'a> {
@@ -52,6 +62,7 @@ impl<'a> MwpmDecoder<'a> {
         MwpmDecoder {
             gwt,
             use_quantized: false,
+            qblock: QuantizedBlock::new(),
         }
     }
 
@@ -61,6 +72,7 @@ impl<'a> MwpmDecoder<'a> {
         MwpmDecoder {
             gwt,
             use_quantized: true,
+            qblock: QuantizedBlock::new(),
         }
     }
 
@@ -212,6 +224,60 @@ impl<'a> MwpmDecoder<'a> {
         solution
     }
 
+    /// GWT-direct closed form for `1 ≤ k ≤ 4`: one batched triangular
+    /// gather from the weight table, then the register-only closed form —
+    /// no weight-matrix staging in the scratch arena, and for the
+    /// quantized decoder no f64 dequantization at all (fixed-point
+    /// comparisons order identically because the scale is a power of
+    /// two). The mate assignment is bit-identical to the staged path's.
+    fn decode_closed_form(&self, dets: &[u32]) -> Prediction {
+        let k = dets.len();
+        debug_assert!((1..=4).contains(&k));
+        let mate = if self.use_quantized {
+            let (w, b) = self.gwt.gather_small_quantized(dets);
+            subset_dp::solve_closed_form(k, |i, j| w[tri_index(k, i, j)], |i| b[i]).1
+        } else {
+            let (w, b) = self.gwt.gather_small_exact(dets, 2.0 * WEIGHT_CLAMP);
+            subset_dp::solve_closed_form(k, |i, j| w[tri_index(k, i, j)], |i| b[i]).1
+        };
+        let mut observables = 0u32;
+        for (i, &m) in mate[..k].iter().enumerate() {
+            if m == usize::MAX {
+                observables ^= self.gwt.boundary_obs(dets[i]);
+            } else if m > i {
+                observables ^= self.gwt.pair_obs(dets[i], dets[m]);
+            }
+        }
+        Prediction {
+            observables,
+            cycles: 0,
+            deferred: false,
+        }
+    }
+
+    /// Stages the quantized weights for the subset DP via one batched
+    /// block gather, dequantizing with exactly the expressions the
+    /// per-entry closure path used (so the staged values are bit-equal).
+    fn stage_quantized(&mut self, dets: &[u32], scratch: &mut DecodeScratch) {
+        let k = dets.len();
+        let gwt = self.gwt;
+        let scale = gwt.scale();
+        gwt.gather_quantized(dets, &mut self.qblock);
+        scratch.weights.clear();
+        scratch.weights.resize(k * k, 0.0);
+        scratch.boundary.clear();
+        scratch.boundary.resize(k, 0.0);
+        for i in 0..k {
+            scratch.boundary[i] = self.qblock.at(i, i, k) as f64 / scale;
+            let row = &mut scratch.weights[i * k..][..k];
+            for (j, slot) in row.iter_mut().enumerate() {
+                if j != i {
+                    *slot = (self.qblock.at(i, j, k) as f64 / scale).min(2.0 * WEIGHT_CLAMP);
+                }
+            }
+        }
+    }
+
     fn decode_blossom(&self, dets: &[u32]) -> MatchingSolution {
         let k = dets.len();
         let n = if k.is_multiple_of(2) { k } else { k + 1 }; // virtual boundary node last
@@ -282,19 +348,28 @@ impl Decoder for MwpmDecoder<'_> {
             // reuse the allocating cluster/blossom path.
             return self.decode(detectors);
         }
+        if k <= 4 {
+            // GWT-direct closed form — no weight-matrix staging at all.
+            return self.decode_closed_form(detectors);
+        }
         // Subset DP with all tables drawn from the arena (the DP prunes
         // and decomposes into clusters internally) and the observable
         // mask folded straight off the mate assignment — no
-        // MatchingSolution vectors on the hot path.
-        subset_dp::solve_with_scratch(
-            k,
-            |i, j| {
-                self.pair_w(detectors[i], detectors[j])
-                    .min(2.0 * WEIGHT_CLAMP)
-            },
-            |i| self.boundary_w(detectors[i]),
-            scratch,
-        );
+        // MatchingSolution vectors on the hot path. Weights are staged
+        // with one batched row-contiguous gather instead of k² random
+        // single-entry reads; the staged values are bit-equal to the
+        // closure path's, so the assignment is too.
+        if self.use_quantized {
+            self.stage_quantized(detectors, scratch);
+        } else {
+            self.gwt.gather_exact_clamped(
+                detectors,
+                2.0 * WEIGHT_CLAMP,
+                &mut scratch.weights,
+                &mut scratch.boundary,
+            );
+        }
+        subset_dp::solve_staged(k, scratch);
         let mut observables = 0u32;
         for (i, &m) in scratch.mate[..k].iter().enumerate() {
             if m == usize::MAX {

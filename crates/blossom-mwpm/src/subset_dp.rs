@@ -18,15 +18,23 @@
 //!   are filtered.
 //! * **Cluster decomposition** — the optimum decomposes over connected
 //!   components of the surviving pair graph: a cross-component pair is
-//!   filtered by definition. Each component runs its own DP over only
-//!   the `2^c` submask states of its member mask (enumerated in
-//!   ascending order), so an 8-detector syndrome made of four local
-//!   2-detector clusters costs `4 · 2²` states instead of `2⁸`.
+//!   filtered by definition. Components of ≤ 4 nodes are decided by a
+//!   register-only closed form; bigger ones run their own DP over the
+//!   submask states of the component's member mask, so an 8-detector
+//!   syndrome made of four local 2-detector clusters costs four
+//!   closed-form evaluations instead of a `2⁸` table walk.
+//! * **Reachable-state memoization** — the per-component DP runs
+//!   top-down with memoization, so only states *reachable* from the
+//!   full component under the lowest-bit pairing rule are ever
+//!   computed. Resolving the lowest set bit removes it alone or with
+//!   one adjacent partner, which leaves most of the `2^c` submasks
+//!   unreachable: on d = 7 surface-code syndromes the reachable set is
+//!   3–11 % of `2^c` across the Hamming-weight-6..10 tail.
 //!
-//! Both prunings only drop pair options that tie or lose against
-//! boundary matches, so the returned weight is still the exact optimum;
-//! at exact weight ties the returned *assignment* prefers boundary
-//! matches, deterministically.
+//! All three prunings are exact: the first two only drop pair options
+//! that tie or lose against boundary matches, and the third skips
+//! states whose value could never be read. At exact weight ties the
+//! returned *assignment* prefers boundary matches, deterministically.
 
 use decoding_graph::DecodeScratch;
 
@@ -95,7 +103,12 @@ pub fn solve_with_scratch(
         return 0.0;
     }
     if k <= 4 {
-        return solve_closed_form(k, pair_weight, boundary_weight, scratch);
+        scratch.mate.resize(k, usize::MAX);
+        let (cost, mate) = solve_closed_form(k, pair_weight, boundary_weight);
+        for (i, &m) in mate[..k].iter().enumerate() {
+            scratch.mate[i] = m;
+        }
+        return cost;
     }
 
     // Cache the weight oracle into dense arrays.
@@ -113,11 +126,44 @@ pub fn solve_with_scratch(
             w[j * k + i] = wij;
         }
     }
+    solve_staged(k, scratch)
+}
+
+/// The solve phase of [`solve_with_scratch`] over *pre-staged* operands:
+/// `scratch.weights` must hold the symmetric `k × k` pair-weight matrix
+/// (diagonal ignored) and `scratch.boundary` the `k` boundary weights.
+///
+/// Splitting staging from solving lets callers that can gather weights in
+/// bulk (see `GlobalWeightTable::gather_exact_clamped`) skip the per-entry
+/// closure protocol entirely. Components of ≤ 4 nodes — the common case
+/// once the adjacency pruning decomposes a realistic syndrome — are
+/// solved by the register-only closed form instead of the submask DP.
+///
+/// On return `scratch.mate[..k]` holds the assignment (`usize::MAX` =
+/// boundary) and the optimal total weight is returned.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `k > MAX_DP_NODES`.
+pub fn solve_staged(k: usize, scratch: &mut DecodeScratch) -> f64 {
+    assert!(
+        (1..=MAX_DP_NODES).contains(&k),
+        "subset DP limited to 1..={MAX_DP_NODES} nodes, got {k}"
+    );
+    let DecodeScratch {
+        weights: w,
+        boundary: b,
+        cost,
+        mate,
+        parent: adj,
+        stamp,
+        epoch,
+        ..
+    } = scratch;
 
     // Adjacency masks: bit j of adj[i] is set iff pairing (i, j) can
     // strictly beat sending both nodes to the boundary. Everything else
     // is pruned from the DP transitions (exact — see module docs).
-    let adj = &mut scratch.parent;
     adj.clear();
     adj.resize(k, 0u32);
     for i in 0..k {
@@ -131,16 +177,25 @@ pub fn solve_with_scratch(
 
     // k ≤ MAX_DP_NODES = 26, so component masks fit in u32.
     let full: u32 = (1u32 << k) - 1;
-    let cost = &mut scratch.cost;
-    // Only submask states of each component are ever read, and every
-    // one is written before it is read (ascending enumeration from
-    // cost[0]); stale entries from earlier calls are harmless, so the
-    // table is grown without the O(2^k) clear.
+    // The cost table is never cleared: `stamp[s] == epoch` marks which
+    // entries were computed by the *current* solve, so the table (and
+    // any stale values from earlier calls) is reused as-is. Epochs are
+    // bumped per solve; stamps only need the one-off zero-fill on grow.
+    if *epoch == u32::MAX {
+        stamp.clear();
+        *epoch = 0;
+    }
+    *epoch += 1;
     if cost.len() <= full as usize {
         cost.resize(full as usize + 1, f64::INFINITY);
     }
+    if stamp.len() <= full as usize {
+        stamp.resize(full as usize + 1, 0);
+    }
     cost[0] = 0.0;
-    scratch.mate.resize(k, usize::MAX);
+    stamp[0] = *epoch;
+    mate.clear();
+    mate.resize(k, usize::MAX);
 
     let mut total = 0.0;
     let mut unvisited = full;
@@ -163,43 +218,46 @@ pub fn solve_with_scratch(
         }
         unvisited &= !comp;
 
-        if comp.count_ones() == 1 {
+        let c = comp.count_ones() as usize;
+        if c == 1 {
             let i = comp.trailing_zeros() as usize;
             total += b[i];
             continue;
         }
 
-        // DP over the submasks of comp in ascending numeric order (every
-        // proper submask is numerically smaller, so dependencies are
-        // ready). `(s | !comp) + 1 & comp` increments s as a counter over
-        // the component's bit positions. No backtracking table: the
-        // argmin of the few states on the reconstruction path is
-        // re-derived afterwards, which keeps the per-state work to one
-        // table write.
-        let not_comp = !comp;
-        let mut s = comp & comp.wrapping_neg();
-        loop {
-            let i = s.trailing_zeros() as usize;
-            let without_i = s & !(1 << i);
-            // Option 1: match i to the boundary.
-            let mut best = cost[without_i as usize] + b[i];
-            // Option 2: match i with a surviving partner j in s.
-            let mut rest = without_i & adj[i];
-            while rest != 0 {
-                let j = rest.trailing_zeros() as usize;
-                rest &= rest - 1;
-                let c = cost[(without_i & !(1 << j)) as usize] + w[i * k + j];
-                if c < best {
-                    best = c;
+        if c <= 4 {
+            // Small component: the closed form decides it in registers,
+            // skipping the 2^c table walk and the backtrack entirely.
+            let mut idx = [0usize; 4];
+            let mut bits = comp;
+            for slot in idx[..c].iter_mut() {
+                *slot = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+            }
+            let (cost_c, mate4) =
+                solve_closed_form(c, |a, bb| w[idx[a] * k + idx[bb]], |a| b[idx[a]]);
+            for (a, &m) in mate4[..c].iter().enumerate() {
+                if m != usize::MAX {
+                    mate[idx[a]] = idx[m];
                 }
             }
-            cost[s as usize] = best;
-            if s == comp {
-                break;
-            }
-            s = (s | not_comp).wrapping_add(1) & comp;
+            total += cost_c;
+            continue;
         }
-        total += cost[comp as usize];
+
+        // Top-down DP over only the states *reachable* from `comp` under
+        // the lowest-bit pairing rule: resolving the lowest set bit either
+        // removes it alone (boundary) or together with one surviving
+        // partner, so most of `comp`'s 2^c submasks can never appear. On
+        // d = 7 syndromes the reachable set is 3–11 % of 2^c for the
+        // Hamming-weight-6..10 tail (the ascending bottom-up sweep touches
+        // all of it). Candidates are evaluated in the same order as the
+        // old sweep — boundary first, then partners ascending — so every
+        // computed state holds the bit-identical cost. No backtracking
+        // table: the argmin of the few states on the reconstruction path
+        // is re-derived afterwards, which keeps the per-state work to one
+        // table write.
+        total += dp_cost(comp, k, w, b, adj, cost, stamp, *epoch);
 
         // Reconstruct by re-deriving each path state's argmin: the first
         // candidate (boundary, then partners in ascending order) whose
@@ -221,8 +279,8 @@ pub fn solve_with_scratch(
                 let j = rest.trailing_zeros() as usize;
                 rest &= rest - 1;
                 if cost[(without_i & !(1 << j)) as usize] + w[i * k + j] == c_s {
-                    scratch.mate[i] = j;
-                    scratch.mate[j] = i;
+                    mate[i] = j;
+                    mate[j] = i;
                     next = without_i & !(1 << j);
                     break;
                 }
@@ -235,25 +293,99 @@ pub fn solve_with_scratch(
     total
 }
 
+/// Memoized cost of resolving exactly the detectors in `s`, recursing
+/// only into states reachable under the lowest-bit pairing rule.
+/// `stamp[x] == epoch` marks `cost[x]` as already computed this solve.
+/// Candidate order (boundary, then partners ascending) matches the
+/// retired bottom-up sweep, so computed entries are bit-identical to the
+/// values that sweep produced. Recursion depth is bounded by the
+/// component size (≤ [`MAX_DP_NODES`]).
+#[allow(clippy::too_many_arguments)]
+fn dp_cost(
+    s: u32,
+    k: usize,
+    w: &[f64],
+    b: &[f64],
+    adj: &[u32],
+    cost: &mut [f64],
+    stamp: &mut [u32],
+    epoch: u32,
+) -> f64 {
+    if stamp[s as usize] == epoch {
+        return cost[s as usize];
+    }
+    // `s != 0` here: the empty state is stamped before the first call.
+    let i = s.trailing_zeros() as usize;
+    let without_i = s & !(1 << i);
+    // Pre-check the memo before recursing: most successors are already
+    // stamped, and the inline check is much cheaper than a call.
+    #[inline]
+    fn memo_or_recurse(
+        s: u32,
+        k: usize,
+        w: &[f64],
+        b: &[f64],
+        adj: &[u32],
+        cost: &mut [f64],
+        stamp: &mut [u32],
+        epoch: u32,
+    ) -> f64 {
+        if stamp[s as usize] == epoch {
+            cost[s as usize]
+        } else {
+            dp_cost(s, k, w, b, adj, cost, stamp, epoch)
+        }
+    }
+    // Option 1: match i to the boundary.
+    let mut best = memo_or_recurse(without_i, k, w, b, adj, cost, stamp, epoch) + b[i];
+    // Option 2: match i with a surviving partner j in s.
+    let mut rest = without_i & adj[i];
+    while rest != 0 {
+        let j = rest.trailing_zeros() as usize;
+        rest &= rest - 1;
+        let c =
+            memo_or_recurse(without_i & !(1 << j), k, w, b, adj, cost, stamp, epoch) + w[i * k + j];
+        if c < best {
+            best = c;
+        }
+    }
+    cost[s as usize] = best;
+    stamp[s as usize] = epoch;
+    best
+}
+
 /// Exhaustive matching for `k ≤ 4`: every matching-with-boundary is one
 /// of at most 10 candidate sums, decided in registers — no tables, no
 /// adjacency pass. Candidates are evaluated boundary-heaviest first with
 /// strict improvement, so exact ties prefer boundary matches like the DP.
-fn solve_closed_form(
+///
+/// Generic over the weight domain: `f64` for the staged decoders, an
+/// unsigned integer for the GWT-direct quantized fast path (fixed-point
+/// weights compare identically to their dequantized `f64` images because
+/// the scale is a power of two, so integer sums stay exact in both
+/// domains). Returns the optimal cost and the mate assignment over local
+/// indices (`usize::MAX` = boundary).
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `k > 4`.
+pub fn solve_closed_form<T>(
     k: usize,
-    mut pair_weight: impl FnMut(usize, usize) -> f64,
-    mut boundary_weight: impl FnMut(usize) -> f64,
-    scratch: &mut DecodeScratch,
-) -> f64 {
-    scratch.mate.resize(k, usize::MAX);
-    match k {
+    mut pair_weight: impl FnMut(usize, usize) -> T,
+    mut boundary_weight: impl FnMut(usize) -> T,
+) -> (T, [usize; 4])
+where
+    T: Copy + PartialOrd + std::ops::Add<Output = T>,
+{
+    let mut mate = [usize::MAX; 4];
+    let cost = match k {
         1 => boundary_weight(0),
         2 => {
             let (b0, b1) = (boundary_weight(0), boundary_weight(1));
             let w01 = pair_weight(0, 1);
             if w01 < b0 + b1 {
-                scratch.mate[0] = 1;
-                scratch.mate[1] = 0;
+                mate[0] = 1;
+                mate[1] = 0;
                 w01
             } else {
                 b0 + b1
@@ -273,8 +405,8 @@ fn solve_closed_form(
             }
             if pick != usize::MAX {
                 let (i, j) = [(0, 1), (0, 2), (1, 2)][pick];
-                scratch.mate[i] = j;
-                scratch.mate[j] = i;
+                mate[i] = j;
+                mate[j] = i;
             }
             best
         }
@@ -293,42 +425,53 @@ fn solve_closed_form(
                 pair_weight(1, 3),
                 pair_weight(2, 3),
             ];
-            // Pair order above; PAIRS[p] = (i, j), COMPLEMENT[p] = the
-            // opposite pair's index in the same order.
-            const PAIRS: [(usize, usize); 6] = [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)];
-            const COMPLEMENT: [usize; 3] = [5, 4, 3]; // (0,1)↔(2,3), (0,2)↔(1,3), (0,3)↔(1,2)
-            let mut best = b[0] + b[1] + b[2] + b[3];
-            let mut pick = usize::MAX; // 0..6 single pair, 6..9 double pairing
-            for (p, &(i, j)) in PAIRS.iter().enumerate() {
-                let (u, v) = PAIRS[5 - p]; // the two nodes not in pair p
-                debug_assert_eq!(i + j + u + v, 6);
-                let c = w[p] + b[u] + b[v];
-                if c < best {
-                    best = c;
-                    pick = p;
-                }
-            }
-            for p in 0..3 {
-                let c = w[p] + w[COMPLEMENT[p]];
-                if c < best {
-                    best = c;
-                    pick = 6 + p;
-                }
-            }
-            if pick != usize::MAX {
-                let (i, j) = PAIRS[if pick < 6 { pick } else { pick - 6 }];
-                scratch.mate[i] = j;
-                scratch.mate[j] = i;
-                if pick >= 6 {
-                    let (u, v) = PAIRS[COMPLEMENT[pick - 6]];
-                    scratch.mate[u] = v;
-                    scratch.mate[v] = u;
-                }
-            }
-            best
+            solve_closed_form_4(&w, &b, &mut mate)
         }
-        _ => unreachable!("closed form limited to k ≤ 4"),
+        _ => unreachable!("closed form limited to 1 ≤ k ≤ 4, got {k}"),
+    };
+    (cost, mate)
+}
+
+/// The `k = 4` closed form over pre-gathered operands: pair weights in
+/// the triangular order `(0,1), (0,2), (0,3), (1,2), (1,3), (2,3)` —
+/// exactly what `GlobalWeightTable::gather_small_quantized` produces.
+pub fn solve_closed_form_4<T>(w: &[T; 6], b: &[T; 4], mate: &mut [usize; 4]) -> T
+where
+    T: Copy + PartialOrd + std::ops::Add<Output = T>,
+{
+    // Pair order above; PAIRS[p] = (i, j), COMPLEMENT[p] = the
+    // opposite pair's index in the same order.
+    const PAIRS: [(usize, usize); 6] = [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)];
+    const COMPLEMENT: [usize; 3] = [5, 4, 3]; // (0,1)↔(2,3), (0,2)↔(1,3), (0,3)↔(1,2)
+    let mut best = b[0] + b[1] + b[2] + b[3];
+    let mut pick = usize::MAX; // 0..6 single pair, 6..9 double pairing
+    for (p, &(i, j)) in PAIRS.iter().enumerate() {
+        let (u, v) = PAIRS[5 - p]; // the two nodes not in pair p
+        debug_assert_eq!(i + j + u + v, 6);
+        let c = w[p] + b[u] + b[v];
+        if c < best {
+            best = c;
+            pick = p;
+        }
     }
+    for p in 0..3 {
+        let c = w[p] + w[COMPLEMENT[p]];
+        if c < best {
+            best = c;
+            pick = 6 + p;
+        }
+    }
+    if pick != usize::MAX {
+        let (i, j) = PAIRS[if pick < 6 { pick } else { pick - 6 }];
+        mate[i] = j;
+        mate[j] = i;
+        if pick >= 6 {
+            let (u, v) = PAIRS[COMPLEMENT[pick - 6]];
+            mate[u] = v;
+            mate[v] = u;
+        }
+    }
+    best
 }
 
 #[cfg(test)]

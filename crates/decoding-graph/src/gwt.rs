@@ -244,6 +244,156 @@ impl GlobalWeightTable {
     }
 }
 
+/// Upper bound on the detector-list length of one batched gather:
+/// covers the closed forms (k ≤ 4) and the whole subset-DP band with
+/// headroom.
+pub const MAX_GATHER_NODES: usize = 16;
+
+/// Cache-line-aligned destination for [`GlobalWeightTable::gather_quantized`]:
+/// a row-major k×k block of quantized weights with boundary weights on
+/// the diagonal, mirroring the table's own layout so each destination row
+/// is one contiguous run the compiler can vectorize into.
+#[repr(align(64))]
+#[derive(Debug, Clone)]
+pub struct QuantizedBlock {
+    block: [u8; MAX_GATHER_NODES * MAX_GATHER_NODES],
+}
+
+impl Default for QuantizedBlock {
+    fn default() -> QuantizedBlock {
+        QuantizedBlock {
+            block: [0; MAX_GATHER_NODES * MAX_GATHER_NODES],
+        }
+    }
+}
+
+impl QuantizedBlock {
+    /// A zeroed block.
+    pub fn new() -> QuantizedBlock {
+        QuantizedBlock::default()
+    }
+
+    /// Entry `(i, j)` of the last gathered k×k block: the quantized pair
+    /// weight for `i != j`, the quantized boundary weight of `i` on the
+    /// diagonal.
+    #[inline]
+    pub fn at(&self, i: usize, j: usize, k: usize) -> u8 {
+        self.block[i * k + j]
+    }
+}
+
+impl GlobalWeightTable {
+    /// Batched quantized gather for a sparse detector list: pulls the
+    /// whole k×k sub-block (all O(k²) pair weights plus the boundary
+    /// diagonal) in one sweep, one contiguous source row per detector.
+    ///
+    /// With `dets` sorted ascending — how syndrome extraction produces
+    /// them — every source row is read strictly left to right, so the
+    /// sweep touches each cache line of a row at most once. The inner
+    /// copy is chunked 4-wide so it unrolls without a remainder branch
+    /// per element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dets.len() > MAX_GATHER_NODES` or a detector index is
+    /// out of range.
+    pub fn gather_quantized(&self, dets: &[u32], out: &mut QuantizedBlock) {
+        let k = dets.len();
+        assert!(
+            k <= MAX_GATHER_NODES,
+            "gather limited to {MAX_GATHER_NODES} nodes, got {k}"
+        );
+        for (i, &di) in dets.iter().enumerate() {
+            let row = &self.quantized[di as usize * self.len..][..self.len];
+            let dst = &mut out.block[i * k..][..k];
+            let mut src = dets.chunks_exact(4);
+            let mut d4 = dst.chunks_exact_mut(4);
+            for (ds, chunk) in (&mut src).zip(&mut d4) {
+                chunk[0] = row[ds[0] as usize];
+                chunk[1] = row[ds[1] as usize];
+                chunk[2] = row[ds[2] as usize];
+                chunk[3] = row[ds[3] as usize];
+            }
+            for (&d, slot) in src.remainder().iter().zip(d4.into_remainder()) {
+                *slot = row[d as usize];
+            }
+        }
+    }
+
+    /// Gathers the closed-form operand set for a k ≤ 4 detector list
+    /// straight from the quantized table: pair weights in the triangular
+    /// order `(0,1), (0,2), (0,3), (1,2), (1,3), (2,3)` plus the boundary
+    /// weights — integer domain end to end, no dequantization.
+    ///
+    /// Each source row is swept forward once (ascending `dets` keeps the
+    /// reads monotonic), which is the whole point versus k² independent
+    /// `pair_weight_q` calls.
+    pub fn gather_small_quantized(&self, dets: &[u32]) -> ([u16; 6], [u16; 4]) {
+        let k = dets.len();
+        debug_assert!(k <= 4);
+        let mut pairs = [0u16; 6];
+        let mut boundary = [0u16; 4];
+        let mut p = 0;
+        for (i, &di) in dets.iter().enumerate() {
+            let row = &self.quantized[di as usize * self.len..][..self.len];
+            boundary[i] = row[di as usize] as u16;
+            for &dj in &dets[i + 1..] {
+                pairs[p] = row[dj as usize] as u16;
+                p += 1;
+            }
+        }
+        (pairs, boundary)
+    }
+
+    /// The `f64` sibling of [`gather_small_quantized`](Self::gather_small_quantized)
+    /// for the idealized (unquantized) decoder; pair weights are clamped
+    /// to `clamp` exactly as the staged decode path clamps them.
+    pub fn gather_small_exact(&self, dets: &[u32], clamp: f64) -> ([f64; 6], [f64; 4]) {
+        let k = dets.len();
+        debug_assert!(k <= 4);
+        let mut pairs = [0f64; 6];
+        let mut boundary = [0f64; 4];
+        let mut p = 0;
+        for (i, &di) in dets.iter().enumerate() {
+            let row = &self.exact[di as usize * self.len..][..self.len];
+            boundary[i] = row[di as usize];
+            for &dj in &dets[i + 1..] {
+                pairs[p] = row[dj as usize].min(clamp);
+                p += 1;
+            }
+        }
+        (pairs, boundary)
+    }
+
+    /// Stages the full k×k exact weight matrix (pairs clamped to `clamp`,
+    /// diagonal zero) and boundary vector for a sparse detector list —
+    /// the batched replacement for staging via k² random single-entry
+    /// closures. Rows are swept forward-contiguously.
+    pub fn gather_exact_clamped(
+        &self,
+        dets: &[u32],
+        clamp: f64,
+        weights: &mut Vec<f64>,
+        boundary: &mut Vec<f64>,
+    ) {
+        let k = dets.len();
+        weights.clear();
+        weights.resize(k * k, 0.0);
+        boundary.clear();
+        boundary.resize(k, 0.0);
+        for (i, &di) in dets.iter().enumerate() {
+            let row = &self.exact[di as usize * self.len..][..self.len];
+            boundary[i] = row[di as usize];
+            let dst = &mut weights[i * k..][..k];
+            for (j, &dj) in dets.iter().enumerate() {
+                if j != i {
+                    dst[j] = row[dj as usize].min(clamp);
+                }
+            }
+        }
+    }
+}
+
 fn quantize(weight: f64, scale: f64) -> u8 {
     if !weight.is_finite() {
         return u8::MAX;
@@ -405,5 +555,57 @@ mod tests {
     fn dequantize_inverts_scale() {
         let t = gwt(3, 1e-3);
         assert_eq!(t.dequantize(16), 2.0);
+    }
+
+    #[test]
+    fn gathers_match_single_entry_accessors() {
+        let t = gwt(3, 2e-3);
+        let n = t.len() as u32;
+        let lists: Vec<Vec<u32>> = vec![
+            vec![0],
+            vec![1, 4],
+            vec![0, 2, 7],
+            vec![3, 5, 8, n - 1],
+            vec![0, 1, 2, 3, 4, 9, 11, n - 2, n - 1],
+        ];
+        for dets in &lists {
+            let k = dets.len();
+            let mut block = QuantizedBlock::new();
+            t.gather_quantized(dets, &mut block);
+            let mut w = Vec::new();
+            let mut b = Vec::new();
+            t.gather_exact_clamped(dets, 2e4, &mut w, &mut b);
+            for i in 0..k {
+                assert_eq!(block.at(i, i, k), t.boundary_weight_q(dets[i]));
+                assert_eq!(b[i].to_bits(), t.boundary_weight(dets[i]).to_bits());
+                assert_eq!(w[i * k + i], 0.0);
+                for j in 0..k {
+                    if i != j {
+                        assert_eq!(block.at(i, j, k), t.pair_weight_q(dets[i], dets[j]));
+                        assert_eq!(
+                            w[i * k + j].to_bits(),
+                            t.pair_weight(dets[i], dets[j]).min(2e4).to_bits()
+                        );
+                    }
+                }
+            }
+            if k <= 4 {
+                let (pq, bq) = t.gather_small_quantized(dets);
+                let (pe, be) = t.gather_small_exact(dets, 2e4);
+                let mut p = 0;
+                for i in 0..k {
+                    assert_eq!(bq[i], t.boundary_weight_q(dets[i]) as u16);
+                    assert_eq!(be[i].to_bits(), t.boundary_weight(dets[i]).to_bits());
+                    for j in (i + 1)..k {
+                        assert_eq!(pq[p], t.pair_weight_q(dets[i], dets[j]) as u16);
+                        assert_eq!(
+                            pe[p].to_bits(),
+                            t.pair_weight(dets[i], dets[j]).min(2e4).to_bits()
+                        );
+                        p += 1;
+                    }
+                }
+            }
+        }
     }
 }

@@ -40,6 +40,6 @@ mod scratch;
 pub use context::DecodingContext;
 pub use decoder::{Decoder, Prediction};
 pub use graph::{Edge, EdgeKind, MatchingGraph};
-pub use gwt::GlobalWeightTable;
+pub use gwt::{GlobalWeightTable, QuantizedBlock, MAX_GATHER_NODES};
 pub use paths::PathReconstructor;
 pub use scratch::DecodeScratch;

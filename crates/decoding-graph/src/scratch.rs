@@ -33,6 +33,13 @@ pub struct DecodeScratch {
     /// Per-node bitmask working buffer (e.g. the subset DP's pruned
     /// adjacency masks for cluster decomposition).
     pub parent: Vec<u32>,
+    /// Per-state validity stamps paired with `cost`: `stamp[s] == epoch`
+    /// marks `cost[s]` as computed in the current solve, which lets a
+    /// memoized solver reuse the table across calls without an `O(2^k)`
+    /// clear.
+    pub stamp: Vec<u32>,
+    /// Current stamp epoch for `stamp` (bumped once per solve).
+    pub epoch: u32,
 }
 
 impl DecodeScratch {
@@ -49,6 +56,8 @@ impl DecodeScratch {
         self.mate.clear();
         self.detectors.clear();
         self.parent.clear();
+        self.stamp.clear();
+        self.epoch = 0;
     }
 }
 

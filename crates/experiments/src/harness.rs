@@ -20,8 +20,8 @@
 
 use astrea_core::batch::{decode_slice, shot_seed, SyndromeBatch, SyndromeBatchBuilder};
 use astrea_core::pipeline::{
-    consume_tiles, tile_channel, StreamOutcome, TileQueue, TileScratch, DEFAULT_CHANNEL_DEPTH,
-    DEFAULT_TILE_WORDS,
+    consume_tiles, tile_channel, PipelineCounters, StreamOutcome, TileQueue, TileScratch,
+    DEFAULT_CHANNEL_DEPTH, DEFAULT_HARD_CACHE_ENTRIES, DEFAULT_TILE_WORDS,
 };
 use decoding_graph::{DecodeScratch, Decoder, DecodingContext};
 use qec_circuit::tiles::{FrameSimSource, PackedSyndromeSource, TileLayout};
@@ -150,6 +150,11 @@ pub struct PipelineConfig {
     pub channel_depth: usize,
     /// Which packed sampler produces the tiles.
     pub source: SyndromeSource,
+    /// Per-consumer capacity of the hard-syndrome prediction cache
+    /// (0 disables it). Purely a performance knob: cached predictions
+    /// replay the decoder's own, so results are bit-identical either
+    /// way.
+    pub hard_cache_entries: usize,
 }
 
 impl Default for PipelineConfig {
@@ -177,12 +182,19 @@ impl PipelineConfig {
             consumers: threads,
             channel_depth: DEFAULT_CHANNEL_DEPTH,
             source: SyndromeSource::Dem,
+            hard_cache_entries: DEFAULT_HARD_CACHE_ENTRIES,
         }
     }
 
     /// Same shape, different syndrome source.
     pub fn with_source(mut self, source: SyndromeSource) -> PipelineConfig {
         self.source = source;
+        self
+    }
+
+    /// Same shape, different hard-syndrome cache capacity (0 disables).
+    pub fn with_hard_cache(mut self, entries: usize) -> PipelineConfig {
+        self.hard_cache_entries = entries;
         self
     }
 }
@@ -409,19 +421,35 @@ pub fn estimate_ler_streamed<'a>(
     factory: &DecoderFactory<'a>,
     config: PipelineConfig,
 ) -> LerResult {
+    estimate_ler_streamed_counted(ctx, trials, seed, factory, config).0
+}
+
+/// [`estimate_ler_streamed`] plus the summed per-stage
+/// [`PipelineCounters`] from every consumer — how many shots the screen,
+/// the closed forms, the hard-syndrome cache, and the DP/blossom tail
+/// each absorbed. The counters describe stages that only exist on the
+/// streamed path, so they ride alongside the [`LerResult`] instead of
+/// inside it (which stays comparable to the barrier path's).
+pub fn estimate_ler_streamed_counted<'a>(
+    ctx: &'a ExperimentContext,
+    trials: u64,
+    seed: u64,
+    factory: &DecoderFactory<'a>,
+    config: PipelineConfig,
+) -> (LerResult, PipelineCounters) {
     let mut result = LerResult {
         trials,
         ..LerResult::default()
     };
     if trials == 0 {
-        return result;
+        return (result, PipelineCounters::default());
     }
     let layout = TileLayout::new(trials as usize, config.tile_words.max(1));
     let producers = config.producers.max(1).min(layout.num_tiles());
     let consumers = config.consumers.max(1);
     let (tx, rx) = tile_channel(config.channel_depth);
     let queue = TileQueue::new(rx);
-    let outcome = std::thread::scope(|scope| {
+    let (outcome, counters) = std::thread::scope(|scope| {
         for p in 0..producers {
             let tx = tx.clone();
             let mut source = config.source.sampler(ctx);
@@ -447,21 +475,26 @@ pub fn estimate_ler_streamed<'a>(
                 scope.spawn(move || {
                     let mut decoder = factory(ctx);
                     let mut scratch = DecodeScratch::new();
-                    let mut tile_scratch = TileScratch::new();
-                    consume_tiles(decoder.as_mut(), &mut scratch, &mut tile_scratch, &queue)
+                    let mut tile_scratch = TileScratch::with_hard_cache(config.hard_cache_entries);
+                    let out =
+                        consume_tiles(decoder.as_mut(), &mut scratch, &mut tile_scratch, &queue);
+                    (out, *tile_scratch.counters())
                 })
             })
             .collect();
         let mut total = StreamOutcome::default();
+        let mut counters = PipelineCounters::default();
         for h in handles {
-            total.merge(&h.join().expect("decode consumer panicked"));
+            let (out, c) = h.join().expect("decode consumer panicked");
+            total.merge(&out);
+            counters.merge(&c);
         }
-        total
+        (total, counters)
     });
     result.failures = outcome.failures;
     result.deferred = outcome.deferred;
     result.latency = outcome.stats;
-    result
+    (result, counters)
 }
 
 /// The barrier reference path: sample *everything* into a
@@ -618,6 +651,7 @@ mod tests {
                 consumers,
                 channel_depth: 2,
                 source: SyndromeSource::Dem,
+                hard_cache_entries: DEFAULT_HARD_CACHE_ENTRIES,
             };
             let streamed = estimate_ler_streamed(&ctx, 4_003, 17, &*factory, config);
             assert_eq!(streamed, barrier, "config {config:?}");
@@ -641,6 +675,7 @@ mod tests {
             consumers: 3,
             channel_depth: 2,
             source: SyndromeSource::FrameSim,
+            hard_cache_entries: DEFAULT_HARD_CACHE_ENTRIES,
         };
         let other = estimate_ler_streamed(&ctx, 1_003, 23, &*factory, config);
         assert_eq!(other, reference);

@@ -26,8 +26,9 @@ pub mod realtime;
 pub mod report;
 pub mod stratified;
 
+pub use astrea_core::pipeline::PipelineCounters;
 pub use harness::{
-    decode_batch_ler, estimate_ler, estimate_ler_barrier, estimate_ler_streamed, sample_batch,
-    sample_batch_scalar, DecoderFactory, ExperimentContext, LatencyStats, LerResult,
-    PipelineConfig, SyndromeSource,
+    decode_batch_ler, estimate_ler, estimate_ler_barrier, estimate_ler_streamed,
+    estimate_ler_streamed_counted, sample_batch, sample_batch_scalar, DecoderFactory,
+    ExperimentContext, LatencyStats, LerResult, PipelineConfig, SyndromeSource,
 };

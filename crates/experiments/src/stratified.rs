@@ -16,9 +16,15 @@
 //! proportional to their rates).
 
 use crate::harness::{DecoderFactory, ExperimentContext};
-use astrea_core::batch::{decode_slice, shot_seed, SyndromeBatchBuilder};
+use astrea_core::batch::shot_seed;
+use astrea_core::pipeline::{
+    consume_tiles, tile_channel, TileQueue, TileScratch, DEFAULT_CHANNEL_DEPTH, DEFAULT_TILE_WORDS,
+};
 use decoding_graph::DecodeScratch;
+use qec_circuit::tiles::TileLayout;
+#[cfg(test)]
 use qec_circuit::ErrorMechanism;
+use qec_circuit::{BitTable, SyndromeTile};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -90,17 +96,21 @@ pub fn poisson_binomial(probabilities: &[f64], max_k: usize) -> (Vec<f64>, f64) 
     (dist, tail)
 }
 
-/// Runs the stratified estimator.
+/// Runs the stratified estimator on the streamed tile pipeline.
 ///
 /// For each `k ∈ [1, max_k]`, draws `trials_per_k` syndromes from exactly
 /// `k` distinct mechanisms (selected with probability proportional to
 /// their rates), decodes each, and combines the conditional failure rates
 /// with the exact Poisson–binomial occurrence probabilities. Each trial
 /// seeds its own RNG from its `(stratum, trial)` index, so the estimate
-/// is bit-identical for every thread count. Each worker assembles its
-/// trials into a `SyndromeBatch` and decodes it through the shared
-/// [`decode_slice`] loop, so the stratified estimator accounts for shots
-/// exactly like the direct Monte-Carlo path.
+/// is bit-identical for every thread count and tile split. Producer
+/// threads pack trials into [`SyndromeTile`]s (XOR-toggling mechanism
+/// symptoms into the bit-planes, so duplicate detectors cancel) and
+/// consumers screen + decode them through the same
+/// [`decode_tile`](astrea_core::pipeline::decode_tile) path as the direct
+/// Monte-Carlo estimator: word-parallel screening, GWT-direct closed
+/// forms, and the hard-syndrome cache all apply, and sampling overlaps
+/// decoding instead of a per-chunk batch barrier.
 pub fn estimate_stratified<'a>(
     ctx: &'a ExperimentContext,
     max_k: usize,
@@ -110,6 +120,8 @@ pub fn estimate_stratified<'a>(
     factory: &DecoderFactory<'a>,
 ) -> StratifiedEstimate {
     let mechanisms = ctx.dem().mechanisms();
+    let num_detectors = ctx.dem().num_detectors();
+    let num_observables = ctx.dem().num_observables();
     let probs: Vec<f64> = mechanisms.iter().map(|m| m.probability).collect();
     let (occ, tail) = poisson_binomial(&probs, max_k);
 
@@ -126,29 +138,64 @@ pub fn estimate_stratified<'a>(
     let strata: Vec<KStratum> = (1..=max_k)
         .map(|k| {
             let n = trials_per_k as usize;
-            let chunk = n.div_ceil(threads).max(1);
             let stratum_seed = seed ^ ((k as u64) << 32);
+            let layout = TileLayout::new(n, DEFAULT_TILE_WORDS);
+            let producers = (threads / 4).max(1).min(layout.num_tiles().max(1));
+            let (tx, rx) = tile_channel(DEFAULT_CHANNEL_DEPTH);
+            let queue = TileQueue::new(rx);
             let failures: u64 = std::thread::scope(|scope| {
                 let cumulative = &cumulative;
-                let mut handles = Vec::new();
-                for start in (0..n).step_by(chunk) {
-                    let end = (start + chunk).min(n);
-                    handles.push(scope.spawn(move || {
+                for p in 0..producers {
+                    let tx = tx.clone();
+                    scope.spawn(move || {
                         let mut chosen: Vec<usize> = Vec::with_capacity(k);
-                        let mut builder = SyndromeBatchBuilder::default();
-                        for t in start..end {
-                            let mut rng = StdRng::seed_from_u64(shot_seed(stratum_seed, t as u64));
-                            sample_k_mechanisms(&mut rng, cumulative, total_rate, k, &mut chosen);
-                            let (dets, obs) = combine(mechanisms, &chosen);
-                            builder.push(&dets, obs);
+                        let mut t = p;
+                        while t < layout.num_tiles() {
+                            let (first_word, num_shots) = layout.tile(t);
+                            let mut det = BitTable::new(num_detectors, num_shots);
+                            let mut obs = BitTable::new(num_observables, num_shots);
+                            for s in 0..num_shots {
+                                let shot = (first_word * 64 + s) as u64;
+                                let mut rng = StdRng::seed_from_u64(shot_seed(stratum_seed, shot));
+                                sample_k_mechanisms(
+                                    &mut rng,
+                                    cumulative,
+                                    total_rate,
+                                    k,
+                                    &mut chosen,
+                                );
+                                for &i in &chosen {
+                                    let m = &mechanisms[i];
+                                    for &d in &m.detectors {
+                                        det.toggle(d as usize, s);
+                                    }
+                                    for b in 0..num_observables {
+                                        if m.observables >> b & 1 == 1 {
+                                            obs.toggle(b, s);
+                                        }
+                                    }
+                                }
+                            }
+                            if tx.send(SyndromeTile::new(first_word, det, obs)).is_err() {
+                                return;
+                            }
+                            t += producers;
                         }
-                        let batch = builder.finish();
-                        let mut decoder = factory(ctx);
-                        let mut scratch = DecodeScratch::new();
-                        decode_slice(decoder.as_mut(), &mut scratch, &batch, 0..batch.len())
-                            .failures
-                    }));
+                    });
                 }
+                drop(tx);
+                let handles: Vec<_> = (0..threads)
+                    .map(|_| {
+                        let queue = queue.clone();
+                        scope.spawn(move || {
+                            let mut decoder = factory(ctx);
+                            let mut scratch = DecodeScratch::new();
+                            let mut tile_scratch = TileScratch::new();
+                            consume_tiles(decoder.as_mut(), &mut scratch, &mut tile_scratch, &queue)
+                                .failures
+                        })
+                    })
+                    .collect();
                 handles
                     .into_iter()
                     .map(|h| h.join().expect("worker panicked"))
@@ -191,7 +238,10 @@ fn sample_k_mechanisms(
 }
 
 /// XORs the symptom sets of the chosen mechanisms into a sorted detector
-/// list and an observable mask.
+/// list and an observable mask — the scalar reference for the packed
+/// bit-plane toggling in [`estimate_stratified`], kept for the
+/// differential tests.
+#[cfg(test)]
 fn combine(mechanisms: &[ErrorMechanism], chosen: &[usize]) -> (Vec<u32>, u32) {
     let mut dets: Vec<u32> = Vec::new();
     let mut obs = 0u32;
@@ -287,6 +337,57 @@ mod tests {
             a / b < 2.5 && b / a < 2.5,
             "direct {a:.3e} vs stratified {b:.3e}"
         );
+    }
+
+    /// The barrier implementation this module used before the tile port:
+    /// scalar [`combine`] into a `SyndromeBatch`, then [`decode_slice`].
+    fn barrier_stratum_failures(ctx: &ExperimentContext, k: usize, trials: u64, seed: u64) -> u64 {
+        use astrea_core::batch::{decode_slice, SyndromeBatchBuilder};
+        let mechanisms = ctx.dem().mechanisms();
+        let probs: Vec<f64> = mechanisms.iter().map(|m| m.probability).collect();
+        let mut cumulative = Vec::with_capacity(probs.len());
+        let mut acc = 0.0;
+        for &p in &probs {
+            acc += p;
+            cumulative.push(acc);
+        }
+        let stratum_seed = seed ^ ((k as u64) << 32);
+        let mut chosen = Vec::with_capacity(k);
+        let mut builder = SyndromeBatchBuilder::default();
+        for t in 0..trials {
+            let mut rng = StdRng::seed_from_u64(shot_seed(stratum_seed, t));
+            sample_k_mechanisms(&mut rng, &cumulative, acc, k, &mut chosen);
+            let (dets, obs) = combine(mechanisms, &chosen);
+            builder.push(&dets, obs);
+        }
+        let batch = builder.finish();
+        let mut decoder = MwpmDecoder::new(ctx.gwt());
+        let mut scratch = DecodeScratch::new();
+        decode_slice(&mut decoder, &mut scratch, &batch, 0..batch.len()).failures
+    }
+
+    #[test]
+    fn streamed_stratified_matches_barrier_reference() {
+        // The tile-pipeline port must reproduce the retired batch-barrier
+        // implementation bit-for-bit: same per-trial seeds, same XOR
+        // cancellation, same decoder predictions through the screen and
+        // caches.
+        let ctx = ExperimentContext::new(3, 2e-3);
+        let factory: Box<DecoderFactory> = Box::new(|c| Box::new(MwpmDecoder::new(c.gwt())));
+        let est = estimate_stratified(&ctx, 4, 1_500, 3, 9, &*factory);
+        for s in &est.strata {
+            let reference = barrier_stratum_failures(&ctx, s.k, 1_500, 9);
+            assert_eq!(s.failures, reference, "k = {}", s.k);
+        }
+    }
+
+    #[test]
+    fn stratified_is_thread_count_invariant() {
+        let ctx = ExperimentContext::new(3, 2e-3);
+        let factory: Box<DecoderFactory> = Box::new(|c| Box::new(MwpmDecoder::new(c.gwt())));
+        let a = estimate_stratified(&ctx, 3, 1_000, 1, 21, &*factory);
+        let b = estimate_stratified(&ctx, 3, 1_000, 4, 21, &*factory);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -1,0 +1,171 @@
+//! Equivalence of the hard-shot fast paths with their references.
+//!
+//! PR 4 rebuilt how hard shots (Hamming weight ≥ 3) reach the matching
+//! solver: HW ≤ 4 syndromes decode through a GWT-direct closed form (one
+//! batched triangular gather, no weight-matrix staging), HW 5..=11 stage
+//! a dense matrix with one batched row gather and run the memoized
+//! subset DP, and cacheable weights may be served from a per-worker
+//! [`HardSyndromeCache`]. None of that may change a single decoded bit:
+//!
+//! * every `decode_with_scratch` result must equal the closure-staged
+//!   reference (`subset_dp::solve` reading the weight table entry-wise)
+//!   *and* the decoder's allocating `decode` path, for the exact and the
+//!   quantized decoder alike;
+//! * the full streamed pipeline must produce bit-identical [`LerResult`]s
+//!   whether the hard-syndrome cache is disabled, tiny (evicting
+//!   constantly), or large.
+
+use astrea::prelude::*;
+use blossom_mwpm::subset_dp;
+use decoding_graph::DecodeScratch;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// Mirrors the decoder's private pair-weight clamp (`2 × WEIGHT_CLAMP`
+/// in `blossom_mwpm::decoder`); the reference closure must clamp the
+/// same way to stay bit-identical.
+const PAIR_CLAMP: f64 = 2.0e4;
+
+/// Contexts for d ∈ {3, 5, 7} at p = 10⁻³, built once (the d = 7
+/// all-pairs Dijkstra is the expensive part).
+fn grid() -> &'static [ExperimentContext] {
+    static GRID: OnceLock<Vec<ExperimentContext>> = OnceLock::new();
+    GRID.get_or_init(|| {
+        [3usize, 5, 7]
+            .into_iter()
+            .map(|d| ExperimentContext::new(d, 1e-3))
+            .collect()
+    })
+}
+
+/// Draws `hw` distinct detector indices from the candidate pool, topping
+/// up with the smallest unused indices if the pool repeats (every grid
+/// context has far more than 8 detectors, so this always succeeds).
+fn distinct_detectors(candidates: &[u32], num_detectors: usize, hw: usize) -> Vec<u32> {
+    let mut dets: Vec<u32> = Vec::with_capacity(hw);
+    for &c in candidates {
+        let d = c % num_detectors as u32;
+        if !dets.contains(&d) {
+            dets.push(d);
+            if dets.len() == hw {
+                return dets;
+            }
+        }
+    }
+    for d in 0..num_detectors as u32 {
+        if !dets.contains(&d) {
+            dets.push(d);
+            if dets.len() == hw {
+                break;
+            }
+        }
+    }
+    dets
+}
+
+/// The closure-staged reference decode: `subset_dp::solve` reading the
+/// weight table one entry at a time (exact or dequantized), observable
+/// mask folded off the mate assignment — the path every batched-gather
+/// and closed-form shortcut must reproduce bit-for-bit.
+fn reference_decode(gwt: &decoding_graph::GlobalWeightTable, dets: &[u32], quantized: bool) -> u32 {
+    let k = dets.len();
+    let pair = |i: usize, j: usize| -> f64 {
+        let w = if quantized {
+            gwt.pair_weight_q(dets[i], dets[j]) as f64 / gwt.scale()
+        } else {
+            gwt.pair_weight(dets[i], dets[j])
+        };
+        w.min(PAIR_CLAMP)
+    };
+    let boundary = |i: usize| -> f64 {
+        if quantized {
+            gwt.boundary_weight_q(dets[i]) as f64 / gwt.scale()
+        } else {
+            gwt.boundary_weight(dets[i])
+        }
+    };
+    let (mate, _) = subset_dp::solve(k, pair, boundary);
+    let mut observables = 0u32;
+    for (i, m) in mate.iter().enumerate() {
+        match m {
+            None => observables ^= gwt.boundary_obs(dets[i]),
+            Some(j) if *j > i => observables ^= gwt.pair_obs(dets[i], dets[*j]),
+            Some(_) => {}
+        }
+    }
+    observables
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// GWT-direct closed forms (HW 3–4) and the batched-gather memoized
+    /// DP band (HW 5–8) both reproduce the closure-staged reference and
+    /// the allocating decode path, for exact and quantized weights.
+    #[test]
+    fn scratch_decode_matches_closure_staged_reference(
+        ctx_idx in 0usize..3,
+        hw in 3usize..=8,
+        candidates in prop::collection::vec(any::<u32>(), 32),
+    ) {
+        let ctx = &grid()[ctx_idx];
+        let gwt = ctx.gwt();
+        let dets = distinct_detectors(&candidates, gwt.len(), hw);
+        prop_assert_eq!(dets.len(), hw);
+        let mut scratch = DecodeScratch::new();
+        for quantized in [false, true] {
+            let mut decoder = if quantized {
+                MwpmDecoder::with_quantized_weights(gwt)
+            } else {
+                MwpmDecoder::new(gwt)
+            };
+            let fast = decoder.decode_with_scratch(&dets, &mut scratch);
+            let reference = reference_decode(gwt, &dets, quantized);
+            prop_assert_eq!(
+                fast.observables, reference,
+                "scratch path diverged from closure reference on {:?} (quantized: {})",
+                &dets, quantized
+            );
+            let plain = decoder.decode(&dets);
+            prop_assert_eq!(
+                fast, plain,
+                "scratch path diverged from allocating path on {:?} (quantized: {})",
+                &dets, quantized
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The hard-syndrome prediction cache is invisible in the result:
+    /// disabled, thrashing-small, and comfortably-large configurations
+    /// all produce the same `LerResult` through the full pipeline.
+    #[test]
+    fn hard_cache_capacity_never_changes_the_result(
+        seed in any::<u64>(),
+        trials in 500u64..2_500,
+        consumers in 1usize..4,
+    ) {
+        // d = 5 at a rate high enough that HW 5–8 shots (the cacheable
+        // band) actually occur.
+        static CTX: OnceLock<ExperimentContext> = OnceLock::new();
+        let ctx = CTX.get_or_init(|| ExperimentContext::new(5, 6e-3));
+        let factory: Box<astrea_experiments::DecoderFactory> =
+            Box::new(|c: &ExperimentContext| Box::new(MwpmDecoder::new(c.gwt())) as Box<dyn Decoder + '_>);
+        let config = |entries: usize| PipelineConfig {
+            tile_words: 4,
+            producers: 1,
+            consumers,
+            channel_depth: 2,
+            source: SyndromeSource::Dem,
+            hard_cache_entries: entries,
+        };
+        let off = estimate_ler_streamed(ctx, trials, seed, &*factory, config(0));
+        for entries in [1usize, 64, 8192] {
+            let on = estimate_ler_streamed(ctx, trials, seed, &*factory, config(entries));
+            prop_assert_eq!(&on, &off, "cache with {} entries changed the result", entries);
+        }
+    }
+}

@@ -43,6 +43,7 @@ proptest! {
         producers in 1usize..4,
         consumers in prop::sample::select(vec![1usize, 3, 8]),
         trials in 1u64..2_000,
+        hard_cache_entries in prop::sample::select(vec![0usize, 2, 8192]),
     ) {
         let ctx = &grid()[ctx_idx];
         let factory = mwpm_factory();
@@ -56,6 +57,7 @@ proptest! {
             consumers,
             channel_depth: 2,
             source: SyndromeSource::Dem,
+            hard_cache_entries,
         };
         let streamed = estimate_ler_streamed(ctx, trials, seed, &*factory, config);
         prop_assert_eq!(streamed, barrier, "config {:?}", config);
@@ -86,6 +88,7 @@ proptest! {
                 consumers: 1,
                 channel_depth: 1,
                 source: SyndromeSource::Dem,
+                hard_cache_entries: 0,
             },
         );
         let config = PipelineConfig {
@@ -94,6 +97,7 @@ proptest! {
             consumers,
             channel_depth: 3,
             source: SyndromeSource::Dem,
+            hard_cache_entries: 64,
         };
         let streamed = estimate_ler_streamed(ctx, trials, seed, &*factory, config);
         prop_assert_eq!(streamed, reference, "config {:?}", config);

@@ -5,7 +5,9 @@
 //! sampling finishes before decoding starts. This module streams instead:
 //! producer threads emit fixed-size packed [`SyndromeTile`]s over a
 //! bounded channel, and consumers pull tiles as they arrive, screen them
-//! word-parallel with [`TileScreen`](crate::screen::TileScreen), and only
+//! word-parallel (the bit-sliced adder of
+//! [`TileScreen`](crate::screen::TileScreen), fused inline with
+//! extraction into one pass over the packed columns), and only
 //! build sparse lists for shots of Hamming weight ≥ 3 ([`decode_tile`]).
 //! Sampling and decoding overlap end-to-end, and the ~99% of shots that
 //! are trivial or HW ≤ 2 at low physical error rate never touch a batch
@@ -37,7 +39,7 @@ use std::sync::mpsc::{Receiver, SyncSender};
 use std::sync::{mpsc, Arc, Mutex};
 
 use crate::latency::LatencyStats;
-use crate::screen::{HardSyndromeCache, ScreenCache, TileScreen};
+use crate::screen::{HardSyndromeCache, ScreenCache};
 use decoding_graph::{DecodeScratch, Decoder};
 use qec_circuit::SyndromeTile;
 
@@ -52,12 +54,13 @@ pub const DEFAULT_TILE_WORDS: usize = 128;
 pub const DEFAULT_CHANNEL_DEPTH: usize = 8;
 
 /// Default per-worker capacity of the hard-syndrome prediction cache
-/// (predictions, not bytes; ~40 bytes each). Sized to stay L2-resident:
-/// on i.i.d. sampled streams distinct hard syndromes dominate and the
-/// hit rate is low, so a bigger footprint costs more in probe-time
-/// cache misses than the extra hits return (correlated or replayed
-/// streams hit regardless of size).
-pub const DEFAULT_HARD_CACHE_ENTRIES: usize = 1024;
+/// (predictions, not bytes; ~40 bytes each). Sized to stay L2-resident.
+/// On cold i.i.d. sampled streams distinct hard syndromes dominate and
+/// hits stay near zero whatever the size — that is a workload property,
+/// not a defect — but replayed, correlated, or long-running streams hit
+/// in proportion to the retention window, so the default keeps 4k
+/// predictions (≈4× the pre-widening size, matching the HW ≤ 10 band).
+pub const DEFAULT_HARD_CACHE_ENTRIES: usize = 4096;
 
 /// Largest Hamming weight the `MwpmDecoder` still routes to the subset
 /// DP; everything above goes to blossom. Mirrors
@@ -93,8 +96,9 @@ pub struct PipelineCounters {
     /// Hard shots decoded by the subset DP band (HW 5..=11, cache
     /// misses included).
     pub dp_shots: u64,
-    /// Hard shots beyond the DP band (HW ≥ 12, blossom for MWPM).
-    pub blossom_shots: u64,
+    /// Hard shots beyond the DP band (HW ≥ 12), solved by the sparse
+    /// scratch-reusing blossom solver on the arena path.
+    pub sparse_blossom_shots: u64,
 }
 
 impl PipelineCounters {
@@ -108,7 +112,7 @@ impl PipelineCounters {
         self.hard_cache_hits += other.hard_cache_hits;
         self.hard_cache_misses += other.hard_cache_misses;
         self.dp_shots += other.dp_shots;
-        self.blossom_shots += other.blossom_shots;
+        self.sparse_blossom_shots += other.sparse_blossom_shots;
     }
 }
 
@@ -176,16 +180,17 @@ struct HardShot {
 /// whole tail.
 const HW_DISPATCH_BUCKETS: usize = 16;
 
-/// Reusable per-worker scratch for tile decoding: the bit-sliced
-/// [`TileScreen`], the lazy HW ≤ 2 [`ScreenCache`], the bounded
-/// [`HardSyndromeCache`], the flat hard-shot staging arena, and the
-/// per-stage [`PipelineCounters`].
+/// Reusable per-worker scratch for tile decoding: the lazy HW ≤ 2
+/// [`ScreenCache`], the bounded [`HardSyndromeCache`], the flat
+/// hard-shot staging arena, and the per-stage [`PipelineCounters`].
+/// (Screening itself is fused into [`decode_tile`]'s word loop and needs
+/// no buffers — see [`TileScreen`](crate::screen::TileScreen) for the
+/// standalone reference implementation.)
 ///
 /// Keep one per consumer thread; the caches warm and the counters
 /// accumulate across tiles and batches.
 #[derive(Debug)]
 pub struct TileScratch {
-    screen: TileScreen,
     cache: ScreenCache,
     /// Bounded hard-shot memo, sized lazily on the first tile (like
     /// `cache`) from `hard_cache_entries`.
@@ -221,7 +226,6 @@ impl TileScratch {
     /// predictions (0 disables it).
     pub fn with_hard_cache(entries: usize) -> TileScratch {
         TileScratch {
-            screen: TileScreen::new(),
             cache: ScreenCache::new(0),
             hard_cache: HardSyndromeCache::new(0, 0),
             hard_cache_entries: entries,
@@ -248,12 +252,19 @@ impl TileScratch {
 /// Screens and decodes one packed tile, folding the accounting into
 /// `out`.
 ///
-/// Word-parallel pre-decode screen first: trivial shots are popcounted
-/// (their failures read off a word-level observable OR) without being
-/// materialized. Nontrivial lanes are extracted one 64-shot word at a
-/// time into per-lane detector buckets — a masked row sweep whose
-/// working set (one word column) stays L1-resident, and whose output is
-/// already shot-grouped with detectors ascending, so no sort is needed.
+/// Classification and extraction are **fused into one pass over the
+/// packed columns**: per 64-shot word, a register-resident bit-sliced
+/// ripple add classifies the lanes by Hamming weight (the same adder as
+/// [`TileScreen`](crate::screen::TileScreen), without its buffers), and
+/// the extraction micro-sweep immediately re-reads the same word column
+/// — still L1-hot — into per-lane detector buckets. The former two
+/// full-tile row passes (screen, then extraction) touched every packed
+/// word twice from cache-cold memory; the fused loop streams the tile
+/// through memory exactly once. Trivial shots are popcounted (their
+/// failures read off a word-level observable OR) without being
+/// materialized; extracted lists arrive shot-grouped with detectors
+/// ascending, so no sort is needed.
+///
 /// HW ≤ 2 shots are decided by the scratch's [`ScreenCache`] (replaying
 /// the decoder exactly) as they are extracted; HW ≥ 3 shots are staged
 /// into a flat arena and dispatched *after* the sweep in ascending
@@ -285,7 +296,6 @@ pub fn decode_tile(
             HardSyndromeCache::new(tile_scratch.hard_cache_entries, det.num_bits());
     }
     let TileScratch {
-        screen,
         cache,
         hard_cache,
         buckets,
@@ -295,7 +305,6 @@ pub fn decode_tile(
         counters,
         ..
     } = tile_scratch;
-    screen.compute(det);
     buckets.resize_with(64, Vec::new);
     by_hw.resize_with(HW_DISPATCH_BUCKETS, Vec::new);
     hard_dets.clear();
@@ -307,6 +316,20 @@ pub fn decode_tile(
 
     let words = det.num_words();
     for w in 0..words {
+        // Fused classification: one register-resident bit-sliced 2-bit
+        // ripple add over this word's detector column. This is the only
+        // cache-cold traversal of the column — the extraction sweep
+        // below rereads it from L1.
+        let (mut ones, mut twos, mut fours) = (0u64, 0u64, 0u64);
+        for d in 0..det.num_bits() {
+            let bits = det.row(d)[w];
+            let carry1 = ones & bits;
+            ones ^= bits;
+            let carry2 = twos & carry1;
+            twos ^= carry1;
+            fours |= carry2;
+        }
+
         // Word-parallel accounting of trivial shots: count them, and
         // read their failures (actual observable flip with no syndrome)
         // off an OR of the packed observable rows.
@@ -315,7 +338,8 @@ pub fn decode_tile(
         for i in 0..obs.num_bits() {
             obs_any |= obs.word(i, w);
         }
-        let trivial = screen.hw0(w) & valid;
+        let nonzero = ones | twos | fours;
+        let trivial = !nonzero & valid;
         out.stats.record_many(0, 0, u64::from(trivial.count_ones()));
         out.failures += u64::from((trivial & obs_any).count_ones());
         counters.trivial_shots += u64::from(trivial.count_ones());
@@ -323,7 +347,7 @@ pub fn decode_tile(
         // Sparse extraction of this word's nontrivial lanes into
         // per-lane buckets: one AND per detector row, detectors arrive
         // in ascending order per lane.
-        let mask = screen.nonzero(w) & valid;
+        let mask = nonzero & valid;
         if mask == 0 {
             continue;
         }
@@ -402,7 +426,7 @@ pub fn decode_tile(
                 if k <= DP_BAND_MAX {
                     counters.dp_shots += 1;
                 } else {
-                    counters.blossom_shots += 1;
+                    counters.sparse_blossom_shots += 1;
                 }
                 decoder.decode_with_scratch(dets, scratch)
             };
@@ -513,6 +537,83 @@ mod tests {
         assert_eq!(out.failures, s.failures);
         assert_eq!(out.deferred, s.deferred);
         assert!(out.deferred > 0 || out.stats.max_cycles > 0);
+    }
+
+    #[test]
+    fn hard_cache_hits_on_a_repeated_syndrome_stream() {
+        // Regression for the dead-cache symptom (hard_cache_hits: 0 in
+        // every profiled point): drive the *same* tiles through one
+        // worker twice — a repeated-syndrome stream — and require real
+        // hits the second time around, with accounting bit-identical to
+        // the first (cached) pass, hit or miss.
+        let ctx = ctx(5, 2e-2);
+        let shots = 1500;
+        let layout = TileLayout::new(shots, 4);
+        let mut decoder = MwpmDecoder::new(ctx.gwt());
+        let mut scratch = DecodeScratch::new();
+        let mut ts = TileScratch::new();
+        let mut passes = [StreamOutcome::default(), StreamOutcome::default()];
+        for out in passes.iter_mut() {
+            let mut sampler = BatchDemSampler::new(ctx.dem());
+            for t in 0..layout.num_tiles() {
+                let tile = sampler.sample_tile(23, &layout, t);
+                decode_tile(&mut decoder, &mut scratch, &mut ts, &tile, out);
+            }
+        }
+        let c = ts.counters();
+        assert!(
+            c.hard_cache_hits > 0,
+            "repeated stream produced no cache hits: {c:?}"
+        );
+        assert!(c.hard_cache_misses > 0);
+        assert_eq!(
+            passes[0], passes[1],
+            "cache hits must replay the decoder bit-for-bit"
+        );
+    }
+
+    #[test]
+    fn counters_account_for_every_screened_shot() {
+        // Error rate high enough to populate every stage, including the
+        // deep sparse-blossom band; the per-stage counters must sum back
+        // to the number of screened shots.
+        let ctx = ctx(5, 3e-2);
+        let shots = 4000;
+        let layout = TileLayout::new(shots, 8);
+        let mut sampler = BatchDemSampler::new(ctx.dem());
+        let mut decoder = MwpmDecoder::new(ctx.gwt());
+        let mut scratch = DecodeScratch::new();
+        let mut ts = TileScratch::new();
+        let mut out = StreamOutcome::default();
+        for t in 0..layout.num_tiles() {
+            let tile = sampler.sample_tile(29, &layout, t);
+            decode_tile(&mut decoder, &mut scratch, &mut ts, &tile, &mut out);
+        }
+        let c = *ts.counters();
+        assert_eq!(c.shots_screened, shots as u64);
+        assert_eq!(
+            c.trivial_shots
+                + c.hw1_shots
+                + c.hw2_shots
+                + c.closed_form_shots
+                + c.hard_cache_hits
+                + c.hard_cache_misses
+                + (c.dp_shots - c.hard_cache_misses)
+                + c.sparse_blossom_shots,
+            c.shots_screened,
+            "stage counters do not partition the stream: {c:?}"
+        );
+        assert!(
+            c.sparse_blossom_shots > 0,
+            "no deep-tail shots at p = 3e-2: {c:?}"
+        );
+        // Deep shots that decompose into small clusters are solved by the
+        // per-cluster DP, so solves need not reach sparse_blossom_shots —
+        // but the arena must have engaged on this stream.
+        assert!(
+            scratch.sparse.solves > 0,
+            "sparse solver arena unused on the blossom band"
+        );
     }
 
     #[test]

@@ -232,9 +232,16 @@ impl ScreenCache {
 /// less than the cost of hashing the key.
 pub const HARD_CACHE_MIN_HW: usize = 5;
 
-/// Largest Hamming weight the [`HardSyndromeCache`] memoizes: 8 sorted
-/// detector indices pack exactly into the 16-bit fields of a `u128` key.
-pub const HARD_CACHE_MAX_HW: usize = 8;
+/// Largest Hamming weight the [`HardSyndromeCache`] memoizes: 10 sorted
+/// detector indices pack exactly into the 12-bit fields of a `u128` key.
+///
+/// The original cache keyed 16-bit fields and stopped at HW 8, which
+/// left most of the subset-DP band (HW 5..=11 at d = 7, p = 5×10⁻³ is
+/// dominated by HW 9–11 shots) uncacheable — one reason profiled runs
+/// reported zero hits. 12-bit fields cover every surface-code distance
+/// in this workspace (d = 9 has 400 detectors; the fields hold 4094)
+/// while extending the band through HW 10.
+pub const HARD_CACHE_MAX_HW: usize = 10;
 
 /// A bounded memo of hard-shot [`Prediction`]s, keyed by the full sparse
 /// detector list.
@@ -244,16 +251,20 @@ pub const HARD_CACHE_MAX_HW: usize = 8;
 /// as a 2-way set-associative array with one LRU bit per set, giving
 /// O(1) lookup and eviction with no allocation after construction. Keys
 /// pack the sorted detector list (each index stored as `d + 1` in a
-/// 16-bit field, so the all-zero key never collides with a real
+/// 12-bit field, so the all-zero key never collides with a real
 /// syndrome) for Hamming weights [`HARD_CACHE_MIN_HW`]`..=`
 /// [`HARD_CACHE_MAX_HW`].
 ///
 /// Like the screen cache it fills lazily from the real decoder, so a
 /// cached run is bit-identical to an uncached one; only the time to
 /// produce a repeated prediction changes. Keep one per worker thread —
-/// hit rates are workload-dependent (cold i.i.d. sampling repeats few
-/// hard syndromes; correlated or long-running streams repeat many), so
-/// lookups are instrumented and reported per run.
+/// hit rates are workload-dependent, and that is a property of the
+/// *stream*, not a cache defect: on a cold i.i.d. sampled stream the
+/// number of distinct probable HW ≥ 5 syndromes dwarfs any bounded
+/// window, so near-zero hit rates are expected, while replayed,
+/// correlated, or long-running streams hit freely (the repeat-stream
+/// regression test in `pipeline` pins this down). Lookups are
+/// instrumented and reported per run so the tradeoff stays visible.
 #[derive(Debug)]
 pub struct HardSyndromeCache {
     /// Packed keys, two ways per set; 0 = empty slot.
@@ -271,10 +282,10 @@ impl HardSyndromeCache {
     /// power of two; two ways per set) over `num_detectors` detectors.
     ///
     /// `entries == 0` disables the cache, as does a detector count too
-    /// large for the 16-bit key fields — every lookup then misses
+    /// large for the 12-bit key fields — every lookup then misses
     /// without storing anything.
     pub fn new(entries: usize, num_detectors: usize) -> HardSyndromeCache {
-        if entries == 0 || num_detectors >= 0xFFFF {
+        if entries == 0 || num_detectors >= 0xFFF {
             return HardSyndromeCache {
                 keys: Vec::new(),
                 preds: Vec::new(),
@@ -313,7 +324,8 @@ impl HardSyndromeCache {
     fn key(dets: &[u32]) -> u128 {
         let mut key = 0u128;
         for (slot, &d) in dets.iter().enumerate() {
-            key |= ((d as u128) + 1) << (16 * slot);
+            debug_assert!(d < 0xFFF);
+            key |= ((d as u128) + 1) << (12 * slot);
         }
         key
     }

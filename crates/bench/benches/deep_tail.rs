@@ -1,0 +1,89 @@
+//! Deep-tail matching latency: sparse scratch blossom vs the dense
+//! allocating oracle at Hamming weights past the DP crossover.
+//!
+//! PR 5's claim is that the deep band's cost was dominated by per-shot
+//! staging — the `(2n+1)²` edge matrix plus ~9 vector allocations the
+//! dense solver builds for every syndrome — rather than by the
+//! primal–dual search itself. The sparse solver keeps all of that state
+//! in a persistent arena and reuses it across shots. Both solvers are
+//! fed the exact fixed-point weight closure the production decoder
+//! uses, so the ratio here is the deep-tail speedup the streamed
+//! pipeline sees per blossom-band shot.
+
+use astrea_bench::SyndromeCorpus;
+use astrea_experiments::ExperimentContext;
+use blossom_mwpm::{dense_blossom, sparse_blossom, MwpmDecoder};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use decoding_graph::{DecodeScratch, Decoder, SparseBlossomScratch};
+use std::hint::black_box;
+
+/// Mirrors of the decoder's private fixed-point scale and weight clamp.
+const BLOSSOM_SCALE: f64 = 65_536.0;
+const WEIGHT_CLAMP: f64 = 1e4;
+
+fn bench_sparse_vs_dense_solver(c: &mut Criterion) {
+    let ctx = ExperimentContext::new(7, 1e-3);
+    let gwt = ctx.gwt();
+    let mut group = c.benchmark_group("deep_tail_solver");
+    group.sample_size(30);
+    for hw in [12usize, 16, 20, 24] {
+        let dets = SyndromeCorpus::synthetic(&ctx, hw);
+        let k = dets.len();
+        let n = k + k % 2;
+        let wi = |i: usize, j: usize| -> i64 {
+            let eff = if i >= k || j >= k {
+                let real = if i >= k { j } else { i };
+                gwt.boundary_weight(dets[real]).min(WEIGHT_CLAMP)
+            } else {
+                let direct = gwt.pair_weight(dets[i], dets[j]);
+                let via = gwt.boundary_weight(dets[i]) + gwt.boundary_weight(dets[j]);
+                direct.min(via).min(WEIGHT_CLAMP)
+            };
+            (eff * BLOSSOM_SCALE).round() as i64 + 1
+        };
+        group.bench_with_input(BenchmarkId::new("dense", hw), &hw, |b, _| {
+            b.iter(|| black_box(dense_blossom::min_weight_perfect_matching(n, wi)))
+        });
+        group.bench_with_input(BenchmarkId::new("sparse", hw), &hw, |b, _| {
+            let mut scratch = SparseBlossomScratch::new();
+            b.iter(|| {
+                black_box(sparse_blossom::min_weight_perfect_matching_scratch(
+                    n,
+                    wi,
+                    &mut scratch,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_deep_decode_paths(c: &mut Criterion) {
+    // Decoder-level view of the same band: the allocating `decode`
+    // (dense oracle, cluster Vecs re-allocated per shot) against
+    // `decode_with_scratch` (arena-resident cluster decomposition plus
+    // the sparse solver).
+    let ctx = ExperimentContext::new(7, 1e-3);
+    let mut group = c.benchmark_group("deep_tail_decode");
+    group.sample_size(30);
+    for hw in [12usize, 16, 20, 24] {
+        let dets = SyndromeCorpus::synthetic(&ctx, hw);
+        group.bench_with_input(BenchmarkId::new("allocating", hw), &dets, |b, dets| {
+            let mut decoder = MwpmDecoder::new(ctx.gwt());
+            b.iter(|| black_box(decoder.decode(black_box(dets))))
+        });
+        group.bench_with_input(BenchmarkId::new("scratch", hw), &dets, |b, dets| {
+            let mut decoder = MwpmDecoder::new(ctx.gwt());
+            let mut scratch = DecodeScratch::new();
+            b.iter(|| black_box(decoder.decode_with_scratch(black_box(dets), &mut scratch)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sparse_vs_dense_solver,
+    bench_deep_decode_paths
+);
+criterion_main!(benches);

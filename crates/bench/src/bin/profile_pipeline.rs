@@ -4,15 +4,19 @@
 //! tiles over a bounded channel into screening consumers) per `(d, p)`
 //! point, asserts the two are bit-identical, and writes the numbers to
 //! `results/BENCH_pipeline.json` plus the per-stage hard-path breakdown
-//! (screen / closed form / cache / DP / blossom shot counters and the
-//! speedup over the pre-hard-path baseline) to
-//! `results/BENCH_hardpath.json` for `EXPERIMENTS.md`.
+//! (screen / closed form / cache / DP / sparse-blossom shot counters and
+//! the speedup over the pre-hard-path baseline) to
+//! `results/BENCH_hardpath.json`, and the deep-tail before/after table
+//! (streamed wall time vs the PR 4 tip, which still staged a dense
+//! blossom matrix per deep shot) to `results/BENCH_deeptail.json` for
+//! `EXPERIMENTS.md`.
 //!
 //! Usage: `profile_pipeline [--smoke] [trials] [output.json]` — defaults
 //! to 50 000 trials and `results/BENCH_pipeline.json`. `--smoke` runs a
-//! small CI check (2 000 trials, single rep) and asserts every hard-path
-//! stage actually absorbed shots. Reports min-of-N wall times to shrug
-//! off scheduler noise.
+//! small CI check (2 000 trials, single rep) that asserts every
+//! hard-path stage actually absorbed shots and skips the JSON artifacts
+//! (smoke timings must never overwrite full-size results). Reports
+//! min-of-N wall times to shrug off scheduler noise.
 
 use astrea_experiments::{
     estimate_ler_barrier, estimate_ler_streamed, estimate_ler_streamed_counted, DecoderFactory,
@@ -36,6 +40,19 @@ const BASELINE_MS: [(usize, f64, f64, f64); 4] = [
     (7, 5e-3, 612.476, 646.311),
 ];
 const BASELINE_TRIALS: u64 = 50_000;
+
+/// Streamed wall times measured at the PR 4 tip (commit `29f22f4`,
+/// 50 000 trials, this benchmark, same host class) — the "before" column
+/// for the sparse-blossom deep-tail rewrite. At that tip every shot with
+/// hard weight above the DP crossover still allocated and filled a dense
+/// `(2n+1)²` blossom matrix; the sparse scratch solver removes that
+/// per-shot staging.
+const BASELINE_PR4_MS: [(usize, f64, f64); 4] = [
+    (3, 1e-3, 0.760),
+    (5, 1e-3, 2.940),
+    (7, 1e-3, 10.224),
+    (7, 5e-3, 502.446),
+];
 
 fn min_of<F: FnMut()>(reps: usize, mut f: F) -> Duration {
     (0..reps)
@@ -76,6 +93,18 @@ impl Point {
             .find(|(d, p, ..)| *d == self.distance && *p == self.p)
             .map(|(_, _, streamed, _)| *streamed)
     }
+
+    /// PR 4 (dense deep-tail) streamed wall time for this point, when
+    /// comparable.
+    fn baseline_pr4_ms(&self) -> Option<f64> {
+        if self.trials != BASELINE_TRIALS {
+            return None;
+        }
+        BASELINE_PR4_MS
+            .iter()
+            .find(|(d, p, _)| *d == self.distance && *p == self.p)
+            .map(|(_, _, streamed)| *streamed)
+    }
 }
 
 fn measure(distance: usize, p: f64, trials: u64, reps: usize) -> Point {
@@ -115,7 +144,7 @@ fn counters_json(c: &PipelineCounters) -> String {
     format!(
         "{{\"shots_screened\": {}, \"trivial\": {}, \"hw1\": {}, \"hw2\": {}, \
          \"closed_form\": {}, \"hard_cache_hits\": {}, \"hard_cache_misses\": {}, \
-         \"dp\": {}, \"blossom\": {}}}",
+         \"dp\": {}, \"sparse_blossom\": {}}}",
         c.shots_screened,
         c.trivial_shots,
         c.hw1_shots,
@@ -124,7 +153,7 @@ fn counters_json(c: &PipelineCounters) -> String {
         c.hard_cache_hits,
         c.hard_cache_misses,
         c.dp_shots,
-        c.blossom_shots,
+        c.sparse_blossom_shots,
     )
 }
 
@@ -160,6 +189,10 @@ fn main() {
         .with_file_name("BENCH_hardpath.json")
         .to_string_lossy()
         .into_owned();
+    let deeptail_out = std::path::Path::new(&out_path)
+        .with_file_name("BENCH_deeptail.json")
+        .to_string_lossy()
+        .into_owned();
     let reps = if smoke {
         1
     } else if trials >= 20_000 {
@@ -181,7 +214,7 @@ fn main() {
             );
             let c = &pt.counters;
             println!(
-                "  stages: trivial {} | hw1 {} | hw2 {} | closed-form {} | cache {}/{} | dp {} | blossom {}",
+                "  stages: trivial {} | hw1 {} | hw2 {} | closed-form {} | cache {}/{} | dp {} | sparse-blossom {}",
                 c.trivial_shots,
                 c.hw1_shots,
                 c.hw2_shots,
@@ -189,7 +222,7 @@ fn main() {
                 c.hard_cache_hits,
                 c.hard_cache_hits + c.hard_cache_misses,
                 c.dp_shots,
-                c.blossom_shots,
+                c.sparse_blossom_shots,
             );
             pt
         })
@@ -216,7 +249,14 @@ fn main() {
             "hard-syndrome cache never consulted"
         );
         assert!(total.dp_shots > 0, "subset-DP stage idle");
+        assert!(
+            total.sparse_blossom_shots > 0,
+            "sparse-blossom deep-tail stage idle"
+        );
         println!("smoke OK: all hard-path stages absorbed shots");
+        // Don't clobber the published full-size artifacts with
+        // smoke-sized timings.
+        return;
     }
 
     // Hand-rolled JSON: the workspace has no serde and the shape is flat.
@@ -275,4 +315,38 @@ fn main() {
     }
     json.push_str("  ]\n}\n");
     write_json(&hardpath_out, &json);
+
+    // Deep-tail before/after: streamed wall time against the PR 4 tip,
+    // whose deep band (k above the DP crossover) still staged a dense
+    // blossom matrix per shot.
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"trials\": {trials},");
+    let _ = writeln!(json, "  \"threads\": {THREADS},");
+    let _ = writeln!(json, "  \"seed\": {SEED},");
+    let _ = writeln!(
+        json,
+        "  \"baseline\": \"PR 4 tip (29f22f4), {BASELINE_TRIALS} trials, dense deep-tail blossom\","
+    );
+    json.push_str("  \"points\": [\n");
+    for (i, pt) in points.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"distance\": {}, \"p\": {}, \"streamed_ms\": {:.3}",
+            pt.distance,
+            pt.p,
+            pt.streamed.as_secs_f64() * 1e3,
+        );
+        if let Some(base) = pt.baseline_pr4_ms() {
+            let _ = write!(
+                json,
+                ", \"baseline_pr4_streamed_ms\": {:.3}, \"speedup_vs_pr4\": {:.3}",
+                base,
+                base / (pt.streamed.as_secs_f64() * 1e3),
+            );
+        }
+        let _ = write!(json, ", \"counters\": {}}}", counters_json(&pt.counters));
+        json.push_str(if i + 1 < points.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    write_json(&deeptail_out, &json);
 }

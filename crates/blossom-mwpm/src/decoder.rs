@@ -1,8 +1,10 @@
 //! The idealized software MWPM decoder (the paper's baseline).
 
 use crate::solution::MatchingSolution;
-use crate::{dense_blossom, subset_dp};
-use decoding_graph::{DecodeScratch, Decoder, GlobalWeightTable, Prediction, QuantizedBlock};
+use crate::{dense_blossom, sparse_blossom, subset_dp};
+use decoding_graph::{
+    DecodeScratch, Decoder, GlobalWeightTable, Prediction, QuantizedBlock, SparseBlossomScratch,
+};
 
 /// Above this many active detectors in one matching cluster the decoder
 /// switches from the subset DP to the blossom algorithm: the DP's time
@@ -157,6 +159,57 @@ impl<'a> MwpmDecoder<'a> {
         }
     }
 
+    /// [`Self::cluster_spans`] against a pre-gathered weight block
+    /// instead of per-pair table lookups. `weights[i*k+j]` must hold
+    /// `pair_w(dets[i], dets[j]).min(2.0 * WEIGHT_CLAMP)` and
+    /// `boundary[i]` the raw boundary weight — exactly what
+    /// `gather_exact_clamped` / [`Self::stage_quantized`] produce — so
+    /// the edge test is bit-equal to [`Self::linked`].
+    fn cluster_spans_staged(
+        k: usize,
+        weights: &[f64],
+        boundary: &[f64],
+        parent: &mut Vec<u32>,
+        grouped: &mut Vec<u32>,
+        ends: &mut Vec<u32>,
+        detectors: &[u32],
+    ) {
+        parent.clear();
+        parent.extend(0..k as u32);
+        fn find(parent: &mut [u32], mut x: u32) -> u32 {
+            while parent[x as usize] != x {
+                parent[x as usize] = parent[parent[x as usize] as usize];
+                x = parent[x as usize];
+            }
+            x
+        }
+        for i in 0..k {
+            let row = &weights[i * k..][..k];
+            let bi = boundary[i];
+            for j in (i + 1)..k {
+                if row[j] < bi + boundary[j] {
+                    let (ri, rj) = (find(parent, i as u32), find(parent, j as u32));
+                    if ri != rj {
+                        parent[rj as usize] = ri;
+                    }
+                }
+            }
+        }
+        grouped.clear();
+        ends.clear();
+        for r in 0..k as u32 {
+            if find(parent, r) != r {
+                continue;
+            }
+            for i in 0..k as u32 {
+                if find(parent, i) == r {
+                    grouped.push(detectors[i as usize]);
+                }
+            }
+            ends.push(grouped.len() as u32);
+        }
+    }
+
     /// Solves one matching cluster exactly: subset DP up to
     /// [`DP_NODE_LIMIT`] nodes, blossom beyond.
     fn solve_cluster(&self, dets: &[u32]) -> MatchingSolution {
@@ -262,6 +315,25 @@ impl<'a> MwpmDecoder<'a> {
         let k = dets.len();
         let gwt = self.gwt;
         let scale = gwt.scale();
+        if k > decoding_graph::MAX_GATHER_NODES {
+            // Deep syndromes outgrow the fixed-size `QuantizedBlock`;
+            // dequantize straight off the (u8, hence compact and
+            // row-contiguous) table rows with the identical expressions.
+            scratch.weights.clear();
+            scratch.weights.resize(k * k, 0.0);
+            scratch.boundary.clear();
+            scratch.boundary.resize(k, 0.0);
+            for (i, &di) in dets.iter().enumerate() {
+                scratch.boundary[i] = gwt.boundary_weight_q(di) as f64 / scale;
+                let row = &mut scratch.weights[i * k..][..k];
+                for (j, &dj) in dets.iter().enumerate() {
+                    if j != i {
+                        row[j] = (gwt.pair_weight_q(di, dj) as f64 / scale).min(2.0 * WEIGHT_CLAMP);
+                    }
+                }
+            }
+            return;
+        }
         gwt.gather_quantized(dets, &mut self.qblock);
         scratch.weights.clear();
         scratch.weights.resize(k * k, 0.0);
@@ -322,6 +394,195 @@ impl<'a> MwpmDecoder<'a> {
         }
         solution
     }
+
+    /// Observables for one `≤ DP_NODE_LIMIT` cluster on the scratch path:
+    /// batched row-contiguous staging plus the memoized subset DP, with
+    /// the mate assignment folded straight into the observable mask. The
+    /// staged values are bit-equal to the closure path's, so the result
+    /// matches [`Self::decode_dp`] exactly.
+    fn dp_obs_scratch(&mut self, dets: &[u32], scratch: &mut DecodeScratch) -> u32 {
+        let k = dets.len();
+        if self.use_quantized {
+            self.stage_quantized(dets, scratch);
+        } else {
+            self.gwt.gather_exact_clamped(
+                dets,
+                2.0 * WEIGHT_CLAMP,
+                &mut scratch.weights,
+                &mut scratch.boundary,
+            );
+        }
+        subset_dp::solve_staged(k, scratch);
+        let mut observables = 0u32;
+        for (i, &m) in scratch.mate[..k].iter().enumerate() {
+            if m == usize::MAX {
+                observables ^= self.gwt.boundary_obs(dets[i]);
+            } else if m > i {
+                observables ^= self.gwt.pair_obs(dets[i], dets[m]);
+            }
+        }
+        observables
+    }
+
+    /// Observables for one blossom-band cluster on the scratch path: the
+    /// sparse scratch-reusing solver under the same boundary reduction,
+    /// integer conversion, and per-pair post-processing as
+    /// [`Self::decode_blossom`]. The sparse solver's mate assignment is
+    /// bit-identical to the dense solver's, so the prediction is too.
+    fn blossom_obs_scratch(&self, dets: &[u32], sparse: &mut SparseBlossomScratch) -> u32 {
+        let k = dets.len();
+        let n = if k.is_multiple_of(2) { k } else { k + 1 }; // virtual boundary node last
+        let eff = |i: usize, j: usize| -> f64 {
+            if i >= k || j >= k {
+                let real = if i >= k { j } else { i };
+                self.boundary_w(dets[real]).min(WEIGHT_CLAMP)
+            } else {
+                let direct = self.pair_w(dets[i], dets[j]);
+                let via_boundary = self.boundary_w(dets[i]) + self.boundary_w(dets[j]);
+                direct.min(via_boundary).min(WEIGHT_CLAMP)
+            }
+        };
+        sparse_blossom::min_weight_perfect_matching_scratch(
+            n,
+            |i, j| (eff(i, j) * BLOSSOM_SCALE).round() as i64 + 1,
+            sparse,
+        );
+        let mut observables = 0u32;
+        for i in 0..k {
+            let j = sparse.mate[i + 1] - 1;
+            if j >= k {
+                observables ^= self.gwt.boundary_obs(dets[i]);
+            } else if j > i {
+                let direct = self.pair_w(dets[i], dets[j]);
+                let via_boundary = self.boundary_w(dets[i]) + self.boundary_w(dets[j]);
+                if direct <= via_boundary {
+                    observables ^= self.gwt.pair_obs(dets[i], dets[j]);
+                } else {
+                    observables ^= self.gwt.boundary_obs(dets[i]) ^ self.gwt.boundary_obs(dets[j]);
+                }
+            }
+        }
+        observables
+    }
+
+    /// [`Self::blossom_obs_scratch`] with the solver's weight closure
+    /// reading the pre-gathered `scratch.weights` / `scratch.boundary`
+    /// block instead of per-entry table lookups. Staged pair values are
+    /// clamped to `2.0 * WEIGHT_CLAMP`, which cannot change
+    /// `min(direct, via_boundary, WEIGHT_CLAMP)` (the final clamp is
+    /// strictly tighter), so the staged solve is bit-identical. The
+    /// mate fold still reads the unclamped table: its `direct <=
+    /// via_boundary` tie-break must see the raw pair weight, and it
+    /// only touches `k/2` pairs.
+    fn blossom_obs_staged(&self, dets: &[u32], scratch: &mut DecodeScratch) -> u32 {
+        let k = dets.len();
+        let n = if k.is_multiple_of(2) { k } else { k + 1 }; // virtual boundary node last
+        let weights = &scratch.weights;
+        let boundary = &scratch.boundary;
+        let eff = |i: usize, j: usize| -> f64 {
+            if i >= k || j >= k {
+                let real = if i >= k { j } else { i };
+                boundary[real].min(WEIGHT_CLAMP)
+            } else {
+                let direct = weights[i * k + j];
+                let via_boundary = boundary[i] + boundary[j];
+                direct.min(via_boundary).min(WEIGHT_CLAMP)
+            }
+        };
+        sparse_blossom::min_weight_perfect_matching_scratch(
+            n,
+            |i, j| (eff(i, j) * BLOSSOM_SCALE).round() as i64 + 1,
+            &mut scratch.sparse,
+        );
+        let mut observables = 0u32;
+        for i in 0..k {
+            let j = scratch.sparse.mate[i + 1] - 1;
+            if j >= k {
+                observables ^= self.gwt.boundary_obs(dets[i]);
+            } else if j > i {
+                let direct = self.pair_w(dets[i], dets[j]);
+                let via_boundary = self.boundary_w(dets[i]) + self.boundary_w(dets[j]);
+                if direct <= via_boundary {
+                    observables ^= self.gwt.pair_obs(dets[i], dets[j]);
+                } else {
+                    observables ^= self.gwt.boundary_obs(dets[i]) ^ self.gwt.boundary_obs(dets[j]);
+                }
+            }
+        }
+        observables
+    }
+
+    /// Deep-syndrome (`k > DP_NODE_LIMIT`) scratch path: mirrors
+    /// [`Self::decode_full`]'s branch structure — cluster decomposition,
+    /// whole-syndrome blossom when it doesn't split, otherwise closed
+    /// form / staged DP / sparse blossom per cluster — with every table
+    /// drawn from the arena. No allocation on the steady-state path.
+    ///
+    /// The whole weight block for the syndrome is gathered **once**, up
+    /// front: the cluster decomposition's `linked` sweep and the
+    /// (dominant) single-cluster blossom staging both read the same
+    /// row-contiguous arena arrays, replacing two cache-cold `O(k²)`
+    /// sweeps over the full pairwise table with one row-local gather.
+    /// The multi-cluster fallback re-stages per cluster exactly as
+    /// before (sub-cluster staging clobbers the arena, which is safe —
+    /// the gathered block is consumed by then).
+    fn decode_deep_with_scratch(
+        &mut self,
+        detectors: &[u32],
+        scratch: &mut DecodeScratch,
+    ) -> Prediction {
+        let k = detectors.len();
+        if self.use_quantized {
+            self.stage_quantized(detectors, scratch);
+        } else {
+            self.gwt.gather_exact_clamped(
+                detectors,
+                2.0 * WEIGHT_CLAMP,
+                &mut scratch.weights,
+                &mut scratch.boundary,
+            );
+        }
+        // The grouped/ends buffers must stay alive across per-cluster
+        // solves that themselves stage into the arena, so take them out
+        // for the walk and hand them back (capacity preserved) after.
+        let mut parent = std::mem::take(&mut scratch.parent);
+        let mut grouped = std::mem::take(&mut scratch.detectors);
+        let mut ends = std::mem::take(&mut scratch.ends);
+        Self::cluster_spans_staged(
+            k,
+            &scratch.weights,
+            &scratch.boundary,
+            &mut parent,
+            &mut grouped,
+            &mut ends,
+            detectors,
+        );
+        scratch.parent = parent;
+        let mut observables = 0u32;
+        if ends.len() == 1 {
+            // A single cluster gets the identically-ordered full detector
+            // list, exactly as `decode_full` hands it to the solver.
+            observables = self.blossom_obs_staged(detectors, scratch);
+        } else {
+            let mut start = 0usize;
+            for &end in &ends {
+                let dets = &grouped[start..end as usize];
+                observables ^= match dets.len() {
+                    1..=4 => self.decode_closed_form(dets).observables,
+                    len if len <= DP_NODE_LIMIT => self.dp_obs_scratch(dets, scratch),
+                    _ => self.blossom_obs_scratch(dets, &mut scratch.sparse),
+                };
+                start = end as usize;
+            }
+        }
+        scratch.detectors = grouped;
+        scratch.ends = ends;
+        Prediction {
+            observables,
+            cycles: 0,
+            deferred: false,
+        }
+    }
 }
 
 impl Decoder for MwpmDecoder<'_> {
@@ -344,9 +605,9 @@ impl Decoder for MwpmDecoder<'_> {
             return Prediction::identity();
         }
         if k > DP_NODE_LIMIT {
-            // Oversized syndromes are rare at realistic error rates;
-            // reuse the allocating cluster/blossom path.
-            return self.decode(detectors);
+            // Deep tail: arena-staged cluster decomposition with the
+            // sparse scratch-reusing blossom solver — no allocation.
+            return self.decode_deep_with_scratch(detectors, scratch);
         }
         if k <= 4 {
             // GWT-direct closed form — no weight-matrix staging at all.
@@ -355,29 +616,8 @@ impl Decoder for MwpmDecoder<'_> {
         // Subset DP with all tables drawn from the arena (the DP prunes
         // and decomposes into clusters internally) and the observable
         // mask folded straight off the mate assignment — no
-        // MatchingSolution vectors on the hot path. Weights are staged
-        // with one batched row-contiguous gather instead of k² random
-        // single-entry reads; the staged values are bit-equal to the
-        // closure path's, so the assignment is too.
-        if self.use_quantized {
-            self.stage_quantized(detectors, scratch);
-        } else {
-            self.gwt.gather_exact_clamped(
-                detectors,
-                2.0 * WEIGHT_CLAMP,
-                &mut scratch.weights,
-                &mut scratch.boundary,
-            );
-        }
-        subset_dp::solve_staged(k, scratch);
-        let mut observables = 0u32;
-        for (i, &m) in scratch.mate[..k].iter().enumerate() {
-            if m == usize::MAX {
-                observables ^= self.gwt.boundary_obs(detectors[i]);
-            } else if m > i {
-                observables ^= self.gwt.pair_obs(detectors[i], detectors[m]);
-            }
-        }
+        // MatchingSolution vectors on the hot path.
+        let observables = self.dp_obs_scratch(detectors, scratch);
         Prediction {
             observables,
             cycles: 0,
@@ -548,6 +788,42 @@ mod tests {
             let plain = dec.decode(&shot.detectors);
             let fast = dec.decode_with_scratch(&shot.detectors, &mut scratch);
             assert_eq!(plain, fast, "diverged on {:?}", shot.detectors);
+        }
+    }
+
+    #[test]
+    fn deep_scratch_path_matches_allocating_path() {
+        use qec_circuit::DemSampler;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        // Error rate high enough that k > DP_NODE_LIMIT syndromes are
+        // the norm, so the sparse cluster path (not the staged DP) is
+        // what's being compared against the dense allocating oracle —
+        // with one scratch arena reused across every shot.
+        for quantized in [false, true] {
+            let ctx = ctx(7, 2e-2);
+            let mut dec = if quantized {
+                MwpmDecoder::with_quantized_weights(ctx.gwt())
+            } else {
+                MwpmDecoder::new(ctx.gwt())
+            };
+            let mut sampler = DemSampler::new(ctx.dem());
+            let mut rng = StdRng::seed_from_u64(41);
+            let mut scratch = DecodeScratch::new();
+            let mut deep = 0;
+            for _ in 0..150 {
+                let shot = sampler.sample(&mut rng);
+                deep += (shot.detectors.len() > DP_NODE_LIMIT) as u32;
+                let plain = dec.decode(&shot.detectors);
+                let fast = dec.decode_with_scratch(&shot.detectors, &mut scratch);
+                assert_eq!(plain, fast, "diverged on {:?}", shot.detectors);
+            }
+            assert!(deep > 100, "only {deep} deep syndromes sampled");
+            assert!(
+                scratch.sparse.solves > 0,
+                "sparse solver never engaged on the deep path"
+            );
         }
     }
 

@@ -13,6 +13,12 @@
 //!   the reduction `w'ᵢⱼ = min(wᵢⱼ, bᵢ + bⱼ)` plus one virtual boundary
 //!   node when the syndrome weight is odd.
 //!
+//! A third solver, [`sparse_blossom`], is the production deep-tail path:
+//! the same primal–dual algorithm with all per-shot staging removed
+//! (virtual adjacency + persistent scratch arena). Its mate assignment is
+//! bit-identical to [`dense_blossom`]'s, which stays in place as the
+//! differential oracle.
+//!
 //! The two are cross-validated against each other by property tests, which
 //! is the crate's correctness argument. [`MwpmDecoder`] wraps them behind
 //! the [`Decoder`](decoding_graph::Decoder) trait, using the unquantized
@@ -26,6 +32,7 @@ mod decoder;
 pub mod dense_blossom;
 mod local;
 mod solution;
+pub mod sparse_blossom;
 pub mod subset_dp;
 
 pub use decoder::{MwpmDecoder, DP_NODE_LIMIT};

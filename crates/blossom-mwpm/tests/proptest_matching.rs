@@ -1,11 +1,67 @@
 //! Property tests: the blossom algorithm against the independent subset-DP
-//! solver, and structural invariants of the MWPM decoder.
+//! solver, the sparse scratch solver against the dense oracle on real
+//! decoding-graph syndromes, and structural invariants of the MWPM decoder.
 
-use blossom_mwpm::{dense_blossom, subset_dp, MwpmDecoder};
-use decoding_graph::DecodingContext;
+use blossom_mwpm::{dense_blossom, sparse_blossom, subset_dp, MwpmDecoder};
+use decoding_graph::{DecodingContext, MatchingGraph, SparseBlossomScratch};
 use proptest::prelude::*;
 use qec_circuit::NoiseModel;
+use std::cell::RefCell;
+use std::sync::OnceLock;
 use surface_code::SurfaceCode;
+
+/// Mirrors of the decoder's private fixed-point scale and weight clamp
+/// (`blossom_mwpm::decoder`): the sparse-vs-dense tests below feed both
+/// solvers the exact integer weights the production deep-tail path uses.
+const BLOSSOM_SCALE: f64 = 65_536.0;
+const WEIGHT_CLAMP: f64 = 1e4;
+
+/// Decoding contexts for d ∈ {3, 5, 7, 9} at p = 10⁻³, built once (the
+/// d = 9 all-pairs Dijkstra is the expensive part).
+fn grid() -> &'static [DecodingContext] {
+    static GRID: OnceLock<Vec<DecodingContext>> = OnceLock::new();
+    GRID.get_or_init(|| {
+        [3usize, 5, 7, 9]
+            .into_iter()
+            .map(|d| {
+                let code = SurfaceCode::new(d).unwrap();
+                DecodingContext::for_memory_experiment(&code, NoiseModel::depolarizing(1e-3))
+            })
+            .collect()
+    })
+}
+
+/// Random error-chain syndrome: short walks along matching-graph edges
+/// XOR-flip their endpoints (interior detectors cancel pairwise), which
+/// reproduces the clustered detector sets real noise generates. Chains
+/// are added until at least `target` detectors are hot, so the result
+/// has Hamming weight in `target..target + 2`.
+fn chain_syndrome(g: &MatchingGraph, target: usize, seed: u64) -> Vec<u32> {
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = g.num_detectors() as u32;
+    let mut hot = vec![false; n as usize];
+    let mut count = 0usize;
+    let flip = |hot: &mut Vec<bool>, count: &mut usize, d: u32| {
+        let slot = &mut hot[d as usize];
+        *count = if *slot { *count - 1 } else { *count + 1 };
+        *slot = !*slot;
+    };
+    while count < target {
+        let mut at = rng.gen_range(0..n);
+        flip(&mut hot, &mut count, at);
+        for _ in 0..rng.gen_range(1usize..=4) {
+            let neighbors: Vec<u32> = g.neighbors(at).map(|(v, _)| v).collect();
+            let Some(&next) = neighbors.get(rng.gen_range(0..neighbors.len().max(1))) else {
+                break;
+            };
+            flip(&mut hot, &mut count, at);
+            flip(&mut hot, &mut count, next);
+            at = next;
+        }
+    }
+    (0..n).filter(|&d| hot[d as usize]).collect()
+}
 
 /// Random even-sized complete graphs with positive integer weights.
 fn weight_matrix(n: usize) -> impl Strategy<Value = Vec<Vec<i64>>> {
@@ -90,6 +146,82 @@ proptest! {
                 prop_assert_eq!(mate[*v], Some(u));
             }
         }
+    }
+}
+
+thread_local! {
+    /// One scratch arena reused across every proptest case below —
+    /// exactly the per-worker reuse pattern of the streamed pipeline, so
+    /// the equality checks also cover cross-solve state carried in the
+    /// arena (stale blossom rows, vis epochs, grown allocations).
+    static SCRATCH: RefCell<SparseBlossomScratch> = RefCell::new(SparseBlossomScratch::new());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The sparse scratch solver reproduces the dense oracle's matching
+    /// — identical total weight *and* identical mate assignment — on
+    /// random decoding-graph syndromes across d ∈ {3, 5, 7, 9}, Hamming
+    /// weights up to 24, for exact and quantized weights, through one
+    /// reused scratch arena.
+    #[test]
+    fn sparse_matches_dense_on_decoding_graph_syndromes(
+        ctx_idx in 0usize..4,
+        target_hw in 5usize..=22,
+        seed in any::<u64>(),
+        quantized in any::<bool>(),
+    ) {
+        let ctx = &grid()[ctx_idx];
+        let gwt = ctx.gwt();
+        let target = target_hw.min(ctx.graph().num_detectors().saturating_sub(2));
+        let dets = chain_syndrome(ctx.graph(), target, seed);
+        prop_assert!(!dets.is_empty());
+        prop_assert!(dets.len() <= 24);
+
+        // The production deep-tail weight closure: clamped effective
+        // weights in fixed point, with a virtual boundary node when the
+        // syndrome weight is odd (mirrors `MwpmDecoder::decode_blossom`).
+        let k = dets.len();
+        let n = if k.is_multiple_of(2) { k } else { k + 1 };
+        let pair_w = |i: u32, j: u32| -> f64 {
+            if quantized {
+                gwt.pair_weight_q(i, j) as f64 / gwt.scale()
+            } else {
+                gwt.pair_weight(i, j)
+            }
+        };
+        let boundary_w = |i: u32| -> f64 {
+            if quantized {
+                gwt.boundary_weight_q(i) as f64 / gwt.scale()
+            } else {
+                gwt.boundary_weight(i)
+            }
+        };
+        let wi = |i: usize, j: usize| -> i64 {
+            let eff = if i >= k || j >= k {
+                let real = if i >= k { j } else { i };
+                boundary_w(dets[real]).min(WEIGHT_CLAMP)
+            } else {
+                let direct = pair_w(dets[i], dets[j]);
+                let via_boundary = boundary_w(dets[i]) + boundary_w(dets[j]);
+                direct.min(via_boundary).min(WEIGHT_CLAMP)
+            };
+            (eff * BLOSSOM_SCALE).round() as i64 + 1
+        };
+
+        let (dense_mate, dense_total) = dense_blossom::min_weight_perfect_matching(n, wi);
+        let (sparse_total, sparse_mate) = SCRATCH.with(|s| {
+            let mut scratch = s.borrow_mut();
+            let total = sparse_blossom::min_weight_perfect_matching_scratch(n, wi, &mut scratch);
+            // 1-based in the arena; shift to the dense convention.
+            let mate: Vec<usize> = (1..=n).map(|u| scratch.mate[u] - 1).collect();
+            (total, mate)
+        });
+        prop_assert_eq!(dense_total, sparse_total,
+            "total weight diverged on {:?} (quantized: {})", &dets, quantized);
+        prop_assert_eq!(&dense_mate, &sparse_mate,
+            "mate assignment diverged on {:?} (quantized: {})", &dets, quantized);
     }
 }
 

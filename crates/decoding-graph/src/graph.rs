@@ -225,6 +225,25 @@ impl MatchingGraph {
         self.coords[detector as usize]
     }
 
+    /// Internal neighbors of a detector with their connecting edge, in
+    /// adjacency order. Boundary edges are skipped (see
+    /// [`Self::boundary_edge`]).
+    pub fn neighbors(&self, detector: u32) -> impl Iterator<Item = (u32, &Edge)> + '_ {
+        self.adjacency[detector as usize]
+            .iter()
+            .filter_map(move |&i| {
+                let e = &self.edges[i as usize];
+                let v = e.v?;
+                Some((if e.u == detector { v } else { e.u }, e))
+            })
+    }
+
+    /// All boundary edges (errors flipping a single detector), in
+    /// endpoint order.
+    pub fn boundary_edges(&self) -> impl Iterator<Item = &Edge> + '_ {
+        self.edges.iter().filter(|e| e.v.is_none())
+    }
+
     /// How many mechanisms needed decomposition into multiple edges.
     pub fn decomposed_mechanisms(&self) -> usize {
         self.decomposed_mechanisms
@@ -405,6 +424,35 @@ mod tests {
             .count();
         assert!(with_boundary > 0);
         assert!(with_boundary < g.num_detectors());
+    }
+
+    #[test]
+    fn neighbors_are_symmetric_and_internal() {
+        let g = graph(3, 1e-3);
+        for det in 0..g.num_detectors() as u32 {
+            for (other, e) in g.neighbors(det) {
+                assert_ne!(other, det);
+                assert!(e.v.is_some());
+                assert!(
+                    g.neighbors(other).any(|(back, _)| back == det),
+                    "neighbor relation not symmetric for ({det}, {other})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_edges_iterator_agrees_with_per_detector_lookup() {
+        let g = graph(5, 1e-3);
+        let via_iter = g.boundary_edges().count();
+        let via_lookup = (0..g.num_detectors() as u32)
+            .filter(|&d| g.boundary_edge(d).is_some())
+            .count();
+        assert_eq!(via_iter, via_lookup);
+        assert!(via_iter > 0);
+        for e in g.boundary_edges() {
+            assert!(e.v.is_none());
+        }
     }
 
     #[test]

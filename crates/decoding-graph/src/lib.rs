@@ -42,4 +42,4 @@ pub use decoder::{Decoder, Prediction};
 pub use graph::{Edge, EdgeKind, MatchingGraph};
 pub use gwt::{GlobalWeightTable, QuantizedBlock, MAX_GATHER_NODES};
 pub use paths::PathReconstructor;
-pub use scratch::DecodeScratch;
+pub use scratch::{DecodeScratch, RepEdge, SparseBlossomScratch};

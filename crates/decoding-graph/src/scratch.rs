@@ -13,6 +13,110 @@
 //! index maps) so that any decoder in the workspace can reuse the same
 //! arena without this crate knowing its internals.
 
+use std::collections::VecDeque;
+
+/// A staged representative edge for a contracted-blossom row of the
+/// sparse blossom solver's virtual adjacency.
+///
+/// `u` and `v` are the **original** (pre-contraction, 1-based) endpoints
+/// of the edge the row entry represents; `w == 0` marks "no edge staged"
+/// (original-pair weights are strictly positive after reflection, so the
+/// zero is unambiguous).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RepEdge {
+    /// Original 1-based endpoint on the row side.
+    pub u: usize,
+    /// Original 1-based endpoint on the column side.
+    pub v: usize,
+    /// Reflected integer edge weight; `0` means absent.
+    pub w: i64,
+}
+
+/// Persistent per-worker arena for the sparse scratch-reusing blossom
+/// solver (`blossom_mwpm::sparse_blossom`).
+///
+/// The dense formulation stages a `(2n+1)²` edge matrix per shot; this
+/// arena instead keeps only the `(n+1)²` reflected weight block (needed
+/// anyway for the dual bound) plus **compact blossom-row tables** that
+/// are written lazily, only when a blossom actually forms. Buffers grow
+/// monotonically and are re-stamped per solve, so consecutive hard shots
+/// in a tile reuse every allocation: steady-state deep-tail decoding
+/// performs no heap traffic at all.
+///
+/// Stale contents are deliberately allowed to survive between solves —
+/// the solver's invariant is that every blossom-indexed slot is written
+/// before it is read within a solve, which is what makes the reuse safe
+/// *and* keeps the result a pure function of the current shot (required
+/// by the pipeline's streamed == barrier bit-identity contract; dual
+/// values are therefore never warm-started across shots, only the
+/// allocations and the `vis` stamping epoch carry over).
+#[derive(Debug, Clone, Default)]
+pub struct SparseBlossomScratch {
+    /// Reflected pair weights, `(n+1)²` flat, 1-based rows/columns
+    /// (row 0 / column 0 are the "no vertex" sentinel; `weights[0] == 0`).
+    pub weights: Vec<i64>,
+    /// Dual variables (`lab`), indexed by vertex/blossom id up to `2n`.
+    pub lab: Vec<i64>,
+    /// Mate assignment, 1-based; `0` means unmatched.
+    pub mate: Vec<usize>,
+    /// Best non-tight neighbour per tree vertex (slack bookkeeping).
+    pub slack: Vec<usize>,
+    /// Surface (outermost-blossom) pointer per vertex; `0` = free id.
+    pub st: Vec<usize>,
+    /// Alternating-tree parent pointers (by original endpoint).
+    pub pa: Vec<usize>,
+    /// Tree side per surface node: `-1` out, `0` even/S, `1` odd/T.
+    pub s: Vec<i8>,
+    /// LCA visit stamps, validated against [`Self::vis_epoch`].
+    pub vis: Vec<usize>,
+    /// Monotone stamp for `vis`; never reset, so `vis` itself is never
+    /// cleared between solves.
+    pub vis_epoch: usize,
+    /// Representative edges for blossom rows `g[b][x]`, compact
+    /// `n × (2n+1)` layout (row `b - n - 1`).
+    pub rep_row: Vec<RepEdge>,
+    /// Representative edges for blossom columns `g[x][b]` with `x ≤ n`,
+    /// same compact layout.
+    pub rep_col: Vec<RepEdge>,
+    /// For each blossom row: which member subsumed original vertex `x`
+    /// (`0` = none), compact `n × (n+1)` layout.
+    pub flower_from: Vec<usize>,
+    /// Blossom member cycles (index `b`); member vectors keep capacity.
+    pub flower: Vec<Vec<usize>>,
+    /// BFS queue over tree growth.
+    pub queue: VecDeque<usize>,
+    /// Number of solves served by this arena (reuse telemetry).
+    pub solves: u64,
+}
+
+impl SparseBlossomScratch {
+    /// A fresh, empty arena.
+    pub fn new() -> SparseBlossomScratch {
+        SparseBlossomScratch::default()
+    }
+
+    /// Clears every buffer without releasing capacity.
+    pub fn clear(&mut self) {
+        self.weights.clear();
+        self.lab.clear();
+        self.mate.clear();
+        self.slack.clear();
+        self.st.clear();
+        self.pa.clear();
+        self.s.clear();
+        self.vis.clear();
+        self.vis_epoch = 0;
+        self.rep_row.clear();
+        self.rep_col.clear();
+        self.flower_from.clear();
+        for f in &mut self.flower {
+            f.clear();
+        }
+        self.queue.clear();
+        self.solves = 0;
+    }
+}
+
 /// A reusable arena of decode working buffers.
 ///
 /// All buffers keep their capacity across calls. A decoder using the
@@ -40,6 +144,10 @@ pub struct DecodeScratch {
     pub stamp: Vec<u32>,
     /// Current stamp epoch for `stamp` (bumped once per solve).
     pub epoch: u32,
+    /// Cluster end offsets for the deep-syndrome decomposition path.
+    pub ends: Vec<u32>,
+    /// Persistent arena for the sparse blossom solver (deep tail).
+    pub sparse: SparseBlossomScratch,
 }
 
 impl DecodeScratch {
@@ -58,6 +166,8 @@ impl DecodeScratch {
         self.parent.clear();
         self.stamp.clear();
         self.epoch = 0;
+        self.ends.clear();
+        self.sparse.clear();
     }
 }
 

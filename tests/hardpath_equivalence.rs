@@ -14,6 +14,11 @@
 //! * the full streamed pipeline must produce bit-identical [`LerResult`]s
 //!   whether the hard-syndrome cache is disabled, tiny (evicting
 //!   constantly), or large.
+//!
+//! PR 5 extends the scratch path past the DP crossover: deep shots
+//! (HW > 11) now run the cluster decomposition and the sparse blossom
+//! solver entirely in the per-worker arena. The deep axis below pins
+//! that band to the allocating dense-oracle path bit-for-bit.
 
 use astrea::prelude::*;
 use blossom_mwpm::subset_dp;
@@ -130,6 +135,42 @@ proptest! {
             prop_assert_eq!(
                 fast, plain,
                 "scratch path diverged from allocating path on {:?} (quantized: {})",
+                &dets, quantized
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Deep-band axis: above the DP crossover the scratch path switches
+    /// to cluster decomposition plus the sparse blossom solver, and must
+    /// still reproduce the allocating `decode` path (dense blossom
+    /// oracle) bit-for-bit — exact and quantized, one reused scratch.
+    #[test]
+    fn deep_scratch_decode_matches_allocating_path(
+        ctx_idx in 0usize..3,
+        hw in 12usize..=24,
+        candidates in prop::collection::vec(any::<u32>(), 48),
+    ) {
+        let ctx = &grid()[ctx_idx];
+        let gwt = ctx.gwt();
+        let hw = hw.min(gwt.len());
+        let dets = distinct_detectors(&candidates, gwt.len(), hw);
+        prop_assert_eq!(dets.len(), hw);
+        let mut scratch = DecodeScratch::new();
+        for quantized in [false, true] {
+            let mut decoder = if quantized {
+                MwpmDecoder::with_quantized_weights(gwt)
+            } else {
+                MwpmDecoder::new(gwt)
+            };
+            let fast = decoder.decode_with_scratch(&dets, &mut scratch);
+            let plain = decoder.decode(&dets);
+            prop_assert_eq!(
+                fast, plain,
+                "deep scratch path diverged from allocating path on {:?} (quantized: {})",
                 &dets, quantized
             );
         }

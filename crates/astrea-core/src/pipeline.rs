@@ -40,7 +40,7 @@ use std::sync::{mpsc, Arc, Mutex};
 
 use crate::latency::LatencyStats;
 use crate::screen::{HardSyndromeCache, ScreenCache};
-use decoding_graph::{DecodeScratch, Decoder};
+use decoding_graph::{DecodeScratch, Decoder, Prediction};
 use qec_circuit::SyndromeTile;
 
 /// Default tile size in packed words (8192 shots): large enough to
@@ -167,13 +167,15 @@ impl StreamOutcome {
 }
 
 /// One hard shot staged for HW-sorted dispatch: its detector list lives
-/// in the scratch's flat arena at `dets_start..dets_start + hw`, and
-/// `actual` is the shot's true observable-flip mask.
+/// in the scratch's flat arena at `dets_start..dets_start + hw`,
+/// `actual` is the shot's true observable-flip mask, and `shot` is its
+/// index within the tile (for routing per-shot predictions).
 #[derive(Debug, Clone, Copy)]
 struct HardShot {
     dets_start: u32,
     hw: u32,
     actual: u32,
+    shot: u32,
 }
 
 /// Number of Hamming-weight dispatch buckets; the last one collects the
@@ -285,6 +287,48 @@ pub fn decode_tile(
     tile: &SyndromeTile,
     out: &mut StreamOutcome,
 ) {
+    decode_tile_inner(decoder, scratch, tile_scratch, tile, out, None);
+}
+
+/// [`decode_tile`], additionally writing each shot's [`Prediction`] into
+/// `predictions` by its index within the tile — the serving path's entry
+/// point, where callers need per-shot corrections routed back to clients
+/// rather than aggregate totals only.
+///
+/// Trivial shots receive [`Prediction::identity`]; every other slot is
+/// the decoder's own prediction (caches only replay it), so
+/// `predictions[i]` is bit-identical to what
+/// [`decode_slice`](crate::batch::decode_slice) would have produced for
+/// the same shot. The aggregate accounting in `out` is unchanged from
+/// [`decode_tile`].
+///
+/// # Panics
+///
+/// Panics if `predictions.len() != tile.num_shots()`.
+pub fn decode_tile_with_predictions(
+    decoder: &mut dyn Decoder,
+    scratch: &mut DecodeScratch,
+    tile_scratch: &mut TileScratch,
+    tile: &SyndromeTile,
+    out: &mut StreamOutcome,
+    predictions: &mut [Prediction],
+) {
+    assert_eq!(
+        predictions.len(),
+        tile.num_shots(),
+        "prediction buffer does not match tile shot count"
+    );
+    decode_tile_inner(decoder, scratch, tile_scratch, tile, out, Some(predictions));
+}
+
+fn decode_tile_inner(
+    decoder: &mut dyn Decoder,
+    scratch: &mut DecodeScratch,
+    tile_scratch: &mut TileScratch,
+    tile: &SyndromeTile,
+    out: &mut StreamOutcome,
+    mut predictions: Option<&mut [Prediction]>,
+) {
     let det = tile.detectors();
     let obs = tile.observables();
     if tile.num_shots() == 0 {
@@ -343,6 +387,13 @@ pub fn decode_tile(
         out.stats.record_many(0, 0, u64::from(trivial.count_ones()));
         out.failures += u64::from((trivial & obs_any).count_ones());
         counters.trivial_shots += u64::from(trivial.count_ones());
+        if let Some(preds) = predictions.as_deref_mut() {
+            let mut m = trivial;
+            while m != 0 {
+                preds[w * 64 + m.trailing_zeros() as usize] = Prediction::identity();
+                m &= m - 1;
+            }
+        }
 
         // Sparse extraction of this word's nontrivial lanes into
         // per-lane buckets: one AND per detector row, detectors arrive
@@ -392,10 +443,14 @@ pub fn decode_tile(
                         dets_start: start,
                         hw: dets.len() as u32,
                         actual,
+                        shot: (w * 64 + lane) as u32,
                     });
                     continue;
                 }
             };
+            if let Some(preds) = predictions.as_deref_mut() {
+                preds[w * 64 + lane] = p;
+            }
             out.stats.record(dets.len(), p.cycles);
             out.deferred += u64::from(p.deferred);
             out.failures += u64::from(p.observables != actual);
@@ -430,6 +485,9 @@ pub fn decode_tile(
                 }
                 decoder.decode_with_scratch(dets, scratch)
             };
+            if let Some(preds) = predictions.as_deref_mut() {
+                preds[shot.shot as usize] = p;
+            }
             out.stats.record(k, p.cycles);
             out.deferred += u64::from(p.deferred);
             out.failures += u64::from(p.observables != shot.actual);
@@ -507,6 +565,57 @@ mod tests {
                 decode_tile(&mut decoder, &mut scratch, &mut ts, &tile, &mut out);
             }
             assert_eq!(out, reference, "tile_words {tile_words}");
+        }
+    }
+
+    #[test]
+    fn decode_tile_predictions_match_decode_slice_per_shot() {
+        // Per-shot predictions routed out of the fused tile path must be
+        // bit-identical to the barrier path's, trivial shots included,
+        // for every decoder family (caches only replay the decoder).
+        let ctx = ctx(3, 1.5e-2);
+        let shots = 450;
+        let sampler = BatchDemSampler::new(ctx.dem());
+        let (det, obs) = sampler.sample(31, shots);
+        let batch = SyndromeBatch::from_packed(&det, &obs);
+
+        for astrea in [false, true] {
+            let mut decoder: Box<dyn Decoder> = if astrea {
+                Box::new(AstreaDecoder::new(ctx.gwt()))
+            } else {
+                Box::new(MwpmDecoder::new(ctx.gwt()))
+            };
+            let mut scratch = DecodeScratch::new();
+            let reference = decode_slice(decoder.as_mut(), &mut scratch, &batch, 0..batch.len());
+
+            let layout = TileLayout::new(shots, 3);
+            let mut sampler = BatchDemSampler::new(ctx.dem());
+            let mut decoder: Box<dyn Decoder> = if astrea {
+                Box::new(AstreaDecoder::new(ctx.gwt()))
+            } else {
+                Box::new(MwpmDecoder::new(ctx.gwt()))
+            };
+            let mut scratch = DecodeScratch::new();
+            let mut ts = TileScratch::new();
+            let mut out = StreamOutcome::default();
+            let mut preds = Vec::new();
+            for t in 0..layout.num_tiles() {
+                let tile = sampler.sample_tile(31, &layout, t);
+                let mut tile_preds = vec![Prediction::identity(); tile.num_shots()];
+                decode_tile_with_predictions(
+                    decoder.as_mut(),
+                    &mut scratch,
+                    &mut ts,
+                    &tile,
+                    &mut out,
+                    &mut tile_preds,
+                );
+                preds.extend_from_slice(&tile_preds);
+            }
+            assert_eq!(preds, reference.predictions, "astrea={astrea}");
+            assert_eq!(out.stats, reference.stats);
+            assert_eq!(out.failures, reference.failures);
+            assert_eq!(out.deferred, reference.deferred);
         }
     }
 

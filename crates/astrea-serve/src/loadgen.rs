@@ -1,0 +1,287 @@
+//! Load generation against an in-process [`DecodeService`].
+//!
+//! Two arrival disciplines:
+//!
+//! * **Open loop** — shots arrive on a fixed schedule at a configured
+//!   aggregate rate whether or not earlier responses have returned, and
+//!   per-shot latency is measured from the *intended* arrival time, so
+//!   queueing delay is charged to the service (no coordinated
+//!   omission). This is the serving-latency measurement.
+//! * **Closed loop** — each client submits its next shot only after the
+//!   previous response arrives; the per-shot number is round-trip time
+//!   and the aggregate rate is whatever the service sustains.
+//!
+//! Workloads are pre-sampled from the context's detector error model,
+//! one independent stream per client, with a configurable *replay
+//! fraction*: that share of shots repeats an earlier shot of the same
+//! stream, modeling the correlated syndrome streams real traffic shows
+//! (and giving the [`HardSyndromeCache`](astrea_core::HardSyndromeCache)
+//! its intended workload).
+
+use std::time::{Duration, Instant};
+
+use astrea_core::SyndromeBatch;
+use decoding_graph::{DecodingContext, Prediction};
+use qec_circuit::BatchDemSampler;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::service::{DecodeService, ServiceStats};
+use crate::session::SubmitPolicy;
+
+/// Arrival discipline of a load-generation run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalMode {
+    /// Fixed-schedule arrivals at `shots_per_sec` aggregate across all
+    /// clients; latency is measured from the intended arrival time.
+    Open {
+        /// Aggregate offered rate over all clients, in shots per second.
+        shots_per_sec: f64,
+    },
+    /// Submit-after-response per client; measures round-trip time and
+    /// saturation throughput.
+    Closed,
+}
+
+/// Shape of a load-generation run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadGenConfig {
+    /// Concurrent client sessions.
+    pub clients: usize,
+    /// Shots each client submits.
+    pub shots_per_client: usize,
+    /// Arrival discipline.
+    pub mode: ArrivalMode,
+    /// Fraction of each client's shots that replay an earlier shot of
+    /// the same stream (0.0 = i.i.d., 1.0 = all repeats after the first).
+    pub replay_fraction: f64,
+    /// Workload sampling seed; same seed, same workload.
+    pub seed: u64,
+}
+
+/// Everything one client observed: predictions and latencies in
+/// submission order, plus the cycle-model latency of each shot.
+#[derive(Debug, Clone)]
+pub struct ClientOutcome {
+    /// Per-shot predictions, in submission order.
+    pub predictions: Vec<Prediction>,
+    /// Measured per-shot latency in nanoseconds (open loop: intended
+    /// arrival → response; closed loop: submit → response).
+    pub latencies_ns: Vec<u64>,
+    /// Cycle-model decode latency of each shot in nanoseconds — the
+    /// per-window service times backlog simulators (e.g.
+    /// `astrea_experiments::realtime::simulate_backlog`) expect.
+    pub modeled_ns: Vec<f64>,
+}
+
+/// Aggregate result of a load-generation run.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Concurrent clients.
+    pub clients: usize,
+    /// Total shots decoded.
+    pub shots: u64,
+    /// Wall-clock duration of the run.
+    pub wall: Duration,
+    /// Measured aggregate throughput.
+    pub shots_per_sec: f64,
+    /// Median measured latency in nanoseconds.
+    pub p50_ns: u64,
+    /// 99th-percentile measured latency in nanoseconds.
+    pub p99_ns: u64,
+    /// 99.9th-percentile measured latency in nanoseconds.
+    pub p999_ns: u64,
+    /// Worst measured latency in nanoseconds.
+    pub max_ns: u64,
+    /// Shots whose predicted observables differed from the sampled
+    /// truth (logical errors, not service defects).
+    pub failures: u64,
+    /// Service accounting after the run ([`DecodeService::stats`];
+    /// run each configuration against a fresh service to keep this a
+    /// per-run delta).
+    pub stats: ServiceStats,
+    /// Per-client detail, index-aligned with the workload streams.
+    pub outcomes: Vec<ClientOutcome>,
+}
+
+/// Samples one syndrome stream per client from the context's detector
+/// error model, then rewrites a `replay_fraction` share of each stream's
+/// shots as repeats of earlier shots.
+pub fn build_workload(ctx: &DecodingContext, cfg: &LoadGenConfig) -> Vec<SyndromeBatch> {
+    let sampler = BatchDemSampler::new(ctx.dem());
+    let mut streams = Vec::with_capacity(cfg.clients);
+    for client in 0..cfg.clients {
+        let (det, obs) = sampler.sample(
+            cfg.seed ^ (client as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            cfg.shots_per_client,
+        );
+        let base = SyndromeBatch::from_packed(&det, &obs);
+        let replay = cfg.replay_fraction.clamp(0.0, 1.0);
+        let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(client as u64));
+        let mut builder = SyndromeBatch::builder();
+        for i in 0..base.len() {
+            let src = if i > 0 && rng.gen_bool(replay) {
+                rng.gen_range(0..i)
+            } else {
+                i
+            };
+            builder.push(base.detectors(src), base.observables(src));
+        }
+        streams.push(builder.finish());
+    }
+    streams
+}
+
+/// Sleeps until `target`. Plain sleeps only: spinning down to the exact
+/// nanosecond would starve the decode workers on small hosts and charge
+/// the generator's own CPU burn to the service. OS wake-up jitter lands
+/// in the measured latency instead, which is the conservative direction
+/// for an open-loop measurement.
+fn sleep_until(target: Instant) {
+    loop {
+        let now = Instant::now();
+        if now >= target {
+            return;
+        }
+        std::thread::sleep(target - now);
+    }
+}
+
+/// Runs the given per-client streams against the service and collects
+/// latency, correctness, and accounting. Blocking submission is used
+/// throughout, so the session credit budget is the only admission
+/// control in play.
+pub fn run_load(
+    service: &DecodeService,
+    streams: &[SyndromeBatch],
+    mode: ArrivalMode,
+) -> LoadReport {
+    let clients = streams.len();
+    let started = Instant::now();
+    let mut outcomes: Vec<ClientOutcome> = Vec::with_capacity(clients);
+
+    std::thread::scope(|scope| {
+        let mut workers = Vec::with_capacity(clients);
+        for (client, stream) in streams.iter().enumerate() {
+            let session = service.session(SubmitPolicy::Block);
+            workers.push(scope.spawn(move || match mode {
+                ArrivalMode::Closed => run_closed(session, stream),
+                ArrivalMode::Open { shots_per_sec } => {
+                    // The aggregate rate is split evenly; client start
+                    // phases are staggered across one inter-arrival gap
+                    // so arrivals interleave instead of bunching.
+                    let interval_ns = 1e9 * clients as f64 / shots_per_sec.max(1e-9);
+                    let phase =
+                        Duration::from_nanos((interval_ns * client as f64 / clients as f64) as u64);
+                    run_open(session, stream, started + phase, interval_ns)
+                }
+            }));
+        }
+        for w in workers {
+            outcomes.push(w.join().expect("load-gen client panicked"));
+        }
+    });
+
+    let wall = started.elapsed();
+    let mut failures = 0u64;
+    let mut all_lat: Vec<u64> = Vec::new();
+    for (stream, outcome) in streams.iter().zip(&outcomes) {
+        for (i, pred) in outcome.predictions.iter().enumerate() {
+            if pred.observables != stream.observables(i) {
+                failures += 1;
+            }
+        }
+        all_lat.extend_from_slice(&outcome.latencies_ns);
+    }
+    all_lat.sort_unstable();
+    let pct = |q: f64| -> u64 {
+        if all_lat.is_empty() {
+            return 0;
+        }
+        all_lat[((all_lat.len() as f64 * q) as usize).min(all_lat.len() - 1)]
+    };
+    let shots = all_lat.len() as u64;
+
+    LoadReport {
+        clients,
+        shots,
+        wall,
+        shots_per_sec: shots as f64 / wall.as_secs_f64().max(1e-12),
+        p50_ns: pct(0.50),
+        p99_ns: pct(0.99),
+        p999_ns: pct(0.999),
+        max_ns: all_lat.last().copied().unwrap_or(0),
+        failures,
+        stats: service.stats(),
+        outcomes,
+    }
+}
+
+fn finish_outcome(
+    predictions: Vec<Prediction>,
+    latencies_ns: Vec<u64>,
+    freq_mhz: f64,
+) -> ClientOutcome {
+    let ns_per_cycle = 1e3 / freq_mhz;
+    let modeled_ns = predictions
+        .iter()
+        .map(|p| p.cycles as f64 * ns_per_cycle)
+        .collect();
+    ClientOutcome {
+        predictions,
+        latencies_ns,
+        modeled_ns,
+    }
+}
+
+fn run_closed(mut session: crate::session::ClientSession, stream: &SyndromeBatch) -> ClientOutcome {
+    let n = stream.len();
+    let mut predictions = Vec::with_capacity(n);
+    let mut latencies = Vec::with_capacity(n);
+    for i in 0..n {
+        let t0 = Instant::now();
+        session
+            .submit(stream.detectors(i), stream.observables(i))
+            .expect("closed-loop submit failed");
+        let (_, pred) = session.recv().expect("closed-loop recv failed");
+        latencies.push(t0.elapsed().as_nanos() as u64);
+        predictions.push(pred);
+    }
+    finish_outcome(predictions, latencies, astrea_core::DEFAULT_FREQ_MHZ)
+}
+
+fn run_open(
+    session: crate::session::ClientSession,
+    stream: &SyndromeBatch,
+    t0: Instant,
+    interval_ns: f64,
+) -> ClientOutcome {
+    let n = stream.len();
+    let (mut submit, mut recv) = session.into_split();
+    let intended =
+        |i: u64| -> Instant { t0 + Duration::from_nanos((i as f64 * interval_ns) as u64) };
+
+    std::thread::scope(|scope| {
+        let submitter = scope.spawn(move || {
+            for i in 0..n {
+                sleep_until(intended(i as u64));
+                submit
+                    .submit(stream.detectors(i), stream.observables(i))
+                    .expect("open-loop submit failed");
+            }
+            let _ = submit.flush();
+            submit
+        });
+
+        let mut predictions = Vec::with_capacity(n);
+        let mut latencies = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (seq, pred) = recv.recv().expect("open-loop recv failed");
+            let done = Instant::now();
+            latencies.push(done.saturating_duration_since(intended(seq)).as_nanos() as u64);
+            predictions.push(pred);
+        }
+        drop(submitter.join().expect("open-loop submitter panicked"));
+        finish_outcome(predictions, latencies, astrea_core::DEFAULT_FREQ_MHZ)
+    })
+}

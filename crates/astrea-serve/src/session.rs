@@ -1,0 +1,424 @@
+//! Per-client sessions: validated submission with credit-based
+//! backpressure on one side, submission-ordered delivery on the other.
+//!
+//! A [`ClientSession`] is a pair of halves. The [`SubmitHandle`]
+//! validates each shot (sorted, in-range detector indices), spends one
+//! *credit* per shot, and hands it to the service's batcher; the
+//! [`ReceiveHandle`] pulls responses — which arrive in whatever order
+//! the cross-client tiles complete — through a reorder buffer and
+//! releases the credit, so the caller always sees predictions in
+//! submission order. The credit budget ([`ServeConfig::max_inflight`])
+//! is the backpressure contract: when it is exhausted, submission
+//! either blocks or rejects per [`SubmitPolicy`], and because responses
+//! park in the session's own bounded queue, a slow client never stalls
+//! the decode workers or other clients.
+//!
+//! [`ServeConfig::max_inflight`]: crate::ServeConfig
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use decoding_graph::Prediction;
+
+use crate::service::{BatchMsg, Reply, ShotRequest};
+
+/// What [`SubmitHandle::submit`] does when the session's in-flight
+/// credit budget is exhausted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitPolicy {
+    /// Wait until the client consumes responses and a credit frees up.
+    Block,
+    /// Fail fast with [`SubmitError::Full`]; the caller retries later.
+    Reject,
+}
+
+/// Why a submission was not accepted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The in-flight budget is exhausted (only under
+    /// [`SubmitPolicy::Reject`]).
+    Full,
+    /// The service has shut down.
+    Closed,
+    /// The shot was malformed: detector indices must be strictly
+    /// ascending and in range, and the observable mask in range.
+    Invalid(&'static str),
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Full => write!(f, "in-flight budget exhausted"),
+            SubmitError::Closed => write!(f, "decode service closed"),
+            SubmitError::Invalid(why) => write!(f, "invalid shot: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Why a receive returned no prediction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvError {
+    /// Every outstanding response has been delivered and the submit
+    /// side is gone — no further response can arrive.
+    Closed,
+    /// The deadline passed (only from [`ReceiveHandle::recv_timeout`]).
+    Timeout,
+}
+
+/// The session's in-flight budget: a counting semaphore shared by the
+/// two halves.
+pub(crate) struct Credits {
+    available: Mutex<usize>,
+    freed: Condvar,
+}
+
+impl Credits {
+    pub(crate) fn new(budget: usize) -> Credits {
+        Credits {
+            available: Mutex::new(budget),
+            freed: Condvar::new(),
+        }
+    }
+
+    /// Takes one credit if any is available.
+    fn try_acquire(&self) -> bool {
+        let mut n = self.available.lock().expect("credits poisoned");
+        if *n > 0 {
+            *n -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Waits until a credit is available, then takes it.
+    fn acquire(&self) {
+        let mut n = self.available.lock().expect("credits poisoned");
+        while *n == 0 {
+            n = self.freed.wait(n).expect("credits poisoned");
+        }
+        *n -= 1;
+    }
+
+    /// Returns one credit and wakes a blocked submitter.
+    pub(crate) fn release(&self) {
+        let mut n = self.available.lock().expect("credits poisoned");
+        *n += 1;
+        self.freed.notify_one();
+    }
+}
+
+/// The submitting half of a session.
+pub struct SubmitHandle {
+    req: mpsc::Sender<BatchMsg>,
+    reply_tx: mpsc::Sender<Reply>,
+    credits: Arc<Credits>,
+    policy: SubmitPolicy,
+    next_seq: u64,
+    num_detectors: usize,
+    obs_mask: u32,
+}
+
+impl SubmitHandle {
+    pub(crate) fn new(
+        req: mpsc::Sender<BatchMsg>,
+        reply_tx: mpsc::Sender<Reply>,
+        credits: Arc<Credits>,
+        policy: SubmitPolicy,
+        num_detectors: usize,
+        obs_mask: u32,
+    ) -> SubmitHandle {
+        SubmitHandle {
+            req,
+            reply_tx,
+            credits,
+            policy,
+            next_seq: 0,
+            num_detectors,
+            obs_mask,
+        }
+    }
+
+    fn validate(&self, dets: &[u32], actual: u32) -> Result<(), SubmitError> {
+        let mut prev = None;
+        for &d in dets {
+            if (d as usize) >= self.num_detectors {
+                return Err(SubmitError::Invalid("detector index out of range"));
+            }
+            if prev.is_some_and(|p| p >= d) {
+                return Err(SubmitError::Invalid(
+                    "detector indices must be strictly ascending",
+                ));
+            }
+            prev = Some(d);
+        }
+        if actual & !self.obs_mask != 0 {
+            return Err(SubmitError::Invalid("observable mask out of range"));
+        }
+        Ok(())
+    }
+
+    /// Sends a validated shot whose credit has already been acquired.
+    /// Returns the credit on failure.
+    fn send_acquired(&mut self, dets: &[u32], actual: u32) -> Result<u64, SubmitError> {
+        let seq = self.next_seq;
+        let msg = BatchMsg::Shot(ShotRequest {
+            reply: self.reply_tx.clone(),
+            seq,
+            dets: dets.to_vec(),
+            actual,
+        });
+        if self.req.send(msg).is_err() {
+            self.credits.release();
+            return Err(SubmitError::Closed);
+        }
+        self.next_seq += 1;
+        Ok(seq)
+    }
+
+    /// Submits one shot — `dets` is the strictly ascending list of fired
+    /// detector indices, `actual` the true observable-flip mask (pass 0
+    /// when unknown; it only feeds the service's aggregate failure
+    /// accounting). Returns the shot's sequence number, which the
+    /// receiving half's deliveries carry in order.
+    pub fn submit(&mut self, dets: &[u32], actual: u32) -> Result<u64, SubmitError> {
+        self.validate(dets, actual)?;
+        match self.policy {
+            SubmitPolicy::Block => {
+                if !self.credits.try_acquire() {
+                    // Budget exhausted: some of this session's shots may
+                    // still be *staged* behind an unexpired batch window.
+                    // Flush them through before blocking so the wait is
+                    // bounded by decode time, never by the window.
+                    let _ = self.req.send(BatchMsg::Flush);
+                    self.credits.acquire();
+                }
+            }
+            SubmitPolicy::Reject => {
+                if !self.credits.try_acquire() {
+                    return Err(SubmitError::Full);
+                }
+            }
+        }
+        self.send_acquired(dets, actual)
+    }
+
+    /// Asks the service to emit the staged partial tile now instead of
+    /// waiting for it to fill or for the batch window to expire.
+    pub fn flush(&self) -> Result<(), SubmitError> {
+        self.req
+            .send(BatchMsg::Flush)
+            .map_err(|_| SubmitError::Closed)
+    }
+
+    /// Shots submitted so far.
+    pub fn submitted(&self) -> u64 {
+        self.next_seq
+    }
+}
+
+/// Reorder-buffer entry ordered by sequence number alone.
+struct Pending(u64, Prediction);
+
+impl PartialEq for Pending {
+    fn eq(&self, other: &Pending) -> bool {
+        self.0 == other.0
+    }
+}
+
+impl Eq for Pending {}
+
+impl PartialOrd for Pending {
+    fn partial_cmp(&self, other: &Pending) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Pending {
+    fn cmp(&self, other: &Pending) -> std::cmp::Ordering {
+        self.0.cmp(&other.0)
+    }
+}
+
+/// The receiving half of a session: delivers `(seq, prediction)` pairs
+/// strictly in submission order, whatever order the service completes
+/// them in.
+pub struct ReceiveHandle {
+    reply_rx: mpsc::Receiver<Reply>,
+    credits: Arc<Credits>,
+    pending: BinaryHeap<Reverse<Pending>>,
+    next_deliver: u64,
+}
+
+impl ReceiveHandle {
+    pub(crate) fn new(reply_rx: mpsc::Receiver<Reply>, credits: Arc<Credits>) -> ReceiveHandle {
+        ReceiveHandle {
+            reply_rx,
+            credits,
+            pending: BinaryHeap::new(),
+            next_deliver: 0,
+        }
+    }
+
+    /// Buffers one raw reply and releases its credit.
+    fn absorb(&mut self, reply: Reply) {
+        self.credits.release();
+        self.pending.push(Reverse(Pending(reply.0, reply.1)));
+    }
+
+    /// Pops the next in-order delivery if it is already buffered.
+    fn pop_ready(&mut self) -> Option<(u64, Prediction)> {
+        if self
+            .pending
+            .peek()
+            .is_some_and(|Reverse(p)| p.0 == self.next_deliver)
+        {
+            let Reverse(Pending(seq, pred)) = self.pending.pop().expect("peeked entry vanished");
+            self.next_deliver += 1;
+            Some((seq, pred))
+        } else {
+            None
+        }
+    }
+
+    /// Waits for the next in-order response.
+    pub fn recv(&mut self) -> Result<(u64, Prediction), RecvError> {
+        loop {
+            if let Some(r) = self.pop_ready() {
+                return Ok(r);
+            }
+            match self.reply_rx.recv() {
+                Ok(reply) => self.absorb(reply),
+                Err(_) => return Err(RecvError::Closed),
+            }
+        }
+    }
+
+    /// Waits for the next in-order response with a deadline.
+    pub fn recv_timeout(&mut self, timeout: Duration) -> Result<(u64, Prediction), RecvError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(r) = self.pop_ready() {
+                return Ok(r);
+            }
+            let left = deadline.saturating_duration_since(Instant::now());
+            match self.reply_rx.recv_timeout(left) {
+                Ok(reply) => self.absorb(reply),
+                Err(RecvTimeoutError::Timeout) => return Err(RecvError::Timeout),
+                Err(RecvTimeoutError::Disconnected) => return Err(RecvError::Closed),
+            }
+        }
+    }
+
+    /// Returns the next in-order response if it is already available,
+    /// without blocking.
+    pub fn try_recv(&mut self) -> Option<(u64, Prediction)> {
+        while let Ok(reply) = self.reply_rx.try_recv() {
+            self.absorb(reply);
+        }
+        self.pop_ready()
+    }
+}
+
+/// A full duplex session: both halves in one handle for single-threaded
+/// clients, or [`ClientSession::into_split`] for a submit thread and a
+/// receive thread.
+///
+/// The combined handle's [`submit`](ClientSession::submit) is
+/// deadlock-free under [`SubmitPolicy::Block`]: when the budget is
+/// exhausted it pulls completed responses into the reorder buffer
+/// (freeing credits) instead of waiting for a receive call that could
+/// never come.
+pub struct ClientSession {
+    submit: SubmitHandle,
+    recv: ReceiveHandle,
+}
+
+impl ClientSession {
+    pub(crate) fn new(submit: SubmitHandle, recv: ReceiveHandle) -> ClientSession {
+        ClientSession { submit, recv }
+    }
+
+    /// Submits one shot; see [`SubmitHandle::submit`].
+    pub fn submit(&mut self, dets: &[u32], actual: u32) -> Result<u64, SubmitError> {
+        self.submit.validate(dets, actual)?;
+        if !self.submit.credits.try_acquire() {
+            match self.submit.policy {
+                SubmitPolicy::Reject => {
+                    // Absorb any responses that already completed —
+                    // their credits are rightfully free.
+                    while let Ok(reply) = self.recv.reply_rx.try_recv() {
+                        self.recv.absorb(reply);
+                    }
+                    if !self.submit.credits.try_acquire() {
+                        return Err(SubmitError::Full);
+                    }
+                }
+                SubmitPolicy::Block => {
+                    // As in SubmitHandle::submit: staged shots behind an
+                    // unexpired window hold our credits, so flush before
+                    // waiting on the responses that will return them.
+                    let _ = self.submit.req.send(BatchMsg::Flush);
+                    loop {
+                        match self.recv.reply_rx.recv() {
+                            Ok(reply) => self.recv.absorb(reply),
+                            Err(_) => return Err(SubmitError::Closed),
+                        }
+                        if self.submit.credits.try_acquire() {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        self.submit.send_acquired(dets, actual)
+    }
+
+    /// Responses submitted but not yet delivered by `recv`.
+    pub fn outstanding(&self) -> u64 {
+        self.submit.next_seq - self.recv.next_deliver
+    }
+
+    /// Waits for the next in-order response; see [`ReceiveHandle::recv`].
+    ///
+    /// Returns [`RecvError::Closed`] immediately when nothing is
+    /// outstanding: the combined handle owns the only submit half, so
+    /// no response can arrive while this call blocks. (Split halves
+    /// signal closure by dropping the [`SubmitHandle`] instead.)
+    pub fn recv(&mut self) -> Result<(u64, Prediction), RecvError> {
+        if self.outstanding() == 0 {
+            return Err(RecvError::Closed);
+        }
+        self.recv.recv()
+    }
+
+    /// Waits with a deadline; see [`ReceiveHandle::recv_timeout`] and
+    /// the no-outstanding behavior of [`ClientSession::recv`].
+    pub fn recv_timeout(&mut self, timeout: Duration) -> Result<(u64, Prediction), RecvError> {
+        if self.outstanding() == 0 {
+            return Err(RecvError::Closed);
+        }
+        self.recv.recv_timeout(timeout)
+    }
+
+    /// Flushes the staged partial tile; see [`SubmitHandle::flush`].
+    pub fn flush(&self) -> Result<(), SubmitError> {
+        self.submit.flush()
+    }
+
+    /// Shots submitted so far on this session.
+    pub fn submitted(&self) -> u64 {
+        self.submit.submitted()
+    }
+
+    /// Splits into independent submit and receive halves for two-threaded
+    /// clients (e.g. the wire front-end and the open-loop load generator).
+    pub fn into_split(self) -> (SubmitHandle, ReceiveHandle) {
+        (self.submit, self.recv)
+    }
+}

@@ -1,0 +1,441 @@
+//! Framed socket front-end (TCP and Unix-domain) over a
+//! [`DecodeService`].
+//!
+//! # Wire format
+//!
+//! All integers are little-endian. A request is one opcode byte and its
+//! payload:
+//!
+//! | op | name   | payload |
+//! |----|--------|---------|
+//! | 1  | DECODE | `actual: u32`, `n: u16`, then `n × u32` strictly ascending fired-detector indices |
+//! | 2  | FLUSH  | (none) — emit the staged partial tile now |
+//!
+//! Every DECODE gets exactly one 21-byte response frame, delivered in
+//! submission order: `seq: u64`, `observables: u32`, `cycles: u64`,
+//! `deferred: u8` — the connection's zero-based request counter and the
+//! fields of the shot's [`Prediction`]. A malformed request (unknown
+//! opcode, out-of-range or unsorted detectors) closes the connection
+//! after in-flight responses drain.
+//!
+//! Each connection runs a reader thread (parse + submit under
+//! [`SubmitPolicy::Block`], so socket reads pause when the session's
+//! in-flight budget fills — backpressure reaches the peer as TCP flow
+//! control) and a writer thread (in-order responses). A client that
+//! submits without consuming responses should bound its own in-flight
+//! count below the session budget, as [`WireClient`] does not read
+//! concurrently.
+
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use decoding_graph::Prediction;
+
+use crate::service::DecodeService;
+use crate::session::{RecvError, SubmitPolicy};
+
+/// Request opcode: decode one shot.
+pub const OP_DECODE: u8 = 1;
+/// Request opcode: flush the staged partial tile.
+pub const OP_FLUSH: u8 = 2;
+/// Fixed size of a response frame in bytes.
+pub const RESPONSE_FRAME_BYTES: usize = 21;
+
+/// Polling interval of the non-blocking accept loop.
+const ACCEPT_POLL: Duration = Duration::from_millis(2);
+/// How often the per-connection writer re-checks for reader completion.
+const WRITER_POLL: Duration = Duration::from_millis(20);
+
+/// A duplex byte stream the server can clone and forcibly close.
+trait Conn: Read + Write + Send + Sized + 'static {
+    fn try_clone_conn(&self) -> io::Result<Self>;
+    fn shutdown_conn(&self);
+}
+
+impl Conn for TcpStream {
+    fn try_clone_conn(&self) -> io::Result<TcpStream> {
+        self.try_clone()
+    }
+    fn shutdown_conn(&self) {
+        let _ = self.shutdown(Shutdown::Both);
+    }
+}
+
+#[cfg(unix)]
+impl Conn for UnixStream {
+    fn try_clone_conn(&self) -> io::Result<UnixStream> {
+        self.try_clone()
+    }
+    fn shutdown_conn(&self) {
+        let _ = self.shutdown(Shutdown::Both);
+    }
+}
+
+/// One accepted connection: a closure that forces its socket closed and
+/// the reader thread's handle (which joins the writer before exiting).
+struct ConnEntry {
+    kill: Box<dyn Fn() + Send>,
+    handle: JoinHandle<()>,
+}
+
+/// A running socket front-end. Dropping (or [`WireServer::shutdown`])
+/// stops accepting, closes every connection, and joins all threads.
+pub struct WireServer {
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<ConnEntry>>>,
+    addr: Option<SocketAddr>,
+    #[cfg(unix)]
+    path: Option<PathBuf>,
+}
+
+impl WireServer {
+    /// The bound TCP address (None for Unix-socket servers). Bind to
+    /// port 0 and read this back to serve on an ephemeral port.
+    pub fn local_addr(&self) -> Option<SocketAddr> {
+        self.addr
+    }
+
+    /// Number of connections accepted so far (including closed ones).
+    pub fn connections(&self) -> usize {
+        self.conns.lock().expect("wire conns poisoned").len()
+    }
+
+    /// Stops the front-end and joins every connection thread. The
+    /// underlying [`DecodeService`] keeps running.
+    pub fn shutdown(mut self) {
+        self.stop_now();
+    }
+
+    fn stop_now(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+        let entries: Vec<ConnEntry> = {
+            let mut guard = self.conns.lock().expect("wire conns poisoned");
+            guard.drain(..).collect()
+        };
+        for e in &entries {
+            (e.kill)();
+        }
+        for e in entries {
+            let _ = e.handle.join();
+        }
+        #[cfg(unix)]
+        if let Some(p) = self.path.take() {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    fn start<S: Conn>(
+        service: Arc<DecodeService>,
+        mut accept: impl FnMut() -> io::Result<Option<S>> + Send + 'static,
+        addr: Option<SocketAddr>,
+        #[cfg(unix)] path: Option<PathBuf>,
+    ) -> WireServer {
+        let stop = Arc::new(AtomicBool::new(false));
+        let conns: Arc<Mutex<Vec<ConnEntry>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept_thread = {
+            let stop = Arc::clone(&stop);
+            let conns = Arc::clone(&conns);
+            std::thread::Builder::new()
+                .name("astrea-serve-accept".into())
+                .spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        match accept() {
+                            Ok(Some(stream)) => {
+                                if let Ok(entry) = spawn_connection(&service, stream) {
+                                    conns.lock().expect("wire conns poisoned").push(entry);
+                                }
+                            }
+                            Ok(None) => std::thread::sleep(ACCEPT_POLL),
+                            Err(_) => break,
+                        }
+                    }
+                })
+                .expect("failed to spawn accept thread")
+        };
+        WireServer {
+            stop,
+            accept_thread: Some(accept_thread),
+            conns,
+            addr,
+            #[cfg(unix)]
+            path,
+        }
+    }
+}
+
+impl Drop for WireServer {
+    fn drop(&mut self) {
+        self.stop_now();
+    }
+}
+
+/// Serves the framed protocol on a TCP listener bound to `addr`
+/// (use `"127.0.0.1:0"` for an ephemeral port).
+pub fn serve_tcp(service: Arc<DecodeService>, addr: &str) -> io::Result<WireServer> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+    Ok(WireServer::start(
+        service,
+        move || match listener.accept() {
+            Ok((s, _)) => {
+                s.set_nonblocking(false)?;
+                let _ = s.set_nodelay(true);
+                Ok(Some(s))
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(None),
+            Err(e) => Err(e),
+        },
+        Some(local),
+        #[cfg(unix)]
+        None,
+    ))
+}
+
+/// Serves the framed protocol on a Unix-domain socket at `path`
+/// (unlinked again at shutdown).
+#[cfg(unix)]
+pub fn serve_unix(service: Arc<DecodeService>, path: &std::path::Path) -> io::Result<WireServer> {
+    let _ = std::fs::remove_file(path);
+    let listener = UnixListener::bind(path)?;
+    listener.set_nonblocking(true)?;
+    Ok(WireServer::start(
+        service,
+        move || match listener.accept() {
+            Ok((s, _)) => {
+                s.set_nonblocking(false)?;
+                Ok(Some(s))
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(None),
+            Err(e) => Err(e),
+        },
+        None,
+        Some(path.to_path_buf()),
+    ))
+}
+
+/// Spawns the reader/writer thread pair for one accepted connection.
+fn spawn_connection<S: Conn>(service: &DecodeService, stream: S) -> io::Result<ConnEntry> {
+    let writer_stream = stream.try_clone_conn()?;
+    let kill_stream = stream.try_clone_conn()?;
+    let (mut submit, mut recv) = service.session(SubmitPolicy::Block).into_split();
+    let submitted = Arc::new(AtomicU64::new(0));
+    let reader_done = Arc::new(AtomicBool::new(false));
+
+    let writer = {
+        let submitted = Arc::clone(&submitted);
+        let reader_done = Arc::clone(&reader_done);
+        std::thread::Builder::new()
+            .name("astrea-serve-conn-w".into())
+            .spawn(move || {
+                let mut stream = writer_stream;
+                let mut forwarded = 0u64;
+                loop {
+                    if reader_done.load(Ordering::Acquire)
+                        && forwarded >= submitted.load(Ordering::Acquire)
+                    {
+                        break;
+                    }
+                    match recv.recv_timeout(WRITER_POLL) {
+                        Ok((seq, pred)) => {
+                            if write_response(&mut stream, seq, &pred).is_err() {
+                                break;
+                            }
+                            forwarded += 1;
+                        }
+                        Err(RecvError::Timeout) => {}
+                        Err(RecvError::Closed) => break,
+                    }
+                }
+                stream.shutdown_conn();
+            })
+            .expect("failed to spawn connection writer")
+    };
+
+    let handle = std::thread::Builder::new()
+        .name("astrea-serve-conn-r".into())
+        .spawn(move || {
+            let mut stream = stream;
+            loop {
+                match read_request(&mut stream) {
+                    Ok(Some(Request::Decode { dets, actual })) => {
+                        if submit.submit(&dets, actual).is_err() {
+                            break;
+                        }
+                        submitted.fetch_add(1, Ordering::Release);
+                    }
+                    Ok(Some(Request::Flush)) => {
+                        if submit.flush().is_err() {
+                            break;
+                        }
+                    }
+                    Ok(None) | Err(_) => break,
+                }
+            }
+            reader_done.store(true, Ordering::Release);
+            // Dropping the submit half lets the writer observe Closed
+            // once every in-flight response has drained.
+            drop(submit);
+            let _ = writer.join();
+        })
+        .expect("failed to spawn connection reader");
+
+    Ok(ConnEntry {
+        kill: Box::new(move || kill_stream.shutdown_conn()),
+        handle,
+    })
+}
+
+enum Request {
+    Decode { dets: Vec<u32>, actual: u32 },
+    Flush,
+}
+
+fn read_u16<R: Read>(r: &mut R) -> io::Result<u16> {
+    let mut b = [0u8; 2];
+    r.read_exact(&mut b)?;
+    Ok(u16::from_le_bytes(b))
+}
+
+fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+/// Reads one request frame; `Ok(None)` on clean EOF before an opcode.
+fn read_request<R: Read>(r: &mut R) -> io::Result<Option<Request>> {
+    let mut op = [0u8; 1];
+    match r.read_exact(&mut op) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    match op[0] {
+        OP_DECODE => {
+            let actual = read_u32(r)?;
+            let n = read_u16(r)? as usize;
+            let mut dets = Vec::with_capacity(n);
+            for _ in 0..n {
+                dets.push(read_u32(r)?);
+            }
+            Ok(Some(Request::Decode { dets, actual }))
+        }
+        OP_FLUSH => Ok(Some(Request::Flush)),
+        _ => Err(io::Error::new(io::ErrorKind::InvalidData, "unknown opcode")),
+    }
+}
+
+fn write_response<W: Write>(w: &mut W, seq: u64, pred: &Prediction) -> io::Result<()> {
+    let mut frame = [0u8; RESPONSE_FRAME_BYTES];
+    frame[0..8].copy_from_slice(&seq.to_le_bytes());
+    frame[8..12].copy_from_slice(&pred.observables.to_le_bytes());
+    frame[12..20].copy_from_slice(&pred.cycles.to_le_bytes());
+    frame[20] = pred.deferred as u8;
+    w.write_all(&frame)
+}
+
+/// A simple synchronous client for the framed protocol.
+///
+/// Submission-order delivery means `recv` after `k` submissions yields
+/// the responses for sequence numbers `0..k` in order. The client does
+/// not read concurrently with writes, so keep the number of submitted
+/// but unread shots below the server's session budget.
+pub struct WireClient {
+    reader: Box<dyn Read + Send>,
+    writer: Box<dyn Write + Send>,
+    submitted: u64,
+}
+
+impl WireClient {
+    /// Connects over TCP.
+    pub fn connect_tcp<A: ToSocketAddrs>(addr: A) -> io::Result<WireClient> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        let reader = stream.try_clone()?;
+        Ok(WireClient {
+            reader: Box::new(reader),
+            writer: Box::new(stream),
+            submitted: 0,
+        })
+    }
+
+    /// Connects over a Unix-domain socket.
+    #[cfg(unix)]
+    pub fn connect_unix(path: &std::path::Path) -> io::Result<WireClient> {
+        let stream = UnixStream::connect(path)?;
+        let reader = stream.try_clone()?;
+        Ok(WireClient {
+            reader: Box::new(reader),
+            writer: Box::new(stream),
+            submitted: 0,
+        })
+    }
+
+    /// Sends one DECODE request; returns its sequence number.
+    pub fn submit(&mut self, dets: &[u32], actual: u32) -> io::Result<u64> {
+        if dets.len() > u16::MAX as usize {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "too many detectors for one frame",
+            ));
+        }
+        let mut buf = Vec::with_capacity(7 + 4 * dets.len());
+        buf.push(OP_DECODE);
+        buf.extend_from_slice(&actual.to_le_bytes());
+        buf.extend_from_slice(&(dets.len() as u16).to_le_bytes());
+        for &d in dets {
+            buf.extend_from_slice(&d.to_le_bytes());
+        }
+        self.writer.write_all(&buf)?;
+        self.writer.flush()?;
+        let seq = self.submitted;
+        self.submitted += 1;
+        Ok(seq)
+    }
+
+    /// Sends a FLUSH request.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.writer.write_all(&[OP_FLUSH])?;
+        self.writer.flush()
+    }
+
+    /// Reads the next response frame.
+    pub fn recv(&mut self) -> io::Result<(u64, Prediction)> {
+        let seq = read_u64(&mut self.reader)?;
+        let observables = read_u32(&mut self.reader)?;
+        let cycles = read_u64(&mut self.reader)?;
+        let mut deferred = [0u8; 1];
+        self.reader.read_exact(&mut deferred)?;
+        Ok((
+            seq,
+            Prediction {
+                observables,
+                cycles,
+                deferred: deferred[0] != 0,
+            },
+        ))
+    }
+
+    /// Shots submitted so far on this connection.
+    pub fn submitted(&self) -> u64 {
+        self.submitted
+    }
+}

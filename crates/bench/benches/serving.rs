@@ -1,0 +1,94 @@
+//! Serving throughput: closed-loop shots/s through the decode service
+//! at several client counts, against the offline `decode_slice` floor.
+//!
+//! The serving arm pays batching, channel, and reorder costs per shot;
+//! the offline arm decodes the same pre-sampled streams on one thread
+//! with zero coordination. The gap is the price of the service
+//! abstraction, which `results/BENCH_serving.json` tracks release over
+//! release.
+
+use astrea_core::{decode_slice, BatchDecoderFactory, SyndromeBatch};
+use astrea_serve::{
+    build_workload, run_load, ArrivalMode, DecodeService, LoadGenConfig, ServeConfig,
+};
+use blossom_mwpm::MwpmDecoder;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use decoding_graph::{DecodeScratch, Decoder, DecodingContext};
+use qec_circuit::NoiseModel;
+use std::hint::black_box;
+use std::sync::Arc;
+use surface_code::SurfaceCode;
+
+const DISTANCE: usize = 5;
+const ERROR_RATE: f64 = 5e-3;
+const SHOTS_PER_CLIENT: usize = 512;
+const SEED: u64 = 7;
+
+fn context() -> Arc<DecodingContext> {
+    let code = SurfaceCode::new(DISTANCE).expect("valid distance");
+    Arc::new(DecodingContext::for_memory_experiment(
+        &code,
+        NoiseModel::depolarizing(ERROR_RATE),
+    ))
+}
+
+fn factory() -> Arc<BatchDecoderFactory> {
+    Arc::new(|c: &DecodingContext| Box::new(MwpmDecoder::new(c.gwt())) as Box<dyn Decoder>)
+}
+
+fn streams_for(ctx: &DecodingContext, clients: usize) -> Vec<SyndromeBatch> {
+    build_workload(
+        ctx,
+        &LoadGenConfig {
+            clients,
+            shots_per_client: SHOTS_PER_CLIENT,
+            mode: ArrivalMode::Closed,
+            replay_fraction: 0.3,
+            seed: SEED,
+        },
+    )
+}
+
+fn bench_serving(c: &mut Criterion) {
+    let ctx = context();
+    let mut group = c.benchmark_group("serving");
+
+    for clients in [1usize, 4] {
+        let streams = streams_for(&ctx, clients);
+        let total_shots = (clients * SHOTS_PER_CLIENT) as u64;
+        group.throughput(Throughput::Elements(total_shots));
+
+        group.bench_with_input(
+            BenchmarkId::new("closed_loop", clients),
+            &streams,
+            |b, streams| {
+                // The service persists across iterations, as in
+                // production: warm caches, no thread churn.
+                let service =
+                    DecodeService::new(Arc::clone(&ctx), ServeConfig::default(), factory());
+                b.iter(|| black_box(run_load(&service, streams, ArrivalMode::Closed).shots));
+                service.shutdown();
+            },
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("offline_floor", clients),
+            &streams,
+            |b, streams| {
+                let mut dec = MwpmDecoder::new(ctx.gwt());
+                let mut scratch = DecodeScratch::new();
+                b.iter(|| {
+                    let mut failures = 0u64;
+                    for s in streams {
+                        failures += decode_slice(&mut dec, &mut scratch, s, 0..s.len()).failures;
+                    }
+                    black_box(failures)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serving);
+criterion_main!(benches);

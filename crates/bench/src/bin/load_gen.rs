@@ -1,0 +1,324 @@
+//! Load generator for the decode service: sweeps client count × offered
+//! rate in open-loop mode (latency measured from intended arrival, so
+//! queueing is charged to the service) plus a closed-loop saturation run
+//! per client count, and writes `results/BENCH_serving.json` with
+//! p50/p99/p999 latency and achieved shots/s for each point. Each
+//! point's per-shot cycle-model latencies also drive the `realtime`
+//! backlog simulator at the paper's one-window-per-`d`-µs cadence, so
+//! the table reports what the measured latency distribution would do to
+//! a live QEC queue.
+//!
+//! Usage: `load_gen [--smoke] [output.json]` — defaults to
+//! `results/BENCH_serving.json`. `--smoke` runs a small CI check
+//! instead: an in-process open+closed run and a TCP wire round trip,
+//! asserting the service counters account for every shot, predictions
+//! match the offline decode, and shutdown is clean. Smoke writes no
+//! artifacts (it must never clobber full-size results).
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+use astrea_core::{decode_slice, BatchDecoderFactory, PipelineCounters, SyndromeBatch};
+use astrea_experiments::realtime::{simulate_backlog, BacklogReport};
+use astrea_serve::{
+    build_workload, run_load, serve_tcp, ArrivalMode, DecodeService, LoadGenConfig, LoadReport,
+    ServeConfig, SubmitPolicy, WireClient,
+};
+use blossom_mwpm::MwpmDecoder;
+use decoding_graph::{DecodeScratch, Decoder, DecodingContext};
+use qec_circuit::NoiseModel;
+use surface_code::SurfaceCode;
+
+const SEED: u64 = 7;
+const DISTANCE: usize = 5;
+const ERROR_RATE: f64 = 5e-3;
+const REPLAY_FRACTION: f64 = 0.3;
+const OPEN_SHOTS_PER_CLIENT: usize = 4_000;
+const CLOSED_SHOTS_PER_CLIENT: usize = 2_000;
+const CLIENT_COUNTS: [usize; 2] = [2, 8];
+const OPEN_RATES: [f64; 2] = [25_000.0, 100_000.0];
+
+fn context(distance: usize, p: f64) -> Arc<DecodingContext> {
+    let code = SurfaceCode::new(distance).expect("valid distance");
+    Arc::new(DecodingContext::for_memory_experiment(
+        &code,
+        NoiseModel::depolarizing(p),
+    ))
+}
+
+fn factory() -> Arc<BatchDecoderFactory> {
+    Arc::new(|c: &DecodingContext| Box::new(MwpmDecoder::new(c.gwt())) as Box<dyn Decoder>)
+}
+
+fn serve_config() -> ServeConfig {
+    ServeConfig {
+        workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        ..ServeConfig::default()
+    }
+}
+
+/// Runs one configuration against a fresh service (so the report's
+/// stats are a per-run delta) and folds the per-client cycle-model
+/// latencies through the backlog simulator at the `d` µs cadence.
+fn run_point(
+    ctx: &Arc<DecodingContext>,
+    streams: &[SyndromeBatch],
+    mode: ArrivalMode,
+) -> (LoadReport, BacklogReport) {
+    let service = DecodeService::new(Arc::clone(ctx), serve_config(), factory());
+    let report = run_load(&service, streams, mode);
+    service.shutdown();
+
+    // One decoding window every d µs (§3.4); each client is one logical
+    // qubit's stream, so simulate per client and report the worst case.
+    let period_ns = DISTANCE as f64 * 1_000.0;
+    let backlog = report
+        .outcomes
+        .iter()
+        .map(|o| simulate_backlog(period_ns, &o.modeled_ns))
+        .max_by(|a, b| a.p99_sojourn_ns.total_cmp(&b.p99_sojourn_ns))
+        .expect("at least one client");
+    (report, backlog)
+}
+
+fn counters_json(c: &PipelineCounters) -> String {
+    format!(
+        "{{\"shots_screened\": {}, \"trivial\": {}, \"hw1\": {}, \"hw2\": {}, \
+         \"closed_form\": {}, \"hard_cache_hits\": {}, \"hard_cache_misses\": {}, \
+         \"dp\": {}, \"sparse_blossom\": {}}}",
+        c.shots_screened,
+        c.trivial_shots,
+        c.hw1_shots,
+        c.hw2_shots,
+        c.closed_form_shots,
+        c.hard_cache_hits,
+        c.hard_cache_misses,
+        c.dp_shots,
+        c.sparse_blossom_shots,
+    )
+}
+
+fn point_json(
+    clients: usize,
+    offered: Option<f64>,
+    report: &LoadReport,
+    backlog: &BacklogReport,
+) -> String {
+    let mut json = format!("    {{\"clients\": {clients}");
+    if let Some(rate) = offered {
+        let _ = write!(json, ", \"offered_shots_per_s\": {rate:.0}");
+    }
+    let _ = write!(
+        json,
+        ", \"shots\": {}, \"achieved_shots_per_s\": {:.0}, \"p50_ns\": {}, \"p99_ns\": {}, \
+         \"p999_ns\": {}, \"max_ns\": {}, \"failures\": {}, \"tiles\": {}",
+        report.shots,
+        report.shots_per_sec,
+        report.p50_ns,
+        report.p99_ns,
+        report.p999_ns,
+        report.max_ns,
+        report.failures,
+        report.stats.tiles,
+    );
+    let _ = write!(
+        json,
+        ", \"backlog\": {{\"period_ns\": {:.0}, \"max_backlog\": {}, \"p99_sojourn_ns\": {:.0}, \
+         \"late_fraction\": {:.6}}}",
+        DISTANCE as f64 * 1_000.0,
+        backlog.max_backlog,
+        backlog.p99_sojourn_ns,
+        backlog.late_fraction,
+    );
+    let _ = write!(
+        json,
+        ", \"counters\": {}}}",
+        counters_json(&report.stats.counters)
+    );
+    json
+}
+
+fn print_point(label: &str, report: &LoadReport, backlog: &BacklogReport) {
+    println!(
+        "{label}: {} shots, {:.0} shots/s, p50 {} ns, p99 {} ns, p999 {} ns, max {} ns",
+        report.shots,
+        report.shots_per_sec,
+        report.p50_ns,
+        report.p99_ns,
+        report.p999_ns,
+        report.max_ns,
+    );
+    println!(
+        "  cache {}/{} hits, backlog: max {}, late {:.4}",
+        report.stats.counters.hard_cache_hits,
+        report.stats.counters.hard_cache_hits + report.stats.counters.hard_cache_misses,
+        backlog.max_backlog,
+        backlog.late_fraction,
+    );
+}
+
+/// CI smoke: a short in-process run plus a TCP wire round trip, with
+/// hard assertions instead of artifacts.
+fn smoke() {
+    let ctx = context(3, 2e-2);
+    let cfg = LoadGenConfig {
+        clients: 2,
+        shots_per_client: 250,
+        mode: ArrivalMode::Closed,
+        replay_fraction: 0.5,
+        seed: SEED,
+    };
+    let streams = build_workload(&ctx, &cfg);
+
+    // Offline reference for bit-identity.
+    let offline: Vec<Vec<_>> = streams
+        .iter()
+        .map(|s| {
+            let mut dec = MwpmDecoder::new(ctx.gwt());
+            let mut scratch = DecodeScratch::new();
+            decode_slice(&mut dec, &mut scratch, s, 0..s.len()).predictions
+        })
+        .collect();
+
+    let (closed, _) = run_point(&ctx, &streams, ArrivalMode::Closed);
+    let (open, _) = run_point(
+        &ctx,
+        &streams,
+        ArrivalMode::Open {
+            shots_per_sec: 50_000.0,
+        },
+    );
+    for report in [&closed, &open] {
+        assert_eq!(report.shots, 500, "smoke run lost shots");
+        for (got, want) in report.outcomes.iter().zip(&offline) {
+            assert_eq!(
+                &got.predictions, want,
+                "serving predictions diverged from offline decode"
+            );
+        }
+        let c = &report.stats.counters;
+        assert_eq!(c.shots_screened, report.shots, "screen missed shots");
+        assert!(c.trivial_shots > 0, "no trivial shots at smoke noise");
+        assert!(
+            c.hw1_shots + c.hw2_shots + c.closed_form_shots + c.hard_cache_misses + c.dp_shots > 0,
+            "no nontrivial shots decoded — counters idle"
+        );
+    }
+
+    // Wire front-end: a fresh service, a TCP server on an ephemeral
+    // port, one client ping-ponging a stream slice.
+    let service = Arc::new(DecodeService::new(
+        Arc::clone(&ctx),
+        serve_config(),
+        factory(),
+    ));
+    let server = serve_tcp(Arc::clone(&service), "127.0.0.1:0").expect("bind smoke server");
+    let addr = server.local_addr().expect("tcp addr");
+    let mut client = WireClient::connect_tcp(addr).expect("connect smoke client");
+    let s = &streams[0];
+    for (i, want) in offline[0].iter().enumerate().take(64.min(s.len())) {
+        client
+            .submit(s.detectors(i), s.observables(i))
+            .expect("wire submit");
+        let (seq, pred) = client.recv().expect("wire recv");
+        assert_eq!(seq, i as u64);
+        assert_eq!(&pred, want, "wire prediction diverged");
+    }
+    drop(client);
+    server.shutdown();
+    let stats = service.stats();
+    assert_eq!(stats.counters.shots_screened, 64, "wire shots not screened");
+    service.shutdown();
+    // A fresh in-process session against the shut-down service must
+    // observe Closed, proving no worker is left behind.
+    let mut session = service.session(SubmitPolicy::Block);
+    assert!(session.submit(&[0], 0).is_err(), "service not closed");
+    println!("smoke OK: serving path bit-identical, counters live, shutdown clean");
+}
+
+fn main() {
+    let mut smoke_mode = false;
+    let mut positional: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        if arg == "--smoke" {
+            smoke_mode = true;
+        } else {
+            positional.push(arg);
+        }
+    }
+    if smoke_mode {
+        smoke();
+        return;
+    }
+    let out_path = positional
+        .first()
+        .cloned()
+        .unwrap_or_else(|| "results/BENCH_serving.json".to_string());
+
+    let ctx = context(DISTANCE, ERROR_RATE);
+    let started = Instant::now();
+    let mut open_points: Vec<String> = Vec::new();
+    let mut closed_points: Vec<String> = Vec::new();
+
+    for &clients in &CLIENT_COUNTS {
+        let open_cfg = LoadGenConfig {
+            clients,
+            shots_per_client: OPEN_SHOTS_PER_CLIENT,
+            mode: ArrivalMode::Closed, // per-point mode set below
+            replay_fraction: REPLAY_FRACTION,
+            seed: SEED,
+        };
+        let streams = build_workload(&ctx, &open_cfg);
+        for &rate in &OPEN_RATES {
+            let mode = ArrivalMode::Open {
+                shots_per_sec: rate,
+            };
+            let (report, backlog) = run_point(&ctx, &streams, mode);
+            print_point(
+                &format!("open  clients={clients} rate={rate:.0}/s"),
+                &report,
+                &backlog,
+            );
+            open_points.push(point_json(clients, Some(rate), &report, &backlog));
+        }
+
+        let closed_cfg = LoadGenConfig {
+            shots_per_client: CLOSED_SHOTS_PER_CLIENT,
+            ..open_cfg
+        };
+        let closed_streams = build_workload(&ctx, &closed_cfg);
+        let (report, backlog) = run_point(&ctx, &closed_streams, ArrivalMode::Closed);
+        print_point(&format!("closed clients={clients}"), &report, &backlog);
+        closed_points.push(point_json(clients, None, &report, &backlog));
+    }
+
+    // Hand-rolled JSON (no serde in the workspace).
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"distance\": {DISTANCE},");
+    let _ = writeln!(json, "  \"p\": {ERROR_RATE},");
+    let _ = writeln!(json, "  \"replay_fraction\": {REPLAY_FRACTION},");
+    let _ = writeln!(json, "  \"seed\": {SEED},");
+    let _ = writeln!(json, "  \"workers\": {},", serve_config().workers);
+    let _ = writeln!(
+        json,
+        "  \"open_shots_per_client\": {OPEN_SHOTS_PER_CLIENT},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"closed_shots_per_client\": {CLOSED_SHOTS_PER_CLIENT},"
+    );
+    json.push_str("  \"open_loop\": [\n");
+    json.push_str(&open_points.join(",\n"));
+    json.push_str("\n  ],\n  \"closed_loop\": [\n");
+    json.push_str(&closed_points.join(",\n"));
+    json.push_str("\n  ]\n}\n");
+
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create results directory");
+        }
+    }
+    std::fs::write(&out_path, &json).expect("write serving benchmark JSON");
+    println!("wrote {out_path} in {:?}", started.elapsed());
+}

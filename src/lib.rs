@@ -42,6 +42,7 @@
 
 pub use astrea_core;
 pub use astrea_experiments as experiments;
+pub use astrea_serve;
 pub use blossom_mwpm;
 pub use decoding_graph;
 pub use qec_circuit;
@@ -58,6 +59,9 @@ pub mod prelude {
     pub use astrea_experiments::{
         decode_batch_ler, estimate_ler, estimate_ler_barrier, estimate_ler_streamed, sample_batch,
         sample_batch_scalar, ExperimentContext, LerResult, PipelineConfig, SyndromeSource,
+    };
+    pub use astrea_serve::{
+        ClientSession, DecodeService, ServeConfig, ServiceStats, SubmitPolicy, WireClient,
     };
     pub use blossom_mwpm::{LocalMwpmDecoder, MwpmDecoder};
     pub use decoding_graph::{

@@ -116,3 +116,297 @@ fn distance_3_corrects_singles_but_not_all_pairs() {
         "but most pairs should still decode ({failures}/{total} failed)"
     );
 }
+
+// ---------------------------------------------------------------------
+// Service fault injection: a client misbehaving — consuming slowly,
+// disconnecting mid-stream, or slamming into its in-flight budget —
+// must not stall, reorder, or corrupt any other client's responses,
+// and the service must still shut down cleanly with every thread
+// joined (shutdown() joins the batcher and all workers, so a leaked or
+// wedged worker turns these tests into timeouts).
+// ---------------------------------------------------------------------
+
+use astrea_serve::{DecodeService, RecvError, ServeConfig, SubmitError, SubmitPolicy};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn serve_ctx(d: usize, p: f64) -> Arc<DecodingContext> {
+    let code = SurfaceCode::new(d).expect("valid distance");
+    Arc::new(DecodingContext::for_memory_experiment(
+        &code,
+        NoiseModel::depolarizing(p),
+    ))
+}
+
+fn serve_factory() -> Arc<BatchDecoderFactory> {
+    Arc::new(|c: &DecodingContext| Box::new(MwpmDecoder::new(c.gwt())) as Box<dyn Decoder>)
+}
+
+fn serve_stream(ctx: &DecodingContext, seed: u64, shots: usize) -> SyndromeBatch {
+    let (det, obs) = BatchDemSampler::new(ctx.dem()).sample(seed, shots);
+    SyndromeBatch::from_packed(&det, &obs)
+}
+
+fn serve_offline(ctx: &DecodingContext, stream: &SyndromeBatch) -> Vec<Prediction> {
+    let mut dec = MwpmDecoder::new(ctx.gwt());
+    let mut scratch = DecodeScratch::new();
+    decode_slice(&mut dec, &mut scratch, stream, 0..stream.len()).predictions
+}
+
+#[test]
+fn slow_consumer_does_not_stall_other_clients() {
+    let ctx = serve_ctx(3, 1e-2);
+    let slow_stream = serve_stream(&ctx, 101, 300);
+    let fast_stream = serve_stream(&ctx, 202, 200);
+    let service = DecodeService::new(
+        Arc::clone(&ctx),
+        ServeConfig {
+            workers: 1,
+            tile_words: 1,
+            ..ServeConfig::default()
+        },
+        serve_factory(),
+    );
+
+    // The slow client submits its whole stream and then goes to sleep
+    // on the responses: they park in its own session queue, bounded by
+    // its credit budget, without occupying the worker.
+    let mut slow = service.session(SubmitPolicy::Block);
+    for i in 0..slow_stream.len() {
+        slow.submit(slow_stream.detectors(i), slow_stream.observables(i))
+            .expect("slow submit");
+    }
+
+    // Meanwhile the fast client ping-pongs its stream with a deadline:
+    // every response must arrive promptly and match the offline decode.
+    let mut fast = service.session(SubmitPolicy::Block);
+    let want_fast = serve_offline(&ctx, &fast_stream);
+    for (i, w) in want_fast.iter().enumerate() {
+        fast.submit(fast_stream.detectors(i), fast_stream.observables(i))
+            .expect("fast submit");
+        let (seq, pred) = fast
+            .recv_timeout(Duration::from_secs(10))
+            .expect("fast client stalled behind a slow consumer");
+        assert_eq!(seq, i as u64);
+        assert_eq!(&pred, w, "fast client prediction corrupted");
+    }
+
+    // The slow client finally wakes up; its responses were neither
+    // dropped nor reordered.
+    let want_slow = serve_offline(&ctx, &slow_stream);
+    for (i, w) in want_slow.iter().enumerate() {
+        let (seq, pred) = slow
+            .recv_timeout(Duration::from_secs(10))
+            .expect("slow recv");
+        assert_eq!(seq, i as u64, "slow client responses reordered");
+        assert_eq!(&pred, w, "slow client prediction corrupted");
+    }
+    service.shutdown();
+}
+
+#[test]
+fn mid_stream_disconnect_leaves_other_clients_intact() {
+    let ctx = serve_ctx(3, 1e-2);
+    let doomed_stream = serve_stream(&ctx, 303, 150);
+    let survivor_stream = serve_stream(&ctx, 404, 150);
+    let service = DecodeService::new(
+        Arc::clone(&ctx),
+        ServeConfig {
+            workers: 2,
+            tile_words: 1,
+            ..ServeConfig::default()
+        },
+        serve_factory(),
+    );
+
+    // Client A submits half its stream and hangs up without ever
+    // reading a response; the workers' sends to it are dropped on the
+    // floor, nothing blocks.
+    let mut doomed = service.session(SubmitPolicy::Block);
+    for i in 0..doomed_stream.len() / 2 {
+        doomed
+            .submit(doomed_stream.detectors(i), doomed_stream.observables(i))
+            .expect("doomed submit");
+    }
+    drop(doomed);
+
+    // Client B's stream decodes exactly as if it were alone.
+    let mut survivor = service.session(SubmitPolicy::Block);
+    let want = serve_offline(&ctx, &survivor_stream);
+    for i in 0..survivor_stream.len() {
+        survivor
+            .submit(survivor_stream.detectors(i), survivor_stream.observables(i))
+            .expect("survivor submit");
+    }
+    for (i, w) in want.iter().enumerate() {
+        let (seq, pred) = survivor
+            .recv_timeout(Duration::from_secs(10))
+            .expect("survivor stalled after a peer disconnect");
+        assert_eq!(seq, i as u64);
+        assert_eq!(&pred, w, "survivor prediction corrupted");
+    }
+
+    // The disconnected shots were still decoded and counted: after
+    // shutdown (which joins every worker, so all accounting is
+    // published) the service totals cover both clients' submissions.
+    service.shutdown();
+    let stats = service.stats();
+    assert_eq!(
+        stats.counters.shots_screened,
+        (doomed_stream.len() / 2 + survivor_stream.len()) as u64,
+        "disconnected client's in-flight shots vanished from accounting"
+    );
+}
+
+#[test]
+fn queue_full_backpressure_is_isolated_per_client() {
+    let ctx = serve_ctx(3, 1e-2);
+    let stream = serve_stream(&ctx, 505, 64);
+    let service = DecodeService::new(
+        Arc::clone(&ctx),
+        ServeConfig {
+            workers: 1,
+            tile_words: 4,
+            max_inflight: 4,
+            // Nothing flushes on its own: staged shots pin credits, so
+            // the Reject client genuinely hits its budget.
+            batch_window: Duration::from_secs(600),
+            ..ServeConfig::default()
+        },
+        serve_factory(),
+    );
+
+    let mut rejecting = service.session(SubmitPolicy::Reject);
+    for i in 0..4 {
+        rejecting
+            .submit(stream.detectors(i), stream.observables(i))
+            .expect("within budget");
+    }
+    assert_eq!(
+        rejecting.submit(stream.detectors(4), stream.observables(4)),
+        Err(SubmitError::Full),
+        "budget exhaustion must reject, not block"
+    );
+
+    // A second client is not affected by its peer's full queue: its own
+    // budget is fresh and an explicit flush gets it responses.
+    let mut other = service.session(SubmitPolicy::Block);
+    let want = serve_offline(&ctx, &stream);
+    for i in 0..8 {
+        other
+            .submit(stream.detectors(i), stream.observables(i))
+            .expect("peer submit");
+    }
+    other.flush().expect("peer flush");
+    for (i, w) in want.iter().enumerate().take(8) {
+        let (seq, pred) = other
+            .recv_timeout(Duration::from_secs(10))
+            .expect("peer stalled behind a full client");
+        assert_eq!(seq, i as u64);
+        assert_eq!(&pred, w);
+    }
+
+    // The flush also released the rejecting client's staged shots, so
+    // its credits come back and submission resumes.
+    for (i, w) in want.iter().enumerate().take(4) {
+        let (seq, pred) = rejecting
+            .recv_timeout(Duration::from_secs(10))
+            .expect("recv");
+        assert_eq!(seq, i as u64);
+        assert_eq!(&pred, w);
+    }
+    rejecting
+        .submit(stream.detectors(4), stream.observables(4))
+        .expect("budget restored after draining");
+    service.flush();
+    assert_eq!(
+        rejecting
+            .recv_timeout(Duration::from_secs(10))
+            .expect("recv")
+            .1,
+        want[4]
+    );
+    service.shutdown();
+}
+
+#[test]
+fn shutdown_is_clean_and_idempotent_with_live_sessions() {
+    let ctx = serve_ctx(3, 1e-2);
+    let stream = serve_stream(&ctx, 606, 100);
+    let service = DecodeService::new(
+        Arc::clone(&ctx),
+        ServeConfig {
+            workers: 3,
+            tile_words: 1,
+            ..ServeConfig::default()
+        },
+        serve_factory(),
+    );
+    let mut sessions: Vec<_> = (0..3)
+        .map(|_| service.session(SubmitPolicy::Block))
+        .collect();
+    for s in sessions.iter_mut() {
+        for i in 0..stream.len() {
+            s.submit(stream.detectors(i), stream.observables(i))
+                .expect("submit");
+        }
+        for i in 0..stream.len() {
+            let (seq, _) = s.recv_timeout(Duration::from_secs(10)).expect("recv");
+            assert_eq!(seq, i as u64);
+        }
+    }
+
+    // shutdown() joins the batcher and every worker; a leaked thread
+    // would hang here. Calling it again (and via Drop later) is a no-op.
+    service.shutdown();
+    service.shutdown();
+    let after = service.stats();
+    assert_eq!(after.counters.shots_screened, 3 * stream.len() as u64);
+
+    // Every session observes closure instead of hanging.
+    for s in sessions.iter_mut() {
+        assert_eq!(s.submit(&[0], 0), Err(SubmitError::Closed));
+        assert_eq!(s.recv(), Err(RecvError::Closed));
+    }
+}
+
+#[test]
+fn wire_disconnect_mid_stream_is_survivable() {
+    let ctx = serve_ctx(3, 1e-2);
+    let stream = serve_stream(&ctx, 707, 80);
+    let service = Arc::new(DecodeService::new(
+        Arc::clone(&ctx),
+        ServeConfig {
+            workers: 1,
+            tile_words: 1,
+            ..ServeConfig::default()
+        },
+        serve_factory(),
+    ));
+    let server = astrea_serve::serve_tcp(Arc::clone(&service), "127.0.0.1:0").expect("bind");
+    let addr = server.local_addr().expect("addr");
+
+    // One client submits a burst and slams the socket shut without
+    // reading anything.
+    let mut rude = astrea_serve::WireClient::connect_tcp(addr).expect("connect rude");
+    for i in 0..40 {
+        rude.submit(stream.detectors(i), stream.observables(i))
+            .expect("rude submit");
+    }
+    drop(rude);
+
+    // A polite client on the same server still gets exact responses.
+    let mut polite = astrea_serve::WireClient::connect_tcp(addr).expect("connect polite");
+    let want = serve_offline(&ctx, &stream);
+    for (i, w) in want.iter().enumerate() {
+        polite
+            .submit(stream.detectors(i), stream.observables(i))
+            .expect("polite submit");
+        let (seq, pred) = polite.recv().expect("polite recv");
+        assert_eq!(seq, i as u64);
+        assert_eq!(&pred, w, "polite client corrupted by peer disconnect");
+    }
+    drop(polite);
+    server.shutdown();
+    service.shutdown();
+}

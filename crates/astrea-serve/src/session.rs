@@ -71,45 +71,79 @@ pub enum RecvError {
 }
 
 /// The session's in-flight budget: a counting semaphore shared by the
-/// two halves.
+/// two halves, closed for good when the receiving half is dropped.
+///
+/// Closure is what makes a blocking acquire cancellable: only the
+/// [`ReceiveHandle`] releases credits, so once it is gone a submitter
+/// parked on the condvar could never be woken by a release. Its `Drop`
+/// therefore flips `closed` and wakes every waiter, turning would-be
+/// deadlocks into [`SubmitError::Closed`].
 pub(crate) struct Credits {
-    available: Mutex<usize>,
+    state: Mutex<CreditState>,
     freed: Condvar,
+}
+
+struct CreditState {
+    available: usize,
+    closed: bool,
 }
 
 impl Credits {
     pub(crate) fn new(budget: usize) -> Credits {
         Credits {
-            available: Mutex::new(budget),
+            state: Mutex::new(CreditState {
+                available: budget,
+                closed: false,
+            }),
             freed: Condvar::new(),
         }
     }
 
-    /// Takes one credit if any is available.
+    /// Takes one credit if any is available and the gate is open.
     fn try_acquire(&self) -> bool {
-        let mut n = self.available.lock().expect("credits poisoned");
-        if *n > 0 {
-            *n -= 1;
+        let mut s = self.state.lock().expect("credits poisoned");
+        if !s.closed && s.available > 0 {
+            s.available -= 1;
             true
         } else {
             false
         }
     }
 
-    /// Waits until a credit is available, then takes it.
-    fn acquire(&self) {
-        let mut n = self.available.lock().expect("credits poisoned");
-        while *n == 0 {
-            n = self.freed.wait(n).expect("credits poisoned");
+    /// Waits until a credit is available, then takes it. Fails with
+    /// [`SubmitError::Closed`] once the receiving half is gone — no
+    /// release could ever arrive, so waiting on would be a deadlock.
+    fn acquire(&self) -> Result<(), SubmitError> {
+        let mut s = self.state.lock().expect("credits poisoned");
+        loop {
+            if s.closed {
+                return Err(SubmitError::Closed);
+            }
+            if s.available > 0 {
+                s.available -= 1;
+                return Ok(());
+            }
+            s = self.freed.wait(s).expect("credits poisoned");
         }
-        *n -= 1;
+    }
+
+    /// Whether the receiving half is gone.
+    fn is_closed(&self) -> bool {
+        self.state.lock().expect("credits poisoned").closed
     }
 
     /// Returns one credit and wakes a blocked submitter.
     pub(crate) fn release(&self) {
-        let mut n = self.available.lock().expect("credits poisoned");
-        *n += 1;
+        let mut s = self.state.lock().expect("credits poisoned");
+        s.available += 1;
         self.freed.notify_one();
+    }
+
+    /// Closes the gate and wakes every parked submitter.
+    fn close(&self) {
+        let mut s = self.state.lock().expect("credits poisoned");
+        s.closed = true;
+        self.freed.notify_all();
     }
 }
 
@@ -194,14 +228,21 @@ impl SubmitHandle {
                     // Budget exhausted: some of this session's shots may
                     // still be *staged* behind an unexpired batch window.
                     // Flush them through before blocking so the wait is
-                    // bounded by decode time, never by the window.
+                    // bounded by decode time, never by the window. The
+                    // wait itself is cancellable: if the receiving half
+                    // is dropped mid-park, acquire fails with Closed
+                    // instead of waiting for a release that cannot come.
                     let _ = self.req.send(BatchMsg::Flush);
-                    self.credits.acquire();
+                    self.credits.acquire()?;
                 }
             }
             SubmitPolicy::Reject => {
                 if !self.credits.try_acquire() {
-                    return Err(SubmitError::Full);
+                    return Err(if self.credits.is_closed() {
+                        SubmitError::Closed
+                    } else {
+                        SubmitError::Full
+                    });
                 }
             }
         }
@@ -248,6 +289,11 @@ impl Ord for Pending {
 /// The receiving half of a session: delivers `(seq, prediction)` pairs
 /// strictly in submission order, whatever order the service completes
 /// them in.
+///
+/// Dropping this handle closes the session's credit gate: a
+/// [`SubmitHandle`] blocked on the in-flight budget wakes with
+/// [`SubmitError::Closed`] rather than parking forever, since only the
+/// receiving half returns credits.
 pub struct ReceiveHandle {
     reply_rx: mpsc::Receiver<Reply>,
     credits: Arc<Credits>,
@@ -322,6 +368,12 @@ impl ReceiveHandle {
             self.absorb(reply);
         }
         self.pop_ready()
+    }
+}
+
+impl Drop for ReceiveHandle {
+    fn drop(&mut self) {
+        self.credits.close();
     }
 }
 

@@ -24,7 +24,11 @@
 //! control) and a writer thread (in-order responses). A client that
 //! submits without consuming responses should bound its own in-flight
 //! count below the session budget, as [`WireClient`] does not read
-//! concurrently.
+//! concurrently. A client that does not — flooding past the budget and
+//! then disconnecting — is torn down, not wedged: the writer's failed
+//! write drops the session's receive half, which closes its credit gate
+//! and wakes the reader parked on the in-flight budget, so both threads
+//! exit and server shutdown never hangs on the dead connection.
 
 use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -103,7 +107,9 @@ impl WireServer {
         self.addr
     }
 
-    /// Number of connections accepted so far (including closed ones).
+    /// Number of connections currently tracked. The accept loop reaps
+    /// closed connections as it idles, so this converges on the number
+    /// of live connections rather than growing forever.
     pub fn connections(&self) -> usize {
         self.conns.lock().expect("wire conns poisoned").len()
     }
@@ -156,7 +162,17 @@ impl WireServer {
                                     conns.lock().expect("wire conns poisoned").push(entry);
                                 }
                             }
-                            Ok(None) => std::thread::sleep(ACCEPT_POLL),
+                            Ok(None) => {
+                                reap_finished(&conns);
+                                std::thread::sleep(ACCEPT_POLL);
+                            }
+                            // A peer resetting mid-handshake or a brief
+                            // file-descriptor drought must not stop the
+                            // server from ever accepting again.
+                            Err(ref e) if transient_accept_error(e) => {
+                                reap_finished(&conns);
+                                std::thread::sleep(ACCEPT_POLL);
+                            }
                             Err(_) => break,
                         }
                     }
@@ -177,6 +193,48 @@ impl WireServer {
 impl Drop for WireServer {
     fn drop(&mut self) {
         self.stop_now();
+    }
+}
+
+/// Whether an accept() failure is worth retrying: connection-level
+/// errors the peer caused and resource exhaustion that drains as
+/// connections close. Anything else (e.g. a dead listener) is fatal.
+fn transient_accept_error(e: &io::Error) -> bool {
+    if matches!(
+        e.kind(),
+        io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::Interrupted
+            | io::ErrorKind::TimedOut
+            | io::ErrorKind::OutOfMemory
+    ) {
+        return true;
+    }
+    // File-table and buffer exhaustion (ENFILE 23 / EMFILE 24 /
+    // ENOBUFS 105) have no stable ErrorKind mapping; match the errno.
+    matches!(e.raw_os_error(), Some(23 | 24 | 105))
+}
+
+/// Joins and forgets tracked connections whose threads have exited, so
+/// a long-running server does not accumulate one handle per connection
+/// ever accepted. Joining happens outside the lock; `is_finished`
+/// guarantees those joins return immediately.
+fn reap_finished(conns: &Mutex<Vec<ConnEntry>>) {
+    let finished: Vec<ConnEntry> = {
+        let mut guard = conns.lock().expect("wire conns poisoned");
+        let mut done = Vec::new();
+        let mut i = 0;
+        while i < guard.len() {
+            if guard[i].handle.is_finished() {
+                done.push(guard.swap_remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        done
+    };
+    for e in finished {
+        let _ = e.handle.join();
     }
 }
 
@@ -250,6 +308,9 @@ fn spawn_connection<S: Conn>(service: &DecodeService, stream: S) -> io::Result<C
                     match recv.recv_timeout(WRITER_POLL) {
                         Ok((seq, pred)) => {
                             if write_response(&mut stream, seq, &pred).is_err() {
+                                // Peer gone: exiting drops `recv`, whose
+                                // Drop closes the credit gate and wakes a
+                                // reader parked on the in-flight budget.
                                 break;
                             }
                             forwarded += 1;

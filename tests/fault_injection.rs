@@ -128,7 +128,7 @@ fn distance_3_corrects_singles_but_not_all_pairs() {
 
 use astrea_serve::{DecodeService, RecvError, ServeConfig, SubmitError, SubmitPolicy};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 fn serve_ctx(d: usize, p: f64) -> Arc<DecodingContext> {
     let code = SurfaceCode::new(d).expect("valid distance");
@@ -407,6 +407,151 @@ fn wire_disconnect_mid_stream_is_survivable() {
         assert_eq!(&pred, w, "polite client corrupted by peer disconnect");
     }
     drop(polite);
+    server.shutdown();
+    service.shutdown();
+}
+
+#[test]
+fn dropping_receive_half_unblocks_a_parked_submitter() {
+    // Credits are only returned by the receive half absorbing responses,
+    // so a Block-policy submitter with an exhausted budget parks until
+    // its peer thread reads — or, if that thread instead drops the
+    // ReceiveHandle (the wire writer does exactly this on a broken
+    // pipe), the drop must close the credit gate and fail the parked
+    // submit with Closed. Pre-fix this test deadlocked right here.
+    let ctx = serve_ctx(3, 1e-2);
+    let stream = serve_stream(&ctx, 808, 8);
+    let service = DecodeService::new(
+        Arc::clone(&ctx),
+        ServeConfig {
+            workers: 1,
+            tile_words: 1,
+            max_inflight: 4,
+            ..ServeConfig::default()
+        },
+        serve_factory(),
+    );
+    let (mut submit, recv) = service.session(SubmitPolicy::Block).into_split();
+    for i in 0..4 {
+        submit
+            .submit(stream.detectors(i), stream.observables(i))
+            .expect("within budget");
+    }
+    // Nobody ever absorbs the responses, so the budget stays pinned at
+    // zero; the receive half dies while the next submit is parked.
+    let dropper = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(100));
+        drop(recv);
+    });
+    assert_eq!(
+        submit.submit(stream.detectors(4), stream.observables(4)),
+        Err(SubmitError::Closed),
+        "parked submitter must observe the dropped receive half"
+    );
+    dropper.join().expect("dropper join");
+    // And with the gate closed, both policies fail fast from now on.
+    assert_eq!(
+        submit.submit(stream.detectors(5), stream.observables(5)),
+        Err(SubmitError::Closed)
+    );
+    service.shutdown();
+}
+
+#[test]
+fn wire_flood_past_budget_then_disconnect_does_not_wedge_shutdown() {
+    // The deadlock this guards against: a client floods far past the
+    // session's in-flight budget without reading, so the connection
+    // reader parks in credit acquisition; the client then disconnects,
+    // the writer dies on the broken pipe and drops the receive half —
+    // the only thing that returns credits. The reader must wake with
+    // Closed (the receive half's Drop closes the credit gate), not wait
+    // on the condvar forever with server shutdown hung behind it.
+    let ctx = serve_ctx(3, 1e-2);
+    let stream = serve_stream(&ctx, 808, 96);
+    let service = Arc::new(DecodeService::new(
+        Arc::clone(&ctx),
+        ServeConfig {
+            workers: 1,
+            tile_words: 1,
+            max_inflight: 8,
+            ..ServeConfig::default()
+        },
+        serve_factory(),
+    ));
+    let server = astrea_serve::serve_tcp(Arc::clone(&service), "127.0.0.1:0").expect("bind");
+    let addr = server.local_addr().expect("addr");
+
+    let mut rude = astrea_serve::WireClient::connect_tcp(addr).expect("connect rude");
+    for i in 0..stream.len() {
+        rude.submit(stream.detectors(i), stream.observables(i))
+            .expect("rude submit");
+    }
+    drop(rude);
+
+    // The server is still fully functional for a well-behaved client.
+    let mut polite = astrea_serve::WireClient::connect_tcp(addr).expect("connect polite");
+    let want = serve_offline(&ctx, &stream);
+    for (i, w) in want.iter().enumerate().take(32) {
+        polite
+            .submit(stream.detectors(i), stream.observables(i))
+            .expect("polite submit");
+        let (seq, pred) = polite.recv().expect("polite recv");
+        assert_eq!(seq, i as u64);
+        assert_eq!(&pred, w, "polite client corrupted by flooding peer");
+    }
+    drop(polite);
+
+    // Pre-fix this hung in handle.join() on the rude connection's
+    // reader thread; the test harness would time out here.
+    server.shutdown();
+    service.shutdown();
+}
+
+#[test]
+fn finished_wire_connections_are_reaped() {
+    let ctx = serve_ctx(3, 1e-2);
+    let stream = serve_stream(&ctx, 909, 20);
+    let service = Arc::new(DecodeService::new(
+        Arc::clone(&ctx),
+        ServeConfig {
+            workers: 1,
+            tile_words: 1,
+            ..ServeConfig::default()
+        },
+        serve_factory(),
+    ));
+    let server = astrea_serve::serve_tcp(Arc::clone(&service), "127.0.0.1:0").expect("bind");
+    let addr = server.local_addr().expect("addr");
+
+    // A handful of short-lived connections come and go.
+    for _ in 0..4 {
+        let mut c = astrea_serve::WireClient::connect_tcp(addr).expect("connect");
+        for i in 0..stream.len() {
+            c.submit(stream.detectors(i), stream.observables(i))
+                .expect("submit");
+            c.recv().expect("recv");
+        }
+    }
+
+    // The idle accept loop joins their threads instead of tracking one
+    // handle per connection ever accepted.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while server.connections() > 0 {
+        assert!(
+            Instant::now() < deadline,
+            "closed connections were never reaped ({} still tracked)",
+            server.connections()
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // Reaping does not disturb a server that keeps serving.
+    let mut late = astrea_serve::WireClient::connect_tcp(addr).expect("connect late");
+    late.submit(stream.detectors(0), stream.observables(0))
+        .expect("late submit");
+    late.recv().expect("late recv");
+    assert_eq!(server.connections(), 1);
+    drop(late);
     server.shutdown();
     service.shutdown();
 }

@@ -67,9 +67,9 @@ pub use latency::{
 };
 pub use lut::{lilliput_table_bytes, LutDecoder, MAX_LUT_BITS};
 pub use pipeline::{
-    consume_tiles, decode_tile, decode_tile_with_predictions, tile_channel, PipelineCounters,
-    StreamOutcome, TileQueue, TileScratch, DEFAULT_CHANNEL_DEPTH, DEFAULT_HARD_CACHE_ENTRIES,
-    DEFAULT_TILE_WORDS,
+    consume_tiles, decode_tile, decode_tile_reference, decode_tile_with_predictions, tile_channel,
+    PipelineCounters, StreamOutcome, TileQueue, TileScratch, DEFAULT_CHANNEL_DEPTH,
+    DEFAULT_HARD_CACHE_ENTRIES, DEFAULT_TILE_WORDS,
 };
 pub use screen::{
     HardSyndromeCache, ScreenCache, TileScreen, HARD_CACHE_MAX_HW, HARD_CACHE_MIN_HW,

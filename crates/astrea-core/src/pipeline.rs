@@ -13,6 +13,35 @@
 //! are trivial or HW ≤ 2 at low physical error rate never touch a batch
 //! structure at all.
 //!
+//! # The packed easy tier
+//!
+//! Shots stay bit-packed *through decode*, not just through screening,
+//! for every tier that admits it:
+//!
+//! * **Trivial** shots are popcounted; their failures read off a
+//!   word-parallel OR of the observable rows.
+//! * **HW-1 / HW-2** shots are decided per *distinct syndrome key per
+//!   word*, not per lane: during the extraction sweep the lane mask
+//!   `row(d)[w] & hw1_mask` names every shot of the word whose only
+//!   fired detector is `d`, so one [`ScreenCache`] lookup covers them
+//!   all. Predictions are accumulated as per-observable-bit planes and
+//!   failures fall out of one XOR + popcount against the packed
+//!   observable rows — no per-lane `actual` gather, no per-lane cache
+//!   probe. The [`PipelineCounters`] `hw1_key_lookups`/`hw2_key_lookups`
+//!   fields count the key resolutions so benches can see the dedup.
+//! * **Closed forms (HW 3–4)** are grouped per tile by weight and
+//!   dispatched through [`Decoder::decode_same_weight_batch`], which
+//!   lets the MWPM decoder stage its weight-table gathers contiguously.
+//! * The word sweeps themselves (ripple adder, observable OR-fold,
+//!   bucket extraction) run over 4-word chunks (`[u64; 4]` lanes that
+//!   stable rustc autovectorizes) with the `det.row(d)` slice hoisted
+//!   out of the per-word loop.
+//!
+//! The per-lane path this replaces is retained as
+//! [`decode_tile_reference`] and exercised by the differential tests:
+//! both paths must agree bit-for-bit on predictions, accounting, and the
+//! shot-partition counters.
+//!
 //! # Exactness
 //!
 //! The streamed path reproduces the barrier path *bit-identically*, for
@@ -24,7 +53,8 @@
 //!   predicted observables, modeled cycles, deferral) is reproduced
 //!   exactly — trivial shots by word-parallel counting, HW ≤ 2 shots by
 //!   replaying the decoder through a [`ScreenCache`], hard shots by the
-//!   same `decode_with_scratch` call;
+//!   same `decode_with_scratch` call (batched closed forms must match it
+//!   by the [`Decoder::decode_same_weight_batch`] contract);
 //! * all accounting ([`StreamOutcome`], [`LatencyStats`]) is sums and
 //!   maxima, so any interleaving of tiles across consumers merges to the
 //!   same totals.
@@ -41,7 +71,7 @@ use std::sync::{mpsc, Arc, Mutex};
 use crate::latency::LatencyStats;
 use crate::screen::{HardSyndromeCache, ScreenCache};
 use decoding_graph::{DecodeScratch, Decoder, Prediction};
-use qec_circuit::SyndromeTile;
+use qec_circuit::{BitTable, SyndromeTile};
 
 /// Default tile size in packed words (8192 shots): large enough to
 /// amortize channel traffic, small enough that a tile's detector table
@@ -67,6 +97,16 @@ pub const DEFAULT_HARD_CACHE_ENTRIES: usize = 4096;
 /// [`blossom_mwpm::DP_NODE_LIMIT`] — the counters classify hard shots
 /// by the band they land in.
 const DP_BAND_MAX: usize = blossom_mwpm::DP_NODE_LIMIT;
+
+/// Words per chunk of the widened sweeps: classification, observable
+/// OR-fold, and extraction process `[u64; CHUNK_WORDS]` lanes at a time
+/// (256 shots), sized so stable rustc autovectorizes the lane loops.
+const CHUNK_WORDS: usize = 4;
+
+/// Most-recently-used screen/hard-cache contexts a [`TileScratch`]
+/// retains before evicting the coldest — bounds worker memory when a
+/// service hosts many decoding contexts.
+const MAX_SCREEN_CONTEXTS: usize = 8;
 
 /// Per-stage shot counters for the screened decode path: how many shots
 /// each stage of the hard-shot fast path absorbed.
@@ -99,6 +139,14 @@ pub struct PipelineCounters {
     /// Hard shots beyond the DP band (HW ≥ 12), solved by the sparse
     /// scratch-reusing blossom solver on the arena path.
     pub sparse_blossom_shots: u64,
+    /// Distinct HW-1 syndrome keys the packed easy tier resolved (one
+    /// [`ScreenCache`] probe may cover many lanes of a word). Zero on
+    /// the per-lane [`decode_tile_reference`] path; diagnostic only —
+    /// excluded from the shot-partition identity.
+    pub hw1_key_lookups: u64,
+    /// Distinct HW-2 `(first, second)` detector-pair keys the packed
+    /// easy tier resolved. Zero on the per-lane reference path.
+    pub hw2_key_lookups: u64,
 }
 
 impl PipelineCounters {
@@ -113,6 +161,40 @@ impl PipelineCounters {
         self.hard_cache_misses += other.hard_cache_misses;
         self.dp_shots += other.dp_shots;
         self.sparse_blossom_shots += other.sparse_blossom_shots;
+        self.hw1_key_lookups += other.hw1_key_lookups;
+        self.hw2_key_lookups += other.hw2_key_lookups;
+    }
+
+    /// The nine shot-accounting fields as one array — everything except
+    /// the packed-path key-resolution diagnostics. The packed and
+    /// per-lane reference paths must agree on exactly these.
+    pub fn shot_partition(&self) -> [u64; 9] {
+        [
+            self.shots_screened,
+            self.trivial_shots,
+            self.hw1_shots,
+            self.hw2_shots,
+            self.closed_form_shots,
+            self.hard_cache_hits,
+            self.hard_cache_misses,
+            self.dp_shots,
+            self.sparse_blossom_shots,
+        ]
+    }
+
+    /// Sum of the per-tier shot counters; equals [`shots_screened`]
+    /// (`dp_shots` already includes the hard-cache misses, so misses are
+    /// not added separately).
+    ///
+    /// [`shots_screened`]: PipelineCounters::shots_screened
+    pub fn tier_sum(&self) -> u64 {
+        self.trivial_shots
+            + self.hw1_shots
+            + self.hw2_shots
+            + self.closed_form_shots
+            + self.hard_cache_hits
+            + self.dp_shots
+            + self.sparse_blossom_shots
     }
 }
 
@@ -182,9 +264,20 @@ struct HardShot {
 /// whole tail.
 const HW_DISPATCH_BUCKETS: usize = 16;
 
-/// Reusable per-worker scratch for tile decoding: the lazy HW ≤ 2
-/// [`ScreenCache`], the bounded [`HardSyndromeCache`], the flat
-/// hard-shot staging arena, and the per-stage [`PipelineCounters`].
+/// One warm decoding context in a [`TileScratch`]: the lazy HW ≤ 2
+/// [`ScreenCache`] and the bounded [`HardSyndromeCache`], keyed by the
+/// detector count they were built for.
+#[derive(Debug)]
+struct ScreenContext {
+    cache: ScreenCache,
+    hard_cache: HardSyndromeCache,
+}
+
+/// Reusable per-worker scratch for tile decoding: the per-detector-count
+/// [`ScreenCache`] + [`HardSyndromeCache`] contexts (kept warm in an MRU
+/// list, so a service hosting several distances does not rebuild caches
+/// on every context switch), the flat hard-shot staging arena, the
+/// closed-form batch buffers, and the per-stage [`PipelineCounters`].
 /// (Screening itself is fused into [`decode_tile`]'s word loop and needs
 /// no buffers — see [`TileScreen`](crate::screen::TileScreen) for the
 /// standalone reference implementation.)
@@ -193,12 +286,11 @@ const HW_DISPATCH_BUCKETS: usize = 16;
 /// accumulate across tiles and batches.
 #[derive(Debug)]
 pub struct TileScratch {
-    cache: ScreenCache,
-    /// Bounded hard-shot memo, sized lazily on the first tile (like
-    /// `cache`) from `hard_cache_entries`.
-    hard_cache: HardSyndromeCache,
+    /// Warm screen/hard-cache contexts, most recently used first.
+    contexts: Vec<ScreenContext>,
     hard_cache_entries: usize,
-    /// Per-lane detector lists for the word being extracted (64 lanes).
+    /// Per-lane detector lists for the chunk being extracted
+    /// (`CHUNK_WORDS × 64` lanes).
     buckets: Vec<Vec<u32>>,
     /// Flat arena of hard-shot detector lists for the tile in flight —
     /// one growable buffer reused across words and tiles instead of
@@ -209,6 +301,11 @@ pub struct TileScratch {
     /// Dispatch order: indices into `hard_shots`, bucketed by Hamming
     /// weight so same-weight shots decode back-to-back.
     by_hw: Vec<Vec<u32>>,
+    /// Concatenated same-weight detector lists staged for one
+    /// [`Decoder::decode_same_weight_batch`] call.
+    cf_dets: Vec<u32>,
+    /// Prediction slots for the staged closed-form batch.
+    cf_preds: Vec<Prediction>,
     counters: PipelineCounters,
 }
 
@@ -228,20 +325,28 @@ impl TileScratch {
     /// predictions (0 disables it).
     pub fn with_hard_cache(entries: usize) -> TileScratch {
         TileScratch {
-            cache: ScreenCache::new(0),
-            hard_cache: HardSyndromeCache::new(0, 0),
+            contexts: Vec::new(),
             hard_cache_entries: entries,
             buckets: Vec::new(),
             hard_dets: Vec::new(),
             hard_shots: Vec::new(),
             by_hw: Vec::new(),
+            cf_dets: Vec::new(),
+            cf_preds: Vec::new(),
             counters: PipelineCounters::default(),
         }
     }
 
-    /// The warmed HW ≤ 2 prediction cache.
-    pub fn cache(&self) -> &ScreenCache {
-        &self.cache
+    /// The warmed HW ≤ 2 prediction cache of the most recently decoded
+    /// context (`None` before the first tile).
+    pub fn cache(&self) -> Option<&ScreenCache> {
+        self.contexts.first().map(|c| &c.cache)
+    }
+
+    /// Warm contexts currently retained (one per distinct detector
+    /// count seen, capped at an internal MRU bound).
+    pub fn num_contexts(&self) -> usize {
+        self.contexts.len()
     }
 
     /// Per-stage counters accumulated over every tile this scratch
@@ -249,37 +354,66 @@ impl TileScratch {
     pub fn counters(&self) -> &PipelineCounters {
         &self.counters
     }
+
+    /// Moves the context for `num_detectors` to the front of the MRU
+    /// list, creating it on first sight and evicting the coldest beyond
+    /// [`MAX_SCREEN_CONTEXTS`].
+    fn touch_context(&mut self, num_detectors: usize) {
+        match self
+            .contexts
+            .iter()
+            .position(|c| c.cache.num_detectors() == num_detectors)
+        {
+            Some(0) => {}
+            Some(p) => {
+                let ctx = self.contexts.remove(p);
+                self.contexts.insert(0, ctx);
+            }
+            None => {
+                self.contexts.insert(
+                    0,
+                    ScreenContext {
+                        cache: ScreenCache::new(num_detectors),
+                        hard_cache: HardSyndromeCache::new(self.hard_cache_entries, num_detectors),
+                    },
+                );
+                self.contexts.truncate(MAX_SCREEN_CONTEXTS);
+            }
+        }
+    }
 }
 
 /// Screens and decodes one packed tile, folding the accounting into
 /// `out`.
 ///
 /// Classification and extraction are **fused into one pass over the
-/// packed columns**: per 64-shot word, a register-resident bit-sliced
-/// ripple add classifies the lanes by Hamming weight (the same adder as
+/// packed columns**, widened to [`CHUNK_WORDS`]-word chunks: per chunk,
+/// a register-resident bit-sliced ripple add over `[u64; 4]` lanes
+/// classifies 256 shots by Hamming weight (the same adder as
 /// [`TileScreen`](crate::screen::TileScreen), without its buffers), and
-/// the extraction micro-sweep immediately re-reads the same word column
-/// — still L1-hot — into per-lane detector buckets. The former two
-/// full-tile row passes (screen, then extraction) touched every packed
-/// word twice from cache-cold memory; the fused loop streams the tile
-/// through memory exactly once. Trivial shots are popcounted (their
-/// failures read off a word-level observable OR) without being
-/// materialized; extracted lists arrive shot-grouped with detectors
-/// ascending, so no sort is needed.
+/// the extraction micro-sweep immediately re-reads the same columns —
+/// still L1-hot — with the `det.row(d)` slice hoisted out of the word
+/// loop. Trivial shots are popcounted (their failures read off a
+/// word-level observable OR) without being materialized.
 ///
-/// HW ≤ 2 shots are decided by the scratch's [`ScreenCache`] (replaying
-/// the decoder exactly) as they are extracted; HW ≥ 3 shots are staged
-/// into a flat arena and dispatched *after* the sweep in ascending
-/// Hamming-weight order, so same-weight shots decode back-to-back
-/// (closed form, then cacheable DP weights, then the deep tail) and
-/// cacheable ones consult the [`HardSyndromeCache`] first.
+/// HW ≤ 2 shots never leave the packed domain: each distinct syndrome
+/// key is resolved once per word through the scratch's [`ScreenCache`]
+/// and applied to its whole lane mask, with failures accumulated as
+/// per-observable-bit prediction planes XORed against the packed
+/// observable rows (see the module docs). HW ≥ 3 shots are staged into
+/// a flat arena and dispatched *after* the sweep in ascending
+/// Hamming-weight order: HW 3–4 as per-weight batches through
+/// [`Decoder::decode_same_weight_batch`], cacheable DP weights through
+/// the [`HardSyndromeCache`], then the deep tail.
 ///
 /// Every prediction still comes from the decoder itself (caches only
-/// replay it) and all accounting is sums and maxima, so the result is
-/// bit-identical to pushing the tile through a
-/// [`SyndromeBatch`](crate::SyndromeBatch) and
-/// [`decode_slice`](crate::batch::decode_slice) — dispatch order and
-/// cache hits never show through.
+/// replay it, batches must match `decode_with_scratch` by contract) and
+/// all accounting is sums and maxima, so the result is bit-identical to
+/// pushing the tile through a [`SyndromeBatch`](crate::SyndromeBatch)
+/// and [`decode_slice`](crate::batch::decode_slice) — dispatch order and
+/// cache hits never show through. The per-lane
+/// [`decode_tile_reference`] path checks this in the differential
+/// tests.
 pub fn decode_tile(
     decoder: &mut dyn Decoder,
     scratch: &mut DecodeScratch,
@@ -299,8 +433,9 @@ pub fn decode_tile(
 /// the decoder's own prediction (caches only replay it), so
 /// `predictions[i]` is bit-identical to what
 /// [`decode_slice`](crate::batch::decode_slice) would have produced for
-/// the same shot. The aggregate accounting in `out` is unchanged from
-/// [`decode_tile`].
+/// the same shot. Packed HW ≤ 2 tiers fan one per-key resolution out to
+/// every matching lane's slot. The aggregate accounting in `out` is
+/// unchanged from [`decode_tile`].
 ///
 /// # Panics
 ///
@@ -334,14 +469,403 @@ fn decode_tile_inner(
     if tile.num_shots() == 0 {
         return;
     }
-    if tile_scratch.cache.num_detectors() != det.num_bits() {
-        tile_scratch.cache = ScreenCache::new(det.num_bits());
-        tile_scratch.hard_cache =
-            HardSyndromeCache::new(tile_scratch.hard_cache_entries, det.num_bits());
-    }
+    tile_scratch.touch_context(det.num_bits());
     let TileScratch {
-        cache,
-        hard_cache,
+        contexts,
+        buckets,
+        hard_dets,
+        hard_shots,
+        by_hw,
+        cf_dets,
+        cf_preds,
+        counters,
+        ..
+    } = tile_scratch;
+    let ScreenContext { cache, hard_cache } = &mut contexts[0];
+    buckets.resize_with(CHUNK_WORDS * 64, Vec::new);
+    by_hw.resize_with(HW_DISPATCH_BUCKETS, Vec::new);
+    hard_dets.clear();
+    hard_shots.clear();
+    for bucket in by_hw.iter_mut() {
+        bucket.clear();
+    }
+    counters.shots_screened += tile.num_shots() as u64;
+
+    let words = det.num_words();
+    let mut c = 0;
+    while c < words {
+        let len = (words - c).min(CHUNK_WORDS);
+        decode_chunk(
+            decoder,
+            scratch,
+            cache,
+            buckets,
+            hard_dets,
+            hard_shots,
+            by_hw,
+            counters,
+            out,
+            &mut predictions,
+            det,
+            obs,
+            c,
+            len,
+        );
+        c += len;
+    }
+
+    // Hard dispatch, one Hamming-weight band at a time.
+    for (band, bucket) in by_hw.iter().enumerate() {
+        if bucket.is_empty() {
+            continue;
+        }
+        if band <= 4 {
+            // GWT-direct closed forms, batched: every shot in this band
+            // has exactly `band` detectors (the bucket index saturates
+            // only at the tail band), so one same-weight batch call lets
+            // the decoder stage its weight gathers contiguously.
+            let k = band;
+            cf_dets.clear();
+            for &idx in bucket.iter() {
+                let shot = &hard_shots[idx as usize];
+                cf_dets.extend_from_slice(&hard_dets[shot.dets_start as usize..][..k]);
+            }
+            cf_preds.clear();
+            cf_preds.resize(bucket.len(), Prediction::identity());
+            decoder.decode_same_weight_batch(k, cf_dets, cf_preds, scratch);
+            counters.closed_form_shots += bucket.len() as u64;
+            for (&idx, &p) in bucket.iter().zip(cf_preds.iter()) {
+                let shot = hard_shots[idx as usize];
+                if let Some(preds) = predictions.as_deref_mut() {
+                    preds[shot.shot as usize] = p;
+                }
+                out.stats.record(k, p.cycles);
+                out.deferred += u64::from(p.deferred);
+                out.failures += u64::from(p.observables != shot.actual);
+            }
+            continue;
+        }
+        for &idx in bucket.iter() {
+            let shot = hard_shots[idx as usize];
+            let k = shot.hw as usize;
+            let dets = &hard_dets[shot.dets_start as usize..shot.dets_start as usize + k];
+            let p = if hard_cache.caches(k) {
+                let (p, hit) = hard_cache.get_or_decode(dets, decoder, scratch);
+                if hit {
+                    counters.hard_cache_hits += 1;
+                } else {
+                    counters.hard_cache_misses += 1;
+                    counters.dp_shots += 1;
+                }
+                p
+            } else {
+                if k <= DP_BAND_MAX {
+                    counters.dp_shots += 1;
+                } else {
+                    counters.sparse_blossom_shots += 1;
+                }
+                decoder.decode_with_scratch(dets, scratch)
+            };
+            if let Some(preds) = predictions.as_deref_mut() {
+                preds[shot.shot as usize] = p;
+            }
+            out.stats.record(k, p.cycles);
+            out.deferred += u64::from(p.deferred);
+            out.failures += u64::from(p.observables != shot.actual);
+        }
+    }
+}
+
+/// Screens and decodes one `len ≤ CHUNK_WORDS`-word chunk of a tile:
+/// wide classification, packed easy-tier resolution, hard-shot staging.
+#[allow(clippy::too_many_arguments)]
+fn decode_chunk(
+    decoder: &mut dyn Decoder,
+    scratch: &mut DecodeScratch,
+    cache: &mut ScreenCache,
+    buckets: &mut [Vec<u32>],
+    hard_dets: &mut Vec<u32>,
+    hard_shots: &mut Vec<HardShot>,
+    by_hw: &mut [Vec<u32>],
+    counters: &mut PipelineCounters,
+    out: &mut StreamOutcome,
+    predictions: &mut Option<&mut [Prediction]>,
+    det: &BitTable,
+    obs: &BitTable,
+    c: usize,
+    len: usize,
+) {
+    debug_assert!((1..=CHUNK_WORDS).contains(&len));
+    let num_dets = det.num_bits();
+    let num_obs = obs.num_bits();
+
+    // Wide classification: one register-resident bit-sliced 2-bit
+    // ripple add over the chunk's detector columns, all lanes at once.
+    // This is the only cache-cold traversal of the columns — the
+    // extraction sweep below rereads them from L1.
+    let mut ones = [0u64; CHUNK_WORDS];
+    let mut twos = [0u64; CHUNK_WORDS];
+    let mut fours = [0u64; CHUNK_WORDS];
+    if len == CHUNK_WORDS {
+        // Full chunks take the fixed-width path so the lane loop
+        // autovectorizes; the ragged tail below is at most one chunk.
+        for d in 0..num_dets {
+            let bits = <&[u64; CHUNK_WORDS]>::try_from(&det.row(d)[c..c + CHUNK_WORDS]).unwrap();
+            for i in 0..CHUNK_WORDS {
+                let carry1 = ones[i] & bits[i];
+                ones[i] ^= bits[i];
+                let carry2 = twos[i] & carry1;
+                twos[i] ^= carry1;
+                fours[i] |= carry2;
+            }
+        }
+    } else {
+        for d in 0..num_dets {
+            for (i, &bits) in det.row(d)[c..c + len].iter().enumerate() {
+                let carry1 = ones[i] & bits;
+                ones[i] ^= bits;
+                let carry2 = twos[i] & carry1;
+                twos[i] ^= carry1;
+                fours[i] |= carry2;
+            }
+        }
+    }
+
+    // Word-parallel observable OR-fold, chunk-wide: a trivial shot fails
+    // iff any observable flipped with no syndrome.
+    let mut obs_any = [0u64; CHUNK_WORDS];
+    if len == CHUNK_WORDS {
+        for b in 0..num_obs {
+            let bits = <&[u64; CHUNK_WORDS]>::try_from(&obs.row(b)[c..c + CHUNK_WORDS]).unwrap();
+            for i in 0..CHUNK_WORDS {
+                obs_any[i] |= bits[i];
+            }
+        }
+    } else {
+        for b in 0..num_obs {
+            for (i, &bits) in obs.row(b)[c..c + len].iter().enumerate() {
+                obs_any[i] |= bits;
+            }
+        }
+    }
+
+    // Per-word tier masks, trivial accounting, and hard-bucket reset.
+    let mut hw1 = [0u64; CHUNK_WORDS];
+    let mut hw2 = [0u64; CHUNK_WORDS];
+    let mut hard = [0u64; CHUNK_WORDS];
+    let mut sweep = [0u64; CHUNK_WORDS];
+    let mut need_sweep = false;
+    for i in 0..len {
+        let valid = det.valid_lanes(c + i);
+        let nonzero = (ones[i] | twos[i] | fours[i]) & valid;
+        hw1[i] = ones[i] & !twos[i] & !fours[i] & valid;
+        hw2[i] = twos[i] & !ones[i] & !fours[i] & valid;
+        hard[i] = nonzero & !hw1[i] & !hw2[i];
+        sweep[i] = nonzero;
+        need_sweep |= nonzero != 0;
+
+        let trivial = !nonzero & valid;
+        let tcount = u64::from(trivial.count_ones());
+        out.stats.record_many(0, 0, tcount);
+        out.failures += u64::from((trivial & obs_any[i]).count_ones());
+        counters.trivial_shots += tcount;
+        if let Some(preds) = predictions.as_deref_mut() {
+            let mut m = trivial;
+            while m != 0 {
+                preds[(c + i) * 64 + m.trailing_zeros() as usize] = Prediction::identity();
+                m &= m - 1;
+            }
+        }
+        let mut m = hard[i];
+        while m != 0 {
+            buckets[i * 64 + m.trailing_zeros() as usize].clear();
+            m &= m - 1;
+        }
+    }
+    if !need_sweep {
+        return;
+    }
+
+    // Packed easy-tier state for the sweep: per-observable-bit
+    // prediction planes, and the first-detector memo for HW-2 lanes.
+    let mut planes = [[0u64; 32]; CHUNK_WORDS];
+    let mut hw2_seen = [0u64; CHUNK_WORDS];
+    let mut hw2_first = [[0u32; 64]; CHUNK_WORDS];
+
+    // Fused extraction + packed easy resolution: one AND sweep over the
+    // detector rows, the whole chunk per row read, row slice hoisted.
+    for d in 0..num_dets {
+        let row = &det.row(d)[c..c + len];
+        let mut any = 0u64;
+        for (i, &bits) in row.iter().enumerate() {
+            any |= bits & sweep[i];
+        }
+        if any == 0 {
+            continue;
+        }
+        for (i, &bits) in row.iter().enumerate() {
+            // Hard lanes: collect this detector into their buckets.
+            let mut mh = bits & hard[i];
+            while mh != 0 {
+                buckets[i * 64 + mh.trailing_zeros() as usize].push(d as u32);
+                mh &= mh - 1;
+            }
+
+            // HW-1 lanes firing d have syndrome exactly {d}: resolve the
+            // key once, apply to the whole lane group.
+            let m1 = bits & hw1[i];
+            if m1 != 0 {
+                let p = cache.single(d as u32, decoder, scratch);
+                counters.hw1_key_lookups += 1;
+                counters.hw1_shots += u64::from(m1.count_ones());
+                apply_packed_prediction(p, m1, 1, c + i, &mut planes[i], out, predictions);
+            }
+
+            // HW-2 lanes: the first detector seen per lane is memoized;
+            // when the second (this `d`) arrives, lanes sharing the same
+            // first detector form one group with syndrome {first, d} —
+            // `row(first)` restricted to the finished lanes names the
+            // group, because a finished lane's bits are exactly its two
+            // detectors.
+            let m2 = bits & hw2[i];
+            if m2 != 0 {
+                let newly = m2 & !hw2_seen[i];
+                let mut t = newly;
+                while t != 0 {
+                    hw2_first[i][t.trailing_zeros() as usize] = d as u32;
+                    t &= t - 1;
+                }
+                hw2_seen[i] |= newly;
+                let mut done = m2 & !newly;
+                while done != 0 {
+                    let lane = done.trailing_zeros() as usize;
+                    let a = hw2_first[i][lane];
+                    // Group membership needs a random row(first) load;
+                    // skip it when this lane is the only candidate.
+                    let group = if done & (done - 1) == 0 {
+                        done
+                    } else {
+                        det.row(a as usize)[c + i] & done
+                    };
+                    let p = cache.pair(a, d as u32, decoder, scratch);
+                    counters.hw2_key_lookups += 1;
+                    counters.hw2_shots += u64::from(group.count_ones());
+                    apply_packed_prediction(p, group, 2, c + i, &mut planes[i], out, predictions);
+                    done &= !group;
+                }
+            }
+        }
+    }
+
+    // Easy-tier failure accounting, word-parallel: a lane fails iff any
+    // observable bit of its applied prediction disagrees with the packed
+    // actual row — one XOR + popcount per plane, no per-lane gather.
+    // Hard lanes then stage per-lane as before, in (word, lane) order so
+    // the hard-cache access pattern is unchanged.
+    for i in 0..len {
+        let easy = hw1[i] | hw2[i];
+        if easy != 0 {
+            let mut mismatch = 0u64;
+            for (b, plane) in planes[i].iter().enumerate() {
+                let actual = if b < num_obs { obs.word(b, c + i) } else { 0 };
+                mismatch |= plane ^ actual;
+            }
+            // Observables beyond the plane width can never be predicted;
+            // any actual flip there is a mismatch (unreachable for real
+            // codes — Prediction caps observables at 32 bits).
+            for b in 32..num_obs {
+                mismatch |= obs.word(b, c + i);
+            }
+            out.failures += u64::from((mismatch & easy).count_ones());
+        }
+
+        let mut m = hard[i];
+        while m != 0 {
+            let lane = m.trailing_zeros() as usize;
+            m &= m - 1;
+            let dets = &buckets[i * 64 + lane];
+            let mut actual = 0u32;
+            for b in 0..num_obs {
+                actual |= ((obs.word(b, c + i) >> lane & 1) as u32) << b;
+            }
+            let start = hard_dets.len() as u32;
+            hard_dets.extend_from_slice(dets);
+            by_hw[dets.len().min(HW_DISPATCH_BUCKETS - 1)].push(hard_shots.len() as u32);
+            hard_shots.push(HardShot {
+                dets_start: start,
+                hw: dets.len() as u32,
+                actual,
+                shot: ((c + i) * 64 + lane) as u32,
+            });
+        }
+    }
+}
+
+/// Applies one resolved easy-tier prediction to every lane in `group`
+/// of tile word `word`: accounting by lane count, observable bits
+/// scattered into the word's prediction planes, and (when routing
+/// per-shot predictions) one store per lane.
+fn apply_packed_prediction(
+    p: Prediction,
+    group: u64,
+    hw: usize,
+    word: usize,
+    planes: &mut [u64; 32],
+    out: &mut StreamOutcome,
+    predictions: &mut Option<&mut [Prediction]>,
+) {
+    let n = u64::from(group.count_ones());
+    out.stats.record_many(hw, p.cycles, n);
+    out.deferred += u64::from(p.deferred) * n;
+    let mut ob = p.observables;
+    while ob != 0 {
+        planes[ob.trailing_zeros() as usize] |= group;
+        ob &= ob - 1;
+    }
+    if let Some(preds) = predictions.as_deref_mut() {
+        let mut m = group;
+        while m != 0 {
+            preds[word * 64 + m.trailing_zeros() as usize] = p;
+            m &= m - 1;
+        }
+    }
+}
+
+/// The per-lane reference implementation of [`decode_tile`] /
+/// [`decode_tile_with_predictions`] (pass `None` / `Some` predictions):
+/// one word at a time, every nontrivial shot peeled into its own
+/// bucket, every easy shot resolved by its own cache probe, every
+/// closed form decoded by its own `decode_with_scratch` call.
+///
+/// This is the pre-packing decode path, kept as the differential oracle:
+/// the packed path must reproduce its predictions, [`StreamOutcome`],
+/// and shot-partition counters bit-for-bit (only the `*_key_lookups`
+/// diagnostics differ — they stay zero here). It shares the
+/// [`TileScratch`] caches, so mixing the two paths on one worker is
+/// also exact. Not used on any hot path.
+pub fn decode_tile_reference(
+    decoder: &mut dyn Decoder,
+    scratch: &mut DecodeScratch,
+    tile_scratch: &mut TileScratch,
+    tile: &SyndromeTile,
+    out: &mut StreamOutcome,
+    mut predictions: Option<&mut [Prediction]>,
+) {
+    if let Some(preds) = predictions.as_deref_mut() {
+        assert_eq!(
+            preds.len(),
+            tile.num_shots(),
+            "prediction buffer does not match tile shot count"
+        );
+    }
+    let det = tile.detectors();
+    let obs = tile.observables();
+    if tile.num_shots() == 0 {
+        return;
+    }
+    tile_scratch.touch_context(det.num_bits());
+    let TileScratch {
+        contexts,
         buckets,
         hard_dets,
         hard_shots,
@@ -349,7 +873,8 @@ fn decode_tile_inner(
         counters,
         ..
     } = tile_scratch;
-    buckets.resize_with(64, Vec::new);
+    let ScreenContext { cache, hard_cache } = &mut contexts[0];
+    buckets.resize_with(CHUNK_WORDS * 64, Vec::new);
     by_hw.resize_with(HW_DISPATCH_BUCKETS, Vec::new);
     hard_dets.clear();
     hard_shots.clear();
@@ -360,10 +885,6 @@ fn decode_tile_inner(
 
     let words = det.num_words();
     for w in 0..words {
-        // Fused classification: one register-resident bit-sliced 2-bit
-        // ripple add over this word's detector column. This is the only
-        // cache-cold traversal of the column — the extraction sweep
-        // below rereads it from L1.
         let (mut ones, mut twos, mut fours) = (0u64, 0u64, 0u64);
         for d in 0..det.num_bits() {
             let bits = det.row(d)[w];
@@ -374,9 +895,6 @@ fn decode_tile_inner(
             fours |= carry2;
         }
 
-        // Word-parallel accounting of trivial shots: count them, and
-        // read their failures (actual observable flip with no syndrome)
-        // off an OR of the packed observable rows.
         let valid = det.valid_lanes(w);
         let mut obs_any = 0u64;
         for i in 0..obs.num_bits() {
@@ -395,9 +913,6 @@ fn decode_tile_inner(
             }
         }
 
-        // Sparse extraction of this word's nontrivial lanes into
-        // per-lane buckets: one AND per detector row, detectors arrive
-        // in ascending order per lane.
         let mask = nonzero & valid;
         if mask == 0 {
             continue;
@@ -434,8 +949,6 @@ fn decode_tile_inner(
                     cache.pair(a, b, decoder, scratch)
                 }
                 _ => {
-                    // Hard shot: stage it in the flat arena for the
-                    // weight-sorted dispatch below.
                     let start = hard_dets.len() as u32;
                     hard_dets.extend_from_slice(dets);
                     by_hw[dets.len().min(HW_DISPATCH_BUCKETS - 1)].push(hard_shots.len() as u32);
@@ -457,15 +970,12 @@ fn decode_tile_inner(
         }
     }
 
-    // Hard dispatch, one Hamming-weight band at a time.
     for bucket in by_hw.iter() {
         for &idx in bucket {
             let shot = hard_shots[idx as usize];
             let k = shot.hw as usize;
             let dets = &hard_dets[shot.dets_start as usize..shot.dets_start as usize + k];
             let p = if k <= 4 {
-                // GWT-direct closed form inside the decoder — no weight
-                // matrix, no DP table.
                 counters.closed_form_shots += 1;
                 decoder.decode_with_scratch(dets, scratch)
             } else if hard_cache.caches(k) {
@@ -620,6 +1130,105 @@ mod tests {
     }
 
     #[test]
+    fn packed_path_matches_per_lane_reference() {
+        // The tentpole's differential contract, checked in-crate at a
+        // rate high enough to exercise every tier: packed easy-tier
+        // decode must reproduce the per-lane reference path's
+        // predictions, outcome, and shot-partition counters exactly,
+        // with the key-lookup diagnostics bounded by the shots they
+        // dedupe. (p chosen so the mix spans trivial through the DP
+        // band — at 2e-2 the easy tiers are empty at this distance.)
+        let ctx = ctx(5, 5e-3);
+        let shots = 1800;
+        let layout = TileLayout::new(shots, 4);
+        let run = |packed: bool| {
+            let mut sampler = BatchDemSampler::new(ctx.dem());
+            let mut decoder = MwpmDecoder::new(ctx.gwt());
+            let mut scratch = DecodeScratch::new();
+            let mut ts = TileScratch::new();
+            let mut out = StreamOutcome::default();
+            let mut preds = Vec::new();
+            for t in 0..layout.num_tiles() {
+                let tile = sampler.sample_tile(17, &layout, t);
+                let mut tile_preds = vec![Prediction::identity(); tile.num_shots()];
+                if packed {
+                    decode_tile_with_predictions(
+                        &mut decoder,
+                        &mut scratch,
+                        &mut ts,
+                        &tile,
+                        &mut out,
+                        &mut tile_preds,
+                    );
+                } else {
+                    decode_tile_reference(
+                        &mut decoder,
+                        &mut scratch,
+                        &mut ts,
+                        &tile,
+                        &mut out,
+                        Some(&mut tile_preds),
+                    );
+                }
+                preds.extend_from_slice(&tile_preds);
+            }
+            (preds, out, *ts.counters())
+        };
+        let (preds_packed, out_packed, c_packed) = run(true);
+        let (preds_ref, out_ref, c_ref) = run(false);
+        assert_eq!(preds_packed, preds_ref);
+        assert_eq!(out_packed, out_ref);
+        assert_eq!(c_packed.shot_partition(), c_ref.shot_partition());
+        assert_eq!(c_packed.tier_sum(), c_packed.shots_screened);
+        assert_eq!(c_ref.hw1_key_lookups + c_ref.hw2_key_lookups, 0);
+        assert!(
+            c_packed.hw1_shots > 0 && c_packed.hw2_shots > 0,
+            "{c_packed:?}"
+        );
+        assert!(c_packed.hw1_key_lookups > 0 && c_packed.hw1_key_lookups <= c_packed.hw1_shots);
+        assert!(c_packed.hw2_key_lookups > 0 && c_packed.hw2_key_lookups <= c_packed.hw2_shots);
+    }
+
+    #[test]
+    fn alternating_contexts_keep_caches_warm() {
+        // A worker serving two decoding contexts must not rebuild its
+        // screen/hard caches on every switch: replaying context A's
+        // tiles after an interleaved B stream must still hit A's hard
+        // cache, and the outcomes must equal the uninterleaved run.
+        let ctx_a = ctx(5, 2e-2);
+        let ctx_b = ctx(3, 2e-2);
+        let shots = 1200;
+        let layout = TileLayout::new(shots, 4);
+        let mut decoder_a = MwpmDecoder::new(ctx_a.gwt());
+        let mut decoder_b = MwpmDecoder::new(ctx_b.gwt());
+        let mut scratch = DecodeScratch::new();
+        let mut ts = TileScratch::new();
+        let mut passes = [StreamOutcome::default(), StreamOutcome::default()];
+        for out in passes.iter_mut() {
+            let mut sampler = BatchDemSampler::new(ctx_a.dem());
+            for t in 0..layout.num_tiles() {
+                let tile = sampler.sample_tile(23, &layout, t);
+                decode_tile(&mut decoder_a, &mut scratch, &mut ts, &tile, out);
+            }
+            // Interleave the other context between the passes; before
+            // the per-detector-count keying this wiped A's caches.
+            let mut sampler = BatchDemSampler::new(ctx_b.dem());
+            let mut out_b = StreamOutcome::default();
+            for t in 0..layout.num_tiles() {
+                let tile = sampler.sample_tile(29, &layout, t);
+                decode_tile(&mut decoder_b, &mut scratch, &mut ts, &tile, &mut out_b);
+            }
+        }
+        assert_eq!(ts.num_contexts(), 2);
+        let c = ts.counters();
+        assert!(
+            c.hard_cache_hits > 0,
+            "context switch evicted the warm hard cache: {c:?}"
+        );
+        assert_eq!(passes[0], passes[1], "warm caches must replay exactly");
+    }
+
+    #[test]
     fn decode_tile_accounts_astrea_cycles_and_deferrals_exactly() {
         // Astrea models nonzero cycles for HW ≤ 2 lookups and defers
         // beyond HW 10; both must survive the screened path bit-for-bit.
@@ -701,14 +1310,7 @@ mod tests {
         let c = *ts.counters();
         assert_eq!(c.shots_screened, shots as u64);
         assert_eq!(
-            c.trivial_shots
-                + c.hw1_shots
-                + c.hw2_shots
-                + c.closed_form_shots
-                + c.hard_cache_hits
-                + c.hard_cache_misses
-                + (c.dp_shots - c.hard_cache_misses)
-                + c.sparse_blossom_shots,
+            c.tier_sum(),
             c.shots_screened,
             "stage counters do not partition the stream: {c:?}"
         );

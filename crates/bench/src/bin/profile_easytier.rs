@@ -1,0 +1,254 @@
+//! Wall-clock profiler for the packed easy-tier decode: times each tier
+//! (trivial / HW-1 / HW-2 / k ∈ {3, 4} closed forms) on synthetic
+//! single-tier tiles — packed path vs the retained per-lane reference —
+//! and measures the headline ROADMAP ratio: d ∈ {3, 5} streamed
+//! `estimate_ler` throughput against raw packed sampling throughput on
+//! the same host. Writes `results/BENCH_easytier.json`.
+//!
+//! Usage: `profile_easytier [--smoke] [output.json]` — defaults to
+//! `results/BENCH_easytier.json`. `--smoke` shrinks the workload for CI
+//! and skips the JSON artifact (smoke timings must never overwrite
+//! full-size results). Reports min-of-N wall times to shrug off
+//! scheduler noise.
+
+use astrea_bench::synthetic_tier_tile;
+use astrea_core::pipeline::{decode_tile, decode_tile_reference, StreamOutcome, TileScratch};
+use astrea_experiments::{
+    estimate_ler_streamed, sample_batch, DecoderFactory, ExperimentContext, PipelineConfig,
+};
+use blossom_mwpm::MwpmDecoder;
+use decoding_graph::DecodeScratch;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+const SEED: u64 = 7;
+const THREADS: usize = 8;
+
+fn min_of<F: FnMut()>(reps: usize, mut f: F) -> Duration {
+    (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed()
+        })
+        .min()
+        .unwrap()
+}
+
+struct TierPoint {
+    tier: &'static str,
+    packed: Duration,
+    per_lane: Duration,
+    shots: u64,
+}
+
+impl TierPoint {
+    fn shots_per_s(&self, t: Duration) -> f64 {
+        self.shots as f64 / t.as_secs_f64()
+    }
+
+    fn speedup(&self) -> f64 {
+        self.per_lane.as_secs_f64() / self.packed.as_secs_f64()
+    }
+}
+
+/// Times one synthetic single-tier tile through both decode paths,
+/// repeated `tiles_per_rep` times per measured rep so short tiers don't
+/// vanish under timer noise.
+fn measure_tier(
+    ctx: &ExperimentContext,
+    tier: &'static str,
+    hw: usize,
+    tile_shots: usize,
+    tiles_per_rep: usize,
+    reps: usize,
+) -> TierPoint {
+    let tile = synthetic_tier_tile(ctx, hw, tile_shots, 11 + hw as u64);
+    let mut decoder = MwpmDecoder::new(ctx.gwt());
+    let mut scratch = DecodeScratch::new();
+    let mut ts = TileScratch::new();
+    // Warm the screen caches once so both paths price steady state.
+    let mut out = StreamOutcome::default();
+    decode_tile(&mut decoder, &mut scratch, &mut ts, &tile, &mut out);
+
+    let packed = min_of(reps, || {
+        let mut out = StreamOutcome::default();
+        for _ in 0..tiles_per_rep {
+            decode_tile(&mut decoder, &mut scratch, &mut ts, &tile, &mut out);
+        }
+        std::hint::black_box(out);
+    });
+    let per_lane = min_of(reps, || {
+        let mut out = StreamOutcome::default();
+        for _ in 0..tiles_per_rep {
+            decode_tile_reference(&mut decoder, &mut scratch, &mut ts, &tile, &mut out, None);
+        }
+        std::hint::black_box(out);
+    });
+    TierPoint {
+        tier,
+        packed,
+        per_lane,
+        shots: (tile_shots * tiles_per_rep) as u64,
+    }
+}
+
+struct RatioPoint {
+    distance: usize,
+    p: f64,
+    sampling: Duration,
+    streamed: Duration,
+    trials: u64,
+}
+
+impl RatioPoint {
+    fn sampling_shots_per_s(&self) -> f64 {
+        self.trials as f64 / self.sampling.as_secs_f64()
+    }
+
+    fn streamed_shots_per_s(&self) -> f64 {
+        self.trials as f64 / self.streamed.as_secs_f64()
+    }
+
+    /// Streamed decode throughput as a fraction of raw packed sampling
+    /// throughput — the ROADMAP target is ≥ 0.5 (within 2×).
+    fn ratio(&self) -> f64 {
+        self.streamed_shots_per_s() / self.sampling_shots_per_s()
+    }
+}
+
+/// Times raw packed sampling vs the full streamed `estimate_ler` at one
+/// (d, p) point — the "decode keeps up with the sampler" headline.
+fn measure_ratio(distance: usize, p: f64, trials: u64, reps: usize) -> RatioPoint {
+    let ctx = ExperimentContext::new(distance, p);
+    let factory: Box<DecoderFactory> = Box::new(|c| Box::new(MwpmDecoder::new(c.gwt())));
+    let config = PipelineConfig::for_threads(THREADS);
+    let sampling = min_of(reps, || {
+        std::hint::black_box(sample_batch(&ctx, trials, THREADS, SEED));
+    });
+    let streamed = min_of(reps, || {
+        std::hint::black_box(estimate_ler_streamed(&ctx, trials, SEED, &*factory, config));
+    });
+    RatioPoint {
+        distance,
+        p,
+        sampling,
+        streamed,
+        trials,
+    }
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut positional: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        if arg == "--smoke" {
+            smoke = true;
+        } else {
+            positional.push(arg);
+        }
+    }
+    let out_path = positional
+        .first()
+        .cloned()
+        .unwrap_or_else(|| "results/BENCH_easytier.json".to_string());
+    let (tile_shots, tiles_per_rep, reps, trials) = if smoke {
+        (1024, 2, 1, 5_000u64)
+    } else {
+        (8192, 8, 5, 200_000u64)
+    };
+
+    let ctx = ExperimentContext::new(5, 1e-3);
+    let tiers: Vec<TierPoint> = [
+        ("trivial", 0usize),
+        ("hw1", 1),
+        ("hw2", 2),
+        ("closed_form_3", 3),
+        ("closed_form_4", 4),
+    ]
+    .into_iter()
+    .map(|(tier, hw)| {
+        let pt = measure_tier(&ctx, tier, hw, tile_shots, tiles_per_rep, reps);
+        println!(
+            "{tier:>14}: packed {:.1} Mshots/s, per-lane {:.1} Mshots/s ({:.2}x)",
+            pt.shots_per_s(pt.packed) / 1e6,
+            pt.shots_per_s(pt.per_lane) / 1e6,
+            pt.speedup(),
+        );
+        pt
+    })
+    .collect();
+
+    let ratios: Vec<RatioPoint> = [(3usize, 1e-3), (5, 1e-3)]
+        .into_iter()
+        .map(|(d, p)| {
+            let pt = measure_ratio(d, p, trials, reps);
+            println!(
+                "d={d} p={p:.0e}: sampling {:.1} Mshots/s, streamed decode {:.1} Mshots/s, ratio {:.3}",
+                pt.sampling_shots_per_s() / 1e6,
+                pt.streamed_shots_per_s() / 1e6,
+                pt.ratio(),
+            );
+            pt
+        })
+        .collect();
+
+    if smoke {
+        // CI gate: the packed path must not lose to the per-lane path on
+        // the tiers it packs (generous slack — smoke boxes are noisy).
+        for pt in &tiers {
+            assert!(
+                pt.speedup() > 0.5,
+                "packed {} tier regressed past noise: {:.2}x",
+                pt.tier,
+                pt.speedup()
+            );
+        }
+        println!("smoke OK: packed tiers within expected range");
+        return;
+    }
+
+    // Hand-rolled JSON: the workspace has no serde and the shape is flat.
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"tile_shots\": {tile_shots},");
+    let _ = writeln!(json, "  \"ratio_trials\": {trials},");
+    let _ = writeln!(json, "  \"threads\": {THREADS},");
+    let _ = writeln!(json, "  \"seed\": {SEED},");
+    json.push_str("  \"tiers\": [\n");
+    for (i, pt) in tiers.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"tier\": \"{}\", \"packed_shots_per_s\": {:.0}, \
+             \"per_lane_shots_per_s\": {:.0}, \"packed_speedup\": {:.3}}}",
+            pt.tier,
+            pt.shots_per_s(pt.packed),
+            pt.shots_per_s(pt.per_lane),
+            pt.speedup(),
+        );
+        json.push_str(if i + 1 < tiers.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"sampling_vs_streamed\": [\n");
+    for (i, pt) in ratios.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"distance\": {}, \"p\": {}, \"sampling_shots_per_s\": {:.0}, \
+             \"streamed_shots_per_s\": {:.0}, \"streamed_over_sampling\": {:.3}}}",
+            pt.distance,
+            pt.p,
+            pt.sampling_shots_per_s(),
+            pt.streamed_shots_per_s(),
+            pt.ratio(),
+        );
+        json.push_str(if i + 1 < ratios.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create results directory");
+        }
+    }
+    std::fs::write(&out_path, &json).expect("write benchmark JSON");
+    println!("wrote {out_path}");
+}

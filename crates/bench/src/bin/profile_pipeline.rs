@@ -144,7 +144,8 @@ fn counters_json(c: &PipelineCounters) -> String {
     format!(
         "{{\"shots_screened\": {}, \"trivial\": {}, \"hw1\": {}, \"hw2\": {}, \
          \"closed_form\": {}, \"hard_cache_hits\": {}, \"hard_cache_misses\": {}, \
-         \"dp\": {}, \"sparse_blossom\": {}}}",
+         \"dp\": {}, \"sparse_blossom\": {}, \"hw1_key_lookups\": {}, \
+         \"hw2_key_lookups\": {}}}",
         c.shots_screened,
         c.trivial_shots,
         c.hw1_shots,
@@ -154,6 +155,8 @@ fn counters_json(c: &PipelineCounters) -> String {
         c.hard_cache_misses,
         c.dp_shots,
         c.sparse_blossom_shots,
+        c.hw1_key_lookups,
+        c.hw2_key_lookups,
     )
 }
 
@@ -229,14 +232,24 @@ fn main() {
         .collect();
 
     if smoke {
-        // CI gate: every hard-path stage must have absorbed shots, and the
-        // screen must have accounted for every trial at every point.
+        // CI gate: every hard-path stage must have absorbed shots, the
+        // screen must have accounted for every trial at every point, and
+        // the per-tier counters must still partition the stream with the
+        // packed easy tier live.
         let mut total = PipelineCounters::default();
         for pt in &points {
             assert_eq!(
                 pt.counters.shots_screened, pt.trials,
                 "screen missed shots at d={} p={}",
                 pt.distance, pt.p
+            );
+            assert_eq!(
+                pt.counters.tier_sum(),
+                pt.counters.shots_screened,
+                "tier counters do not sum to shots_screened at d={} p={}: {:?}",
+                pt.distance,
+                pt.p,
+                pt.counters
             );
             total.merge(&pt.counters);
         }
@@ -252,6 +265,16 @@ fn main() {
         assert!(
             total.sparse_blossom_shots > 0,
             "sparse-blossom deep-tail stage idle"
+        );
+        // Packed easy tier: keys must resolve (the bit-sliced path is
+        // live) and dedupe at most one probe per easy shot.
+        assert!(
+            total.hw1_key_lookups > 0 && total.hw1_key_lookups <= total.hw1_shots,
+            "packed HW-1 key resolution inconsistent: {total:?}"
+        );
+        assert!(
+            total.hw2_key_lookups > 0 && total.hw2_key_lookups <= total.hw2_shots,
+            "packed HW-2 key resolution inconsistent: {total:?}"
         );
         println!("smoke OK: all hard-path stages absorbed shots");
         // Don't clobber the published full-size artifacts with

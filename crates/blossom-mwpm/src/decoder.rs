@@ -56,6 +56,12 @@ pub struct MwpmDecoder<'a> {
     use_quantized: bool,
     /// Destination for batched quantized gathers on the scratch path.
     qblock: QuantizedBlock,
+    /// Staged triangular pair weights for batched quantized closed forms
+    /// (6 slots per shot; the exact path stages into the scratch arena).
+    batch_wq: Vec<u16>,
+    /// Staged boundary weights for batched quantized closed forms
+    /// (4 slots per shot).
+    batch_bq: Vec<u16>,
 }
 
 impl<'a> MwpmDecoder<'a> {
@@ -65,6 +71,8 @@ impl<'a> MwpmDecoder<'a> {
             gwt,
             use_quantized: false,
             qblock: QuantizedBlock::new(),
+            batch_wq: Vec::new(),
+            batch_bq: Vec::new(),
         }
     }
 
@@ -75,6 +83,8 @@ impl<'a> MwpmDecoder<'a> {
             gwt,
             use_quantized: true,
             qblock: QuantizedBlock::new(),
+            batch_wq: Vec::new(),
+            batch_bq: Vec::new(),
         }
     }
 
@@ -293,6 +303,18 @@ impl<'a> MwpmDecoder<'a> {
             let (w, b) = self.gwt.gather_small_exact(dets, 2.0 * WEIGHT_CLAMP);
             subset_dp::solve_closed_form(k, |i, j| w[tri_index(k, i, j)], |i| b[i]).1
         };
+        Prediction {
+            observables: self.closed_form_obs(dets, &mate),
+            cycles: 0,
+            deferred: false,
+        }
+    }
+
+    /// Folds a closed-form mate assignment into the predicted observable
+    /// mask — shared by the per-shot and batched closed-form paths.
+    #[inline]
+    fn closed_form_obs(&self, dets: &[u32], mate: &[usize; 4]) -> u32 {
+        let k = dets.len();
         let mut observables = 0u32;
         for (i, &m) in mate[..k].iter().enumerate() {
             if m == usize::MAX {
@@ -301,11 +323,7 @@ impl<'a> MwpmDecoder<'a> {
                 observables ^= self.gwt.pair_obs(dets[i], dets[m]);
             }
         }
-        Prediction {
-            observables,
-            cycles: 0,
-            deferred: false,
-        }
+        observables
     }
 
     /// Stages the quantized weights for the subset DP via one batched
@@ -622,6 +640,90 @@ impl Decoder for MwpmDecoder<'_> {
             observables,
             cycles: 0,
             deferred: false,
+        }
+    }
+
+    /// Batched closed forms: for a run of same-weight `k ≤ 4` syndromes,
+    /// stage every shot's triangular GWT gather contiguously (one pass
+    /// over the batch per weight class), then run the register-only
+    /// closed form over the staged block — the per-shot pipeline of
+    /// gather → solve → fold becomes two cache-friendly sweeps. The
+    /// staged operands are exactly what [`Self::decode_closed_form`]
+    /// gathers, so every prediction is bit-identical to
+    /// `decode_with_scratch` on the same list.
+    fn decode_same_weight_batch(
+        &mut self,
+        k: usize,
+        detectors: &[u32],
+        out: &mut [Prediction],
+        scratch: &mut DecodeScratch,
+    ) {
+        assert_eq!(
+            detectors.len(),
+            k * out.len(),
+            "batch detector buffer does not hold out.len() lists of {k}"
+        );
+        if !(1..=4).contains(&k) {
+            // Outside the closed-form band: per-shot scratch decode,
+            // exactly like the trait's default implementation.
+            if k == 0 {
+                for slot in out.iter_mut() {
+                    *slot = self.decode_with_scratch(&[], scratch);
+                }
+                return;
+            }
+            for (list, slot) in detectors.chunks_exact(k).zip(out.iter_mut()) {
+                *slot = self.decode_with_scratch(list, scratch);
+            }
+            return;
+        }
+        if self.use_quantized {
+            // Integer domain end to end: stage u16 operands in the
+            // decoder-owned batch buffers (6 pair + 4 boundary slots per
+            // shot, fixed stride so unused slots stay zero).
+            let mut batch_wq = std::mem::take(&mut self.batch_wq);
+            let mut batch_bq = std::mem::take(&mut self.batch_bq);
+            batch_wq.clear();
+            batch_bq.clear();
+            for list in detectors.chunks_exact(k) {
+                let (w, b) = self.gwt.gather_small_quantized(list);
+                batch_wq.extend_from_slice(&w);
+                batch_bq.extend_from_slice(&b);
+            }
+            for (s, (list, slot)) in detectors.chunks_exact(k).zip(out.iter_mut()).enumerate() {
+                let w = &batch_wq[s * 6..][..6];
+                let b = &batch_bq[s * 4..][..4];
+                let (_, mate) =
+                    subset_dp::solve_closed_form(k, |i, j| w[tri_index(k, i, j)], |i| b[i]);
+                *slot = Prediction {
+                    observables: self.closed_form_obs(list, &mate),
+                    cycles: 0,
+                    deferred: false,
+                };
+            }
+            self.batch_wq = batch_wq;
+            self.batch_bq = batch_bq;
+        } else {
+            // Exact path: stage the f64 operands in the scratch arena
+            // (the weights/boundary vectors are free between decodes).
+            scratch.weights.clear();
+            scratch.boundary.clear();
+            for list in detectors.chunks_exact(k) {
+                let (w, b) = self.gwt.gather_small_exact(list, 2.0 * WEIGHT_CLAMP);
+                scratch.weights.extend_from_slice(&w);
+                scratch.boundary.extend_from_slice(&b);
+            }
+            for (s, (list, slot)) in detectors.chunks_exact(k).zip(out.iter_mut()).enumerate() {
+                let w = &scratch.weights[s * 6..][..6];
+                let b = &scratch.boundary[s * 4..][..4];
+                let (_, mate) =
+                    subset_dp::solve_closed_form(k, |i, j| w[tri_index(k, i, j)], |i| b[i]);
+                *slot = Prediction {
+                    observables: self.closed_form_obs(list, &mate),
+                    cycles: 0,
+                    deferred: false,
+                };
+            }
         }
     }
 

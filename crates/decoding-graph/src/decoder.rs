@@ -66,6 +66,44 @@ pub trait Decoder {
         self.decode(detectors)
     }
 
+    /// Decodes a batch of same-weight syndromes: `detectors` holds
+    /// `out.len()` concatenated sorted detector lists of `k` entries
+    /// each, and slot `i` of `out` receives the prediction for list `i`.
+    ///
+    /// This is the tile pipeline's closed-form batching hook: grouping a
+    /// tile's equal-weight shots lets a decoder stage its weight-table
+    /// gathers contiguously instead of round-tripping through
+    /// [`Decoder::decode_with_scratch`] per shot. Every prediction must
+    /// equal what `decode_with_scratch` returns for the same list — the
+    /// default implementation simply loops it, so decoders without a
+    /// batched path inherit bit-identical behaviour for free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `detectors.len() != k * out.len()`.
+    fn decode_same_weight_batch(
+        &mut self,
+        k: usize,
+        detectors: &[u32],
+        out: &mut [Prediction],
+        scratch: &mut DecodeScratch,
+    ) {
+        assert_eq!(
+            detectors.len(),
+            k * out.len(),
+            "batch detector buffer does not hold out.len() lists of {k}"
+        );
+        if k == 0 {
+            for slot in out.iter_mut() {
+                *slot = self.decode_with_scratch(&[], scratch);
+            }
+            return;
+        }
+        for (list, slot) in detectors.chunks_exact(k).zip(out.iter_mut()) {
+            *slot = self.decode_with_scratch(list, scratch);
+        }
+    }
+
     /// A short human-readable name ("MWPM", "Astrea", …) used in reports.
     fn name(&self) -> &'static str;
 }

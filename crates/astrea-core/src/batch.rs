@@ -585,7 +585,26 @@ mod tests {
     }
 
     fn mwpm_factory() -> Arc<BatchDecoderFactory> {
-        Arc::new(|c: &DecodingContext| Box::new(MwpmDecoder::new(c.gwt())) as Box<dyn Decoder>)
+        // Backend-aware: resolves to the GWT or the staged local provider
+        // according to the context, so the same factory serves both.
+        Arc::new(|c: &DecodingContext| Box::new(MwpmDecoder::for_context(c)) as Box<dyn Decoder>)
+    }
+
+    #[test]
+    fn gwt_free_context_decodes_identically_through_the_pool() {
+        let code = SurfaceCode::new(3).unwrap();
+        let noise = NoiseModel::depolarizing(5e-3);
+        let gctx = Arc::new(DecodingContext::for_memory_experiment(&code, noise));
+        let lctx = Arc::new(DecodingContext::for_memory_experiment_with(
+            &code,
+            noise,
+            decoding_graph::WeightSource::Local,
+        ));
+        assert!(lctx.try_gwt().is_none());
+        let batch = sample_batch(&gctx, 1_000, 17);
+        let mut gpool = BatchDecoder::new(Arc::clone(&gctx), 3, mwpm_factory());
+        let mut lpool = BatchDecoder::new(Arc::clone(&lctx), 3, mwpm_factory());
+        assert_eq!(gpool.decode_batch(&batch), lpool.decode_batch(&batch));
     }
 
     #[test]

@@ -99,7 +99,9 @@ mod tests {
     }
 
     fn mwpm_factory() -> Arc<astrea_core::BatchDecoderFactory> {
-        Arc::new(|c: &DecodingContext| Box::new(MwpmDecoder::new(c.gwt())) as Box<dyn Decoder>)
+        // Backend-aware: the same factory drives GWT-backed and GWT-free
+        // (WeightSource::Local) contexts.
+        Arc::new(|c: &DecodingContext| Box::new(MwpmDecoder::for_context(c)) as Box<dyn Decoder>)
     }
 
     fn sample_stream(ctx: &DecodingContext, seed: u64, shots: usize) -> SyndromeBatch {

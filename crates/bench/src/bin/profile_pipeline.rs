@@ -276,6 +276,41 @@ fn main() {
             total.hw2_key_lookups > 0 && total.hw2_key_lookups <= total.hw2_shots,
             "packed HW-2 key resolution inconsistent: {total:?}"
         );
+        // Local weight path: a forced GWT-free context must engage the
+        // staged provider (non-idle stage/expansion counters) and
+        // reproduce the table-backed predictions bit-for-bit.
+        {
+            use astrea_core::decode_slice;
+            use decoding_graph::{DecodeScratch, WeightSource};
+            let gctx = ExperimentContext::new(5, 2e-3);
+            let lctx = ExperimentContext::with_source(5, 2e-3, WeightSource::Local);
+            assert!(
+                lctx.decoding().try_gwt().is_none(),
+                "forced-local context built a GWT"
+            );
+            let batch = astrea_experiments::sample_batch(&gctx, 4_000, THREADS, SEED);
+            let mut g = MwpmDecoder::for_context(gctx.decoding());
+            let mut l = MwpmDecoder::for_context(lctx.decoding());
+            let mut sg = DecodeScratch::new();
+            let mut sl = DecodeScratch::new();
+            let rg = decode_slice(&mut g, &mut sg, &batch, 0..batch.len());
+            let rl = decode_slice(&mut l, &mut sl, &batch, 0..batch.len());
+            assert_eq!(
+                rg.predictions, rl.predictions,
+                "local path diverged from GWT path"
+            );
+            let stats = l
+                .local_stats()
+                .expect("local decoder on a GWT-free context");
+            assert!(
+                stats.stages > 0 && stats.expansions > 0,
+                "local weight stage idle: {stats:?}"
+            );
+            println!(
+                "smoke OK: local weight path engaged ({} stages, {} expansions, {} memo hits)",
+                stats.stages, stats.expansions, stats.memo_hits
+            );
+        }
         println!("smoke OK: all hard-path stages absorbed shots");
         // Don't clobber the published full-size artifacts with
         // smoke-sized timings.

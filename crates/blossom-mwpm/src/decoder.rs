@@ -3,8 +3,11 @@
 use crate::solution::MatchingSolution;
 use crate::{dense_blossom, sparse_blossom, subset_dp};
 use decoding_graph::{
-    DecodeScratch, Decoder, GlobalWeightTable, Prediction, QuantizedBlock, SparseBlossomScratch,
+    BoundaryTable, DecodeScratch, Decoder, DecodingContext, GlobalWeightTable, LocalWeightProvider,
+    LocalWeightStats, MatchingGraph, Prediction, QuantizedBlock, SparseBlossomScratch,
+    WeightSource,
 };
+use std::cell::RefCell;
 
 /// Above this many active detectors in one matching cluster the decoder
 /// switches from the subset DP to the blossom algorithm: the DP's time
@@ -28,6 +31,25 @@ fn tri_index(k: usize, i: usize, j: usize) -> usize {
     i * k - i * (i + 1) / 2 + (j - i - 1)
 }
 
+/// The weight backend: the precomputed Global Weight Table, or the
+/// GWT-free staged local provider (truncated per-source Dijkstra over the
+/// sparse graph, staged once per shot). The provider sits behind a
+/// `RefCell` so the read-only decode paths keep their `&self` signatures;
+/// the decoder is per-worker (`Send`, not `Sync`), so the single-threaded
+/// interior mutability is free of contention by construction.
+// One `Weights` lives per decoder (never in a collection), so the size
+// spread between the borrowed-table variant and the inline provider
+// scratch costs nothing.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+enum Weights<'a> {
+    Gwt(&'a GlobalWeightTable),
+    Local {
+        provider: RefCell<LocalWeightProvider<'a>>,
+        boundary: &'a BoundaryTable,
+    },
+}
+
 /// The idealized software MWPM decoder.
 ///
 /// Decodes with the **unquantized** weights of the
@@ -37,6 +59,14 @@ fn tri_index(k: usize, i: usize, j: usize) -> usize {
 /// blossom algorithm after the boundary reduction
 /// `w'ᵢⱼ = min(wᵢⱼ, bᵢ + bⱼ)` (+ one virtual node for odd weights).
 ///
+/// The weights can come from two backends: the GWT itself, or — via
+/// [`MwpmDecoder::for_context`] on a GWT-free
+/// [`DecodingContext`] — a [`LocalWeightProvider`] that computes each
+/// shot's pair weights on demand from the sparse matching graph. Both
+/// backends produce bit-identical predictions and matchings (enforced by
+/// the `local_vs_gwt` differential suite); the local one is what makes
+/// d ≥ 15 reachable, since it never materializes the O(ℓ²) table.
+///
 /// ```
 /// use blossom_mwpm::MwpmDecoder;
 /// use decoding_graph::{Decoder, DecodingContext};
@@ -45,30 +75,29 @@ fn tri_index(k: usize, i: usize, j: usize) -> usize {
 ///
 /// let code = SurfaceCode::new(3)?;
 /// let ctx = DecodingContext::for_memory_experiment(&code, NoiseModel::depolarizing(1e-3));
-/// let mut decoder = MwpmDecoder::new(ctx.gwt());
+/// let mut decoder = MwpmDecoder::for_context(&ctx);
 /// let prediction = decoder.decode(&[]);
 /// assert_eq!(prediction.observables, 0);
 /// # Ok::<(), surface_code::InvalidDistance>(())
 /// ```
 #[derive(Debug, Clone)]
 pub struct MwpmDecoder<'a> {
-    gwt: &'a GlobalWeightTable,
+    weights: Weights<'a>,
     use_quantized: bool,
     /// Destination for batched quantized gathers on the scratch path.
     qblock: QuantizedBlock,
-    /// Staged triangular pair weights for batched quantized closed forms
-    /// (6 slots per shot; the exact path stages into the scratch arena).
+    /// Staging buffers for the batched quantized closed-form path
+    /// (GWT backend only — the gather loop and the solve loop run
+    /// separately so the random table reads pipeline across shots).
     batch_wq: Vec<u16>,
-    /// Staged boundary weights for batched quantized closed forms
-    /// (4 slots per shot).
     batch_bq: Vec<u16>,
 }
 
 impl<'a> MwpmDecoder<'a> {
-    /// Creates the idealized (full-precision) MWPM decoder.
+    /// Creates the idealized (full-precision) MWPM decoder on the GWT.
     pub fn new(gwt: &'a GlobalWeightTable) -> MwpmDecoder<'a> {
         MwpmDecoder {
-            gwt,
+            weights: Weights::Gwt(gwt),
             use_quantized: false,
             qblock: QuantizedBlock::new(),
             batch_wq: Vec::new(),
@@ -80,7 +109,7 @@ impl<'a> MwpmDecoder<'a> {
     /// instead — useful for isolating the accuracy cost of quantization.
     pub fn with_quantized_weights(gwt: &'a GlobalWeightTable) -> MwpmDecoder<'a> {
         MwpmDecoder {
-            gwt,
+            weights: Weights::Gwt(gwt),
             use_quantized: true,
             qblock: QuantizedBlock::new(),
             batch_wq: Vec::new(),
@@ -88,21 +117,186 @@ impl<'a> MwpmDecoder<'a> {
         }
     }
 
+    /// Creates the GWT-free decoder: pair weights are staged per shot by
+    /// a [`LocalWeightProvider`] over the sparse matching graph.
+    pub fn new_local(graph: &'a MatchingGraph, boundary: &'a BoundaryTable) -> MwpmDecoder<'a> {
+        MwpmDecoder {
+            weights: Weights::Local {
+                provider: RefCell::new(LocalWeightProvider::new(graph, boundary)),
+                boundary,
+            },
+            use_quantized: false,
+            qblock: QuantizedBlock::new(),
+            batch_wq: Vec::new(),
+            batch_bq: Vec::new(),
+        }
+    }
+
+    /// The GWT-free sibling of [`Self::with_quantized_weights`].
+    pub fn with_quantized_weights_local(
+        graph: &'a MatchingGraph,
+        boundary: &'a BoundaryTable,
+    ) -> MwpmDecoder<'a> {
+        MwpmDecoder {
+            use_quantized: true,
+            ..MwpmDecoder::new_local(graph, boundary)
+        }
+    }
+
+    /// Creates the decoder matching a context's resolved weight backend:
+    /// table-backed when the context materialized a GWT, local otherwise.
+    pub fn for_context(ctx: &'a DecodingContext) -> MwpmDecoder<'a> {
+        match ctx.weight_source() {
+            WeightSource::Local => MwpmDecoder::new_local(ctx.graph(), ctx.boundary()),
+            _ => MwpmDecoder::new(ctx.gwt()),
+        }
+    }
+
+    /// The quantized-weights sibling of [`Self::for_context`].
+    pub fn for_context_quantized(ctx: &'a DecodingContext) -> MwpmDecoder<'a> {
+        match ctx.weight_source() {
+            WeightSource::Local => {
+                MwpmDecoder::with_quantized_weights_local(ctx.graph(), ctx.boundary())
+            }
+            _ => MwpmDecoder::with_quantized_weights(ctx.gwt()),
+        }
+    }
+
+    /// Work counters of the local weight provider; `None` on the GWT
+    /// backend. Lets benches and smoke tests assert the local path is
+    /// actually engaged.
+    pub fn local_stats(&self) -> Option<LocalWeightStats> {
+        match &self.weights {
+            Weights::Gwt(_) => None,
+            Weights::Local { provider, .. } => Some(provider.borrow().stats()),
+        }
+    }
+
+    /// Stages the local weight block for a detector list; no-op on the
+    /// GWT backend (the table holds every pair already). Every public
+    /// entry point stages once up front; inner per-cluster helpers then
+    /// read sub-blocks of the staged list through the slot map.
+    #[inline]
+    fn ensure_staged(&self, detectors: &[u32]) {
+        if let Weights::Local { provider, .. } = &self.weights {
+            provider.borrow_mut().stage(detectors);
+        }
+    }
+
+    /// The fixed-point scale of the quantized weight view.
+    #[inline]
+    fn scale(&self) -> f64 {
+        match &self.weights {
+            Weights::Gwt(gwt) => gwt.scale(),
+            Weights::Local { boundary, .. } => boundary.scale(),
+        }
+    }
+
+    /// Raw exact pair weight (staged-local or table); `INFINITY` on the
+    /// local backend means "provably dominated by boundary matching".
+    #[inline]
+    fn pair_exact(&self, i: u32, j: u32) -> f64 {
+        match &self.weights {
+            Weights::Gwt(gwt) => gwt.pair_weight(i, j),
+            Weights::Local { provider, .. } => provider.borrow().pair_weight(i, j),
+        }
+    }
+
+    /// Quantized pair weight.
+    #[inline]
+    fn pair_q(&self, i: u32, j: u32) -> u8 {
+        match &self.weights {
+            Weights::Gwt(gwt) => gwt.pair_weight_q(i, j),
+            Weights::Local { provider, .. } => provider.borrow().pair_weight_q(i, j),
+        }
+    }
+
+    /// Observable parity of the pair's shortest path (only read for
+    /// mated pairs, which are always settled on the local backend).
+    #[inline]
+    fn p_obs(&self, i: u32, j: u32) -> u32 {
+        match &self.weights {
+            Weights::Gwt(gwt) => gwt.pair_obs(i, j),
+            Weights::Local { provider, .. } => provider.borrow().pair_obs(i, j),
+        }
+    }
+
+    /// Raw exact boundary weight.
+    #[inline]
+    fn bnd_exact(&self, i: u32) -> f64 {
+        match &self.weights {
+            Weights::Gwt(gwt) => gwt.boundary_weight(i),
+            Weights::Local { boundary, .. } => boundary.weight(i),
+        }
+    }
+
+    /// Quantized boundary weight.
+    #[inline]
+    fn bnd_q(&self, i: u32) -> u8 {
+        match &self.weights {
+            Weights::Gwt(gwt) => gwt.boundary_weight_q(i),
+            Weights::Local { boundary, .. } => boundary.weight_q(i),
+        }
+    }
+
+    /// Observable parity of the cheapest boundary chain.
+    #[inline]
+    fn b_obs(&self, i: u32) -> u32 {
+        match &self.weights {
+            Weights::Gwt(gwt) => gwt.boundary_obs(i),
+            Weights::Local { boundary, .. } => boundary.obs(i),
+        }
+    }
+
     #[inline]
     fn pair_w(&self, i: u32, j: u32) -> f64 {
         if self.use_quantized {
-            self.gwt.pair_weight_q(i, j) as f64 / self.gwt.scale()
+            self.pair_q(i, j) as f64 / self.scale()
         } else {
-            self.gwt.pair_weight(i, j)
+            self.pair_exact(i, j)
         }
     }
 
     #[inline]
     fn boundary_w(&self, i: u32) -> f64 {
         if self.use_quantized {
-            self.gwt.boundary_weight_q(i) as f64 / self.gwt.scale()
+            self.bnd_q(i) as f64 / self.scale()
         } else {
-            self.gwt.boundary_weight(i)
+            self.bnd_exact(i)
+        }
+    }
+
+    /// Triangular small gather (k ≤ 4) in the quantized domain, from
+    /// whichever backend is active.
+    #[inline]
+    fn small_quantized(&self, dets: &[u32]) -> ([u16; 6], [u16; 4]) {
+        match &self.weights {
+            Weights::Gwt(gwt) => gwt.gather_small_quantized(dets),
+            Weights::Local { provider, .. } => provider.borrow().gather_small_quantized(dets),
+        }
+    }
+
+    /// Triangular small gather (k ≤ 4) in the exact domain.
+    #[inline]
+    fn small_exact(&self, dets: &[u32], clamp: f64) -> ([f64; 6], [f64; 4]) {
+        match &self.weights {
+            Weights::Gwt(gwt) => gwt.gather_small_exact(dets, clamp),
+            Weights::Local { provider, .. } => provider.borrow().gather_small_exact(dets, clamp),
+        }
+    }
+
+    /// Stages the full k×k clamped exact block into the scratch arena.
+    #[inline]
+    fn stage_exact(&self, dets: &[u32], weights: &mut Vec<f64>, boundary: &mut Vec<f64>) {
+        match &self.weights {
+            Weights::Gwt(gwt) => {
+                gwt.gather_exact_clamped(dets, 2.0 * WEIGHT_CLAMP, weights, boundary)
+            }
+            Weights::Local { provider, .. } => {
+                provider
+                    .borrow()
+                    .gather_exact_clamped(dets, 2.0 * WEIGHT_CLAMP, weights, boundary)
+            }
         }
     }
 
@@ -173,7 +367,7 @@ impl<'a> MwpmDecoder<'a> {
     /// instead of per-pair table lookups. `weights[i*k+j]` must hold
     /// `pair_w(dets[i], dets[j]).min(2.0 * WEIGHT_CLAMP)` and
     /// `boundary[i]` the raw boundary weight — exactly what
-    /// `gather_exact_clamped` / [`Self::stage_quantized`] produce — so
+    /// [`Self::stage_exact`] / [`Self::stage_quantized`] produce — so
     /// the edge test is bit-equal to [`Self::linked`].
     fn cluster_spans_staged(
         k: usize,
@@ -237,6 +431,7 @@ impl<'a> MwpmDecoder<'a> {
         if k == 0 {
             return MatchingSolution::default();
         }
+        self.ensure_staged(detectors);
         if k <= DP_NODE_LIMIT {
             // The subset DP prunes and decomposes into clusters
             // internally; no need to split here.
@@ -275,11 +470,11 @@ impl<'a> MwpmDecoder<'a> {
             match m {
                 None => {
                     solution.to_boundary.push(dets[i]);
-                    solution.observables ^= self.gwt.boundary_obs(dets[i]);
+                    solution.observables ^= self.b_obs(dets[i]);
                 }
                 Some(j) if *j > i => {
                     solution.pairs.push((dets[i], dets[*j]));
-                    solution.observables ^= self.gwt.pair_obs(dets[i], dets[*j]);
+                    solution.observables ^= self.p_obs(dets[i], dets[*j]);
                 }
                 Some(_) => {}
             }
@@ -287,9 +482,9 @@ impl<'a> MwpmDecoder<'a> {
         solution
     }
 
-    /// GWT-direct closed form for `1 ≤ k ≤ 4`: one batched triangular
-    /// gather from the weight table, then the register-only closed form —
-    /// no weight-matrix staging in the scratch arena, and for the
+    /// Backend-direct closed form for `1 ≤ k ≤ 4`: one batched triangular
+    /// gather from the weight backend, then the register-only closed
+    /// form — no weight-matrix staging in the scratch arena, and for the
     /// quantized decoder no f64 dequantization at all (fixed-point
     /// comparisons order identically because the scale is a power of
     /// two). The mate assignment is bit-identical to the staged path's.
@@ -297,10 +492,10 @@ impl<'a> MwpmDecoder<'a> {
         let k = dets.len();
         debug_assert!((1..=4).contains(&k));
         let mate = if self.use_quantized {
-            let (w, b) = self.gwt.gather_small_quantized(dets);
+            let (w, b) = self.small_quantized(dets);
             subset_dp::solve_closed_form(k, |i, j| w[tri_index(k, i, j)], |i| b[i]).1
         } else {
-            let (w, b) = self.gwt.gather_small_exact(dets, 2.0 * WEIGHT_CLAMP);
+            let (w, b) = self.small_exact(dets, 2.0 * WEIGHT_CLAMP);
             subset_dp::solve_closed_form(k, |i, j| w[tri_index(k, i, j)], |i| b[i]).1
         };
         Prediction {
@@ -318,9 +513,9 @@ impl<'a> MwpmDecoder<'a> {
         let mut observables = 0u32;
         for (i, &m) in mate[..k].iter().enumerate() {
             if m == usize::MAX {
-                observables ^= self.gwt.boundary_obs(dets[i]);
+                observables ^= self.b_obs(dets[i]);
             } else if m > i {
-                observables ^= self.gwt.pair_obs(dets[i], dets[m]);
+                observables ^= self.p_obs(dets[i], dets[m]);
             }
         }
         observables
@@ -331,8 +526,22 @@ impl<'a> MwpmDecoder<'a> {
     /// per-entry closure path used (so the staged values are bit-equal).
     fn stage_quantized(&mut self, dets: &[u32], scratch: &mut DecodeScratch) {
         let k = dets.len();
-        let gwt = self.gwt;
-        let scale = gwt.scale();
+        let scale = self.scale();
+        let gwt = match &self.weights {
+            Weights::Gwt(gwt) => *gwt,
+            Weights::Local { provider, .. } => {
+                // The staged local block already holds the exact weights;
+                // derive the dequantized view with the identical
+                // expressions the table path uses.
+                provider.borrow().gather_quantized_clamped(
+                    dets,
+                    2.0 * WEIGHT_CLAMP,
+                    &mut scratch.weights,
+                    &mut scratch.boundary,
+                );
+                return;
+            }
+        };
         if k > decoding_graph::MAX_GATHER_NODES {
             // Deep syndromes outgrow the fixed-size `QuantizedBlock`;
             // dequantize straight off the (u8, hence compact and
@@ -392,20 +601,19 @@ impl<'a> MwpmDecoder<'a> {
             if j >= k {
                 // Matched to the virtual boundary node.
                 solution.to_boundary.push(dets[i]);
-                solution.observables ^= self.gwt.boundary_obs(dets[i]);
+                solution.observables ^= self.b_obs(dets[i]);
                 solution.weight += self.boundary_w(dets[i]);
             } else if j > i {
                 let direct = self.pair_w(dets[i], dets[j]);
                 let via_boundary = self.boundary_w(dets[i]) + self.boundary_w(dets[j]);
                 if direct <= via_boundary {
                     solution.pairs.push((dets[i], dets[j]));
-                    solution.observables ^= self.gwt.pair_obs(dets[i], dets[j]);
+                    solution.observables ^= self.p_obs(dets[i], dets[j]);
                     solution.weight += direct;
                 } else {
                     solution.to_boundary.push(dets[i]);
                     solution.to_boundary.push(dets[j]);
-                    solution.observables ^=
-                        self.gwt.boundary_obs(dets[i]) ^ self.gwt.boundary_obs(dets[j]);
+                    solution.observables ^= self.b_obs(dets[i]) ^ self.b_obs(dets[j]);
                     solution.weight += via_boundary;
                 }
             }
@@ -423,20 +631,19 @@ impl<'a> MwpmDecoder<'a> {
         if self.use_quantized {
             self.stage_quantized(dets, scratch);
         } else {
-            self.gwt.gather_exact_clamped(
-                dets,
-                2.0 * WEIGHT_CLAMP,
-                &mut scratch.weights,
-                &mut scratch.boundary,
-            );
+            let mut weights = std::mem::take(&mut scratch.weights);
+            let mut boundary = std::mem::take(&mut scratch.boundary);
+            self.stage_exact(dets, &mut weights, &mut boundary);
+            scratch.weights = weights;
+            scratch.boundary = boundary;
         }
         subset_dp::solve_staged(k, scratch);
         let mut observables = 0u32;
         for (i, &m) in scratch.mate[..k].iter().enumerate() {
             if m == usize::MAX {
-                observables ^= self.gwt.boundary_obs(dets[i]);
+                observables ^= self.b_obs(dets[i]);
             } else if m > i {
-                observables ^= self.gwt.pair_obs(dets[i], dets[m]);
+                observables ^= self.p_obs(dets[i], dets[m]);
             }
         }
         observables
@@ -469,14 +676,14 @@ impl<'a> MwpmDecoder<'a> {
         for i in 0..k {
             let j = sparse.mate[i + 1] - 1;
             if j >= k {
-                observables ^= self.gwt.boundary_obs(dets[i]);
+                observables ^= self.b_obs(dets[i]);
             } else if j > i {
                 let direct = self.pair_w(dets[i], dets[j]);
                 let via_boundary = self.boundary_w(dets[i]) + self.boundary_w(dets[j]);
                 if direct <= via_boundary {
-                    observables ^= self.gwt.pair_obs(dets[i], dets[j]);
+                    observables ^= self.p_obs(dets[i], dets[j]);
                 } else {
-                    observables ^= self.gwt.boundary_obs(dets[i]) ^ self.gwt.boundary_obs(dets[j]);
+                    observables ^= self.b_obs(dets[i]) ^ self.b_obs(dets[j]);
                 }
             }
         }
@@ -489,7 +696,7 @@ impl<'a> MwpmDecoder<'a> {
     /// clamped to `2.0 * WEIGHT_CLAMP`, which cannot change
     /// `min(direct, via_boundary, WEIGHT_CLAMP)` (the final clamp is
     /// strictly tighter), so the staged solve is bit-identical. The
-    /// mate fold still reads the unclamped table: its `direct <=
+    /// mate fold still reads the unclamped backend: its `direct <=
     /// via_boundary` tie-break must see the raw pair weight, and it
     /// only touches `k/2` pairs.
     fn blossom_obs_staged(&self, dets: &[u32], scratch: &mut DecodeScratch) -> u32 {
@@ -516,14 +723,14 @@ impl<'a> MwpmDecoder<'a> {
         for i in 0..k {
             let j = scratch.sparse.mate[i + 1] - 1;
             if j >= k {
-                observables ^= self.gwt.boundary_obs(dets[i]);
+                observables ^= self.b_obs(dets[i]);
             } else if j > i {
                 let direct = self.pair_w(dets[i], dets[j]);
                 let via_boundary = self.boundary_w(dets[i]) + self.boundary_w(dets[j]);
                 if direct <= via_boundary {
-                    observables ^= self.gwt.pair_obs(dets[i], dets[j]);
+                    observables ^= self.p_obs(dets[i], dets[j]);
                 } else {
-                    observables ^= self.gwt.boundary_obs(dets[i]) ^ self.gwt.boundary_obs(dets[j]);
+                    observables ^= self.b_obs(dets[i]) ^ self.b_obs(dets[j]);
                 }
             }
         }
@@ -543,7 +750,9 @@ impl<'a> MwpmDecoder<'a> {
     /// sweeps over the full pairwise table with one row-local gather.
     /// The multi-cluster fallback re-stages per cluster exactly as
     /// before (sub-cluster staging clobbers the arena, which is safe —
-    /// the gathered block is consumed by then).
+    /// the gathered block is consumed by then; on the local backend the
+    /// provider's own staged block survives untouched, so sub-cluster
+    /// gathers keep reading it through the slot map).
     fn decode_deep_with_scratch(
         &mut self,
         detectors: &[u32],
@@ -553,12 +762,11 @@ impl<'a> MwpmDecoder<'a> {
         if self.use_quantized {
             self.stage_quantized(detectors, scratch);
         } else {
-            self.gwt.gather_exact_clamped(
-                detectors,
-                2.0 * WEIGHT_CLAMP,
-                &mut scratch.weights,
-                &mut scratch.boundary,
-            );
+            let mut weights = std::mem::take(&mut scratch.weights);
+            let mut boundary = std::mem::take(&mut scratch.boundary);
+            self.stage_exact(detectors, &mut weights, &mut boundary);
+            scratch.weights = weights;
+            scratch.boundary = boundary;
         }
         // The grouped/ends buffers must stay alive across per-cluster
         // solves that themselves stage into the arena, so take them out
@@ -622,13 +830,14 @@ impl Decoder for MwpmDecoder<'_> {
         if k == 0 {
             return Prediction::identity();
         }
+        self.ensure_staged(detectors);
         if k > DP_NODE_LIMIT {
             // Deep tail: arena-staged cluster decomposition with the
             // sparse scratch-reusing blossom solver — no allocation.
             return self.decode_deep_with_scratch(detectors, scratch);
         }
         if k <= 4 {
-            // GWT-direct closed form — no weight-matrix staging at all.
+            // Backend-direct closed form — no weight-matrix staging.
             return self.decode_closed_form(detectors);
         }
         // Subset DP with all tables drawn from the arena (the DP prunes
@@ -644,13 +853,14 @@ impl Decoder for MwpmDecoder<'_> {
     }
 
     /// Batched closed forms: for a run of same-weight `k ≤ 4` syndromes,
-    /// stage every shot's triangular GWT gather contiguously (one pass
-    /// over the batch per weight class), then run the register-only
-    /// closed form over the staged block — the per-shot pipeline of
-    /// gather → solve → fold becomes two cache-friendly sweeps. The
-    /// staged operands are exactly what [`Self::decode_closed_form`]
-    /// gathers, so every prediction is bit-identical to
-    /// `decode_with_scratch` on the same list.
+    /// gather each shot's triangular operands and feed the register-only
+    /// closed form directly from the gather result — no staging copy in
+    /// between. (PR 7 staged every shot's operands into decoder-owned
+    /// batch buffers first; profiling showed the copy bought nothing —
+    /// the gathers are already register-sized — so the staging pass was
+    /// dropped and the batch buffers deleted.) The operands are exactly
+    /// what [`Self::decode_closed_form`] gathers, so every prediction is
+    /// bit-identical to `decode_with_scratch` on the same list.
     fn decode_same_weight_batch(
         &mut self,
         k: usize,
@@ -677,16 +887,31 @@ impl Decoder for MwpmDecoder<'_> {
             }
             return;
         }
+        if matches!(self.weights, Weights::Local { .. }) {
+            // Staged backend: the per-shot staged block (weights *and*
+            // pair observables) must stay live through the solve and the
+            // observable fold, so stage + solve + fold run fused per
+            // shot. A two-pass copy of the weights alone would read the
+            // observables of the *last* staged shot in the solve loop.
+            for (list, slot) in detectors.chunks_exact(k).zip(out.iter_mut()) {
+                self.ensure_staged(list);
+                *slot = self.decode_closed_form(list);
+            }
+            return;
+        }
         if self.use_quantized {
             // Integer domain end to end: stage u16 operands in the
             // decoder-owned batch buffers (6 pair + 4 boundary slots per
-            // shot, fixed stride so unused slots stay zero).
+            // shot, fixed stride so unused slots stay zero). Gathering
+            // every shot before solving any measurably beats the fused
+            // per-shot form on the GWT — the pure gather loop lets the
+            // random table reads overlap across shots.
             let mut batch_wq = std::mem::take(&mut self.batch_wq);
             let mut batch_bq = std::mem::take(&mut self.batch_bq);
             batch_wq.clear();
             batch_bq.clear();
             for list in detectors.chunks_exact(k) {
-                let (w, b) = self.gwt.gather_small_quantized(list);
+                let (w, b) = self.small_quantized(list);
                 batch_wq.extend_from_slice(&w);
                 batch_bq.extend_from_slice(&b);
             }
@@ -709,7 +934,7 @@ impl Decoder for MwpmDecoder<'_> {
             scratch.weights.clear();
             scratch.boundary.clear();
             for list in detectors.chunks_exact(k) {
-                let (w, b) = self.gwt.gather_small_exact(list, 2.0 * WEIGHT_CLAMP);
+                let (w, b) = self.small_exact(list, 2.0 * WEIGHT_CLAMP);
                 scratch.weights.extend_from_slice(&w);
                 scratch.boundary.extend_from_slice(&b);
             }
@@ -742,6 +967,15 @@ mod tests {
     fn ctx(d: usize, p: f64) -> DecodingContext {
         let code = SurfaceCode::new(d).unwrap();
         DecodingContext::for_memory_experiment(&code, NoiseModel::depolarizing(p))
+    }
+
+    fn local_ctx(d: usize, p: f64) -> DecodingContext {
+        let code = SurfaceCode::new(d).unwrap();
+        DecodingContext::for_memory_experiment_with(
+            &code,
+            NoiseModel::depolarizing(p),
+            WeightSource::Local,
+        )
     }
 
     #[test]
@@ -926,6 +1160,71 @@ mod tests {
                 scratch.sparse.solves > 0,
                 "sparse solver never engaged on the deep path"
             );
+        }
+    }
+
+    #[test]
+    fn local_backend_matches_gwt_backend_bit_for_bit() {
+        use qec_circuit::DemSampler;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        // The in-crate spot check of the tentpole contract (the full
+        // sweep lives in the workspace `local_vs_gwt` suite): same
+        // syndromes, same predictions and matchings, from a context that
+        // never built a GWT.
+        for (d, p) in [(3usize, 5e-3), (5, 1e-2)] {
+            let gctx = ctx(d, p);
+            let lctx = local_ctx(d, p);
+            assert!(lctx.try_gwt().is_none());
+            for quantized in [false, true] {
+                let mut g = if quantized {
+                    MwpmDecoder::for_context_quantized(&gctx)
+                } else {
+                    MwpmDecoder::for_context(&gctx)
+                };
+                let mut l = if quantized {
+                    MwpmDecoder::for_context_quantized(&lctx)
+                } else {
+                    MwpmDecoder::for_context(&lctx)
+                };
+                assert!(g.local_stats().is_none());
+                assert!(l.local_stats().is_some());
+                let mut sampler = DemSampler::new(gctx.dem());
+                let mut rng = StdRng::seed_from_u64(4242 + d as u64);
+                let mut scratch_g = DecodeScratch::new();
+                let mut scratch_l = DecodeScratch::new();
+                for _ in 0..400 {
+                    let shot = sampler.sample(&mut rng);
+                    let sg = g.decode_full(&shot.detectors);
+                    let sl = l.decode_full(&shot.detectors);
+                    assert_eq!(sg.pairs, sl.pairs, "mates diverged on {:?}", shot.detectors);
+                    assert_eq!(sg.to_boundary, sl.to_boundary);
+                    assert_eq!(sg.observables, sl.observables);
+                    assert_eq!(sg.weight.to_bits(), sl.weight.to_bits());
+                    let pg = g.decode_with_scratch(&shot.detectors, &mut scratch_g);
+                    let pl = l.decode_with_scratch(&shot.detectors, &mut scratch_l);
+                    assert_eq!(pg, pl, "scratch diverged on {:?}", shot.detectors);
+                }
+                let stats = l.local_stats().unwrap();
+                assert!(stats.stages > 0 && stats.expansions > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn local_backend_batch_matches_per_shot() {
+        let lctx = local_ctx(5, 1e-3);
+        let mut dec = MwpmDecoder::for_context(&lctx);
+        let mut scratch = DecodeScratch::new();
+        // Three HW-2 lists batched as one same-weight run.
+        let lists: [[u32; 2]; 3] = [[0, 1], [5, 17], [40, 41]];
+        let flat: Vec<u32> = lists.iter().flatten().copied().collect();
+        let mut out = vec![Prediction::identity(); 3];
+        dec.decode_same_weight_batch(2, &flat, &mut out, &mut scratch);
+        for (list, got) in lists.iter().zip(&out) {
+            let want = dec.decode_with_scratch(list, &mut scratch);
+            assert_eq!(*got, want);
         }
     }
 

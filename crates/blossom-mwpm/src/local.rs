@@ -23,7 +23,7 @@
 
 use crate::solution::MatchingSolution;
 use crate::{dense_blossom, subset_dp};
-use decoding_graph::{Decoder, MatchingGraph, Prediction};
+use decoding_graph::{BoundaryTable, Decoder, MatchingGraph, Prediction};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
@@ -36,8 +36,9 @@ pub struct LocalMwpmDecoder<'a> {
     graph: &'a MatchingGraph,
     k_neighbors: usize,
     /// Precomputed boundary distance and path parity per detector
-    /// (syndrome-independent, so computed once at construction).
-    boundary_dist: Vec<Candidate>,
+    /// (syndrome-independent, so computed once at construction). Shared
+    /// shape with the staged `LocalWeightProvider` backend.
+    boundary: BoundaryTable,
     // Scratch buffers (stamped, so reset is O(touched)).
     dist: Vec<f64>,
     parity: Vec<u32>,
@@ -71,7 +72,7 @@ impl<'a> LocalMwpmDecoder<'a> {
         LocalMwpmDecoder {
             graph,
             k_neighbors,
-            boundary_dist: boundary_distances(graph),
+            boundary: BoundaryTable::new(graph),
             dist: vec![f64::INFINITY; n],
             parity: vec![0; n],
             stamp: vec![0; n],
@@ -97,7 +98,10 @@ impl<'a> LocalMwpmDecoder<'a> {
         let mut pair_candidates: HashMap<(u32, u32), Candidate> = HashMap::new();
         let boundary: Vec<Candidate> = detectors
             .iter()
-            .map(|&d| self.boundary_dist[d as usize])
+            .map(|&d| Candidate {
+                weight: self.boundary.weight(d),
+                observables: self.boundary.obs(d),
+            })
             .collect();
         let target = self.k_neighbors.min(m.saturating_sub(1));
         // Radius bound: a pairing costing more than going to the boundary
@@ -255,50 +259,6 @@ impl Decoder for LocalMwpmDecoder<'_> {
     }
 }
 
-/// Multi-source Dijkstra from every boundary edge: the cheapest chain
-/// from each detector to the lattice boundary (syndrome-independent).
-fn boundary_distances(graph: &MatchingGraph) -> Vec<Candidate> {
-    let n = graph.num_detectors();
-    let mut out = vec![
-        Candidate {
-            weight: f64::INFINITY,
-            observables: 0
-        };
-        n
-    ];
-    let mut heap: BinaryHeap<Reverse<(OrdF64, u32)>> = BinaryHeap::new();
-    for det in 0..n as u32 {
-        if let Some(be) = graph.boundary_edge(det) {
-            if be.weight < out[det as usize].weight {
-                out[det as usize] = Candidate {
-                    weight: be.weight,
-                    observables: be.observables,
-                };
-                heap.push(Reverse((OrdF64(be.weight), det)));
-            }
-        }
-    }
-    while let Some(Reverse((OrdF64(d), u))) = heap.pop() {
-        if d > out[u as usize].weight {
-            continue;
-        }
-        for &ei in graph.incident_edges(u) {
-            let e = &graph.edges()[ei as usize];
-            let Some(v) = e.v else { continue };
-            let w = if e.u == u { v } else { e.u };
-            let nd = d + e.weight;
-            if nd < out[w as usize].weight {
-                out[w as usize] = Candidate {
-                    weight: nd,
-                    observables: out[u as usize].observables ^ e.observables,
-                };
-                heap.push(Reverse((OrdF64(nd), w)));
-            }
-        }
-    }
-    out
-}
-
 #[derive(Debug, Clone, Copy, PartialEq)]
 struct OrdF64(f64);
 impl Eq for OrdF64 {}
@@ -433,6 +393,124 @@ mod tests {
     fn rejects_zero_neighbors() {
         let ctx = ctx(3, 1e-3);
         LocalMwpmDecoder::with_neighbors(ctx.graph(), 0);
+    }
+
+    #[test]
+    fn truncated_budgets_survive_dense_syndromes() {
+        // k_neighbors ∈ {1, 2} with every detector fired: the candidate
+        // map is maximally truncated (each search records at most k of
+        // the m − 1 possible partners), so most pairings fall back to
+        // boundary + boundary. That must degrade gracefully — a valid
+        // perfect matching, never a panic — through both the DP band and
+        // the dense-blossom band.
+        for d in [3usize, 5] {
+            let ctx = ctx(d, 1e-3);
+            let all: Vec<u32> = (0..ctx.graph().num_detectors() as u32).collect();
+            for k in [1usize, 2] {
+                let mut dec = LocalMwpmDecoder::with_neighbors(ctx.graph(), k);
+                let sol = dec.decode_full(&all);
+                assert!(
+                    sol.is_perfect_over(&all),
+                    "d = {d}, k = {k}: matching not perfect"
+                );
+                assert!(sol.weight.is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_clusters_do_not_cross_pair() {
+        // Two fired pairs at opposite corners of the d = 5 lattice: each
+        // cluster's partner is its own neighbor; the truncated search
+        // must never panic, and the far-apart clusters must resolve
+        // independently (pairing across them costs more than both
+        // boundary routes).
+        let ctx = ctx(5, 1e-3);
+        let gwt = ctx.gwt();
+        let n = gwt.len() as u32;
+        // Find the two cheapest linked pairs whose members are mutually
+        // distant (pair weight across clusters worse than via boundary).
+        let mut best: Vec<(u32, u32, f64)> = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let w = gwt.pair_weight(i, j);
+                if w < gwt.boundary_weight(i) + gwt.boundary_weight(j) {
+                    best.push((i, j, w));
+                }
+            }
+        }
+        best.sort_by(|a, b| a.2.total_cmp(&b.2));
+        let (a0, a1, _) = best[0];
+        let far = best.iter().find(|&&(b0, b1, _)| {
+            [b0, b1].iter().all(|&b| {
+                [a0, a1].iter().all(|&a| {
+                    gwt.pair_weight(a, b) > gwt.boundary_weight(a) + gwt.boundary_weight(b)
+                })
+            })
+        });
+        let Some(&(b0, b1, _)) = far else {
+            panic!("no isolated second cluster at d = 5");
+        };
+        for k in [1usize, 2, 4] {
+            let mut dec = LocalMwpmDecoder::with_neighbors(ctx.graph(), k);
+            let sol = dec.decode_full(&[a0, a1, b0, b1]);
+            assert!(sol.is_perfect_over(&[a0, a1, b0, b1]));
+            // No pair may span the two clusters.
+            for &(x, y) in &sol.pairs {
+                let in_a = [a0, a1].contains(&x);
+                let in_a_y = [a0, a1].contains(&y);
+                assert_eq!(in_a, in_a_y, "k = {k}: cross-cluster pair ({x}, {y})");
+            }
+        }
+    }
+
+    #[test]
+    fn all_boundary_syndromes_match_everything_to_boundary() {
+        // Fired detectors whose cheapest resolution is all-boundary: any
+        // pairwise match must lose to the two boundary chains. The local
+        // decoder (even at k = 1, where the candidate map may hold
+        // none of the pairs) must produce the all-boundary matching.
+        let ctx = ctx(5, 1e-3);
+        let gwt = ctx.gwt();
+        let n = gwt.len() as u32;
+        let mut picked: Vec<u32> = Vec::new();
+        for cand in 0..n {
+            if picked.iter().all(|&p| {
+                gwt.pair_weight(p, cand) > gwt.boundary_weight(p) + gwt.boundary_weight(cand)
+            }) {
+                picked.push(cand);
+                if picked.len() == 4 {
+                    break;
+                }
+            }
+        }
+        assert!(picked.len() >= 2, "no mutually-boundary-dominated set");
+        for k in [1usize, 2] {
+            let mut dec = LocalMwpmDecoder::with_neighbors(ctx.graph(), k);
+            let sol = dec.decode_full(&picked);
+            assert!(
+                sol.pairs.is_empty(),
+                "k = {k}: unexpected pairs {:?}",
+                sol.pairs
+            );
+            let mut tb = sol.to_boundary.clone();
+            tb.sort_unstable();
+            assert_eq!(tb, picked, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn lone_detector_with_tiny_budget_goes_to_boundary() {
+        // A single fired detector makes `target` 0 — the search exits
+        // before exploring. The only legal matching is the boundary one.
+        let ctx = ctx(3, 1e-3);
+        let mut dec = LocalMwpmDecoder::with_neighbors(ctx.graph(), 1);
+        for det in 0..ctx.graph().num_detectors() as u32 {
+            let sol = dec.decode_full(&[det]);
+            assert_eq!(sol.to_boundary, vec![det]);
+            assert!(sol.pairs.is_empty());
+            assert_eq!(sol.observables, ctx.boundary().obs(det));
+        }
     }
 
     #[test]

@@ -1,43 +1,87 @@
-//! Bundled decoding context: circuit, error model, graph, and weight table.
+//! Bundled decoding context: circuit, error model, graph, and weight
+//! backend (Global Weight Table or GWT-free boundary table).
 
 use crate::graph::MatchingGraph;
 use crate::gwt::GlobalWeightTable;
+use crate::local::{BoundaryTable, WeightSource};
 use qec_circuit::{build_memory_z_circuit, Circuit, DetectorErrorModel, NoiseModel};
 use surface_code::SurfaceCode;
+
+/// Largest projected Global Weight Table footprint (quantized + exact +
+/// observable matrices, 13 bytes per entry) that [`WeightSource::Auto`]
+/// still materializes. d ≤ 13 memory experiments stay under it (~18 MB at
+/// d = 13); d ≥ 15 (~42 MB and up, ~3 GB at d = 31) automatically go
+/// GWT-free.
+pub const GWT_AUTO_BUDGET_BYTES: usize = 32 << 20;
+
+/// Bytes per GWT entry: 1 (quantized u8) + 8 (exact f64) + 4 (obs u32).
+const GWT_BYTES_PER_ENTRY: usize = 13;
 
 /// Everything a decoder (and the experiment harness) needs for one
 /// `(distance, rounds, noise)` configuration, computed once and shared.
 ///
 /// Building the context performs the expensive one-time work: detector
-/// error model extraction and the all-pairs Dijkstra behind the
-/// [`GlobalWeightTable`]. The context is immutable afterwards and can be
+/// error model extraction, the boundary-distance table, and — under
+/// [`WeightSource::Gwt`] (or [`WeightSource::Auto`] within budget) — the
+/// all-pairs Dijkstra behind the [`GlobalWeightTable`]. Under
+/// [`WeightSource::Local`] no table is materialized: memory stays `O(ℓ +
+/// edges)` and decoders compute pair weights on demand, which is what
+/// makes d ≥ 15 reachable. The context is immutable afterwards and can be
 /// shared across threads.
 #[derive(Debug, Clone)]
 pub struct DecodingContext {
     circuit: Circuit,
     dem: DetectorErrorModel,
     graph: MatchingGraph,
-    gwt: GlobalWeightTable,
+    gwt: Option<GlobalWeightTable>,
+    boundary: BoundaryTable,
 }
 
 impl DecodingContext {
     /// Builds the context for a surface-code Z-memory experiment with
-    /// `rounds = d`, the paper's standard configuration.
+    /// `rounds = d`, the paper's standard configuration, choosing the
+    /// weight backend automatically.
     pub fn for_memory_experiment(code: &SurfaceCode, noise: NoiseModel) -> DecodingContext {
-        let circuit = build_memory_z_circuit(code, code.distance(), noise);
-        DecodingContext::from_circuit(&circuit)
+        DecodingContext::for_memory_experiment_with(code, noise, WeightSource::Auto)
     }
 
-    /// Builds the context from an arbitrary annotated circuit.
+    /// [`Self::for_memory_experiment`] with an explicit weight backend.
+    pub fn for_memory_experiment_with(
+        code: &SurfaceCode,
+        noise: NoiseModel,
+        source: WeightSource,
+    ) -> DecodingContext {
+        let circuit = build_memory_z_circuit(code, code.distance(), noise);
+        DecodingContext::from_circuit_with(&circuit, source)
+    }
+
+    /// Builds the context from an arbitrary annotated circuit, choosing
+    /// the weight backend automatically.
     pub fn from_circuit(circuit: &Circuit) -> DecodingContext {
+        DecodingContext::from_circuit_with(circuit, WeightSource::Auto)
+    }
+
+    /// [`Self::from_circuit`] with an explicit weight backend.
+    pub fn from_circuit_with(circuit: &Circuit, source: WeightSource) -> DecodingContext {
         let dem = circuit.detector_error_model();
         let graph = MatchingGraph::build(circuit, &dem);
-        let gwt = GlobalWeightTable::new(&graph);
+        let boundary = BoundaryTable::new(&graph);
+        let materialize = match source {
+            WeightSource::Gwt => true,
+            WeightSource::Local => false,
+            WeightSource::Auto => {
+                projected_gwt_bytes(graph.num_detectors()) <= GWT_AUTO_BUDGET_BYTES
+            }
+        };
+        let gwt = materialize.then(|| {
+            GlobalWeightTable::with_scale_and_boundary(&graph, boundary.scale(), &boundary)
+        });
         DecodingContext {
             circuit: circuit.clone(),
             dem,
             graph,
             gwt,
+            boundary,
         }
     }
 
@@ -57,9 +101,57 @@ impl DecodingContext {
     }
 
     /// The Global Weight Table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the context is GWT-free ([`WeightSource::Local`], or
+    /// [`WeightSource::Auto`] past the memory budget). GWT-only decoders
+    /// keep this accessor; backend-agnostic code should construct through
+    /// the context (e.g. `MwpmDecoder::for_context`) or use
+    /// [`Self::try_gwt`].
     pub fn gwt(&self) -> &GlobalWeightTable {
-        &self.gwt
+        self.try_gwt().unwrap_or_else(|| {
+            panic!(
+                "context is GWT-free (ℓ = {}, projected table {} bytes): \
+                 use a WeightSource::Local-aware decoder or build with WeightSource::Gwt",
+                self.graph.num_detectors(),
+                self.gwt_projected_bytes(),
+            )
+        })
     }
+
+    /// The Global Weight Table, if this context materialized one.
+    pub fn try_gwt(&self) -> Option<&GlobalWeightTable> {
+        self.gwt.as_ref()
+    }
+
+    /// The per-detector boundary-distance table (always available; under
+    /// a GWT it is bit-identical to the table's diagonal).
+    pub fn boundary(&self) -> &BoundaryTable {
+        &self.boundary
+    }
+
+    /// The resolved weight backend: [`WeightSource::Gwt`] when a table was
+    /// materialized, [`WeightSource::Local`] otherwise (never `Auto`).
+    pub fn weight_source(&self) -> WeightSource {
+        if self.gwt.is_some() {
+            WeightSource::Gwt
+        } else {
+            WeightSource::Local
+        }
+    }
+
+    /// What a Global Weight Table for this context would occupy
+    /// (quantized + exact + observable matrices), whether or not one was
+    /// built — the denominator of the local path's memory win.
+    pub fn gwt_projected_bytes(&self) -> usize {
+        projected_gwt_bytes(self.graph.num_detectors())
+    }
+}
+
+/// Projected GWT footprint for a detector count.
+fn projected_gwt_bytes(num_detectors: usize) -> usize {
+    num_detectors * num_detectors * GWT_BYTES_PER_ENTRY
 }
 
 #[cfg(test)]
@@ -74,11 +166,66 @@ mod tests {
         assert_eq!(ctx.dem().num_detectors(), 16);
         assert_eq!(ctx.graph().num_detectors(), 16);
         assert_eq!(ctx.gwt().len(), 16);
+        assert_eq!(ctx.boundary().len(), 16);
+        assert_eq!(ctx.weight_source(), WeightSource::Gwt);
     }
 
     #[test]
     fn context_is_send_and_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<DecodingContext>();
+    }
+
+    #[test]
+    fn forced_local_context_has_no_gwt() {
+        let code = SurfaceCode::new(3).unwrap();
+        let ctx = DecodingContext::for_memory_experiment_with(
+            &code,
+            NoiseModel::depolarizing(1e-3),
+            WeightSource::Local,
+        );
+        assert!(ctx.try_gwt().is_none());
+        assert_eq!(ctx.weight_source(), WeightSource::Local);
+        assert_eq!(ctx.gwt_projected_bytes(), 16 * 16 * 13);
+        assert_eq!(ctx.boundary().len(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "GWT-free")]
+    fn gwt_accessor_panics_on_local_context() {
+        let code = SurfaceCode::new(3).unwrap();
+        let ctx = DecodingContext::for_memory_experiment_with(
+            &code,
+            NoiseModel::depolarizing(1e-3),
+            WeightSource::Local,
+        );
+        let _ = ctx.gwt();
+    }
+
+    #[test]
+    fn local_boundary_matches_gwt_diagonal() {
+        let code = SurfaceCode::new(5).unwrap();
+        let noise = NoiseModel::depolarizing(2e-3);
+        let gwt_ctx = DecodingContext::for_memory_experiment_with(&code, noise, WeightSource::Gwt);
+        let local_ctx =
+            DecodingContext::for_memory_experiment_with(&code, noise, WeightSource::Local);
+        let gwt = gwt_ctx.gwt();
+        let bt = local_ctx.boundary();
+        for i in 0..gwt.len() as u32 {
+            assert_eq!(bt.weight(i).to_bits(), gwt.boundary_weight(i).to_bits());
+            assert_eq!(bt.obs(i), gwt.boundary_obs(i));
+            assert_eq!(bt.weight_q(i), gwt.boundary_weight_q(i));
+        }
+    }
+
+    #[test]
+    fn auto_budget_keeps_small_distances_on_the_gwt() {
+        // The auto threshold must not change behavior for the distances
+        // the rest of the suite exercises.
+        for d in [3usize, 5] {
+            let code = SurfaceCode::new(d).unwrap();
+            let ctx = DecodingContext::for_memory_experiment(&code, NoiseModel::depolarizing(1e-3));
+            assert_eq!(ctx.weight_source(), WeightSource::Gwt, "d = {d}");
+        }
     }
 }

@@ -1,6 +1,7 @@
 //! The Global Weight Table (paper §5.1).
 
 use crate::graph::MatchingGraph;
+use crate::local::BoundaryTable;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -46,6 +47,19 @@ impl GlobalWeightTable {
     ///
     /// Panics if `scale` is not positive and finite.
     pub fn with_scale(graph: &MatchingGraph, scale: f64) -> GlobalWeightTable {
+        let boundary = BoundaryTable::with_scale(graph, scale);
+        GlobalWeightTable::with_scale_and_boundary(graph, scale, &boundary)
+    }
+
+    /// [`Self::with_scale`] reusing an already-built [`BoundaryTable`]
+    /// (which must have been built with the same `scale`) for the
+    /// diagonal, so a context that keeps both never runs the multi-source
+    /// boundary Dijkstra twice.
+    pub(crate) fn with_scale_and_boundary(
+        graph: &MatchingGraph,
+        scale: f64,
+        boundary: &BoundaryTable,
+    ) -> GlobalWeightTable {
         assert!(scale > 0.0 && scale.is_finite(), "invalid scale {scale}");
         let n = graph.num_detectors();
         let mut gwt = GlobalWeightTable {
@@ -95,42 +109,14 @@ impl GlobalWeightTable {
             }
         }
 
-        // Boundary weights: one more Dijkstra pass is unnecessary — the
-        // boundary distance of `i` is min over nodes `j` of
-        // dist(i, j) + boundary_edge(j).weight, which we compute via a
-        // multi-source Dijkstra seeded at every boundary edge.
-        let mut bdist = vec![f64::INFINITY; n];
-        let mut bparity = vec![0u32; n];
-        let mut heap: BinaryHeap<Reverse<(OrdF64, u32)>> = BinaryHeap::new();
-        for det in 0..n as u32 {
-            if let Some(be) = graph.boundary_edge(det) {
-                if be.weight < bdist[det as usize] {
-                    bdist[det as usize] = be.weight;
-                    bparity[det as usize] = be.observables;
-                    heap.push(Reverse((OrdF64(be.weight), det)));
-                }
-            }
-        }
-        while let Some(Reverse((OrdF64(d), u))) = heap.pop() {
-            if d > bdist[u as usize] {
-                continue;
-            }
-            for &ei in graph.incident_edges(u) {
-                let e = &graph.edges()[ei as usize];
-                let Some(v) = e.v else { continue };
-                let w = if e.u == u { v } else { e.u };
-                let nd = d + e.weight;
-                if nd < bdist[w as usize] {
-                    bdist[w as usize] = nd;
-                    bparity[w as usize] = bparity[u as usize] ^ e.observables;
-                    heap.push(Reverse((OrdF64(nd), w)));
-                }
-            }
-        }
+        // Boundary weights on the diagonal come from the shared
+        // `BoundaryTable` (the multi-source Dijkstra seeded at every
+        // boundary edge), so the GWT and the GWT-free local path read
+        // bit-identical boundary values by construction.
         for det in 0..n {
-            gwt.exact[det * n + det] = bdist[det];
-            gwt.obs[det * n + det] = bparity[det];
-            gwt.quantized[det * n + det] = quantize(bdist[det], scale);
+            gwt.exact[det * n + det] = boundary.weight(det as u32);
+            gwt.obs[det * n + det] = boundary.obs(det as u32);
+            gwt.quantized[det * n + det] = boundary.weight_q(det as u32);
         }
 
         gwt
@@ -394,7 +380,11 @@ impl GlobalWeightTable {
     }
 }
 
-fn quantize(weight: f64, scale: f64) -> u8 {
+/// Fixed-point quantization of a `−log₁₀ P` weight: round to the nearest
+/// subunit, saturating at `u8::MAX` (which non-finite weights map to).
+/// Shared by the table builder and the GWT-free local provider so both
+/// derive identical quantized views.
+pub(crate) fn quantize(weight: f64, scale: f64) -> u8 {
     if !weight.is_finite() {
         return u8::MAX;
     }
@@ -402,8 +392,9 @@ fn quantize(weight: f64, scale: f64) -> u8 {
 }
 
 /// Total-ordered f64 for the Dijkstra heap (weights are never NaN).
+/// Shared with the local provider so both heaps order identically.
 #[derive(Debug, Clone, Copy, PartialEq)]
-struct OrdF64(f64);
+pub(crate) struct OrdF64(pub(crate) f64);
 
 impl Eq for OrdF64 {}
 impl PartialOrd for OrdF64 {

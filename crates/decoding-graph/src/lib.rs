@@ -34,12 +34,14 @@ mod context;
 mod decoder;
 mod graph;
 mod gwt;
+mod local;
 mod paths;
 mod scratch;
 
-pub use context::DecodingContext;
+pub use context::{DecodingContext, GWT_AUTO_BUDGET_BYTES};
 pub use decoder::{Decoder, Prediction};
 pub use graph::{Edge, EdgeKind, MatchingGraph};
 pub use gwt::{GlobalWeightTable, QuantizedBlock, MAX_GATHER_NODES};
+pub use local::{BoundaryTable, LocalWeightProvider, LocalWeightStats, WeightSource};
 pub use paths::PathReconstructor;
 pub use scratch::{DecodeScratch, RepEdge, SparseBlossomScratch};

@@ -1,0 +1,760 @@
+//! GWT-free weight provision: the boundary table and the staged local
+//! weight provider behind [`WeightSource::Local`].
+//!
+//! The Global Weight Table stores all `ℓ²` pair weights up front, which
+//! caps the reachable distance: 13 bytes per entry (quantized + exact +
+//! observables) is ~42 MB at d = 15 and ~3 GB at d = 31. The local
+//! provider keeps only `O(ℓ)` state — per-detector boundary distances
+//! plus stamped Dijkstra scratch — and computes the pair weights a shot
+//! actually needs on demand, by truncated per-source Dijkstra over the
+//! sparse matching graph (the Sparse Blossom insight: matching never
+//! looks past a small local ball).
+//!
+//! **Bit-identity contract.** Every staged entry is either *bit-identical*
+//! to the corresponding Global Weight Table entry, or `f64::INFINITY` for
+//! a pair whose true weight provably exceeds every threshold a decoder
+//! compares it against (see [`LocalWeightProvider::stage`]). The decode
+//! paths in `blossom-mwpm` only ever compare pair weights against
+//! boundary-sum alternatives, so a dominated `INFINITY` and the true
+//! (large) value take the same branch everywhere — predictions and
+//! matchings are bit-identical to the GWT path, which CI enforces with a
+//! differential suite at d ∈ {3, 5, 7}.
+
+use crate::graph::MatchingGraph;
+use crate::gwt::{quantize, OrdF64, DEFAULT_WEIGHT_SCALE};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Which weight backend a [`DecodingContext`](crate::DecodingContext)
+/// materializes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WeightSource {
+    /// Build the Global Weight Table only while its projected footprint
+    /// fits [`GWT_AUTO_BUDGET_BYTES`](crate::GWT_AUTO_BUDGET_BYTES);
+    /// beyond that, go GWT-free. This is the default.
+    Auto,
+    /// Always materialize the Global Weight Table (the paper's §5.1
+    /// hardware structure).
+    Gwt,
+    /// Never materialize the table: decoders draw pair weights from a
+    /// [`LocalWeightProvider`] on demand.
+    Local,
+}
+
+/// Per-detector boundary distances: the cheapest error chain from each
+/// detector to the lattice boundary, with its observable parity and the
+/// 8-bit quantized view. Syndrome-independent, `O(ℓ)` memory — this is
+/// the only precomputed table the GWT-free path keeps.
+///
+/// Computed by the same multi-source Dijkstra (seeded at every boundary
+/// edge) that fills the Global Weight Table's diagonal, so the values are
+/// bit-identical to `gwt.boundary_weight(i)` — the GWT builder itself
+/// consumes a `BoundaryTable` for its diagonal.
+#[derive(Debug, Clone)]
+pub struct BoundaryTable {
+    weight: Vec<f64>,
+    obs: Vec<u32>,
+    quantized: Vec<u8>,
+    scale: f64,
+}
+
+impl BoundaryTable {
+    /// Builds the table with the default fixed-point scale.
+    pub fn new(graph: &MatchingGraph) -> BoundaryTable {
+        BoundaryTable::with_scale(graph, DEFAULT_WEIGHT_SCALE)
+    }
+
+    /// Builds the table with a custom fixed-point scale (subunits per
+    /// unit weight).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not positive and finite.
+    pub fn with_scale(graph: &MatchingGraph, scale: f64) -> BoundaryTable {
+        assert!(scale > 0.0 && scale.is_finite(), "invalid scale {scale}");
+        let n = graph.num_detectors();
+        let mut weight = vec![f64::INFINITY; n];
+        let mut obs = vec![0u32; n];
+        let mut heap: BinaryHeap<Reverse<(OrdF64, u32)>> = BinaryHeap::new();
+        for det in 0..n as u32 {
+            if let Some(be) = graph.boundary_edge(det) {
+                if be.weight < weight[det as usize] {
+                    weight[det as usize] = be.weight;
+                    obs[det as usize] = be.observables;
+                    heap.push(Reverse((OrdF64(be.weight), det)));
+                }
+            }
+        }
+        while let Some(Reverse((OrdF64(d), u))) = heap.pop() {
+            if d > weight[u as usize] {
+                continue;
+            }
+            for &ei in graph.incident_edges(u) {
+                let e = &graph.edges()[ei as usize];
+                let Some(v) = e.v else { continue };
+                let w = if e.u == u { v } else { e.u };
+                let nd = d + e.weight;
+                if nd < weight[w as usize] {
+                    weight[w as usize] = nd;
+                    obs[w as usize] = obs[u as usize] ^ e.observables;
+                    heap.push(Reverse((OrdF64(nd), w)));
+                }
+            }
+        }
+        let quantized = weight.iter().map(|&w| quantize(w, scale)).collect();
+        BoundaryTable {
+            weight,
+            obs,
+            quantized,
+            scale,
+        }
+    }
+
+    /// Number of detectors.
+    pub fn len(&self) -> usize {
+        self.weight.len()
+    }
+
+    /// Returns `true` if the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.weight.is_empty()
+    }
+
+    /// The fixed-point scale (subunits per unit weight).
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Exact boundary weight of detector `i` in `−log₁₀ P` units.
+    #[inline]
+    pub fn weight(&self, i: u32) -> f64 {
+        self.weight[i as usize]
+    }
+
+    /// Observable-parity mask of the cheapest boundary chain of `i`.
+    #[inline]
+    pub fn obs(&self, i: u32) -> u32 {
+        self.obs[i as usize]
+    }
+
+    /// Quantized boundary weight of detector `i`.
+    #[inline]
+    pub fn weight_q(&self, i: u32) -> u8 {
+        self.quantized[i as usize]
+    }
+}
+
+/// Work counters for a [`LocalWeightProvider`] — how much graph the
+/// truncated searches actually touch, and how often the staged-block memo
+/// short-circuits a restage. Exposed so benches and smoke tests can
+/// assert the local path is non-idle.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LocalWeightStats {
+    /// Calls to [`LocalWeightProvider::stage`].
+    pub stages: u64,
+    /// Stages answered by the already-staged block (identical detector
+    /// list — the repeated singles/pairs of the screen cache, and
+    /// replayed shots on served streams).
+    pub memo_hits: u64,
+    /// Per-source truncated Dijkstra expansions actually run.
+    pub expansions: u64,
+    /// Nodes settled (popped final) across all expansions.
+    pub settled: u64,
+    /// Pair targets skipped outright by the coordinate lower bound —
+    /// provably dominated by boundary matching, never searched for.
+    pub excluded_targets: u64,
+}
+
+/// On-demand staged pair weights over the sparse matching graph — the
+/// GWT-free backend decoders use under [`WeightSource::Local`].
+///
+/// [`stage`](Self::stage) runs one truncated Dijkstra per fired detector
+/// and records, for every pair of the shot, either the exact
+/// shortest-path weight (bit-identical to the Global Weight Table entry)
+/// or `INFINITY` when the pair is provably dominated. All scratch is
+/// stamped and reused: zero steady-state allocations once warm. One
+/// provider lives inside each per-worker decoder.
+#[derive(Debug, Clone)]
+pub struct LocalWeightProvider<'a> {
+    graph: &'a MatchingGraph,
+    boundary: &'a BoundaryTable,
+    /// Minimum edge weight per unit of Chebyshev lattice displacement
+    /// (deflated by 1 − 1e-9 to stay a valid bound under f64 rounding);
+    /// zero disables the spatial lower bound.
+    space_cost: f64,
+    /// Minimum edge weight per unit of round displacement, deflated
+    /// likewise; zero disables the temporal lower bound.
+    time_cost: f64,
+    // Stamped Dijkstra state over the whole graph (O(ℓ), reused).
+    dist: Vec<f64>,
+    parity: Vec<u32>,
+    stamp: Vec<u32>,
+    epoch: u32,
+    heap: BinaryHeap<Reverse<(OrdF64, u32)>>,
+    // The staged k×k block for the current detector list.
+    dets: Vec<u32>,
+    slot: Vec<u32>,
+    slot_stamp: Vec<u32>,
+    slot_epoch: u32,
+    weights: Vec<f64>,
+    obs: Vec<u32>,
+    /// Per-target settle bound of the current expansion (NaN = excluded).
+    bound: Vec<f64>,
+    staged: bool,
+    stats: LocalWeightStats,
+}
+
+impl<'a> LocalWeightProvider<'a> {
+    /// Creates a provider over a matching graph and its boundary table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the boundary table was built for a different number of
+    /// detectors.
+    pub fn new(graph: &'a MatchingGraph, boundary: &'a BoundaryTable) -> LocalWeightProvider<'a> {
+        let n = graph.num_detectors();
+        assert_eq!(
+            boundary.len(),
+            n,
+            "boundary table size does not match the graph"
+        );
+        // Lower-bound slopes: every internal edge moving r lattice units
+        // (Chebyshev) costs at least `space_cost·r`, every edge moving t
+        // rounds at least `time_cost·t`; coordinate deltas telescope
+        // along any path, so `max(space_cost·Δspace, time_cost·Δround)`
+        // lower-bounds every pair distance. The 1e-9 deflation keeps the
+        // bound valid under floating-point division/multiplication
+        // rounding.
+        let (mut space, mut time) = (f64::INFINITY, f64::INFINITY);
+        for e in graph.edges() {
+            let Some(v) = e.v else { continue };
+            let (cu, cv) = (graph.coord(e.u), graph.coord(v));
+            let r = (cu.row - cv.row).abs().max((cu.col - cv.col).abs());
+            if r > 0 {
+                space = space.min(e.weight / r as f64);
+            }
+            let t = (cu.round - cv.round).abs();
+            if t > 0 {
+                time = time.min(e.weight / t as f64);
+            }
+        }
+        let deflate = |slope: f64| {
+            if slope.is_finite() {
+                (slope * (1.0 - 1e-9)).max(0.0)
+            } else {
+                0.0
+            }
+        };
+        LocalWeightProvider {
+            graph,
+            boundary,
+            space_cost: deflate(space),
+            time_cost: deflate(time),
+            dist: vec![f64::INFINITY; n],
+            parity: vec![0; n],
+            stamp: vec![0; n],
+            epoch: 0,
+            heap: BinaryHeap::new(),
+            dets: Vec::new(),
+            slot: vec![0; n],
+            slot_stamp: vec![0; n],
+            slot_epoch: 0,
+            weights: Vec::new(),
+            obs: Vec::new(),
+            bound: Vec::new(),
+            staged: false,
+            stats: LocalWeightStats::default(),
+        }
+    }
+
+    /// The boundary table this provider reads.
+    pub fn boundary(&self) -> &'a BoundaryTable {
+        self.boundary
+    }
+
+    /// The fixed-point scale of the quantized view.
+    pub fn scale(&self) -> f64 {
+        self.boundary.scale()
+    }
+
+    /// Work counters since construction.
+    pub fn stats(&self) -> LocalWeightStats {
+        self.stats
+    }
+
+    /// Stages the pair-weight block for one detector list (ascending,
+    /// deduplicated — how syndrome extraction produces it). Staging the
+    /// identical list again is a memoized no-op.
+    ///
+    /// After staging, entry `(i, j)` of the block is the weight of the
+    /// cheapest error chain from `dets[i]` to `dets[j]` as found by a
+    /// Dijkstra expansion *from* `dets[i]` — relaxation-for-relaxation
+    /// the same loop that fills GWT row `dets[i]`, so settled values are
+    /// bit-identical to the table's. A search from `i` may stop early:
+    /// any target `j` whose distance exceeds
+    /// `max(bᵢ + bⱼ, (qbᵢ + qbⱼ + 1)/scale)` is left at `INFINITY`.
+    /// Such a pair can never be preferred over matching both detectors to
+    /// the boundary — in the exact domain its weight exceeds `bᵢ + bⱼ`,
+    /// and in the quantized domain its rounded weight exceeds
+    /// `qbᵢ + qbⱼ` — so every decoder comparison takes the same branch it
+    /// would with the true value (all decode paths compare pair weights
+    /// only against boundary sums or clamps at least as large).
+    pub fn stage(&mut self, dets: &[u32]) {
+        self.stats.stages += 1;
+        if self.staged && self.dets == dets {
+            self.stats.memo_hits += 1;
+            return;
+        }
+        self.staged = false;
+        let k = dets.len();
+        self.dets.clear();
+        self.dets.extend_from_slice(dets);
+        self.slot_epoch = bump_epoch(self.slot_epoch, &mut self.slot_stamp);
+        for (s, &d) in dets.iter().enumerate() {
+            self.slot[d as usize] = s as u32;
+            self.slot_stamp[d as usize] = self.slot_epoch;
+        }
+        self.weights.clear();
+        self.weights.resize(k * k, f64::INFINITY);
+        self.obs.clear();
+        self.obs.resize(k * k, 0);
+        for i in 0..k {
+            self.weights[i * k + i] = 0.0;
+        }
+        for i in 0..k {
+            self.expand(i);
+        }
+        self.staged = true;
+    }
+
+    /// One truncated per-source Dijkstra: fills row `i` of the staged
+    /// block with settled distances from `dets[i]`.
+    fn expand(&mut self, i: usize) {
+        let k = self.dets.len();
+        let src = self.dets[i];
+        let b_src = self.boundary.weight(src);
+        let qb_src = self.boundary.weight_q(src) as f64;
+        let scale = self.boundary.scale();
+        // Per-target settle bounds: a pair is only interesting while it
+        // can beat boundary-plus-boundary in *either* weight domain. The
+        // quantized bound is padded by one subunit so rounding can never
+        // under-settle; over-settling is always sound.
+        self.bound.clear();
+        self.bound.resize(k, f64::NAN);
+        let mut radius = f64::NEG_INFINITY;
+        let mut remaining = 0usize;
+        for j in 0..k {
+            if j == i {
+                continue;
+            }
+            let dst = self.dets[j];
+            let exact_bound = b_src + self.boundary.weight(dst);
+            let quant_bound = (qb_src + self.boundary.weight_q(dst) as f64 + 1.0) / scale;
+            let b = exact_bound.max(quant_bound);
+            if self.lower_bound(src, dst) > b * (1.0 + 1e-9) + 1e-9 {
+                // Even the coordinate lower bound on the path weight
+                // exceeds the settle bound: dominated, never searched.
+                self.stats.excluded_targets += 1;
+                continue;
+            }
+            self.bound[j] = b;
+            radius = radius.max(b);
+            remaining += 1;
+        }
+        if remaining == 0 {
+            return;
+        }
+        self.stats.expansions += 1;
+        // Relaxation-for-relaxation identical to the GWT's per-source
+        // pass: Dijkstra settles nodes in nondecreasing distance, so a
+        // truncated run is a prefix of the full run and every settled
+        // distance/parity is the full run's value, bit for bit.
+        let stamp = bump_epoch(self.epoch, &mut self.stamp);
+        self.epoch = stamp;
+        self.dist[src as usize] = 0.0;
+        self.parity[src as usize] = 0;
+        self.stamp[src as usize] = stamp;
+        self.heap.clear();
+        self.heap.push(Reverse((OrdF64(0.0), src)));
+        while let Some(Reverse((OrdF64(d), u))) = self.heap.pop() {
+            if d > radius {
+                break;
+            }
+            if self.stamp[u as usize] != stamp || d > self.dist[u as usize] {
+                continue;
+            }
+            self.stats.settled += 1;
+            if u != src && self.slot_stamp[u as usize] == self.slot_epoch {
+                let j = self.slot[u as usize] as usize;
+                let cell = &mut self.weights[i * k + j];
+                if cell.is_infinite() {
+                    *cell = d;
+                    self.obs[i * k + j] = self.parity[u as usize];
+                    if !self.bound[j].is_nan() {
+                        remaining -= 1;
+                        if remaining == 0 {
+                            break;
+                        }
+                    }
+                }
+            }
+            for &ei in self.graph.incident_edges(u) {
+                let e = &self.graph.edges()[ei as usize];
+                let Some(v) = e.v else { continue };
+                let w = if e.u == u { v } else { e.u };
+                let nd = d + e.weight;
+                if self.stamp[w as usize] != stamp || nd < self.dist[w as usize] {
+                    self.stamp[w as usize] = stamp;
+                    self.dist[w as usize] = nd;
+                    self.parity[w as usize] = self.parity[u as usize] ^ e.observables;
+                    self.heap.push(Reverse((OrdF64(nd), w)));
+                }
+            }
+        }
+    }
+
+    /// Coordinate lower bound on the shortest-path weight between two
+    /// detectors; zero when the graph offers no usable slope.
+    #[inline]
+    fn lower_bound(&self, a: u32, b: u32) -> f64 {
+        let (ca, cb) = (self.graph.coord(a), self.graph.coord(b));
+        let dr = (ca.row - cb.row).abs().max((ca.col - cb.col).abs()) as f64;
+        let dt = (ca.round - cb.round).abs() as f64;
+        (self.space_cost * dr).max(self.time_cost * dt)
+    }
+
+    /// Slot of a staged detector.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `det` was not part of the staged list.
+    #[inline]
+    fn slot_of(&self, det: u32) -> usize {
+        debug_assert!(
+            self.staged && self.slot_stamp[det as usize] == self.slot_epoch,
+            "detector {det} not staged"
+        );
+        self.slot[det as usize] as usize
+    }
+
+    /// Raw exact pair weight from the staged block: bit-identical to
+    /// `gwt.pair_weight(i, j)` when settled, `INFINITY` when dominated.
+    #[inline]
+    pub fn pair_weight(&self, i: u32, j: u32) -> f64 {
+        self.weights[self.slot_of(i) * self.dets.len() + self.slot_of(j)]
+    }
+
+    /// Quantized pair weight: bit-identical to `gwt.pair_weight_q(i, j)`
+    /// when settled, `u8::MAX` when dominated (in which case the true
+    /// quantized weight also exceeds `qbᵢ + qbⱼ`, so comparisons agree).
+    #[inline]
+    pub fn pair_weight_q(&self, i: u32, j: u32) -> u8 {
+        quantize(self.pair_weight(i, j), self.boundary.scale())
+    }
+
+    /// Observable parity of the staged shortest path `i → j`. Only
+    /// meaningful for settled pairs; decoders read it only for pairs they
+    /// mate, which are always settled.
+    #[inline]
+    pub fn pair_obs(&self, i: u32, j: u32) -> u32 {
+        self.obs[self.slot_of(i) * self.dets.len() + self.slot_of(j)]
+    }
+
+    /// The staged counterpart of
+    /// [`GlobalWeightTable::gather_small_quantized`](crate::GlobalWeightTable::gather_small_quantized):
+    /// triangular pair order `(0,1), (0,2), (0,3), (1,2), (1,3), (2,3)`
+    /// plus boundary weights, for `dets` a (sub)set of the staged list.
+    pub fn gather_small_quantized(&self, dets: &[u32]) -> ([u16; 6], [u16; 4]) {
+        let k = dets.len();
+        debug_assert!(k <= 4);
+        let n = self.dets.len();
+        let scale = self.boundary.scale();
+        let mut pairs = [0u16; 6];
+        let mut boundary = [0u16; 4];
+        let mut p = 0;
+        for (i, &di) in dets.iter().enumerate() {
+            let row = self.slot_of(di) * n;
+            boundary[i] = self.boundary.weight_q(di) as u16;
+            for &dj in &dets[i + 1..] {
+                pairs[p] = quantize(self.weights[row + self.slot_of(dj)], scale) as u16;
+                p += 1;
+            }
+        }
+        (pairs, boundary)
+    }
+
+    /// The staged counterpart of
+    /// [`GlobalWeightTable::gather_small_exact`](crate::GlobalWeightTable::gather_small_exact).
+    pub fn gather_small_exact(&self, dets: &[u32], clamp: f64) -> ([f64; 6], [f64; 4]) {
+        let k = dets.len();
+        debug_assert!(k <= 4);
+        let n = self.dets.len();
+        let mut pairs = [0f64; 6];
+        let mut boundary = [0f64; 4];
+        let mut p = 0;
+        for (i, &di) in dets.iter().enumerate() {
+            let row = self.slot_of(di) * n;
+            boundary[i] = self.boundary.weight(di);
+            for &dj in &dets[i + 1..] {
+                pairs[p] = self.weights[row + self.slot_of(dj)].min(clamp);
+                p += 1;
+            }
+        }
+        (pairs, boundary)
+    }
+
+    /// The staged counterpart of
+    /// [`GlobalWeightTable::gather_exact_clamped`](crate::GlobalWeightTable::gather_exact_clamped):
+    /// k×k clamped pair matrix (diagonal zero) plus the raw boundary
+    /// vector, for `dets` a (sub)set of the staged list.
+    pub fn gather_exact_clamped(
+        &self,
+        dets: &[u32],
+        clamp: f64,
+        weights: &mut Vec<f64>,
+        boundary: &mut Vec<f64>,
+    ) {
+        let k = dets.len();
+        let n = self.dets.len();
+        weights.clear();
+        weights.resize(k * k, 0.0);
+        boundary.clear();
+        boundary.resize(k, 0.0);
+        for (i, &di) in dets.iter().enumerate() {
+            let row = self.slot_of(di) * n;
+            boundary[i] = self.boundary.weight(di);
+            let dst = &mut weights[i * k..][..k];
+            for (j, &dj) in dets.iter().enumerate() {
+                if j != i {
+                    dst[j] = self.weights[row + self.slot_of(dj)].min(clamp);
+                }
+            }
+        }
+    }
+
+    /// Stages the dequantized weight matrix for the quantized decoder —
+    /// the same values `MwpmDecoder::stage_quantized` derives from the
+    /// table (`q as f64 / scale`, pairs clamped), drawn from the staged
+    /// block instead.
+    pub fn gather_quantized_clamped(
+        &self,
+        dets: &[u32],
+        clamp: f64,
+        weights: &mut Vec<f64>,
+        boundary: &mut Vec<f64>,
+    ) {
+        let k = dets.len();
+        let n = self.dets.len();
+        let scale = self.boundary.scale();
+        weights.clear();
+        weights.resize(k * k, 0.0);
+        boundary.clear();
+        boundary.resize(k, 0.0);
+        for (i, &di) in dets.iter().enumerate() {
+            let row = self.slot_of(di) * n;
+            boundary[i] = self.boundary.weight_q(di) as f64 / scale;
+            let dst = &mut weights[i * k..][..k];
+            for (j, &dj) in dets.iter().enumerate() {
+                if j != i {
+                    let q = quantize(self.weights[row + self.slot_of(dj)], scale);
+                    dst[j] = (q as f64 / scale).min(clamp);
+                }
+            }
+        }
+    }
+}
+
+/// Advances a stamp epoch, clearing the stamp array on wraparound so a
+/// stale stamp can never alias a live one.
+fn bump_epoch(epoch: u32, stamps: &mut [u32]) -> u32 {
+    let next = epoch.wrapping_add(1);
+    if next == 0 {
+        stamps.fill(0);
+        return 1;
+    }
+    next
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gwt::GlobalWeightTable;
+    use qec_circuit::{build_memory_z_circuit, NoiseModel};
+    use surface_code::SurfaceCode;
+
+    fn graph(d: usize, p: f64) -> MatchingGraph {
+        let code = SurfaceCode::new(d).unwrap();
+        let circuit = build_memory_z_circuit(&code, d, NoiseModel::depolarizing(p));
+        MatchingGraph::from_circuit(&circuit)
+    }
+
+    #[test]
+    fn boundary_table_matches_gwt_diagonal() {
+        for (d, p) in [(3, 1e-3), (5, 5e-3), (7, 1e-3)] {
+            let g = graph(d, p);
+            let gwt = GlobalWeightTable::new(&g);
+            let bt = BoundaryTable::new(&g);
+            assert_eq!(bt.len(), gwt.len());
+            for i in 0..gwt.len() as u32 {
+                assert_eq!(bt.weight(i).to_bits(), gwt.boundary_weight(i).to_bits());
+                assert_eq!(bt.obs(i), gwt.boundary_obs(i));
+                assert_eq!(bt.weight_q(i), gwt.boundary_weight_q(i));
+            }
+        }
+    }
+
+    #[test]
+    fn staged_entries_are_bit_identical_or_dominated() {
+        let g = graph(5, 2e-3);
+        let gwt = GlobalWeightTable::new(&g);
+        let bt = BoundaryTable::new(&g);
+        let mut p = LocalWeightProvider::new(&g, &bt);
+        let n = g.num_detectors() as u32;
+        let lists: Vec<Vec<u32>> = vec![
+            vec![0],
+            vec![0, 1],
+            vec![0, n - 1],
+            vec![3, 17, 40, 41],
+            (0..n).step_by(7).collect(),
+            (0..n).collect(),
+        ];
+        for dets in &lists {
+            p.stage(dets);
+            for &a in dets {
+                for &b in dets {
+                    if a == b {
+                        continue;
+                    }
+                    let staged = p.pair_weight(a, b);
+                    let truth = gwt.pair_weight(a, b);
+                    if staged.is_finite() {
+                        assert_eq!(
+                            staged.to_bits(),
+                            truth.to_bits(),
+                            "settled ({a},{b}) differs"
+                        );
+                        assert_eq!(p.pair_obs(a, b), gwt.pair_obs(a, b));
+                        assert_eq!(p.pair_weight_q(a, b), gwt.pair_weight_q(a, b));
+                    } else {
+                        // Dominated: the true weight must exceed the
+                        // boundary alternative in both weight domains.
+                        assert!(
+                            truth > bt.weight(a) + bt.weight(b),
+                            "unsettled ({a},{b}) not dominated: {truth}"
+                        );
+                        assert!(
+                            gwt.pair_weight_q(a, b) as u16
+                                > bt.weight_q(a) as u16 + bt.weight_q(b) as u16,
+                            "unsettled ({a},{b}) not dominated in quantized domain"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_list_stage_settles_every_useful_pair() {
+        // Every pair that could participate in an optimal matching
+        // (weight at most the boundary sum) must be settled exactly.
+        let g = graph(5, 1e-3);
+        let gwt = GlobalWeightTable::new(&g);
+        let bt = BoundaryTable::new(&g);
+        let mut p = LocalWeightProvider::new(&g, &bt);
+        let dets: Vec<u32> = (0..g.num_detectors() as u32).collect();
+        p.stage(&dets);
+        for &a in &dets {
+            for &b in &dets {
+                if a != b && gwt.pair_weight(a, b) <= bt.weight(a) + bt.weight(b) {
+                    assert_eq!(
+                        p.pair_weight(a, b).to_bits(),
+                        gwt.pair_weight(a, b).to_bits()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gathers_match_gwt_gathers() {
+        let g = graph(5, 2e-3);
+        let gwt = GlobalWeightTable::new(&g);
+        let bt = BoundaryTable::new(&g);
+        let mut p = LocalWeightProvider::new(&g, &bt);
+        let dets = vec![2u32, 9, 15, 33];
+        p.stage(&dets);
+        let (pe_l, be_l) = p.gather_small_exact(&dets, 2e4);
+        let (pe_g, be_g) = gwt.gather_small_exact(&dets, 2e4);
+        let (pq_l, bq_l) = p.gather_small_quantized(&dets);
+        let (pq_g, bq_g) = gwt.gather_small_quantized(&dets);
+        let mut t = 0;
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                if p.pair_weight(dets[i], dets[j]).is_finite() {
+                    // Settled: bit-equal to the GWT gather.
+                    assert_eq!(pe_l[t].to_bits(), pe_g[t].to_bits());
+                    assert_eq!(pq_l[t], pq_g[t]);
+                } else {
+                    // Dominated: local clamps/saturates, and the true
+                    // value must beat the boundary sum in both domains.
+                    assert_eq!(pe_l[t], 2e4);
+                    assert_eq!(pq_l[t], u8::MAX as u16);
+                    assert!(pe_g[t] > be_g[i] + be_g[j]);
+                    assert!(pq_g[t] > bq_g[i] + bq_g[j]);
+                }
+                t += 1;
+            }
+        }
+        assert_eq!(be_l, be_g);
+        assert_eq!(bq_l, bq_g);
+
+        let (mut wl, mut bl) = (Vec::new(), Vec::new());
+        let (mut wg, mut bg) = (Vec::new(), Vec::new());
+        p.gather_exact_clamped(&dets, 2e4, &mut wl, &mut bl);
+        gwt.gather_exact_clamped(&dets, 2e4, &mut wg, &mut bg);
+        assert_eq!(bl, bg);
+        // Sub-list gathers read the staged block through the slot map.
+        let sub = vec![9u32, 33];
+        let (mut wsl, mut bsl) = (Vec::new(), Vec::new());
+        p.gather_exact_clamped(&sub, 2e4, &mut wsl, &mut bsl);
+        assert_eq!(bsl, vec![bt.weight(9), bt.weight(33)]);
+        assert_eq!(wsl[0], 0.0);
+        assert_eq!(wsl[1].to_bits(), wl[4 + 3].to_bits());
+    }
+
+    #[test]
+    fn restaging_identical_list_is_memoized() {
+        let g = graph(3, 1e-3);
+        let bt = BoundaryTable::new(&g);
+        let mut p = LocalWeightProvider::new(&g, &bt);
+        p.stage(&[0, 5]);
+        let after_first = p.stats();
+        p.stage(&[0, 5]);
+        let after_second = p.stats();
+        assert_eq!(after_second.memo_hits, after_first.memo_hits + 1);
+        assert_eq!(after_second.expansions, after_first.expansions);
+        p.stage(&[0, 6]);
+        assert!(p.stats().expansions > after_second.expansions);
+    }
+
+    #[test]
+    fn lower_bound_never_exceeds_true_distance() {
+        let g = graph(5, 5e-3);
+        let gwt = GlobalWeightTable::new(&g);
+        let bt = BoundaryTable::new(&g);
+        let p = LocalWeightProvider::new(&g, &bt);
+        let n = g.num_detectors() as u32;
+        for a in 0..n {
+            for b in 0..n {
+                if a != b && gwt.pair_weight(a, b).is_finite() {
+                    assert!(
+                        p.lower_bound(a, b) <= gwt.pair_weight(a, b) * (1.0 + 1e-9) + 1e-9,
+                        "LB({a},{b}) = {} > dist {}",
+                        p.lower_bound(a, b),
+                        gwt.pair_weight(a, b)
+                    );
+                }
+            }
+        }
+    }
+}

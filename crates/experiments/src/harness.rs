@@ -54,8 +54,26 @@ impl ExperimentContext {
     /// Panics if `distance` is not an odd number ≥ 3 or `p` is not a
     /// probability.
     pub fn new(distance: usize, p: f64) -> ExperimentContext {
+        ExperimentContext::with_source(distance, p, decoding_graph::WeightSource::Auto)
+    }
+
+    /// [`Self::new`] with an explicit weight backend: force
+    /// [`decoding_graph::WeightSource::Gwt`] for table-backed decoders at
+    /// any distance, or [`decoding_graph::WeightSource::Local`] to run a
+    /// small distance GWT-free (large distances go GWT-free automatically
+    /// under `Auto` — see [`decoding_graph::GWT_AUTO_BUDGET_BYTES`]).
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`Self::new`].
+    pub fn with_source(
+        distance: usize,
+        p: f64,
+        source: decoding_graph::WeightSource,
+    ) -> ExperimentContext {
         let code = SurfaceCode::new(distance).expect("valid surface code distance");
-        let ctx = DecodingContext::for_memory_experiment(&code, NoiseModel::depolarizing(p));
+        let ctx =
+            DecodingContext::for_memory_experiment_with(&code, NoiseModel::depolarizing(p), source);
         ExperimentContext {
             distance,
             physical_error_rate: p,
@@ -85,8 +103,19 @@ impl ExperimentContext {
     }
 
     /// Shorthand for the Global Weight Table.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the context is GWT-free (see
+    /// [`DecodingContext::gwt`]); backend-agnostic callers should go
+    /// through [`Self::decoding`] and a `for_context` constructor.
     pub fn gwt(&self) -> &decoding_graph::GlobalWeightTable {
         self.ctx.gwt()
+    }
+
+    /// The resolved weight backend of the underlying context.
+    pub fn weight_source(&self) -> decoding_graph::WeightSource {
+        self.ctx.weight_source()
     }
 
     /// Shorthand for the matching graph.

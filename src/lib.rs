@@ -65,8 +65,9 @@ pub mod prelude {
     };
     pub use blossom_mwpm::{LocalMwpmDecoder, MwpmDecoder};
     pub use decoding_graph::{
-        DecodeScratch, Decoder, DecodingContext, GlobalWeightTable, MatchingGraph,
-        PathReconstructor, Prediction,
+        BoundaryTable, DecodeScratch, Decoder, DecodingContext, GlobalWeightTable,
+        LocalWeightProvider, LocalWeightStats, MatchingGraph, PathReconstructor, Prediction,
+        WeightSource,
     };
     pub use qec_circuit::{
         build_memory_x_circuit, build_memory_z_circuit, column_seed, BatchDemSampler,

@@ -70,7 +70,7 @@ use std::sync::{mpsc, Arc, Mutex};
 
 use crate::latency::LatencyStats;
 use crate::screen::{HardSyndromeCache, ScreenCache};
-use decoding_graph::{DecodeScratch, Decoder, Prediction};
+use decoding_graph::{DecodeScratch, Decoder, LocalWeightStats, OndemandStats, Prediction};
 use qec_circuit::{BitTable, SyndromeTile};
 
 /// Default tile size in packed words (8192 shots): large enough to
@@ -147,6 +147,14 @@ pub struct PipelineCounters {
     /// Distinct HW-2 `(first, second)` detector-pair keys the packed
     /// easy tier resolved. Zero on the per-lane reference path.
     pub hw2_key_lookups: u64,
+    /// Work counters of the on-demand deep-tail staging engine
+    /// (GWT-free backends only; idle on the GWT path). Diagnostic —
+    /// excluded from the shot-partition identity.
+    pub ondemand: OndemandStats,
+    /// Work counters of the local weight provider's staged path
+    /// (GWT-free backends only; idle on the GWT path). Diagnostic —
+    /// excluded from the shot-partition identity.
+    pub local_weights: LocalWeightStats,
 }
 
 impl PipelineCounters {
@@ -163,6 +171,8 @@ impl PipelineCounters {
         self.sparse_blossom_shots += other.sparse_blossom_shots;
         self.hw1_key_lookups += other.hw1_key_lookups;
         self.hw2_key_lookups += other.hw2_key_lookups;
+        self.ondemand.merge(&other.ondemand);
+        self.local_weights.merge(&other.local_weights);
     }
 
     /// The nine shot-accounting fields as one array — everything except
@@ -307,6 +317,11 @@ pub struct TileScratch {
     /// Prediction slots for the staged closed-form batch.
     cf_preds: Vec<Prediction>,
     counters: PipelineCounters,
+    /// Weight-backend counter totals at the last harvest: the decoder
+    /// and decode scratch accumulate across the worker's whole life, so
+    /// each tile's contribution is the delta against these snapshots.
+    last_ondemand: OndemandStats,
+    last_local: LocalWeightStats,
 }
 
 impl Default for TileScratch {
@@ -334,6 +349,8 @@ impl TileScratch {
             cf_dets: Vec::new(),
             cf_preds: Vec::new(),
             counters: PipelineCounters::default(),
+            last_ondemand: OndemandStats::default(),
+            last_local: LocalWeightStats::default(),
         }
     }
 
@@ -479,6 +496,8 @@ fn decode_tile_inner(
         cf_dets,
         cf_preds,
         counters,
+        last_ondemand,
+        last_local,
         ..
     } = tile_scratch;
     let ScreenContext { cache, hard_cache } = &mut contexts[0];
@@ -573,6 +592,18 @@ fn decode_tile_inner(
             out.deferred += u64::from(p.deferred);
             out.failures += u64::from(p.observables != shot.actual);
         }
+    }
+
+    // Attribute the weight-backend work this tile triggered: the decode
+    // scratch and the decoder's provider count cumulatively across the
+    // worker's life, so the tile's share is the delta since the last
+    // harvest.
+    let od = scratch.ondemand.stats;
+    counters.ondemand.merge(&od.delta_since(last_ondemand));
+    *last_ondemand = od;
+    if let Some(lw) = decoder.local_weight_stats() {
+        counters.local_weights.merge(&lw.delta_since(last_local));
+        *last_local = lw;
     }
 }
 
@@ -871,6 +902,8 @@ pub fn decode_tile_reference(
         hard_shots,
         by_hw,
         counters,
+        last_ondemand,
+        last_local,
         ..
     } = tile_scratch;
     let ScreenContext { cache, hard_cache } = &mut contexts[0];
@@ -1002,6 +1035,17 @@ pub fn decode_tile_reference(
             out.deferred += u64::from(p.deferred);
             out.failures += u64::from(p.observables != shot.actual);
         }
+    }
+
+    // Same weight-backend harvest as the packed path (diagnostic only —
+    // tier routing differs between the paths, so these are not part of
+    // the bit-identity contract).
+    let od = scratch.ondemand.stats;
+    counters.ondemand.merge(&od.delta_since(last_ondemand));
+    *last_ondemand = od;
+    if let Some(lw) = decoder.local_weight_stats() {
+        counters.local_weights.merge(&lw.delta_since(last_local));
+        *last_local = lw;
     }
 }
 

@@ -2,17 +2,24 @@
 //! memory-experiment LER estimates at d ∈ {15, 21, 31} — distances whose
 //! Global Weight Table would occupy ~42 MB, ~304 MB, and ~3.1 GB — on
 //! contexts that never materialize one, and records throughput plus the
-//! process peak RSS against the quadratic GWT projection in
+//! per-point peak RSS against the quadratic GWT projection in
 //! `results/BENCH_local.json`.
 //!
-//! Usage: `profile_local [--smoke] [trials] [output.json]` — `trials` is
-//! the d = 15 trial count (defaults 20 000); larger distances scale down
-//! with their per-shot cost. `--smoke` runs a CI-sized d = 15 check
-//! (seconds, not minutes): it asserts the context is GWT-free, that the
-//! staged provider actually engaged (non-zero stage/expansion counters),
-//! and that a GWT-backed d = 5 differential point agrees bit-for-bit —
-//! and skips the JSON artifact so smoke numbers never overwrite full-size
-//! results.
+//! Usage: `profile_local [--smoke] [--p <prob>] [trials] [output.json]` —
+//! `trials` is the d = 15 trial count (defaults 20 000); larger distances
+//! scale down with their per-shot cost. Each (distance, p) point runs in
+//! a fresh child process, so `peak_rss_bytes` is that point's own VmHWM
+//! rather than the running maximum of every point before it. By default
+//! every distance is measured at p = 10⁻³ *and* p = 5×10⁻³ (the latter
+//! exercises real defect densities instead of a structurally-zero LER
+//! column); `--p` restricts the sweep to a single probability. `--smoke`
+//! runs a CI-sized d = 15 check (seconds, not minutes): it asserts the
+//! context is GWT-free, that the staging engines actually engaged
+//! (non-zero provider counters through the pipeline), that the point
+//! beat a loose throughput floor so a staging regression can't land
+//! silently, and that a GWT-backed d = 5 differential point agrees
+//! bit-for-bit — and skips the JSON artifact so smoke numbers never
+//! overwrite full-size results.
 
 use astrea_experiments::{
     estimate_ler_streamed_counted, sample_batch, DecoderFactory, ExperimentContext, PipelineConfig,
@@ -24,11 +31,17 @@ use std::time::Instant;
 
 const SEED: u64 = 7;
 const THREADS: usize = 8;
-const P: f64 = 1e-3;
+const DEFAULT_PS: [f64; 2] = [1e-3, 5e-3];
+/// Smoke throughput floor: the d = 15 point must decode its shots inside
+/// this budget. The measured rate on the reference host is ~40× the
+/// floor, so only a catastrophic staging regression (or a return of the
+/// all-pairs wall) trips it.
+const SMOKE_TRIALS: u64 = 2_000;
+const SMOKE_BUDGET_S: f64 = 120.0;
 
 /// Process high-water-mark RSS from `/proc/self/status` (Linux); `None`
-/// elsewhere. Monotone over the process lifetime, so points must be
-/// measured smallest-distance-first for per-point attribution.
+/// elsewhere. Monotone over the process lifetime — which is why every
+/// full-run point gets a process of its own.
 fn peak_rss_bytes() -> Option<u64> {
     let status = std::fs::read_to_string("/proc/self/status").ok()?;
     for line in status.lines() {
@@ -42,6 +55,7 @@ fn peak_rss_bytes() -> Option<u64> {
 
 struct Point {
     distance: usize,
+    p: f64,
     trials: u64,
     failures: u64,
     wall_s: f64,
@@ -49,13 +63,15 @@ struct Point {
     gwt_projected: usize,
     detectors: usize,
     local_stages: u64,
+    ondemand_stages: u64,
+    ondemand_settled: u64,
 }
 
-fn measure(distance: usize, trials: u64) -> Point {
+fn measure(distance: usize, p: f64, trials: u64) -> Point {
     let build = Instant::now();
-    let ctx = ExperimentContext::new(distance, P);
+    let ctx = ExperimentContext::new(distance, p);
     println!(
-        "d={distance}: context built in {:?} (ℓ = {}, GWT projection {:.1} MB, source {:?})",
+        "d={distance} p={p}: context built in {:?} (ℓ = {}, GWT projection {:.1} MB, source {:?})",
         build.elapsed(),
         ctx.graph().num_detectors(),
         ctx.decoding().gwt_projected_bytes() as f64 / (1024.0 * 1024.0),
@@ -79,38 +95,98 @@ fn measure(distance: usize, trials: u64) -> Point {
     );
     let wall_s = t.elapsed().as_secs_f64();
     assert_eq!(counters.shots_screened, trials);
-    // The streamed pipeline hides per-worker decoders behind `dyn
-    // Decoder`; re-run a small slice with a concrete decoder to read the
-    // provider counters and prove the local stage is live at this
-    // distance.
-    let probe = sample_batch(&ctx, 512, THREADS, SEED);
-    let mut dec = MwpmDecoder::for_context(ctx.decoding());
-    let mut scratch = DecodeScratch::new();
-    let _ = astrea_core::decode_slice(&mut dec, &mut scratch, &probe, 0..probe.len());
-    let stats = dec.local_stats().expect("local decoder must expose stats");
     println!(
-        "d={distance}: {} trials in {:.1}s ({:.0} shots/s), {} failures (LER {:.2e}), \
-         peak RSS {:.1} MB, provider: {} stages / {} expansions / {} settled",
+        "d={distance} p={p}: {} trials in {:.1}s ({:.0} shots/s), {} failures (LER {:.2e}), \
+         peak RSS {:.1} MB, staged: {} stages / {} settled, on-demand: {} stages / {} regions / \
+         {} settled / {} collisions / {} pruned / {} excluded",
         trials,
         wall_s,
         trials as f64 / wall_s,
         result.failures,
         result.ler(),
         peak_rss_bytes().map_or(f64::NAN, |b| b as f64 / (1024.0 * 1024.0)),
-        stats.stages,
-        stats.expansions,
-        stats.settled,
+        counters.local_weights.stages,
+        counters.local_weights.settled,
+        counters.ondemand.stages,
+        counters.ondemand.regions,
+        counters.ondemand.settled,
+        counters.ondemand.collisions,
+        counters.ondemand.deadline_pruned,
+        counters.ondemand.excluded,
     );
     Point {
         distance,
+        p,
         trials,
         failures: result.failures,
         wall_s,
         peak_rss: peak_rss_bytes(),
         gwt_projected: ctx.decoding().gwt_projected_bytes(),
         detectors: ctx.graph().num_detectors(),
-        local_stages: stats.stages,
+        local_stages: counters.local_weights.stages,
+        ondemand_stages: counters.ondemand.stages,
+        ondemand_settled: counters.ondemand.settled,
     }
+}
+
+fn point_json(pt: &Point) -> String {
+    let mut json = String::new();
+    let _ = write!(
+        json,
+        "{{\"distance\": {}, \"p\": {:e}, \"detectors\": {}, \"trials\": {}, \"failures\": {}, \
+         \"ler\": {:.6e}, \"wall_s\": {:.3}, \"shots_per_s\": {:.1}, \
+         \"gwt_projected_bytes\": {}, \"local_stages\": {}, \"ondemand_stages\": {}, \
+         \"ondemand_settled\": {}",
+        pt.distance,
+        pt.p,
+        pt.detectors,
+        pt.trials,
+        pt.failures,
+        pt.failures as f64 / pt.trials as f64,
+        pt.wall_s,
+        pt.trials as f64 / pt.wall_s,
+        pt.gwt_projected,
+        pt.local_stages,
+        pt.ondemand_stages,
+        pt.ondemand_settled,
+    );
+    if let Some(rss) = pt.peak_rss {
+        let _ = write!(
+            json,
+            ", \"peak_rss_bytes\": {rss}, \"rss_over_projection\": {:.4}",
+            rss as f64 / pt.gwt_projected as f64
+        );
+    }
+    json.push('}');
+    json
+}
+
+/// Runs one point in a fresh child process (`--point d p trials`) so its
+/// VmHWM belongs to that point alone, and returns the child's JSON line.
+fn measure_in_child(distance: usize, p: f64, trials: u64) -> String {
+    let exe = std::env::current_exe().expect("resolve own executable");
+    let out = std::process::Command::new(exe)
+        .args([
+            "--point",
+            &distance.to_string(),
+            &format!("{p:e}"),
+            &trials.to_string(),
+        ])
+        .output()
+        .expect("spawn point child process");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for line in stdout.lines() {
+        if let Some(json) = line.strip_prefix("POINT ") {
+            return json.to_string();
+        }
+        println!("{line}");
+    }
+    panic!(
+        "child for d = {distance}, p = {p} emitted no POINT line (status {}):\n{}{}",
+        out.status,
+        stdout,
+        String::from_utf8_lossy(&out.stderr)
+    );
 }
 
 fn smoke() {
@@ -130,27 +206,54 @@ fn smoke() {
         "local weights diverged from the GWT at d = 5"
     );
 
-    // The large-distance gate: a d = 15 decode stream completes in
-    // seconds with no GWT allocated and the provider demonstrably live.
-    let pt = measure(15, 2_000);
-    assert!(pt.local_stages > 0, "local provider idle at d = 15");
+    // The large-distance gate: a d = 15 decode stream completes inside a
+    // loose wall-clock budget with no GWT allocated and both staging
+    // engines demonstrably live through the pipeline counters.
+    let pt = measure(15, 1e-3, SMOKE_TRIALS);
+    assert!(pt.local_stages > 0, "staged provider idle at d = 15");
+    assert!(pt.ondemand_stages > 0, "on-demand staging idle at d = 15");
+    assert!(
+        pt.wall_s < SMOKE_BUDGET_S,
+        "throughput regression: {} shots took {:.1}s at d = 15 (budget {SMOKE_BUDGET_S}s)",
+        pt.trials,
+        pt.wall_s
+    );
     if let Some(rss) = pt.peak_rss {
         assert!(
             (rss as usize) < pt.gwt_projected * 4,
             "peak RSS {rss} not credibly below a GWT-carrying footprint"
         );
     }
-    println!("smoke OK: d = 15 decoded GWT-free, local provider engaged");
+    println!(
+        "smoke OK: d = 15 decoded GWT-free in {:.1}s (budget {SMOKE_BUDGET_S}s), both staging \
+         engines engaged",
+        pt.wall_s
+    );
 }
 
 fn main() {
     let mut smoke_mode = false;
+    let mut p_override: Option<f64> = None;
     let mut positional: Vec<String> = Vec::new();
-    for arg in std::env::args().skip(1) {
-        if arg == "--smoke" {
-            smoke_mode = true;
-        } else {
-            positional.push(arg);
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke_mode = true,
+            "--p" => {
+                let v = args.next().expect("--p requires a value");
+                p_override = Some(v.parse().expect("--p value must be a float"));
+            }
+            "--point" => {
+                // Child mode: measure one (d, p, trials) point and emit
+                // it as a machine-readable line for the parent.
+                let d: usize = args.next().unwrap().parse().expect("--point distance");
+                let p: f64 = args.next().unwrap().parse().expect("--point probability");
+                let trials: u64 = args.next().unwrap().parse().expect("--point trials");
+                let pt = measure(d, p, trials);
+                println!("POINT {}", point_json(&pt));
+                return;
+            }
+            _ => positional.push(arg),
         }
     }
     if smoke_mode {
@@ -168,49 +271,34 @@ fn main() {
 
     // Per-shot decode cost grows steeply with distance (more rounds, more
     // detectors per shot, larger matchings); scale trials to keep each
-    // point in the ~minute range on one host. Smallest distance first so
-    // the monotone VmHWM readings attribute per point.
+    // point in the ~minute range on one host. Each point runs in its own
+    // child process so the VmHWM readings are per-point, not cumulative.
+    let ps: Vec<f64> = p_override.map_or_else(|| DEFAULT_PS.to_vec(), |p| vec![p]);
     let schedule = [(15usize, base), (21, base / 4), (31, base / 40)];
-    let points: Vec<Point> = schedule
-        .into_iter()
-        .map(|(d, trials)| measure(d, trials.max(100)))
-        .collect();
+    let mut point_lines: Vec<String> = Vec::new();
+    for (d, trials) in schedule {
+        for &p in &ps {
+            point_lines.push(measure_in_child(d, p, trials.max(100)));
+        }
+    }
 
     let mut json = String::from("{\n");
-    let _ = writeln!(json, "  \"p\": {P},");
     let _ = writeln!(json, "  \"threads\": {THREADS},");
     let _ = writeln!(json, "  \"seed\": {SEED},");
     let _ = writeln!(
         json,
-        "  \"note\": \"GWT-free local weight path; peak_rss_bytes is the process VmHWM \
-         after the point ran (cumulative, measured smallest distance first); \
-         gwt_projected_bytes = 13 * detectors^2 is what the table would have cost\","
+        "  \"note\": \"GWT-free local weight path; each point ran in its own process, so \
+         peak_rss_bytes is that point's VmHWM alone; gwt_projected_bytes = 13 * detectors^2 \
+         is what the table would have cost\","
     );
     json.push_str("  \"points\": [\n");
-    for (i, pt) in points.iter().enumerate() {
-        let _ = write!(
-            json,
-            "    {{\"distance\": {}, \"detectors\": {}, \"trials\": {}, \"failures\": {}, \
-             \"ler\": {:.6e}, \"wall_s\": {:.3}, \"shots_per_s\": {:.1}, \
-             \"gwt_projected_bytes\": {}",
-            pt.distance,
-            pt.detectors,
-            pt.trials,
-            pt.failures,
-            pt.failures as f64 / pt.trials as f64,
-            pt.wall_s,
-            pt.trials as f64 / pt.wall_s,
-            pt.gwt_projected,
-        );
-        if let Some(rss) = pt.peak_rss {
-            let _ = write!(
-                json,
-                ", \"peak_rss_bytes\": {rss}, \"rss_over_projection\": {:.4}",
-                rss as f64 / pt.gwt_projected as f64
-            );
-        }
-        json.push('}');
-        json.push_str(if i + 1 < points.len() { ",\n" } else { "\n" });
+    for (i, line) in point_lines.iter().enumerate() {
+        let _ = write!(json, "    {line}");
+        json.push_str(if i + 1 < point_lines.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
     }
     json.push_str("  ]\n}\n");
     if let Some(dir) = std::path::Path::new(&out_path).parent() {

@@ -310,6 +310,50 @@ fn main() {
                 "smoke OK: local weight path engaged ({} stages, {} expansions, {} memo hits)",
                 stats.stages, stats.expansions, stats.memo_hits
             );
+
+            // On-demand deep tail: a hot GWT-free stream must reach the
+            // deep tier and stage it on-demand, and the engine's work
+            // must be visible through the pipeline counters (not just
+            // the provider) — landmark/deadline exclusions included.
+            let hot = ExperimentContext::with_source(5, 2e-2, WeightSource::Local);
+            let local_factory: Box<DecoderFactory> =
+                Box::new(|c| Box::new(MwpmDecoder::for_context(c.decoding())));
+            let (_, lc) = estimate_ler_streamed_counted(
+                &hot,
+                2_000,
+                SEED,
+                &*local_factory,
+                PipelineConfig::for_threads(THREADS),
+            );
+            assert!(
+                !lc.ondemand.is_idle(),
+                "on-demand staging idle on a hot GWT-free stream: {:?}",
+                lc.ondemand
+            );
+            assert!(
+                lc.ondemand.collisions > 0 && lc.ondemand.settled > 0,
+                "on-demand staging did no graph work: {:?}",
+                lc.ondemand
+            );
+            assert!(
+                lc.ondemand.deadline_pruned + lc.ondemand.excluded > 0,
+                "on-demand staging never certified a pair dominated: {:?}",
+                lc.ondemand
+            );
+            assert!(
+                !lc.local_weights.is_idle() || !lc.ondemand.is_idle(),
+                "local provider invisible to the pipeline counters"
+            );
+            println!(
+                "smoke OK: on-demand deep tail engaged through the pipeline ({} stages, \
+                 {} regions, {} settled, {} collisions, {} pruned, {} excluded)",
+                lc.ondemand.stages,
+                lc.ondemand.regions,
+                lc.ondemand.settled,
+                lc.ondemand.collisions,
+                lc.ondemand.deadline_pruned,
+                lc.ondemand.excluded,
+            );
         }
         println!("smoke OK: all hard-path stages absorbed shots");
         // Don't clobber the published full-size artifacts with

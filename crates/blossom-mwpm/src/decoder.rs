@@ -1,5 +1,6 @@
 //! The idealized software MWPM decoder (the paper's baseline).
 
+use crate::ondemand::DeepBackend;
 use crate::solution::MatchingSolution;
 use crate::{dense_blossom, sparse_blossom, subset_dp};
 use decoding_graph::{
@@ -84,6 +85,9 @@ enum Weights<'a> {
 pub struct MwpmDecoder<'a> {
     weights: Weights<'a>,
     use_quantized: bool,
+    /// Staging engine for deep shots on the local backend (see
+    /// [`DeepBackend`]); unread on the GWT backend.
+    deep_backend: DeepBackend,
     /// Destination for batched quantized gathers on the scratch path.
     qblock: QuantizedBlock,
     /// Staging buffers for the batched quantized closed-form path
@@ -99,6 +103,7 @@ impl<'a> MwpmDecoder<'a> {
         MwpmDecoder {
             weights: Weights::Gwt(gwt),
             use_quantized: false,
+            deep_backend: DeepBackend::default(),
             qblock: QuantizedBlock::new(),
             batch_wq: Vec::new(),
             batch_bq: Vec::new(),
@@ -111,6 +116,7 @@ impl<'a> MwpmDecoder<'a> {
         MwpmDecoder {
             weights: Weights::Gwt(gwt),
             use_quantized: true,
+            deep_backend: DeepBackend::default(),
             qblock: QuantizedBlock::new(),
             batch_wq: Vec::new(),
             batch_bq: Vec::new(),
@@ -126,6 +132,7 @@ impl<'a> MwpmDecoder<'a> {
                 boundary,
             },
             use_quantized: false,
+            deep_backend: DeepBackend::default(),
             qblock: QuantizedBlock::new(),
             batch_wq: Vec::new(),
             batch_bq: Vec::new(),
@@ -160,6 +167,21 @@ impl<'a> MwpmDecoder<'a> {
             }
             _ => MwpmDecoder::with_quantized_weights(ctx.gwt()),
         }
+    }
+
+    /// Selects the staging engine for deep shots (`k > DP_NODE_LIMIT`)
+    /// on the local backend; a no-op setting on the GWT backend, which
+    /// never stages. Builder-style so construction reads
+    /// `MwpmDecoder::for_context(&ctx).with_deep_backend(DeepBackend::Staged)`
+    /// — which is exactly how the differential suites pin the oracle.
+    pub fn with_deep_backend(mut self, backend: DeepBackend) -> MwpmDecoder<'a> {
+        self.deep_backend = backend;
+        self
+    }
+
+    /// The active deep-tail staging engine.
+    pub fn deep_backend(&self) -> DeepBackend {
+        self.deep_backend
     }
 
     /// Work counters of the local weight provider; `None` on the GWT
@@ -830,12 +852,25 @@ impl Decoder for MwpmDecoder<'_> {
         if k == 0 {
             return Prediction::identity();
         }
-        self.ensure_staged(detectors);
         if k > DP_NODE_LIMIT {
             // Deep tail: arena-staged cluster decomposition with the
             // sparse scratch-reusing blossom solver — no allocation.
+            // On the local backend the default staging engine is the
+            // on-demand one: upper-triangle targets with per-pair
+            // deadline certificates, instead of the full per-row sweep.
+            // The blocks are bit-compatible for every cell the decode
+            // consumes, so everything downstream is shared.
+            match (&self.weights, self.deep_backend) {
+                (Weights::Local { provider, .. }, DeepBackend::Ondemand) => {
+                    provider
+                        .borrow_mut()
+                        .stage_ondemand(detectors, &mut scratch.ondemand);
+                }
+                _ => self.ensure_staged(detectors),
+            }
             return self.decode_deep_with_scratch(detectors, scratch);
         }
+        self.ensure_staged(detectors);
         if k <= 4 {
             // Backend-direct closed form — no weight-matrix staging.
             return self.decode_closed_form(detectors);
@@ -954,6 +989,10 @@ impl Decoder for MwpmDecoder<'_> {
 
     fn name(&self) -> &'static str {
         "MWPM"
+    }
+
+    fn local_weight_stats(&self) -> Option<LocalWeightStats> {
+        self.local_stats()
     }
 }
 
@@ -1209,6 +1248,48 @@ mod tests {
                 let stats = l.local_stats().unwrap();
                 assert!(stats.stages > 0 && stats.expansions > 0);
             }
+        }
+    }
+
+    #[test]
+    fn ondemand_deep_backend_matches_staged_oracle() {
+        use qec_circuit::DemSampler;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        // In-crate spot check of the deep-tail contract (the full sweep
+        // lives in the workspace `ondemand_vs_staged` suite): real deep
+        // syndromes, one scratch arena per decoder reused across shots,
+        // on-demand predictions bit-equal to the staged oracle's — and
+        // to the allocating `decode_full` path — in both weight domains.
+        for quantized in [false, true] {
+            let lctx = local_ctx(7, 2e-2);
+            let mut ond = if quantized {
+                MwpmDecoder::for_context_quantized(&lctx)
+            } else {
+                MwpmDecoder::for_context(&lctx)
+            };
+            let mut stg = ond.clone().with_deep_backend(DeepBackend::Staged);
+            assert_eq!(ond.deep_backend(), DeepBackend::Ondemand);
+            assert_eq!(stg.deep_backend(), DeepBackend::Staged);
+            let mut sampler = DemSampler::new(lctx.dem());
+            let mut rng = StdRng::seed_from_u64(271);
+            let mut scratch_o = DecodeScratch::new();
+            let mut scratch_s = DecodeScratch::new();
+            let mut deep = 0;
+            for _ in 0..150 {
+                let shot = sampler.sample(&mut rng);
+                deep += (shot.detectors.len() > DP_NODE_LIMIT) as u32;
+                let po = ond.decode_with_scratch(&shot.detectors, &mut scratch_o);
+                let ps = stg.decode_with_scratch(&shot.detectors, &mut scratch_s);
+                assert_eq!(po, ps, "backends diverged on {:?}", shot.detectors);
+                let full = ond.decode_full(&shot.detectors);
+                assert_eq!(po.observables, full.observables);
+            }
+            assert!(deep > 100, "only {deep} deep syndromes sampled");
+            assert!(!scratch_o.ondemand.stats.is_idle());
+            assert!(scratch_o.ondemand.stats.collisions > 0);
+            assert!(scratch_s.ondemand.stats.is_idle());
         }
     }
 

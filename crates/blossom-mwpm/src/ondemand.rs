@@ -1,0 +1,45 @@
+//! Deep-tail backend selection: on-demand sparse staging vs. the full
+//! staged sweep.
+//!
+//! On the GWT-free backend every deep shot (`k > DP_NODE_LIMIT`) must
+//! produce its pair-weight block before any matching runs. PR 8's staged
+//! path ([`LocalWeightProvider::stage`](decoding_graph::LocalWeightProvider::stage))
+//! runs one truncated Dijkstra per fired detector out to the *maximum*
+//! settle bound over all of its targets — at large distances that floods
+//! most of the lattice per source and is ~99 % of deep decode time
+//! (367 ms of a 370 ms d = 31 shot).
+//!
+//! The on-demand engine
+//! ([`LocalWeightProvider::stage_ondemand`](decoding_graph::LocalWeightProvider::stage_ondemand))
+//! is the Sparse Blossom move (Higgott & Gidney, arXiv:2303.15933)
+//! applied to this staging architecture: grow each source region only as
+//! far as a *per-pair* deadline certificate requires, discover pair
+//! edges lazily when a region reaches a target, and certify every other
+//! pair dominated the moment the nondecreasing settle frontier passes
+//! its bound. Values come from the identical relaxation loop, so the
+//! block the matching tiers consume is bit-compatible with the staged
+//! one: settled entries bit-equal, and the extra `INFINITY` entries all
+//! provably behind boundary matching in both weight domains (see the
+//! [`decoding_graph::ondemand`] module docs for the full argument).
+//!
+//! [`DeepBackend`] selects between the two. [`DeepBackend::Ondemand`] is
+//! the default wherever a local provider is active;
+//! [`DeepBackend::Staged`] keeps PR 8's full sweep available as the
+//! differential oracle (the `ondemand_vs_staged` CI suite proves the two
+//! produce bit-identical predictions, matchings, and LER results) and as
+//! a fallback.
+
+/// Which staging engine the deep tail (`k > DP_NODE_LIMIT`) uses on the
+/// GWT-free backend. Irrelevant (unread) when the decoder is backed by
+/// the Global Weight Table, which holds every pair already.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum DeepBackend {
+    /// On-demand sparse staging: upper-triangle targets, per-pair
+    /// deadline certificates, dynamic shrinking search radius. The
+    /// default — this is what makes d ≥ 21 fast, not just feasible.
+    #[default]
+    Ondemand,
+    /// The full per-row staged sweep (PR 8). Retained as the
+    /// differential oracle and fallback.
+    Staged,
+}

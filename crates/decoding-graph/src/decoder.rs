@@ -106,6 +106,14 @@ pub trait Decoder {
 
     /// A short human-readable name ("MWPM", "Astrea", …) used in reports.
     fn name(&self) -> &'static str;
+
+    /// Cumulative work counters of the decoder's GWT-free weight
+    /// provider, when it has one. `None` for decoders that read a
+    /// materialized weight table (or no table at all); the pipeline uses
+    /// this to surface local-staging activity through its tile counters.
+    fn local_weight_stats(&self) -> Option<crate::LocalWeightStats> {
+        None
+    }
 }
 
 #[cfg(test)]

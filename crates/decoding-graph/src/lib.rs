@@ -35,6 +35,7 @@ mod decoder;
 mod graph;
 mod gwt;
 mod local;
+pub mod ondemand;
 mod paths;
 mod scratch;
 
@@ -43,5 +44,6 @@ pub use decoder::{Decoder, Prediction};
 pub use graph::{Edge, EdgeKind, MatchingGraph};
 pub use gwt::{GlobalWeightTable, QuantizedBlock, MAX_GATHER_NODES};
 pub use local::{BoundaryTable, LocalWeightProvider, LocalWeightStats, WeightSource};
+pub use ondemand::{OndemandScratch, OndemandStats};
 pub use paths::PathReconstructor;
 pub use scratch::{DecodeScratch, RepEdge, SparseBlossomScratch};

@@ -22,8 +22,53 @@
 
 use crate::graph::MatchingGraph;
 use crate::gwt::{quantize, OrdF64, DEFAULT_WEIGHT_SCALE};
+use crate::ondemand::OndemandScratch;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+
+/// Number of ALT landmarks a [`LocalWeightProvider`] precomputes
+/// (farthest-point sampled; clamped to the detector count on tiny
+/// graphs). 16 keeps the per-pair filter at a few dozen subtractions and
+/// the table under 2 MB even at d = 31 — still `O(ℓ)` per worker.
+const NUM_LANDMARKS: usize = 16;
+
+/// Packed per-node Dijkstra state: distance, stamp, and path parity in
+/// one 16-byte record, so a relaxation's stamp check, distance compare,
+/// and parity read all hit a single cache line instead of three arrays.
+#[derive(Debug, Clone, Copy)]
+struct NodeState {
+    dist: f64,
+    stamp: u32,
+    parity: u32,
+}
+
+/// One CSR adjacency entry: an internal edge as seen from one endpoint,
+/// with its weight and observable mask inlined. Packing these (in
+/// `incident_edges` order, boundary edges dropped) turns the hot
+/// relaxation scan into one sequential read instead of the
+/// `incident_edges → edges()[ei]` double indirection, while visiting the
+/// exact same edges in the exact same order — relaxation order, and
+/// hence every settled bit, is unchanged.
+#[derive(Debug, Clone, Copy)]
+struct AdjEntry {
+    nbr: u32,
+    obs: u32,
+    weight: f64,
+}
+
+/// Order-isomorphic heap key: distances are nonnegative and finite, so
+/// the IEEE bit pattern orders exactly as the value and
+/// `(bits(d) << 32) | node` compares as the lexicographic pair
+/// `(d, node)` — one integer compare per heap operation, same pop order.
+#[inline]
+fn heap_key(d: f64, node: u32) -> u128 {
+    ((d.to_bits() as u128) << 32) | node as u128
+}
+
+#[inline]
+fn heap_key_dist(key: u128) -> f64 {
+    f64::from_bits((key >> 32) as u64)
+}
 
 /// Which weight backend a [`DecodingContext`](crate::DecodingContext)
 /// materializes.
@@ -165,6 +210,38 @@ pub struct LocalWeightStats {
     pub excluded_targets: u64,
 }
 
+impl LocalWeightStats {
+    /// Accumulates another counter set into this one.
+    pub fn merge(&mut self, other: &LocalWeightStats) {
+        self.stages += other.stages;
+        self.memo_hits += other.memo_hits;
+        self.expansions += other.expansions;
+        self.settled += other.settled;
+        self.excluded_targets += other.excluded_targets;
+    }
+
+    /// True when no staging ran (used by smoke asserts).
+    pub fn is_idle(&self) -> bool {
+        self.stages == 0
+    }
+
+    /// The work done since `baseline` was captured (saturating, so a
+    /// counter reset between captures reads as zero rather than
+    /// wrapping). The pipeline uses this to attribute a worker's
+    /// cumulative counters to individual tiles.
+    pub fn delta_since(&self, baseline: &LocalWeightStats) -> LocalWeightStats {
+        LocalWeightStats {
+            stages: self.stages.saturating_sub(baseline.stages),
+            memo_hits: self.memo_hits.saturating_sub(baseline.memo_hits),
+            expansions: self.expansions.saturating_sub(baseline.expansions),
+            settled: self.settled.saturating_sub(baseline.settled),
+            excluded_targets: self
+                .excluded_targets
+                .saturating_sub(baseline.excluded_targets),
+        }
+    }
+}
+
 /// On-demand staged pair weights over the sparse matching graph — the
 /// GWT-free backend decoders use under [`WeightSource::Local`].
 ///
@@ -185,12 +262,22 @@ pub struct LocalWeightProvider<'a> {
     /// Minimum edge weight per unit of round displacement, deflated
     /// likewise; zero disables the temporal lower bound.
     time_cost: f64,
+    /// ALT landmark distances, node-major: `land[v * num_land + l]` is
+    /// the exact internal-graph Dijkstra distance from landmark `l` to
+    /// detector `v`. By the triangle inequality
+    /// `d(i, j) ≥ |d(l, i) − d(l, j)|` for every landmark, which (after
+    /// the same 1e-9 deflation the coordinate bound uses) lower-bounds
+    /// any pair distance in O(L) — no graph search. Syndrome-independent
+    /// `O(L·ℓ)` memory, so the GWT-free footprint story is unchanged.
+    land: Vec<f64>,
+    num_land: usize,
     // Stamped Dijkstra state over the whole graph (O(ℓ), reused).
-    dist: Vec<f64>,
-    parity: Vec<u32>,
-    stamp: Vec<u32>,
+    node: Vec<NodeState>,
     epoch: u32,
-    heap: BinaryHeap<Reverse<(OrdF64, u32)>>,
+    heap: BinaryHeap<Reverse<u128>>,
+    // CSR adjacency over internal edges, `incident_edges` order.
+    adj_head: Vec<u32>,
+    adj: Vec<AdjEntry>,
     // The staged k×k block for the current detector list.
     dets: Vec<u32>,
     slot: Vec<u32>,
@@ -201,6 +288,11 @@ pub struct LocalWeightProvider<'a> {
     /// Per-target settle bound of the current expansion (NaN = excluded).
     bound: Vec<f64>,
     staged: bool,
+    /// Whether the staged block was produced by the on-demand engine
+    /// (upper-triangle + per-pair deadlines) rather than the full
+    /// per-row staging. The two flavors fill different cell subsets, so
+    /// a memo of one kind must never serve the other.
+    staged_ondemand: bool,
     stats: LocalWeightStats,
 }
 
@@ -245,16 +337,90 @@ impl<'a> LocalWeightProvider<'a> {
                 0.0
             }
         };
+        // ALT landmarks: exact Dijkstra distances from a handful of
+        // farthest-point-sampled detectors, chosen once per graph. The
+        // coordinate slopes above are weak exactly where the on-demand
+        // engine hurts most — bulk pairs whose cheapest chains run along
+        // diagonal mechanisms — while `|d(l,i) − d(l,j)|` is near-tight
+        // whenever some landmark lies roughly behind one endpoint, so
+        // together they certify most far pairs without growing a region.
+        let num_land = n.min(NUM_LANDMARKS);
+        let mut land = vec![f64::INFINITY; n * num_land];
+        if num_land > 0 {
+            let mut dist = vec![f64::INFINITY; n];
+            let mut mindist = vec![f64::INFINITY; n];
+            let mut heap: BinaryHeap<Reverse<(OrdF64, u32)>> = BinaryHeap::new();
+            let mut seed = 0u32;
+            for l in 0..num_land {
+                dist.iter_mut().for_each(|d| *d = f64::INFINITY);
+                dist[seed as usize] = 0.0;
+                heap.clear();
+                heap.push(Reverse((OrdF64(0.0), seed)));
+                while let Some(Reverse((OrdF64(d), u))) = heap.pop() {
+                    if d > dist[u as usize] {
+                        continue;
+                    }
+                    for &ei in graph.incident_edges(u) {
+                        let e = &graph.edges()[ei as usize];
+                        let Some(v) = e.v else { continue };
+                        let w = if e.u == u { v } else { e.u };
+                        let nd = d + e.weight;
+                        if nd < dist[w as usize] {
+                            dist[w as usize] = nd;
+                            heap.push(Reverse((OrdF64(nd), w)));
+                        }
+                    }
+                }
+                // Next seed: the detector farthest (in graph metric) from
+                // every landmark chosen so far; unreachable components
+                // sort first so each gets its own landmark. Ties break to
+                // the lowest index for determinism.
+                let mut best = (f64::NEG_INFINITY, 0u32);
+                for v in 0..n {
+                    land[v * num_land + l] = dist[v];
+                    let m = mindist[v].min(dist[v]);
+                    mindist[v] = m;
+                    if m > best.0 {
+                        best = (m, v as u32);
+                    }
+                }
+                seed = best.1;
+            }
+        }
+        let mut adj_head = Vec::with_capacity(n + 1);
+        let mut adj = Vec::new();
+        adj_head.push(0u32);
+        for u in 0..n as u32 {
+            for &ei in graph.incident_edges(u) {
+                let e = &graph.edges()[ei as usize];
+                let Some(v) = e.v else { continue };
+                adj.push(AdjEntry {
+                    nbr: if e.u == u { v } else { e.u },
+                    obs: e.observables,
+                    weight: e.weight,
+                });
+            }
+            adj_head.push(adj.len() as u32);
+        }
         LocalWeightProvider {
             graph,
             boundary,
             space_cost: deflate(space),
             time_cost: deflate(time),
-            dist: vec![f64::INFINITY; n],
-            parity: vec![0; n],
-            stamp: vec![0; n],
+            land,
+            num_land,
+            node: vec![
+                NodeState {
+                    dist: f64::INFINITY,
+                    stamp: 0,
+                    parity: 0,
+                };
+                n
+            ],
             epoch: 0,
             heap: BinaryHeap::new(),
+            adj_head,
+            adj,
             dets: Vec::new(),
             slot: vec![0; n],
             slot_stamp: vec![0; n],
@@ -263,6 +429,7 @@ impl<'a> LocalWeightProvider<'a> {
             obs: Vec::new(),
             bound: Vec::new(),
             staged: false,
+            staged_ondemand: false,
             stats: LocalWeightStats::default(),
         }
     }
@@ -301,11 +468,12 @@ impl<'a> LocalWeightProvider<'a> {
     /// only against boundary sums or clamps at least as large).
     pub fn stage(&mut self, dets: &[u32]) {
         self.stats.stages += 1;
-        if self.staged && self.dets == dets {
+        if self.staged && !self.staged_ondemand && self.dets == dets {
             self.stats.memo_hits += 1;
             return;
         }
         self.staged = false;
+        self.staged_ondemand = false;
         let k = dets.len();
         self.dets.clear();
         self.dets.extend_from_slice(dets);
@@ -369,18 +537,22 @@ impl<'a> LocalWeightProvider<'a> {
         // pass: Dijkstra settles nodes in nondecreasing distance, so a
         // truncated run is a prefix of the full run and every settled
         // distance/parity is the full run's value, bit for bit.
-        let stamp = bump_epoch(self.epoch, &mut self.stamp);
-        self.epoch = stamp;
-        self.dist[src as usize] = 0.0;
-        self.parity[src as usize] = 0;
-        self.stamp[src as usize] = stamp;
+        let stamp = self.bump_node_epoch();
+        self.node[src as usize] = NodeState {
+            dist: 0.0,
+            stamp,
+            parity: 0,
+        };
         self.heap.clear();
-        self.heap.push(Reverse((OrdF64(0.0), src)));
-        while let Some(Reverse((OrdF64(d), u))) = self.heap.pop() {
+        self.heap.push(Reverse(heap_key(0.0, src)));
+        while let Some(Reverse(key)) = self.heap.pop() {
+            let d = heap_key_dist(key);
+            let u = key as u32;
             if d > radius {
                 break;
             }
-            if self.stamp[u as usize] != stamp || d > self.dist[u as usize] {
+            let nu = self.node[u as usize];
+            if nu.stamp != stamp || d > nu.dist {
                 continue;
             }
             self.stats.settled += 1;
@@ -389,7 +561,7 @@ impl<'a> LocalWeightProvider<'a> {
                 let cell = &mut self.weights[i * k + j];
                 if cell.is_infinite() {
                     *cell = d;
-                    self.obs[i * k + j] = self.parity[u as usize];
+                    self.obs[i * k + j] = nu.parity;
                     if !self.bound[j].is_nan() {
                         remaining -= 1;
                         if remaining == 0 {
@@ -398,19 +570,221 @@ impl<'a> LocalWeightProvider<'a> {
                     }
                 }
             }
-            for &ei in self.graph.incident_edges(u) {
-                let e = &self.graph.edges()[ei as usize];
-                let Some(v) = e.v else { continue };
-                let w = if e.u == u { v } else { e.u };
+            let (a0, a1) = (
+                self.adj_head[u as usize] as usize,
+                self.adj_head[u as usize + 1] as usize,
+            );
+            for a in a0..a1 {
+                let e = self.adj[a];
                 let nd = d + e.weight;
-                if self.stamp[w as usize] != stamp || nd < self.dist[w as usize] {
-                    self.stamp[w as usize] = stamp;
-                    self.dist[w as usize] = nd;
-                    self.parity[w as usize] = self.parity[u as usize] ^ e.observables;
-                    self.heap.push(Reverse((OrdF64(nd), w)));
+                let nw = &mut self.node[e.nbr as usize];
+                if nw.stamp != stamp || nd < nw.dist {
+                    *nw = NodeState {
+                        dist: nd,
+                        stamp,
+                        parity: nu.parity ^ e.obs,
+                    };
+                    self.heap.push(Reverse(heap_key(nd, e.nbr)));
                 }
             }
         }
+    }
+
+    /// Stages the pair-weight block for one detector list with the
+    /// on-demand engine: upper-triangle targets only, per-pair deadline
+    /// certificates, dynamic shrinking radius (see the
+    /// [`ondemand`](crate::ondemand) module docs). Every cell a decoder
+    /// reads holds exactly the value [`stage`](Self::stage) would have
+    /// put there: settled entries come from the identical relaxation
+    /// loop, and the extra `INFINITY` entries are all certified
+    /// dominated, the same substitution `stage` already relies on for
+    /// its radius truncation.
+    ///
+    /// Restaging the identical list on demand is a memoized no-op; the
+    /// memo is keyed by staging flavor, so a block staged by `stage`
+    /// never masks an on-demand restage or vice versa.
+    pub fn stage_ondemand(&mut self, dets: &[u32], od: &mut OndemandScratch) {
+        od.stats.stages += 1;
+        if self.staged && self.staged_ondemand && self.dets == dets {
+            od.stats.memo_hits += 1;
+            return;
+        }
+        self.staged = false;
+        self.staged_ondemand = false;
+        let k = dets.len();
+        self.dets.clear();
+        self.dets.extend_from_slice(dets);
+        self.slot_epoch = bump_epoch(self.slot_epoch, &mut self.slot_stamp);
+        for (s, &d) in dets.iter().enumerate() {
+            self.slot[d as usize] = s as u32;
+            self.slot_stamp[d as usize] = self.slot_epoch;
+        }
+        self.weights.clear();
+        self.weights.resize(k * k, f64::INFINITY);
+        self.obs.clear();
+        self.obs.resize(k * k, 0);
+        for i in 0..k {
+            self.weights[i * k + i] = 0.0;
+        }
+        od.pos.clear();
+        od.pos.resize(k, u32::MAX);
+        for i in 0..k {
+            self.expand_ondemand(i, od);
+        }
+        self.staged = true;
+        self.staged_ondemand = true;
+    }
+
+    /// One deadline-bounded per-source Dijkstra: fills the settled part
+    /// of row `i` (targets `j > i` only — the pair `(i, j)` is consumed
+    /// exclusively through row `min(i, j)`) and mirrors each settled
+    /// cell so the block stays symmetric.
+    fn expand_ondemand(&mut self, i: usize, od: &mut OndemandScratch) {
+        let k = self.dets.len();
+        let src = self.dets[i];
+        let b_src = self.boundary.weight(src);
+        let qb_src = self.boundary.weight_q(src) as f64;
+        let scale = self.boundary.scale();
+        // Same per-target settle bounds and coordinate exclusion as
+        // `expand`, restricted to the upper triangle, kept as a deadline
+        // queue sorted ascending by bound.
+        od.deadlines.clear();
+        for j in (i + 1)..k {
+            let dst = self.dets[j];
+            let exact_bound = b_src + self.boundary.weight(dst);
+            let quant_bound = (qb_src + self.boundary.weight_q(dst) as f64 + 1.0) / scale;
+            let b = exact_bound.max(quant_bound);
+            let cutoff = b * (1.0 + 1e-9) + 1e-9;
+            if self.lower_bound(src, dst) > cutoff || self.landmark_bound(src, dst) > cutoff {
+                od.stats.excluded += 1;
+                continue;
+            }
+            od.deadlines.push((b, j as u32));
+        }
+        if od.deadlines.is_empty() {
+            return;
+        }
+        od.deadlines
+            .sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        od.resolved.clear();
+        od.resolved.resize(od.deadlines.len(), false);
+        for (p, &(_, j)) in od.deadlines.iter().enumerate() {
+            od.pos[j as usize] = p as u32;
+        }
+        let mut remaining = od.deadlines.len();
+        // All deadlines before `cursor` are resolved (settled or
+        // expired); `tail` tracks the largest unresolved bound — the
+        // active radius, which only shrinks as targets resolve.
+        let mut cursor = 0usize;
+        let mut tail = od.deadlines.len() - 1;
+        od.stats.regions += 1;
+        // The relaxation loop is `expand`'s, relaxation for relaxation:
+        // same heap order `(distance, node)`, same strict-`<` rule, so
+        // every settled distance and parity is bit-identical.
+        let stamp = self.bump_node_epoch();
+        self.node[src as usize] = NodeState {
+            dist: 0.0,
+            stamp,
+            parity: 0,
+        };
+        self.heap.clear();
+        self.heap.push(Reverse(heap_key(0.0, src)));
+        while let Some(Reverse(key)) = self.heap.pop() {
+            let d = heap_key_dist(key);
+            let u = key as u32;
+            // Expire deadlines the frontier has passed: settles are
+            // nondecreasing in distance, so `bound < d` with the target
+            // unsettled proves its distance exceeds its bound —
+            // dominated, leave `INFINITY`.
+            while cursor < od.deadlines.len() && od.deadlines[cursor].0 < d {
+                if !od.resolved[cursor] {
+                    od.resolved[cursor] = true;
+                    od.pos[od.deadlines[cursor].1 as usize] = u32::MAX;
+                    od.stats.deadline_pruned += 1;
+                    remaining -= 1;
+                }
+                cursor += 1;
+            }
+            if remaining == 0 {
+                break;
+            }
+            while od.resolved[tail] {
+                tail -= 1;
+            }
+            let radius = od.deadlines[tail].0;
+            let nu = self.node[u as usize];
+            if nu.stamp != stamp || d > nu.dist {
+                continue;
+            }
+            od.stats.settled += 1;
+            if u != src && self.slot_stamp[u as usize] == self.slot_epoch {
+                let j = self.slot[u as usize] as usize;
+                let p = od.pos[j];
+                if p != u32::MAX {
+                    // An active target settled within its bound: record
+                    // the exact pair edge (and its mirror).
+                    self.weights[i * k + j] = d;
+                    self.obs[i * k + j] = nu.parity;
+                    self.weights[j * k + i] = d;
+                    self.obs[j * k + i] = nu.parity;
+                    od.resolved[p as usize] = true;
+                    od.pos[j] = u32::MAX;
+                    od.stats.collisions += 1;
+                    remaining -= 1;
+                    if remaining == 0 {
+                        break;
+                    }
+                }
+            }
+            let (a0, a1) = (
+                self.adj_head[u as usize] as usize,
+                self.adj_head[u as usize + 1] as usize,
+            );
+            for a in a0..a1 {
+                let e = self.adj[a];
+                let nd = d + e.weight;
+                let nw = &mut self.node[e.nbr as usize];
+                if nw.stamp != stamp || nd < nw.dist {
+                    *nw = NodeState {
+                        dist: nd,
+                        stamp,
+                        parity: nu.parity ^ e.obs,
+                    };
+                    // Nodes beyond the active radius can never settle
+                    // (the radius only shrinks), so their heap entries
+                    // would only ever be popped dead — skip the push.
+                    // Their recorded distance stays live: a later,
+                    // cheaper relaxation re-enters through the same
+                    // strict-`<` test exactly as in `expand`.
+                    if nd <= radius {
+                        self.heap.push(Reverse(heap_key(nd, e.nbr)));
+                    }
+                }
+            }
+        }
+        // Targets the frontier never reached (heap drained first) are
+        // dominated by the same certificate: clear their queue slots.
+        for p in cursor..od.deadlines.len() {
+            if !od.resolved[p] {
+                od.resolved[p] = true;
+                od.pos[od.deadlines[p].1 as usize] = u32::MAX;
+                od.stats.deadline_pruned += 1;
+            }
+        }
+    }
+
+    /// Advances the Dijkstra stamp epoch, clearing stamps on wraparound.
+    fn bump_node_epoch(&mut self) -> u32 {
+        let next = self.epoch.wrapping_add(1);
+        self.epoch = if next == 0 {
+            for ns in &mut self.node {
+                ns.stamp = 0;
+            }
+            1
+        } else {
+            next
+        };
+        self.epoch
     }
 
     /// Coordinate lower bound on the shortest-path weight between two
@@ -421,6 +795,25 @@ impl<'a> LocalWeightProvider<'a> {
         let dr = (ca.row - cb.row).abs().max((ca.col - cb.col).abs()) as f64;
         let dt = (ca.round - cb.round).abs() as f64;
         (self.space_cost * dr).max(self.time_cost * dt)
+    }
+
+    /// ALT landmark lower bound on the shortest-path weight: the triangle
+    /// inequality gives `d(a, b) ≥ |d(l, a) − d(l, b)|` for every
+    /// landmark `l`, deflated by the usual 1e-9 so the bound stays valid
+    /// under f64 rounding of the landmark distances. A landmark that
+    /// reaches exactly one endpoint proves the pair disconnected (the
+    /// bound is `INFINITY`); one that reaches neither contributes nothing
+    /// (the `NaN` difference is discarded by `max`).
+    #[inline]
+    fn landmark_bound(&self, a: u32, b: u32) -> f64 {
+        let l = self.num_land;
+        let da = &self.land[a as usize * l..a as usize * l + l];
+        let db = &self.land[b as usize * l..b as usize * l + l];
+        let mut lb = 0.0f64;
+        for (x, y) in da.iter().zip(db) {
+            lb = lb.max((x - y).abs());
+        }
+        lb * (1.0 - 1e-9) - 1e-9
     }
 
     /// Slot of a staged detector.
@@ -735,6 +1128,94 @@ mod tests {
         assert_eq!(after_second.expansions, after_first.expansions);
         p.stage(&[0, 6]);
         assert!(p.stats().expansions > after_second.expansions);
+    }
+
+    #[test]
+    fn ondemand_block_matches_staged_block_where_consumed() {
+        // Differential ground truth for the on-demand engine: for every
+        // upper-triangle pair, the on-demand cell is either bit-equal to
+        // the staged cell (weight, parity, quantized view, and the
+        // mirror), or `INFINITY` with the staged value certified
+        // dominated (strictly above the pair's settle bound). Any pair
+        // the decoders could actually prefer over boundary matching —
+        // staged value at or below the bound — must be settled exactly.
+        for (d, p) in [(3, 1e-3), (5, 5e-3), (5, 1e-3), (7, 2e-3)] {
+            let g = graph(d, p);
+            let bt = BoundaryTable::new(&g);
+            let mut staged = LocalWeightProvider::new(&g, &bt);
+            let mut ondemand = LocalWeightProvider::new(&g, &bt);
+            let mut od = OndemandScratch::new();
+            let n = g.num_detectors() as u32;
+            let lists: Vec<Vec<u32>> = vec![
+                vec![0, 1],
+                vec![0, n - 1],
+                (0..n).step_by(7).collect(),
+                (0..n).step_by(3).collect(),
+                (0..n).collect(),
+            ];
+            for dets in &lists {
+                staged.stage(dets);
+                ondemand.stage_ondemand(dets, &mut od);
+                let k = dets.len();
+                let scale = bt.scale();
+                for i in 0..k {
+                    for j in (i + 1)..k {
+                        let (a, b) = (dets[i], dets[j]);
+                        let sv = staged.pair_weight(a, b);
+                        let ov = ondemand.pair_weight(a, b);
+                        let bound = (bt.weight(a) + bt.weight(b))
+                            .max((bt.weight_q(a) as f64 + bt.weight_q(b) as f64 + 1.0) / scale);
+                        if ov.is_finite() {
+                            assert_eq!(ov.to_bits(), sv.to_bits(), "({a},{b}) value differs");
+                            assert_eq!(
+                                ondemand.pair_obs(a, b),
+                                staged.pair_obs(a, b),
+                                "({a},{b}) parity differs"
+                            );
+                            assert_eq!(ondemand.pair_weight_q(a, b), staged.pair_weight_q(a, b));
+                            // Mirror is symmetric.
+                            assert_eq!(ondemand.pair_weight(b, a).to_bits(), ov.to_bits());
+                            assert_eq!(ondemand.pair_obs(b, a), ondemand.pair_obs(a, b));
+                        } else {
+                            assert!(
+                                sv > bound,
+                                "({a},{b}) pruned but staged {sv} <= bound {bound}"
+                            );
+                        }
+                        if sv <= bound {
+                            assert!(ov.is_finite(), "({a},{b}) consumable pair not settled");
+                        }
+                    }
+                }
+            }
+            assert!(!od.stats.is_idle());
+            assert!(od.stats.collisions > 0);
+        }
+    }
+
+    #[test]
+    fn ondemand_memo_is_keyed_by_staging_flavor() {
+        let g = graph(3, 1e-3);
+        let bt = BoundaryTable::new(&g);
+        let mut p = LocalWeightProvider::new(&g, &bt);
+        let mut od = OndemandScratch::new();
+        let dets = [0u32, 3, 5, 9];
+        // A full-staged block must not serve an on-demand memo...
+        p.stage(&dets);
+        p.stage_ondemand(&dets, &mut od);
+        assert_eq!(od.stats.memo_hits, 0);
+        assert!(od.stats.regions > 0);
+        // ...nor an on-demand block a full-staged memo...
+        let before = p.stats();
+        p.stage(&dets);
+        assert_eq!(p.stats().memo_hits, before.memo_hits);
+        assert!(p.stats().expansions > before.expansions);
+        // ...while same-flavor restaging memoizes.
+        p.stage_ondemand(&dets, &mut od);
+        let regions = od.stats.regions;
+        p.stage_ondemand(&dets, &mut od);
+        assert_eq!(od.stats.memo_hits, 1);
+        assert_eq!(od.stats.regions, regions);
     }
 
     #[test]

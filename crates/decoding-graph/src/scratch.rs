@@ -13,6 +13,7 @@
 //! index maps) so that any decoder in the workspace can reuse the same
 //! arena without this crate knowing its internals.
 
+use crate::ondemand::OndemandScratch;
 use std::collections::VecDeque;
 
 /// A staged representative edge for a contracted-blossom row of the
@@ -148,6 +149,10 @@ pub struct DecodeScratch {
     pub ends: Vec<u32>,
     /// Persistent arena for the sparse blossom solver (deep tail).
     pub sparse: SparseBlossomScratch,
+    /// Persistent arena (and work counters) for the on-demand staging
+    /// engine (deep tail under [`WeightSource`](crate::WeightSource)
+    /// `::Local`).
+    pub ondemand: OndemandScratch,
 }
 
 impl DecodeScratch {
@@ -168,6 +173,7 @@ impl DecodeScratch {
         self.epoch = 0;
         self.ends.clear();
         self.sparse.clear();
+        self.ondemand.clear();
     }
 }
 

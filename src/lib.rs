@@ -63,11 +63,11 @@ pub mod prelude {
     pub use astrea_serve::{
         ClientSession, DecodeService, ServeConfig, ServiceStats, SubmitPolicy, WireClient,
     };
-    pub use blossom_mwpm::{LocalMwpmDecoder, MwpmDecoder};
+    pub use blossom_mwpm::{DeepBackend, LocalMwpmDecoder, MwpmDecoder, DP_NODE_LIMIT};
     pub use decoding_graph::{
         BoundaryTable, DecodeScratch, Decoder, DecodingContext, GlobalWeightTable,
-        LocalWeightProvider, LocalWeightStats, MatchingGraph, PathReconstructor, Prediction,
-        WeightSource,
+        LocalWeightProvider, LocalWeightStats, MatchingGraph, OndemandStats, PathReconstructor,
+        Prediction, WeightSource,
     };
     pub use qec_circuit::{
         build_memory_x_circuit, build_memory_z_circuit, column_seed, BatchDemSampler,

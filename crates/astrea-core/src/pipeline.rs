@@ -70,7 +70,9 @@ use std::sync::{mpsc, Arc, Mutex};
 
 use crate::latency::LatencyStats;
 use crate::screen::{HardSyndromeCache, ScreenCache};
-use decoding_graph::{DecodeScratch, Decoder, LocalWeightStats, OndemandStats, Prediction};
+use decoding_graph::{
+    DecodeScratch, Decoder, GraphPdStats, LocalWeightStats, OndemandStats, Prediction,
+};
 use qec_circuit::{BitTable, SyndromeTile};
 
 /// Default tile size in packed words (8192 shots): large enough to
@@ -155,6 +157,11 @@ pub struct PipelineCounters {
     /// (GWT-free backends only; idle on the GWT path). Diagnostic —
     /// excluded from the shot-partition identity.
     pub local_weights: LocalWeightStats,
+    /// Work counters of the opt-in graph-native primal-dual deep-tail
+    /// engine (idle unless `DeepBackend::GraphPd` is selected on a
+    /// GWT-free backend). Diagnostic — excluded from the shot-partition
+    /// identity.
+    pub graphpd: GraphPdStats,
 }
 
 impl PipelineCounters {
@@ -173,6 +180,7 @@ impl PipelineCounters {
         self.hw2_key_lookups += other.hw2_key_lookups;
         self.ondemand.merge(&other.ondemand);
         self.local_weights.merge(&other.local_weights);
+        self.graphpd.merge(&other.graphpd);
     }
 
     /// The nine shot-accounting fields as one array — everything except
@@ -322,6 +330,7 @@ pub struct TileScratch {
     /// each tile's contribution is the delta against these snapshots.
     last_ondemand: OndemandStats,
     last_local: LocalWeightStats,
+    last_graphpd: GraphPdStats,
 }
 
 impl Default for TileScratch {
@@ -351,6 +360,7 @@ impl TileScratch {
             counters: PipelineCounters::default(),
             last_ondemand: OndemandStats::default(),
             last_local: LocalWeightStats::default(),
+            last_graphpd: GraphPdStats::default(),
         }
     }
 
@@ -498,6 +508,7 @@ fn decode_tile_inner(
         counters,
         last_ondemand,
         last_local,
+        last_graphpd,
         ..
     } = tile_scratch;
     let ScreenContext { cache, hard_cache } = &mut contexts[0];
@@ -601,6 +612,9 @@ fn decode_tile_inner(
     let od = scratch.ondemand.stats;
     counters.ondemand.merge(&od.delta_since(last_ondemand));
     *last_ondemand = od;
+    let gp = scratch.graphpd.stats;
+    counters.graphpd.merge(&gp.delta_since(last_graphpd));
+    *last_graphpd = gp;
     if let Some(lw) = decoder.local_weight_stats() {
         counters.local_weights.merge(&lw.delta_since(last_local));
         *last_local = lw;
@@ -904,6 +918,7 @@ pub fn decode_tile_reference(
         counters,
         last_ondemand,
         last_local,
+        last_graphpd,
         ..
     } = tile_scratch;
     let ScreenContext { cache, hard_cache } = &mut contexts[0];
@@ -1043,6 +1058,9 @@ pub fn decode_tile_reference(
     let od = scratch.ondemand.stats;
     counters.ondemand.merge(&od.delta_since(last_ondemand));
     *last_ondemand = od;
+    let gp = scratch.graphpd.stats;
+    counters.graphpd.merge(&gp.delta_since(last_graphpd));
+    *last_graphpd = gp;
     if let Some(lw) = decoder.local_weight_stats() {
         counters.local_weights.merge(&lw.delta_since(last_local));
         *last_local = lw;

@@ -3,28 +3,32 @@
 //! Global Weight Table would occupy ~42 MB, ~304 MB, and ~3.1 GB — on
 //! contexts that never materialize one, and records throughput plus the
 //! per-point peak RSS against the quadratic GWT projection in
-//! `results/BENCH_local.json`.
+//! `results/BENCH_local.json`. Every (distance, p) point is measured once
+//! per deep-tail backend — `ondemand` (the default staged discovery
+//! engine) and `graph-pd` (the graph-native primal-dual engine) — so the
+//! artifact carries the A/B comparison directly.
 //!
 //! Usage: `profile_local [--smoke] [--p <prob>] [trials] [output.json]` —
 //! `trials` is the d = 15 trial count (defaults 20 000); larger distances
-//! scale down with their per-shot cost. Each (distance, p) point runs in
-//! a fresh child process, so `peak_rss_bytes` is that point's own VmHWM
-//! rather than the running maximum of every point before it. By default
-//! every distance is measured at p = 10⁻³ *and* p = 5×10⁻³ (the latter
-//! exercises real defect densities instead of a structurally-zero LER
-//! column); `--p` restricts the sweep to a single probability. `--smoke`
-//! runs a CI-sized d = 15 check (seconds, not minutes): it asserts the
-//! context is GWT-free, that the staging engines actually engaged
-//! (non-zero provider counters through the pipeline), that the point
-//! beat a loose throughput floor so a staging regression can't land
-//! silently, and that a GWT-backed d = 5 differential point agrees
-//! bit-for-bit — and skips the JSON artifact so smoke numbers never
-//! overwrite full-size results.
+//! scale down with their per-shot cost. Each (distance, p, backend) point
+//! runs in a fresh child process, so `peak_rss_bytes` is that point's own
+//! VmHWM rather than the running maximum of every point before it. By
+//! default every distance is measured at p = 10⁻³ *and* p = 5×10⁻³ (the
+//! latter exercises real defect densities instead of a structurally-zero
+//! LER column); `--p` restricts the sweep to a single probability.
+//! `--smoke` runs a CI-sized d = 15 check (seconds, not minutes): it
+//! asserts the context is GWT-free, that the staging engines actually
+//! engaged (non-zero provider counters through the pipeline), that each
+//! backend's point beat a loose throughput floor so a staging regression
+//! can't land silently, that backend dispatch does not drift (a graph-pd
+//! run leaves the on-demand counters idle and vice versa), and that a
+//! GWT-backed d = 5 differential point agrees bit-for-bit — and skips the
+//! JSON artifact so smoke numbers never overwrite full-size results.
 
 use astrea_experiments::{
     estimate_ler_streamed_counted, sample_batch, DecoderFactory, ExperimentContext, PipelineConfig,
 };
-use blossom_mwpm::MwpmDecoder;
+use blossom_mwpm::{DeepBackend, MwpmDecoder};
 use decoding_graph::{DecodeScratch, WeightSource};
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -33,9 +37,9 @@ const SEED: u64 = 7;
 const THREADS: usize = 8;
 const DEFAULT_PS: [f64; 2] = [1e-3, 5e-3];
 /// Smoke throughput floor: the d = 15 point must decode its shots inside
-/// this budget. The measured rate on the reference host is ~40× the
-/// floor, so only a catastrophic staging regression (or a return of the
-/// all-pairs wall) trips it.
+/// this budget (per backend). The measured rates on the reference host
+/// are ≥ 40× the floor, so only a catastrophic staging regression (or a
+/// return of the all-pairs wall) trips it.
 const SMOKE_TRIALS: u64 = 2_000;
 const SMOKE_BUDGET_S: f64 = 120.0;
 
@@ -53,9 +57,27 @@ fn peak_rss_bytes() -> Option<u64> {
     None
 }
 
+fn backend_name(backend: DeepBackend) -> &'static str {
+    match backend {
+        DeepBackend::Ondemand => "ondemand",
+        DeepBackend::GraphPd => "graph-pd",
+        DeepBackend::Staged => "staged",
+    }
+}
+
+fn parse_backend(name: &str) -> DeepBackend {
+    match name {
+        "ondemand" => DeepBackend::Ondemand,
+        "graph-pd" => DeepBackend::GraphPd,
+        "staged" => DeepBackend::Staged,
+        other => panic!("unknown backend {other:?}"),
+    }
+}
+
 struct Point {
     distance: usize,
     p: f64,
+    backend: DeepBackend,
     trials: u64,
     failures: u64,
     wall_s: f64,
@@ -65,13 +87,18 @@ struct Point {
     local_stages: u64,
     ondemand_stages: u64,
     ondemand_settled: u64,
+    graphpd_stages: u64,
+    graphpd_grows: u64,
+    graphpd_merges: u64,
 }
 
-fn measure(distance: usize, p: f64, trials: u64) -> Point {
+fn measure(distance: usize, p: f64, trials: u64, backend: DeepBackend) -> Point {
     let build = Instant::now();
     let ctx = ExperimentContext::new(distance, p);
     println!(
-        "d={distance} p={p}: context built in {:?} (ℓ = {}, GWT projection {:.1} MB, source {:?})",
+        "d={distance} p={p} [{}]: context built in {:?} (ℓ = {}, GWT projection {:.1} MB, \
+         source {:?})",
+        backend_name(backend),
         build.elapsed(),
         ctx.graph().num_detectors(),
         ctx.decoding().gwt_projected_bytes() as f64 / (1024.0 * 1024.0),
@@ -83,8 +110,9 @@ fn measure(distance: usize, p: f64, trials: u64) -> Point {
         "d = {distance} must resolve GWT-free under the auto budget"
     );
     assert!(ctx.decoding().try_gwt().is_none());
-    let factory: Box<DecoderFactory> =
-        Box::new(|c| Box::new(MwpmDecoder::for_context(c.decoding())));
+    let factory: Box<DecoderFactory> = Box::new(move |c| {
+        Box::new(MwpmDecoder::for_context(c.decoding()).with_deep_backend(backend))
+    });
     let t = Instant::now();
     let (result, counters) = estimate_ler_streamed_counted(
         &ctx,
@@ -96,9 +124,11 @@ fn measure(distance: usize, p: f64, trials: u64) -> Point {
     let wall_s = t.elapsed().as_secs_f64();
     assert_eq!(counters.shots_screened, trials);
     println!(
-        "d={distance} p={p}: {} trials in {:.1}s ({:.0} shots/s), {} failures (LER {:.2e}), \
-         peak RSS {:.1} MB, staged: {} stages / {} settled, on-demand: {} stages / {} regions / \
-         {} settled / {} collisions / {} pruned / {} excluded",
+        "d={distance} p={p} [{}]: {} trials in {:.1}s ({:.0} shots/s), {} failures (LER \
+         {:.2e}), peak RSS {:.1} MB, staged: {} stages / {} settled, on-demand: {} stages / {} \
+         regions / {} settled / {} collisions / {} pruned / {} excluded, graph-pd: {} stages / \
+         {} regions / {} grows / {} merges / {} pruned / {} excluded",
+        backend_name(backend),
         trials,
         wall_s,
         trials as f64 / wall_s,
@@ -113,10 +143,17 @@ fn measure(distance: usize, p: f64, trials: u64) -> Point {
         counters.ondemand.collisions,
         counters.ondemand.deadline_pruned,
         counters.ondemand.excluded,
+        counters.graphpd.stages,
+        counters.graphpd.regions,
+        counters.graphpd.grows,
+        counters.graphpd.merges,
+        counters.graphpd.deadline_pruned,
+        counters.graphpd.excluded,
     );
     Point {
         distance,
         p,
+        backend,
         trials,
         failures: result.failures,
         wall_s,
@@ -126,6 +163,9 @@ fn measure(distance: usize, p: f64, trials: u64) -> Point {
         local_stages: counters.local_weights.stages,
         ondemand_stages: counters.ondemand.stages,
         ondemand_settled: counters.ondemand.settled,
+        graphpd_stages: counters.graphpd.stages,
+        graphpd_grows: counters.graphpd.grows,
+        graphpd_merges: counters.graphpd.merges,
     }
 }
 
@@ -133,12 +173,14 @@ fn point_json(pt: &Point) -> String {
     let mut json = String::new();
     let _ = write!(
         json,
-        "{{\"distance\": {}, \"p\": {:e}, \"detectors\": {}, \"trials\": {}, \"failures\": {}, \
-         \"ler\": {:.6e}, \"wall_s\": {:.3}, \"shots_per_s\": {:.1}, \
-         \"gwt_projected_bytes\": {}, \"local_stages\": {}, \"ondemand_stages\": {}, \
-         \"ondemand_settled\": {}",
+        "{{\"distance\": {}, \"p\": {:e}, \"backend\": \"{}\", \"detectors\": {}, \
+         \"trials\": {}, \"failures\": {}, \"ler\": {:.6e}, \"wall_s\": {:.3}, \
+         \"shots_per_s\": {:.1}, \"gwt_projected_bytes\": {}, \"local_stages\": {}, \
+         \"ondemand_stages\": {}, \"ondemand_settled\": {}, \"graphpd_stages\": {}, \
+         \"graphpd_grows\": {}, \"graphpd_merges\": {}",
         pt.distance,
         pt.p,
+        backend_name(pt.backend),
         pt.detectors,
         pt.trials,
         pt.failures,
@@ -149,6 +191,9 @@ fn point_json(pt: &Point) -> String {
         pt.local_stages,
         pt.ondemand_stages,
         pt.ondemand_settled,
+        pt.graphpd_stages,
+        pt.graphpd_grows,
+        pt.graphpd_merges,
     );
     if let Some(rss) = pt.peak_rss {
         let _ = write!(
@@ -161,9 +206,10 @@ fn point_json(pt: &Point) -> String {
     json
 }
 
-/// Runs one point in a fresh child process (`--point d p trials`) so its
-/// VmHWM belongs to that point alone, and returns the child's JSON line.
-fn measure_in_child(distance: usize, p: f64, trials: u64) -> String {
+/// Runs one point in a fresh child process (`--point d p trials backend`)
+/// so its VmHWM belongs to that point alone, and returns the child's JSON
+/// line.
+fn measure_in_child(distance: usize, p: f64, trials: u64, backend: DeepBackend) -> String {
     let exe = std::env::current_exe().expect("resolve own executable");
     let out = std::process::Command::new(exe)
         .args([
@@ -171,6 +217,7 @@ fn measure_in_child(distance: usize, p: f64, trials: u64) -> String {
             &distance.to_string(),
             &format!("{p:e}"),
             &trials.to_string(),
+            backend_name(backend),
         ])
         .output()
         .expect("spawn point child process");
@@ -191,7 +238,7 @@ fn measure_in_child(distance: usize, p: f64, trials: u64) -> String {
 
 fn smoke() {
     // Differential gate first: at d = 5 the auto budget keeps the GWT, so
-    // force both backends and compare predictions bit-for-bit.
+    // force both weight sources and compare predictions bit-for-bit.
     let gctx = ExperimentContext::with_source(5, 2e-3, WeightSource::Gwt);
     let lctx = ExperimentContext::with_source(5, 2e-3, WeightSource::Local);
     let batch = sample_batch(&gctx, 4_000, THREADS, SEED);
@@ -206,28 +253,68 @@ fn smoke() {
         "local weights diverged from the GWT at d = 5"
     );
 
-    // The large-distance gate: a d = 15 decode stream completes inside a
-    // loose wall-clock budget with no GWT allocated and both staging
-    // engines demonstrably live through the pipeline counters.
-    let pt = measure(15, 1e-3, SMOKE_TRIALS);
-    assert!(pt.local_stages > 0, "staged provider idle at d = 15");
-    assert!(pt.ondemand_stages > 0, "on-demand staging idle at d = 15");
+    // Backend accuracy gate: graph-pd is not bit-identical (ties may
+    // break differently), but on the same stream its failure count must
+    // sit within two-proportion noise of the on-demand backend's.
+    let mut gp = MwpmDecoder::for_context(lctx.decoding()).with_deep_backend(DeepBackend::GraphPd);
+    let mut sgp = DecodeScratch::new();
+    let rgp = astrea_core::decode_slice(&mut gp, &mut sgp, &batch, 0..batch.len());
+    let (f1, f2, n) = (rgp.failures as f64, rl.failures as f64, batch.len() as f64);
+    let pooled = (f1 + f2) / (2.0 * n);
+    let gate = 5.0 * (2.0 * pooled * (1.0 - pooled) / n).sqrt() * n;
     assert!(
-        pt.wall_s < SMOKE_BUDGET_S,
-        "throughput regression: {} shots took {:.1}s at d = 15 (budget {SMOKE_BUDGET_S}s)",
-        pt.trials,
-        pt.wall_s
+        (f1 - f2).abs() <= gate.max(1.0),
+        "graph-pd failures {} vs on-demand {} in {} shots exceeds the equivalence gate",
+        rgp.failures,
+        rl.failures,
+        batch.len()
     );
-    if let Some(rss) = pt.peak_rss {
+    // Drift guard at the batch level: the forced backend did all the deep
+    // work, the other engine stayed idle.
+    assert!(sgp.ondemand.stats.is_idle(), "graph-pd run drove on-demand");
+    assert!(sl.graphpd.stats.is_idle(), "on-demand run drove graph-pd");
+
+    // The large-distance gate, once per backend: a d = 15 decode stream
+    // completes inside a loose wall-clock budget with no GWT allocated,
+    // the selected engine demonstrably live through the pipeline counters
+    // and the other engine idle (dispatch drift guard).
+    for backend in [DeepBackend::Ondemand, DeepBackend::GraphPd] {
+        let pt = measure(15, 1e-3, SMOKE_TRIALS, backend);
+        match backend {
+            DeepBackend::GraphPd => {
+                assert!(pt.graphpd_stages > 0, "graph-pd staging idle at d = 15");
+                assert_eq!(
+                    pt.ondemand_stages, 0,
+                    "graph-pd run drove the on-demand engine at d = 15"
+                );
+            }
+            _ => {
+                assert!(pt.ondemand_stages > 0, "on-demand staging idle at d = 15");
+                assert_eq!(
+                    pt.graphpd_stages, 0,
+                    "on-demand run drove the graph-pd engine at d = 15"
+                );
+            }
+        }
+        assert!(pt.local_stages > 0, "staged provider idle at d = 15");
         assert!(
-            (rss as usize) < pt.gwt_projected * 4,
-            "peak RSS {rss} not credibly below a GWT-carrying footprint"
+            pt.wall_s < SMOKE_BUDGET_S,
+            "throughput regression: {} shots took {:.1}s at d = 15 under {} \
+             (budget {SMOKE_BUDGET_S}s)",
+            pt.trials,
+            pt.wall_s,
+            backend_name(backend),
         );
+        if let Some(rss) = pt.peak_rss {
+            assert!(
+                (rss as usize) < pt.gwt_projected * 4,
+                "peak RSS {rss} not credibly below a GWT-carrying footprint"
+            );
+        }
     }
     println!(
-        "smoke OK: d = 15 decoded GWT-free in {:.1}s (budget {SMOKE_BUDGET_S}s), both staging \
-         engines engaged",
-        pt.wall_s
+        "smoke OK: d = 15 decoded GWT-free under both deep backends (budget {SMOKE_BUDGET_S}s \
+         each), engines engaged without dispatch drift"
     );
 }
 
@@ -244,12 +331,15 @@ fn main() {
                 p_override = Some(v.parse().expect("--p value must be a float"));
             }
             "--point" => {
-                // Child mode: measure one (d, p, trials) point and emit
-                // it as a machine-readable line for the parent.
+                // Child mode: measure one (d, p, trials, backend) point
+                // and emit it as a machine-readable line for the parent.
                 let d: usize = args.next().unwrap().parse().expect("--point distance");
                 let p: f64 = args.next().unwrap().parse().expect("--point probability");
                 let trials: u64 = args.next().unwrap().parse().expect("--point trials");
-                let pt = measure(d, p, trials);
+                let backend = args
+                    .next()
+                    .map_or(DeepBackend::Ondemand, |b| parse_backend(&b));
+                let pt = measure(d, p, trials, backend);
                 println!("POINT {}", point_json(&pt));
                 return;
             }
@@ -278,7 +368,9 @@ fn main() {
     let mut point_lines: Vec<String> = Vec::new();
     for (d, trials) in schedule {
         for &p in &ps {
-            point_lines.push(measure_in_child(d, p, trials.max(100)));
+            for backend in [DeepBackend::Ondemand, DeepBackend::GraphPd] {
+                point_lines.push(measure_in_child(d, p, trials.max(100), backend));
+            }
         }
     }
 
@@ -289,7 +381,8 @@ fn main() {
         json,
         "  \"note\": \"GWT-free local weight path; each point ran in its own process, so \
          peak_rss_bytes is that point's VmHWM alone; gwt_projected_bytes = 13 * detectors^2 \
-         is what the table would have cost\","
+         is what the table would have cost; backend is the deep-tail engine (ondemand = \
+         staged discovery, graph-pd = graph-native primal-dual)\","
     );
     json.push_str("  \"points\": [\n");
     for (i, line) in point_lines.iter().enumerate() {

@@ -90,11 +90,6 @@ pub struct MwpmDecoder<'a> {
     deep_backend: DeepBackend,
     /// Destination for batched quantized gathers on the scratch path.
     qblock: QuantizedBlock,
-    /// Staging buffers for the batched quantized closed-form path
-    /// (GWT backend only — the gather loop and the solve loop run
-    /// separately so the random table reads pipeline across shots).
-    batch_wq: Vec<u16>,
-    batch_bq: Vec<u16>,
 }
 
 impl<'a> MwpmDecoder<'a> {
@@ -105,8 +100,6 @@ impl<'a> MwpmDecoder<'a> {
             use_quantized: false,
             deep_backend: DeepBackend::default(),
             qblock: QuantizedBlock::new(),
-            batch_wq: Vec::new(),
-            batch_bq: Vec::new(),
         }
     }
 
@@ -118,8 +111,6 @@ impl<'a> MwpmDecoder<'a> {
             use_quantized: true,
             deep_backend: DeepBackend::default(),
             qblock: QuantizedBlock::new(),
-            batch_wq: Vec::new(),
-            batch_bq: Vec::new(),
         }
     }
 
@@ -134,8 +125,6 @@ impl<'a> MwpmDecoder<'a> {
             use_quantized: false,
             deep_backend: DeepBackend::default(),
             qblock: QuantizedBlock::new(),
-            batch_wq: Vec::new(),
-            batch_bq: Vec::new(),
         }
     }
 
@@ -453,7 +442,19 @@ impl<'a> MwpmDecoder<'a> {
         if k == 0 {
             return MatchingSolution::default();
         }
-        self.ensure_staged(detectors);
+        if k > DP_NODE_LIMIT && self.deep_backend == DeepBackend::GraphPd {
+            if let Weights::Local { provider, .. } = &self.weights {
+                // The allocating oracle path mirrors the scratch path's
+                // backend choice with a throwaway arena (stats discarded
+                // — only the scratch path feeds the pipeline counters).
+                let mut gp = decoding_graph::GraphPdScratch::new();
+                provider.borrow_mut().stage_graph_pd(detectors, &mut gp);
+            } else {
+                self.ensure_staged(detectors);
+            }
+        } else {
+            self.ensure_staged(detectors);
+        }
         if k <= DP_NODE_LIMIT {
             // The subset DP prunes and decomposes into clusters
             // internally; no need to split here.
@@ -779,6 +780,7 @@ impl<'a> MwpmDecoder<'a> {
         &mut self,
         detectors: &[u32],
         scratch: &mut DecodeScratch,
+        graphpd: bool,
     ) -> Prediction {
         let k = detectors.len();
         if self.use_quantized {
@@ -810,6 +812,9 @@ impl<'a> MwpmDecoder<'a> {
         if ends.len() == 1 {
             // A single cluster gets the identically-ordered full detector
             // list, exactly as `decode_full` hands it to the solver.
+            if graphpd {
+                scratch.graphpd.stats.blossoms += 1;
+            }
             observables = self.blossom_obs_staged(detectors, scratch);
         } else {
             let mut start = 0usize;
@@ -818,7 +823,12 @@ impl<'a> MwpmDecoder<'a> {
                 observables ^= match dets.len() {
                     1..=4 => self.decode_closed_form(dets).observables,
                     len if len <= DP_NODE_LIMIT => self.dp_obs_scratch(dets, scratch),
-                    _ => self.blossom_obs_scratch(dets, &mut scratch.sparse),
+                    _ => {
+                        if graphpd {
+                            scratch.graphpd.stats.blossoms += 1;
+                        }
+                        self.blossom_obs_scratch(dets, &mut scratch.sparse)
+                    }
                 };
                 start = end as usize;
             }
@@ -860,15 +870,29 @@ impl Decoder for MwpmDecoder<'_> {
             // deadline certificates, instead of the full per-row sweep.
             // The blocks are bit-compatible for every cell the decode
             // consumes, so everything downstream is shared.
-            match (&self.weights, self.deep_backend) {
+            // The graph-pd engine is the opt-in exception: it fills the
+            // same staged block, but with meet-in-the-middle weights
+            // that are only semantically (not bit-) equal — see
+            // `DeepBackend::GraphPd`.
+            let graphpd = match (&self.weights, self.deep_backend) {
                 (Weights::Local { provider, .. }, DeepBackend::Ondemand) => {
                     provider
                         .borrow_mut()
                         .stage_ondemand(detectors, &mut scratch.ondemand);
+                    false
                 }
-                _ => self.ensure_staged(detectors),
-            }
-            return self.decode_deep_with_scratch(detectors, scratch);
+                (Weights::Local { provider, .. }, DeepBackend::GraphPd) => {
+                    provider
+                        .borrow_mut()
+                        .stage_graph_pd(detectors, &mut scratch.graphpd);
+                    true
+                }
+                _ => {
+                    self.ensure_staged(detectors);
+                    false
+                }
+            };
+            return self.decode_deep_with_scratch(detectors, scratch, graphpd);
         }
         self.ensure_staged(detectors);
         if k <= 4 {
@@ -935,24 +959,17 @@ impl Decoder for MwpmDecoder<'_> {
             return;
         }
         if self.use_quantized {
-            // Integer domain end to end: stage u16 operands in the
-            // decoder-owned batch buffers (6 pair + 4 boundary slots per
-            // shot, fixed stride so unused slots stay zero). Gathering
-            // every shot before solving any measurably beats the fused
-            // per-shot form on the GWT — the pure gather loop lets the
-            // random table reads overlap across shots.
-            let mut batch_wq = std::mem::take(&mut self.batch_wq);
-            let mut batch_bq = std::mem::take(&mut self.batch_bq);
-            batch_wq.clear();
-            batch_bq.clear();
-            for list in detectors.chunks_exact(k) {
+            // Integer domain end to end, fused per shot: the 6 + 4
+            // quantized operands live in registers between the gather
+            // and the closed form. (An A/B against gathering every
+            // shot's operands into decoder-owned batch buffers before
+            // solving — the PR 7 shape, kept on the GWT path on the
+            // theory that a pure gather loop overlaps the random table
+            // reads — showed the fused form equal at best and ~5-7%
+            // faster at d = 15 where the table outgrows the LLC; see
+            // EXPERIMENTS.md. The copy never pays.)
+            for (list, slot) in detectors.chunks_exact(k).zip(out.iter_mut()) {
                 let (w, b) = self.small_quantized(list);
-                batch_wq.extend_from_slice(&w);
-                batch_bq.extend_from_slice(&b);
-            }
-            for (s, (list, slot)) in detectors.chunks_exact(k).zip(out.iter_mut()).enumerate() {
-                let w = &batch_wq[s * 6..][..6];
-                let b = &batch_bq[s * 4..][..4];
                 let (_, mate) =
                     subset_dp::solve_closed_form(k, |i, j| w[tri_index(k, i, j)], |i| b[i]);
                 *slot = Prediction {
@@ -961,8 +978,6 @@ impl Decoder for MwpmDecoder<'_> {
                     deferred: false,
                 };
             }
-            self.batch_wq = batch_wq;
-            self.batch_bq = batch_bq;
         } else {
             // Exact path: stage the f64 operands in the scratch arena
             // (the weights/boundary vectors are free between decodes).
@@ -1290,6 +1305,65 @@ mod tests {
             assert!(!scratch_o.ondemand.stats.is_idle());
             assert!(scratch_o.ondemand.stats.collisions > 0);
             assert!(scratch_s.ondemand.stats.is_idle());
+        }
+    }
+
+    #[test]
+    fn graph_pd_deep_backend_is_optimal_and_self_consistent() {
+        use qec_circuit::DemSampler;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        // In-crate spot check of the graph-pd contract (the certificate
+        // suite lives in the workspace `graphpd_vs_ondemand` tests):
+        // matchings may differ from the on-demand oracle's on ties, so
+        // the asserts are (1) equal total matching weight up to f64
+        // association noise — distinct matchings differ by whole error
+        // mechanisms, orders of magnitude above the tolerance — and
+        // (2) bit-equal predictions between the scratch and allocating
+        // paths of the graph-pd backend itself.
+        for quantized in [false, true] {
+            let lctx = local_ctx(7, 2e-2);
+            let mut ond = if quantized {
+                MwpmDecoder::for_context_quantized(&lctx)
+            } else {
+                MwpmDecoder::for_context(&lctx)
+            };
+            let mut gpd = ond.clone().with_deep_backend(DeepBackend::GraphPd);
+            assert_eq!(gpd.deep_backend(), DeepBackend::GraphPd);
+            let mut sampler = DemSampler::new(lctx.dem());
+            let mut rng = StdRng::seed_from_u64(314);
+            let mut scratch_o = DecodeScratch::new();
+            let mut scratch_g = DecodeScratch::new();
+            let mut deep = 0;
+            for _ in 0..150 {
+                let shot = sampler.sample(&mut rng);
+                deep += (shot.detectors.len() > DP_NODE_LIMIT) as u32;
+                // Scratch first: the provider memoizes the staged block
+                // per flavor, so `decode_full` replays it and the real
+                // discovery work lands in the persistent arena's stats.
+                let pg = gpd.decode_with_scratch(&shot.detectors, &mut scratch_g);
+                let fg = gpd.decode_full(&shot.detectors);
+                let fo = ond.decode_full(&shot.detectors);
+                assert!(
+                    (fo.weight - fg.weight).abs() <= 1e-6 * (1.0 + fo.weight.abs()),
+                    "weight certificate failed on {:?}: {} vs {}",
+                    shot.detectors,
+                    fg.weight,
+                    fo.weight
+                );
+                assert_eq!(pg.observables, fg.observables);
+                ond.decode_with_scratch(&shot.detectors, &mut scratch_o);
+            }
+            assert!(deep > 100, "only {deep} deep syndromes sampled");
+            // Dispatch drift guard: each backend drives only its own
+            // engine.
+            assert!(!scratch_g.graphpd.stats.is_idle());
+            assert!(scratch_g.graphpd.stats.merges > 0);
+            assert!(scratch_g.graphpd.stats.blossoms > 0);
+            assert!(scratch_g.ondemand.stats.is_idle());
+            assert!(!scratch_o.ondemand.stats.is_idle());
+            assert!(scratch_o.graphpd.stats.is_idle());
         }
     }
 

@@ -22,12 +22,19 @@
 //! provably behind boundary matching in both weight domains (see the
 //! [`decoding_graph::ondemand`] module docs for the full argument).
 //!
-//! [`DeepBackend`] selects between the two. [`DeepBackend::Ondemand`] is
-//! the default wherever a local provider is active;
+//! [`DeepBackend`] selects between the engines. [`DeepBackend::Ondemand`]
+//! is the default wherever a local provider is active;
 //! [`DeepBackend::Staged`] keeps PR 8's full sweep available as the
 //! differential oracle (the `ondemand_vs_staged` CI suite proves the two
 //! produce bit-identical predictions, matchings, and LER results) and as
-//! a fallback.
+//! a fallback. [`DeepBackend::GraphPd`] goes one step further down the
+//! Sparse Blossom road — all regions grow simultaneously and pairs
+//! resolve by meet-in-the-middle
+//! ([`LocalWeightProvider::stage_graph_pd`](decoding_graph::LocalWeightProvider::stage_graph_pd)),
+//! halving every collision radius — at the price of the bit-identity
+//! contract: it is explicitly opt-in and validated by per-shot weight
+//! certificates plus a statistical LER gate instead
+//! (`tests/graphpd_vs_ondemand.rs`).
 
 /// Which staging engine the deep tail (`k > DP_NODE_LIMIT`) uses on the
 /// GWT-free backend. Irrelevant (unread) when the decoder is backed by
@@ -42,4 +49,16 @@ pub enum DeepBackend {
     /// The full per-row staged sweep (PR 8). Retained as the
     /// differential oracle and fallback.
     Staged,
+    /// Graph-native primal-dual discovery: every fired detector grows a
+    /// region through one synchronized heap and pair weights come from
+    /// meet-in-the-middle, so a collision at distance D costs two
+    /// radius-D/2 balls instead of one radius-D ball. **Opt-in and not
+    /// bit-identical** to the other backends — meet weights associate
+    /// the f64 sum differently and equal-weight chains may tie-break to
+    /// a different matching — but per-shot total matching weight equals
+    /// the staged-oracle optimum in both weight domains (enforced by the
+    /// `graphpd_vs_ondemand` certificate suite) and LER is statistically
+    /// indistinguishable. Wins where the deep tail dominates: d ≥ 21 at
+    /// circuit-level p ≈ 10⁻³.
+    GraphPd,
 }

@@ -1,0 +1,297 @@
+//! Graph-native primal-dual pair discovery for the deep tail: grow every
+//! region a capped ball, collect meets where the balls co-settle, never
+//! materialize a pair weight that matching can't use.
+//!
+//! [`stage_ondemand`](crate::LocalWeightProvider::stage_ondemand) already
+//! certifies most pairs dominated without touching the graph, but every
+//! *genuine* collision pair still costs a one-sided search: the region of
+//! detector `i` must grow until it swallows detector `j`, a ball of
+//! radius `d(i, j)` — and a dominated-but-unexcluded pair costs the full
+//! bound radius. At d = 31 those balls pin ~1.8 M settles per shot — the
+//! measured floor of the one-sided contract (EXPERIMENTS.md, "Why not
+//! 10×").
+//!
+//! [`stage_graph_pd`](crate::LocalWeightProvider::stage_graph_pd) is the
+//! Sparse Blossom move (Higgott & Gidney, arXiv:2303.15933) applied to
+//! pair discovery: *both* endpoints of a pair grow toward each other, so
+//! each pays a fraction of the distance — and in the 3-D space-time
+//! lattice a fractional radius costs a cubed fraction of the volume. The
+//! stage runs five passes over packed per-shot state:
+//!
+//! 1. **Envelope.** A k×k distance envelope `lb(i,j) ≤ d(i,j) ≤ ub(i,j)`
+//!    from one pass over the ALT landmark arrays (`lb` from the best
+//!    difference, `ub` from the best sum — the same arrays the on-demand
+//!    exclusion reads, so it is free), with `ub` sharpened by a metric
+//!    closure through the fired detectors themselves (sound because every
+//!    `ub(i,m) + ub(m,j)` overestimates a real path).
+//! 2. **Census.** Pairs whose coordinate or landmark `lb` clears the
+//!    dominance bound `bound(i,j) = max(bᵢ + bⱼ, (qbᵢ + qbⱼ + 1)/scale)`
+//!    are excluded outright; each survivor records its joint growth
+//!    requirement `need(i,j) = min(bound, ub) + w_max`, where `w_max` is
+//!    the largest internal edge weight.
+//! 3. **Share passes.** The joint requirement is split between the two
+//!    endpoint regions. Any split works — whenever the two radius caps
+//!    sum to `need`, the first shortest-chain node inside the walked cap
+//!    is settled by both balls (the split-edge argument below) — so the
+//!    split is a pure cost knob, and a few fixed-point rounds of
+//!    proportional sharing let regions that already grow far for one
+//!    pair absorb their other pairs' shares for free. The last round
+//!    assigns roles: the larger share becomes the *dense* (painted)
+//!    side, the smaller the *walked* side, skewed further toward dense
+//!    because region caps are shared across a region's pairs while the
+//!    walk is paid per pair.
+//! 4. **Growth.** One capped Dijkstra per region over the provider's
+//!    stamped `NodeState` arrays, logging each ball as a contiguous
+//!    `(dist, node, parity)` run. Frontier pushes beyond the cap are
+//!    skipped — with positive weights nothing outside the cap re-enters
+//!    it, so capped balls stay prefix-exact (the on-demand radius
+//!    argument). The frontier is a Dial bucket queue with granularity
+//!    strictly below the smallest edge weight: draining a bucket can
+//!    never push back into it, so settle order is exact Dijkstra order
+//!    at O(1) per queue operation instead of a binary-heap log.
+//! 5. **Meet sweep.** Pairs arrive grouped by dense endpoint; each
+//!    group paints its ball into an O(ℓ) epoch-stamped image once, then
+//!    every pair walks its partner ball's bucket-ordered prefix (up to
+//!    its own cutoff, with one granule of slack for within-bucket
+//!    disorder) and probes the image for co-settled nodes, keeping the
+//!    minimum witness `μ = d_dense(x) + d_walk(x)`.
+//!
+//! **Why the witnesses are exact.** For a pair with true distance
+//! `D ≤ min(bound, ub)` and caps `c_dense + c_walk ≥ D + w_max`, take
+//! the first node `y` on the shortest `i → j` chain with
+//! `suffix(y) ≤ c_walk`. Its predecessor has `suffix > c_walk`, so
+//! `prefix(y) < D - c_walk + w_max ≤ c_dense` — `y` is settled by both
+//! capped balls, both distances are prefix-exact, and the witness sums
+//! to exactly `D`. Any witness anywhere is `≥ D` by the triangle
+//! inequality, so the sweep minimum is exactly `d(i, j)` for every pair
+//! that matters; a pair whose balls never co-settle within its bound is
+//! certified dominated — the staged oracle's settled/`INFINITY` split.
+//!
+//! The discovered block is *semantically* identical to the staged
+//! oracle's (same settled-pair set, same dominance certificates) but not
+//! *bit*-identical: a meet weight is the sum of two partial chains
+//! rather than one source-rooted chain, so the f64 rounds differently in
+//! the last ulp, and an equal-weight meet may surface a different
+//! shortest chain (different observable parity) than the one-sided
+//! relaxation order picks. [`DeepBackend::GraphPd`] is therefore an
+//! explicitly opt-in backend, validated by per-shot optimality
+//! certificates (equal total matching weight under the oracle's weights)
+//! and a statistical LER gate rather than matching-for-matching equality
+//! — see `tests/graphpd_vs_ondemand.rs`.
+//!
+//! All per-shot bookkeeping lives in a [`GraphPdScratch`] owned by the
+//! worker's `DecodeScratch`: buffers grow once and are reused, so
+//! steady-state discovery performs no allocation.
+//!
+//! [`DeepBackend::GraphPd`]: https://docs.rs/blossom-mwpm
+
+/// Work counters for the graph-native primal-dual discovery engine,
+/// threaded through the pipeline's counters so benches and smoke tests
+/// can see the backend working (and assert the *other* deep backends
+/// stayed idle — the dispatch drift guard).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GraphPdStats {
+    /// Calls to
+    /// [`stage_graph_pd`](crate::LocalWeightProvider::stage_graph_pd)
+    /// (one per deep shot that reaches the backend).
+    pub stages: u64,
+    /// Stagings answered by the staged-block memo (identical detector
+    /// list discovered again — replayed shots on served streams).
+    pub memo_hits: u64,
+    /// Growth regions seeded (fired detectors with at least one
+    /// non-excluded pair).
+    pub regions: u64,
+    /// Region grow steps: nodes settled across all regions (the grown
+    /// volume — the number the one-sided engine pays a multiple of).
+    pub grows: u64,
+    /// Adjacency entries scanned while growing (relaxations attempted).
+    pub edge_events: u64,
+    /// Region merges: pairs whose half-radius balls co-settled within
+    /// the bound, i.e. pairs discovered with an exact weight.
+    pub merges: u64,
+    /// Regions grown to their cap and retired (every region retires —
+    /// kept distinct from `regions` so a dispatch bug that seeds but
+    /// never grows shows up as a counter mismatch).
+    pub frozen: u64,
+    /// Deep clusters handed to the blossom solver under graph-pd
+    /// staging (the matching-side cost of what discovery found).
+    pub blossoms: u64,
+    /// Pairs certified dominated: the capped balls never co-settled
+    /// within the pair's bound, so boundary matching provably wins in
+    /// both weight domains.
+    pub deadline_pruned: u64,
+    /// Pairs excluded up front by a coordinate or landmark lower bound
+    /// (never tracked at all).
+    pub excluded: u64,
+}
+
+impl GraphPdStats {
+    /// Accumulates another counter set into this one.
+    pub fn merge(&mut self, other: &GraphPdStats) {
+        self.stages += other.stages;
+        self.memo_hits += other.memo_hits;
+        self.regions += other.regions;
+        self.grows += other.grows;
+        self.edge_events += other.edge_events;
+        self.merges += other.merges;
+        self.frozen += other.frozen;
+        self.blossoms += other.blossoms;
+        self.deadline_pruned += other.deadline_pruned;
+        self.excluded += other.excluded;
+    }
+
+    /// True when no graph-pd discovery ran (used by smoke asserts).
+    pub fn is_idle(&self) -> bool {
+        self.stages == 0
+    }
+
+    /// The work done since `baseline` was captured (saturating, so a
+    /// counter reset between captures reads as zero rather than
+    /// wrapping). The pipeline uses this to attribute a worker's
+    /// cumulative counters to individual tiles.
+    pub fn delta_since(&self, baseline: &GraphPdStats) -> GraphPdStats {
+        GraphPdStats {
+            stages: self.stages.saturating_sub(baseline.stages),
+            memo_hits: self.memo_hits.saturating_sub(baseline.memo_hits),
+            regions: self.regions.saturating_sub(baseline.regions),
+            grows: self.grows.saturating_sub(baseline.grows),
+            edge_events: self.edge_events.saturating_sub(baseline.edge_events),
+            merges: self.merges.saturating_sub(baseline.merges),
+            frozen: self.frozen.saturating_sub(baseline.frozen),
+            blossoms: self.blossoms.saturating_sub(baseline.blossoms),
+            deadline_pruned: self
+                .deadline_pruned
+                .saturating_sub(baseline.deadline_pruned),
+            excluded: self.excluded.saturating_sub(baseline.excluded),
+        }
+    }
+}
+
+/// One tracked (non-excluded) pair of the current shot.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PairRec {
+    /// Best co-settlement witness so far (`INFINITY` until the balls
+    /// touch); exactly `d(i, j)` once the sweep completes, for every
+    /// pair within its bound.
+    pub(crate) mu: f64,
+    /// Dominance bound `max(bᵢ + bⱼ, (qbᵢ + qbⱼ + 1)/scale)`.
+    pub(crate) bound: f64,
+    /// Walked-side share of the pair's joint growth requirement
+    /// (inflated): the sweep walks only the partner ball's prefix up to
+    /// it, because the split-edge witness is guaranteed to sit within
+    /// this distance of the walked endpoint. During the share passes the
+    /// field temporarily holds the whole requirement
+    /// `min(bound, ub) + w_max`.
+    pub(crate) cut: f64,
+    /// Observable parity of the chain behind `mu`.
+    pub(crate) parity: u32,
+    /// Endpoint slots (`i < j`).
+    pub(crate) i: u32,
+    pub(crate) j: u32,
+}
+
+/// One settled node of a region's ball log: distance, node, and chain
+/// parity in 16 bytes, so growth writes and sweep walks touch a single
+/// stream.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct BallEntry {
+    /// Settled distance from the region source.
+    pub(crate) dist: f64,
+    /// The settled node.
+    pub(crate) node: u32,
+    /// Chain parity behind `dist`.
+    pub(crate) par: u32,
+}
+
+/// One node of the sweep's dense ball image: settled distance, validity
+/// stamp, and chain parity packed into 16 bytes so a probe costs one
+/// cache line instead of three.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct DenseEntry {
+    /// Settled distance from the imaged region's source.
+    pub(crate) dist: f64,
+    /// Image epoch this entry belongs to (stale entries are ignored).
+    pub(crate) stamp: u32,
+    /// Chain parity behind `dist`.
+    pub(crate) par: u32,
+}
+
+/// Per-region growth state.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RegionRec {
+    /// Radius cap: the largest share of a joint pair requirement
+    /// `min(bound, ub) + w_max` charged to this region by the share
+    /// passes. Frontier pushes beyond the cap are skipped — the same
+    /// prefix-exactness argument as the on-demand radius skip, since
+    /// with positive weights any path into the capped ball stays inside
+    /// it.
+    pub(crate) cap: f64,
+    /// Tracked pairs charged to this region; zero-pair regions are
+    /// never grown.
+    pub(crate) pairs: u32,
+}
+
+/// Per-worker bookkeeping arena for
+/// [`stage_graph_pd`](crate::LocalWeightProvider::stage_graph_pd): the
+/// pair/region tables, the region-major ball log, the dense sweep image,
+/// and the Dial queue. Owned by `DecodeScratch` so the buffers persist across
+/// shots — grown once, reused forever, zero steady-state allocation.
+#[derive(Debug, Clone, Default)]
+pub struct GraphPdScratch {
+    /// Tracked pairs of the current shot, grouped by first endpoint
+    /// (census order) so the sweep paints each region's image once.
+    pub(crate) pairs: Vec<PairRec>,
+    /// Per-region growth state.
+    pub(crate) regions: Vec<RegionRec>,
+    /// Ball log, region-major: nodes settled by each region in growth
+    /// order (contiguous per region, bucket-ordered — distances are
+    /// nondecreasing up to one Dial granule of within-bucket disorder).
+    pub(crate) ball: Vec<BallEntry>,
+    /// Region r's ball occupies `ball_*[ball_head[r]..ball_head[r+1]]`.
+    pub(crate) ball_head: Vec<u32>,
+    /// k×k landmark lower bounds for the census (deflated, symmetric).
+    pub(crate) lb: Vec<f64>,
+    /// k×k distance upper bounds: landmark bounds sharpened by a
+    /// metric-closure pass through the fired detectors themselves.
+    pub(crate) ub: Vec<f64>,
+    /// Dense ball image of the sweep's current region, O(ℓ) and
+    /// L2-resident; an entry is valid where its stamp matches the
+    /// current epoch (epoch-tagged so repainting is O(ball), not O(ℓ)).
+    pub(crate) dense: Vec<DenseEntry>,
+    /// Current image epoch.
+    pub(crate) dense_epoch: u32,
+    /// Dial (bucket) queue for the capped growths: bucket `b` holds
+    /// frontier keys with distance in `[b·gran, (b+1)·gran)` where
+    /// `gran` is strictly below the smallest edge weight, so draining a
+    /// bucket can never push back into it and settle order is exact
+    /// Dijkstra order at O(1) per operation.
+    pub(crate) dial: Vec<Vec<u128>>,
+    /// Row buffer for the metric-closure pass (the pivot row is copied
+    /// out so the relaxation can scan it while rewriting other rows).
+    pub(crate) closure_row: Vec<f64>,
+    /// Work counters accumulated by this worker since construction (the
+    /// pipeline harvests deltas per tile).
+    pub stats: GraphPdStats,
+}
+
+impl GraphPdScratch {
+    /// A fresh, empty arena.
+    pub fn new() -> GraphPdScratch {
+        GraphPdScratch::default()
+    }
+
+    /// Clears the bookkeeping (not the accumulated stats) without
+    /// releasing capacity.
+    pub fn clear(&mut self) {
+        self.pairs.clear();
+        self.regions.clear();
+        self.ball.clear();
+        self.ball_head.clear();
+        self.lb.clear();
+        self.ub.clear();
+        self.dense.clear();
+        self.dense_epoch = 0;
+        self.dial.clear();
+        self.closure_row.clear();
+    }
+}

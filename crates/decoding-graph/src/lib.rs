@@ -33,6 +33,7 @@
 mod context;
 mod decoder;
 mod graph;
+pub mod graph_pd;
 mod gwt;
 mod local;
 pub mod ondemand;
@@ -42,6 +43,7 @@ mod scratch;
 pub use context::{DecodingContext, GWT_AUTO_BUDGET_BYTES};
 pub use decoder::{Decoder, Prediction};
 pub use graph::{Edge, EdgeKind, MatchingGraph};
+pub use graph_pd::{GraphPdScratch, GraphPdStats};
 pub use gwt::{GlobalWeightTable, QuantizedBlock, MAX_GATHER_NODES};
 pub use local::{BoundaryTable, LocalWeightProvider, LocalWeightStats, WeightSource};
 pub use ondemand::{OndemandScratch, OndemandStats};

@@ -21,6 +21,7 @@
 //! differential suite at d ∈ {3, 5, 7}.
 
 use crate::graph::MatchingGraph;
+use crate::graph_pd::{BallEntry, DenseEntry, GraphPdScratch, PairRec, RegionRec};
 use crate::gwt::{quantize, OrdF64, DEFAULT_WEIGHT_SCALE};
 use crate::ondemand::OndemandScratch;
 use std::cmp::Reverse;
@@ -31,6 +32,12 @@ use std::collections::BinaryHeap;
 /// graphs). 16 keeps the per-pair filter at a few dozen subtractions and
 /// the table under 2 MB even at d = 31 — still `O(ℓ)` per worker.
 const NUM_LANDMARKS: usize = 16;
+
+/// Largest detector count for which graph-pd staging sharpens its
+/// landmark upper bounds with a k³ metric closure through the fired
+/// detectors. Beyond this the closure would rival the growth it saves,
+/// so deeper shots fall back to raw landmark bounds.
+const GRAPH_PD_CLOSURE_LIMIT: usize = 384;
 
 /// Packed per-node Dijkstra state: distance, stamp, and path parity in
 /// one 16-byte record, so a relaxation's stamp check, distance compare,
@@ -68,6 +75,21 @@ fn heap_key(d: f64, node: u32) -> u128 {
 #[inline]
 fn heap_key_dist(key: u128) -> f64 {
     f64::from_bits((key >> 32) as u64)
+}
+
+/// Which engine produced the currently staged block. The flavors fill
+/// different cell subsets (full rows, upper-triangle on demand, met
+/// pairs only), so a memo of one kind must never serve another.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StageFlavor {
+    /// Full per-row staging ([`LocalWeightProvider::stage`]).
+    Full,
+    /// On-demand upper-triangle staging
+    /// ([`LocalWeightProvider::stage_ondemand`]).
+    Ondemand,
+    /// Graph-native primal-dual discovery
+    /// ([`LocalWeightProvider::stage_graph_pd`]).
+    GraphPd,
 }
 
 /// Which weight backend a [`DecodingContext`](crate::DecodingContext)
@@ -278,6 +300,15 @@ pub struct LocalWeightProvider<'a> {
     // CSR adjacency over internal edges, `incident_edges` order.
     adj_head: Vec<u32>,
     adj: Vec<AdjEntry>,
+    /// Largest internal edge weight — the split-edge slack graph-pd
+    /// radius caps and witness cutoffs carry so via-node meet witnesses
+    /// always land inside the capped balls.
+    w_max: f64,
+    /// Dial-queue granularity: strictly below the smallest internal
+    /// edge weight, so one relaxation always advances at least one
+    /// bucket even under floating-point rounding — the invariant that
+    /// makes bucket-order settling exact Dijkstra order.
+    w_gran: f64,
     // The staged k×k block for the current detector list.
     dets: Vec<u32>,
     slot: Vec<u32>,
@@ -288,11 +319,8 @@ pub struct LocalWeightProvider<'a> {
     /// Per-target settle bound of the current expansion (NaN = excluded).
     bound: Vec<f64>,
     staged: bool,
-    /// Whether the staged block was produced by the on-demand engine
-    /// (upper-triangle + per-pair deadlines) rather than the full
-    /// per-row staging. The two flavors fill different cell subsets, so
-    /// a memo of one kind must never serve the other.
-    staged_ondemand: bool,
+    /// Which engine produced the staged block (see [`StageFlavor`]).
+    flavor: StageFlavor,
     stats: LocalWeightStats,
 }
 
@@ -420,6 +448,8 @@ impl<'a> LocalWeightProvider<'a> {
             epoch: 0,
             heap: BinaryHeap::new(),
             adj_head,
+            w_max: adj.iter().map(|e| e.weight).fold(0.0, f64::max),
+            w_gran: adj.iter().map(|e| e.weight).fold(f64::INFINITY, f64::min) * (1.0 - 1e-6),
             adj,
             dets: Vec::new(),
             slot: vec![0; n],
@@ -429,7 +459,7 @@ impl<'a> LocalWeightProvider<'a> {
             obs: Vec::new(),
             bound: Vec::new(),
             staged: false,
-            staged_ondemand: false,
+            flavor: StageFlavor::Full,
             stats: LocalWeightStats::default(),
         }
     }
@@ -468,12 +498,11 @@ impl<'a> LocalWeightProvider<'a> {
     /// only against boundary sums or clamps at least as large).
     pub fn stage(&mut self, dets: &[u32]) {
         self.stats.stages += 1;
-        if self.staged && !self.staged_ondemand && self.dets == dets {
+        if self.staged && self.flavor == StageFlavor::Full && self.dets == dets {
             self.stats.memo_hits += 1;
             return;
         }
         self.staged = false;
-        self.staged_ondemand = false;
         let k = dets.len();
         self.dets.clear();
         self.dets.extend_from_slice(dets);
@@ -493,6 +522,7 @@ impl<'a> LocalWeightProvider<'a> {
             self.expand(i);
         }
         self.staged = true;
+        self.flavor = StageFlavor::Full;
     }
 
     /// One truncated per-source Dijkstra: fills row `i` of the staged
@@ -605,12 +635,11 @@ impl<'a> LocalWeightProvider<'a> {
     /// never masks an on-demand restage or vice versa.
     pub fn stage_ondemand(&mut self, dets: &[u32], od: &mut OndemandScratch) {
         od.stats.stages += 1;
-        if self.staged && self.staged_ondemand && self.dets == dets {
+        if self.staged && self.flavor == StageFlavor::Ondemand && self.dets == dets {
             od.stats.memo_hits += 1;
             return;
         }
         self.staged = false;
-        self.staged_ondemand = false;
         let k = dets.len();
         self.dets.clear();
         self.dets.extend_from_slice(dets);
@@ -632,7 +661,7 @@ impl<'a> LocalWeightProvider<'a> {
             self.expand_ondemand(i, od);
         }
         self.staged = true;
-        self.staged_ondemand = true;
+        self.flavor = StageFlavor::Ondemand;
     }
 
     /// One deadline-bounded per-source Dijkstra: fills the settled part
@@ -773,6 +802,376 @@ impl<'a> LocalWeightProvider<'a> {
         }
     }
 
+    /// Stages the pair-weight block for one detector list with the
+    /// graph-native primal-dual engine: every fired detector grows its
+    /// own fractional-radius capped Dijkstra ball over the provider's
+    /// stamped node arrays, and pair weights are recovered afterwards
+    /// from co-settlement alone — no one-sided search ever runs (see
+    /// the [`graph_pd`](crate::graph_pd) module docs for the share-pass
+    /// and witness-exactness arguments).
+    ///
+    /// The resulting block has the staged oracle's *semantics* — the
+    /// same settled-pair set (`d(i, j) ≤ bound(i, j)`), exact weights
+    /// for settled pairs, `INFINITY` with a dominance certificate for
+    /// the rest — but is **not bit-identical**: meet weights associate
+    /// the f64 sum differently (two partial chains instead of one rooted
+    /// chain) and equal-weight shortest chains may tie-break to a
+    /// different observable parity. Decoders built on this block carry
+    /// an optimality certificate (equal total matching weight under the
+    /// oracle's weights), not a matching-for-matching identity; that is
+    /// the [`DeepBackend::GraphPd`] contract, enforced by
+    /// `tests/graphpd_vs_ondemand.rs`.
+    ///
+    /// Restaging the identical list is a memoized no-op, keyed by
+    /// staging flavor like the other engines.
+    ///
+    /// [`DeepBackend::GraphPd`]: https://docs.rs/blossom-mwpm
+    pub fn stage_graph_pd(&mut self, dets: &[u32], gp: &mut GraphPdScratch) {
+        gp.stats.stages += 1;
+        if self.staged && self.flavor == StageFlavor::GraphPd && self.dets == dets {
+            gp.stats.memo_hits += 1;
+            return;
+        }
+        self.staged = false;
+        let k = dets.len();
+        self.dets.clear();
+        self.dets.extend_from_slice(dets);
+        self.slot_epoch = bump_epoch(self.slot_epoch, &mut self.slot_stamp);
+        for (s, &d) in dets.iter().enumerate() {
+            self.slot[d as usize] = s as u32;
+            self.slot_stamp[d as usize] = self.slot_epoch;
+        }
+        let scale = self.boundary.scale();
+
+        // Distance envelope: landmark lower/upper bounds for every slot
+        // pair, with the upper bounds sharpened by a metric closure
+        // through the fired detectors themselves — `ub(i, j) ≤
+        // ub(i, m) + ub(m, j)` stays sound because each term
+        // overestimates a true distance. Landmarks are global, detector
+        // chains are local; the closure recovers tight radii for pairs
+        // the landmarks see poorly. Cubic in k and row-vectorized, so
+        // the very deepest shots fall back to raw landmark bounds
+        // rather than pay k³.
+        gp.lb.clear();
+        gp.lb.resize(k * k, 0.0);
+        gp.ub.clear();
+        gp.ub.resize(k * k, 0.0);
+        for i in 0..k {
+            for j in (i + 1)..k {
+                let (lm_lb, lm_ub) = self.landmark_bounds(dets[i], dets[j]);
+                gp.lb[i * k + j] = lm_lb;
+                gp.lb[j * k + i] = lm_lb;
+                gp.ub[i * k + j] = lm_ub;
+                gp.ub[j * k + i] = lm_ub;
+            }
+        }
+        if k <= GRAPH_PD_CLOSURE_LIMIT {
+            gp.closure_row.resize(k, 0.0);
+            for m in 0..k {
+                gp.closure_row.copy_from_slice(&gp.ub[m * k..(m + 1) * k]);
+                for i in 0..k {
+                    let base = gp.ub[i * k + m];
+                    if !base.is_finite() {
+                        continue;
+                    }
+                    let row = &mut gp.ub[i * k..(i + 1) * k];
+                    for (u, &pivot) in row.iter_mut().zip(&gp.closure_row) {
+                        *u = u.min(base + pivot);
+                    }
+                }
+            }
+        }
+
+        // Pair census: exclude what a lower bound certifies dominated,
+        // record every kept pair's requirement, and accumulate
+        // tentative midpoint caps (reusing the closure row buffer).
+        gp.pairs.clear();
+        gp.regions.clear();
+        gp.regions.resize(k, RegionRec { cap: 0.0, pairs: 0 });
+        gp.closure_row.clear();
+        gp.closure_row.resize(k, 0.0);
+        for i in 0..k {
+            let src = dets[i];
+            let b_src = self.boundary.weight(src);
+            let qb_src = self.boundary.weight_q(src) as f64;
+            for (j, &dst) in dets.iter().enumerate().skip(i + 1) {
+                let exact_bound = b_src + self.boundary.weight(dst);
+                let quant_bound = (qb_src + self.boundary.weight_q(dst) as f64 + 1.0) / scale;
+                let b = exact_bound.max(quant_bound);
+                let cutoff = b * (1.0 + 1e-9) + 1e-9;
+                let lm_lb = gp.lb[i * k + j];
+                let lm_ub = gp.ub[i * k + j];
+                if self.lower_bound(src, dst) > cutoff || lm_lb > cutoff {
+                    gp.stats.excluded += 1;
+                    continue;
+                }
+                // Only min(bound, landmark upper bound) of growth,
+                // plus one split edge, split across the two endpoint
+                // balls can matter for this pair: whenever the two cap
+                // radii sum to the chain weight plus w_max, the first
+                // chain node within the walked cap is witnessed by both
+                // balls. `cut` temporarily holds the whole joint
+                // requirement; the share pass below divides it.
+                let need2 = b.min(lm_ub) + self.w_max;
+                gp.pairs.push(PairRec {
+                    mu: f64::INFINITY,
+                    bound: b,
+                    cut: need2,
+                    parity: 0,
+                    i: i as u32,
+                    j: j as u32,
+                });
+                let half = 0.5 * need2;
+                for r in [i, j] {
+                    gp.regions[r].pairs += 1;
+                    if half > gp.closure_row[r] {
+                        gp.closure_row[r] = half;
+                    }
+                }
+            }
+        }
+
+        // Share passes: divide each pair's requirement across its two
+        // balls in proportion to the previous round's caps, so a
+        // region that must grow far for its worst pair absorbs its
+        // other pairs almost for free and their partners stay small.
+        // Any split is sound — whenever the two caps sum to the joint
+        // requirement, the first shortest-chain node inside the walked
+        // cap is a witness in both balls — so each round's caps are
+        // feasible by construction, and a few rounds let the skew
+        // concentrate. The final round assigns roles and stores the
+        // walked (second) side's share as the pair's sweep cutoff.
+        for round in 0..4 {
+            let last = round == 3;
+            for pr in &mut gp.pairs {
+                let (i, j) = (pr.i as usize, pr.j as usize);
+                let (ti, tj) = (gp.closure_row[i], gp.closure_row[j]);
+                let frac = if ti + tj > 0.0 { ti / (ti + tj) } else { 0.5 };
+                let need2 = pr.cut;
+                let share_i = need2 * frac;
+                let share_j = need2 - share_i;
+                if last {
+                    // Walk the smaller share, then skew the split
+                    // further toward the dense side: region caps are
+                    // shared across a region's pairs while the probe
+                    // walk is paid per pair, so shaving the walk radius
+                    // wins even when it bumps a ball.
+                    let (dense, walk, ws) = if share_i >= share_j {
+                        (i, j, share_j)
+                    } else {
+                        (j, i, share_i)
+                    };
+                    let ws = ws * 0.8;
+                    let ds = need2 - ws;
+                    pr.i = dense as u32;
+                    pr.j = walk as u32;
+                    pr.cut = ws * (1.0 + 1e-9) + 1e-9;
+                    let dense_need = ds * (1.0 + 1e-9) + 1e-9;
+                    let reg = &mut gp.regions[dense];
+                    if dense_need > reg.cap {
+                        reg.cap = dense_need;
+                    }
+                    let reg = &mut gp.regions[walk];
+                    if pr.cut > reg.cap {
+                        reg.cap = pr.cut;
+                    }
+                } else {
+                    let reg = &mut gp.regions[i];
+                    if share_i > reg.cap {
+                        reg.cap = share_i;
+                    }
+                    let reg = &mut gp.regions[j];
+                    if share_j > reg.cap {
+                        reg.cap = share_j;
+                    }
+                }
+            }
+            if !last {
+                for r in 0..k {
+                    gp.closure_row[r] = gp.regions[r].cap;
+                    gp.regions[r].cap = 0.0;
+                }
+            }
+        }
+        // Role swapping broke the census's grouped-by-first-endpoint
+        // order the sweep relies on; restore it.
+        gp.pairs.sort_unstable_by_key(|pr| pr.i);
+
+        // Growth: one capped Dijkstra per region with tracked pairs,
+        // the on-demand engine's settle loop verbatim, logging each
+        // region's ball as a contiguous run.
+        gp.ball.clear();
+        gp.ball_head.clear();
+        gp.ball_head.push(0);
+        for (i, &src) in dets.iter().enumerate() {
+            let RegionRec { cap, pairs } = gp.regions[i];
+            if pairs == 0 {
+                gp.ball_head.push(gp.ball.len() as u32);
+                continue;
+            }
+            gp.stats.regions += 1;
+            let stamp = self.bump_node_epoch();
+            self.node[src as usize] = NodeState {
+                dist: 0.0,
+                stamp,
+                parity: 0,
+            };
+            let gran = self.w_gran;
+            let inv_gran = 1.0 / gran;
+            let nb = (cap * inv_gran) as usize + 2;
+            if gp.dial.len() < nb {
+                gp.dial.resize_with(nb, Vec::new);
+            }
+            gp.dial[0].push(heap_key(0.0, src));
+            let mut pending = 1usize;
+            let mut b = 0usize;
+            while pending > 0 {
+                // Draining bucket `b` can never push back into it:
+                // every relaxation adds at least one full granule.
+                let bucket = std::mem::take(&mut gp.dial[b]);
+                for &key in &bucket {
+                    pending -= 1;
+                    let d = heap_key_dist(key);
+                    let u = key as u32;
+                    let nu = self.node[u as usize];
+                    if nu.stamp != stamp || d > nu.dist {
+                        continue;
+                    }
+                    gp.stats.grows += 1;
+                    gp.ball.push(BallEntry {
+                        dist: d,
+                        node: u,
+                        par: nu.parity,
+                    });
+                    let a0 = self.adj_head[u as usize] as usize;
+                    let a1 = self.adj_head[u as usize + 1] as usize;
+                    gp.stats.edge_events += (a1 - a0) as u64;
+                    for a in a0..a1 {
+                        let e = self.adj[a];
+                        let nd = d + e.weight;
+                        let nw = &mut self.node[e.nbr as usize];
+                        if nw.stamp != stamp || nd < nw.dist {
+                            *nw = NodeState {
+                                dist: nd,
+                                stamp,
+                                parity: nu.parity ^ e.obs,
+                            };
+                            // Beyond-cap frontier nodes are never
+                            // pushed: with positive weights nothing
+                            // outside the cap re-enters it, so the
+                            // capped ball stays prefix-exact — the
+                            // on-demand radius argument.
+                            if nd <= cap {
+                                gp.dial[(nd * inv_gran) as usize].push(heap_key(nd, e.nbr));
+                                pending += 1;
+                            }
+                        }
+                    }
+                }
+                let mut bucket = bucket;
+                bucket.clear();
+                gp.dial[b] = bucket;
+                b += 1;
+            }
+            gp.stats.frozen += 1;
+            gp.ball_head.push(gp.ball.len() as u32);
+        }
+
+        // Pair-major meet sweep. The census emitted pairs grouped by
+        // first endpoint, so each region's ball is painted into the
+        // dense O(ℓ) image exactly once; every pair of that group then
+        // walks the partner ball's distance-sorted prefix up to its own
+        // witness cutoff and probes the image. Per-pair cost scales
+        // with that pair's relevant volume, not the region's worst
+        // pair.
+        let n_nodes = self.node.len();
+        gp.dense.resize(n_nodes, DenseEntry::default());
+        let mut p0 = 0;
+        while p0 < gp.pairs.len() {
+            let i = gp.pairs[p0].i;
+            let mut p1 = p0 + 1;
+            while p1 < gp.pairs.len() && gp.pairs[p1].i == i {
+                p1 += 1;
+            }
+            let next = gp.dense_epoch.wrapping_add(1);
+            gp.dense_epoch = if next == 0 {
+                for d in &mut gp.dense {
+                    d.stamp = 0;
+                }
+                1
+            } else {
+                next
+            };
+            let stamp = gp.dense_epoch;
+            let s = gp.ball_head[i as usize] as usize;
+            let e = gp.ball_head[i as usize + 1] as usize;
+            for b in &gp.ball[s..e] {
+                gp.dense[b.node as usize] = DenseEntry {
+                    dist: b.dist,
+                    stamp,
+                    par: b.par,
+                };
+            }
+            for p in p0..p1 {
+                let pr = gp.pairs[p];
+                let js = gp.ball_head[pr.j as usize] as usize;
+                let je = gp.ball_head[pr.j as usize + 1] as usize;
+                let mut mu = pr.mu;
+                let mut par = pr.parity;
+                let cut_s = pr.cut + self.w_gran;
+                for b in &gp.ball[js..je] {
+                    let dj = b.dist;
+                    // Entries past the cutoff can't witness an exact
+                    // chain; entries at or past the running minimum
+                    // can't improve it (cand ≥ dj ≥ mu). The balls are
+                    // bucket-ordered, not totally ordered, so both
+                    // breaks carry one granule of slack — later entries
+                    // can undershoot this one by at most `w_gran`.
+                    if dj > cut_s || dj >= mu + self.w_gran {
+                        break;
+                    }
+                    let d = gp.dense[b.node as usize];
+                    if d.stamp != stamp {
+                        continue;
+                    }
+                    let cand = d.dist + dj;
+                    if cand < mu {
+                        mu = cand;
+                        par = d.par ^ b.par;
+                    }
+                }
+                gp.pairs[p].mu = mu;
+                gp.pairs[p].parity = par;
+            }
+            p0 = p1;
+        }
+
+        // Resolution: a witness at or under the bound is the exact pair
+        // weight (merge); balls that never touched under the bound
+        // certify boundary dominance in both weight domains.
+        self.weights.clear();
+        self.weights.resize(k * k, f64::INFINITY);
+        self.obs.clear();
+        self.obs.resize(k * k, 0);
+        for i in 0..k {
+            self.weights[i * k + i] = 0.0;
+        }
+        for pr in &gp.pairs {
+            if pr.mu.is_finite() && pr.mu <= pr.bound {
+                gp.stats.merges += 1;
+                let (i, j) = (pr.i as usize, pr.j as usize);
+                self.weights[i * k + j] = pr.mu;
+                self.obs[i * k + j] = pr.parity;
+                self.weights[j * k + i] = pr.mu;
+                self.obs[j * k + i] = pr.parity;
+            } else {
+                gp.stats.deadline_pruned += 1;
+            }
+        }
+        self.staged = true;
+        self.flavor = StageFlavor::GraphPd;
+    }
+
     /// Advances the Dijkstra stamp epoch, clearing stamps on wraparound.
     fn bump_node_epoch(&mut self) -> u32 {
         let next = self.epoch.wrapping_add(1);
@@ -814,6 +1213,28 @@ impl<'a> LocalWeightProvider<'a> {
             lb = lb.max((x - y).abs());
         }
         lb * (1.0 - 1e-9) - 1e-9
+    }
+
+    /// ALT landmark lower *and* upper bounds on the shortest-path weight
+    /// in one pass over the landmark rows: the triangle inequality gives
+    /// `|d(l, a) − d(l, b)| ≤ d(a, b) ≤ d(l, a) + d(l, b)` for every
+    /// landmark `l`. The lower bound is deflated exactly like
+    /// [`landmark_bound`](Self::landmark_bound); the upper bound is the
+    /// raw f64 sum (callers inflate before trusting it as a radius). A
+    /// landmark reaching neither endpoint contributes `NaN`/`INFINITY`,
+    /// which `max`/`min` discard.
+    #[inline]
+    fn landmark_bounds(&self, a: u32, b: u32) -> (f64, f64) {
+        let l = self.num_land;
+        let da = &self.land[a as usize * l..a as usize * l + l];
+        let db = &self.land[b as usize * l..b as usize * l + l];
+        let mut lb = 0.0f64;
+        let mut ub = f64::INFINITY;
+        for (x, y) in da.iter().zip(db) {
+            lb = lb.max((x - y).abs());
+            ub = ub.min(x + y);
+        }
+        (lb * (1.0 - 1e-9) - 1e-9, ub)
     }
 
     /// Slot of a staged detector.
@@ -1191,6 +1612,101 @@ mod tests {
             assert!(!od.stats.is_idle());
             assert!(od.stats.collisions > 0);
         }
+    }
+
+    #[test]
+    fn graph_pd_block_matches_staged_semantics() {
+        // Differential ground truth for the graph-pd engine. The block is
+        // not bit-identical to the staged oracle's (meet weights associate
+        // the f64 sum differently), so the contract is semantic: the same
+        // settled-pair set — settled iff the oracle distance is within the
+        // pair's dominance bound — with settled weights equal to the
+        // oracle's up to f64 association noise, symmetric mirrors, and
+        // every unsettled pair certified dominated.
+        for (d, p) in [(3, 1e-3), (5, 5e-3), (5, 1e-3), (7, 2e-3)] {
+            let g = graph(d, p);
+            let bt = BoundaryTable::new(&g);
+            let mut staged = LocalWeightProvider::new(&g, &bt);
+            let mut graphpd = LocalWeightProvider::new(&g, &bt);
+            let mut gp = GraphPdScratch::new();
+            let n = g.num_detectors() as u32;
+            let lists: Vec<Vec<u32>> = vec![
+                vec![0, 1],
+                vec![0, n - 1],
+                (0..n).step_by(7).collect(),
+                (0..n).step_by(3).collect(),
+                (0..n).collect(),
+            ];
+            for dets in &lists {
+                staged.stage(dets);
+                graphpd.stage_graph_pd(dets, &mut gp);
+                let k = dets.len();
+                let scale = bt.scale();
+                for i in 0..k {
+                    for j in (i + 1)..k {
+                        let (a, b) = (dets[i], dets[j]);
+                        let sv = staged.pair_weight(a, b);
+                        let gv = graphpd.pair_weight(a, b);
+                        let bound = (bt.weight(a) + bt.weight(b))
+                            .max((bt.weight_q(a) as f64 + bt.weight_q(b) as f64 + 1.0) / scale);
+                        if gv.is_finite() {
+                            let tol = 1e-9 * (1.0 + sv.abs());
+                            assert!(
+                                (gv - sv).abs() <= tol,
+                                "({a},{b}) weight {gv} vs oracle {sv}"
+                            );
+                            assert_eq!(graphpd.pair_weight(b, a).to_bits(), gv.to_bits());
+                            assert_eq!(graphpd.pair_obs(b, a), graphpd.pair_obs(a, b));
+                        } else {
+                            assert!(
+                                sv > bound * (1.0 - 1e-9),
+                                "({a},{b}) pruned but oracle {sv} <= bound {bound}"
+                            );
+                        }
+                        // Every pair the decoders could prefer over
+                        // boundary matching must be discovered.
+                        if sv <= bound * (1.0 - 1e-9) {
+                            assert!(gv.is_finite(), "({a},{b}) consumable pair not met");
+                        }
+                    }
+                }
+            }
+            assert!(!gp.stats.is_idle());
+            assert!(gp.stats.merges > 0);
+            assert!(gp.stats.grows > 0);
+        }
+    }
+
+    #[test]
+    fn graph_pd_pair_accounting_partitions() {
+        // excluded + merges + deadline_pruned covers every pair of every
+        // staging exactly once, and a memoized restage does no work.
+        let g = graph(5, 3e-3);
+        let bt = BoundaryTable::new(&g);
+        let mut p = LocalWeightProvider::new(&g, &bt);
+        let mut gp = GraphPdScratch::new();
+        let n = g.num_detectors() as u32;
+        let dets: Vec<u32> = (0..n).step_by(3).collect();
+        let k = dets.len() as u64;
+        p.stage_graph_pd(&dets, &mut gp);
+        let s = gp.stats;
+        assert_eq!(s.stages, 1);
+        assert_eq!(s.excluded + s.merges + s.deadline_pruned, k * (k - 1) / 2);
+        p.stage_graph_pd(&dets, &mut gp);
+        let s2 = gp.stats;
+        assert_eq!(s2.memo_hits, 1);
+        assert_eq!(s2.grows, s.grows);
+        assert_eq!(s2.merges, s.merges);
+        // The graph-pd flavor must not serve the other engines' memos.
+        let before = p.stats();
+        p.stage(&dets);
+        assert_eq!(p.stats().memo_hits, before.memo_hits);
+        let mut od = OndemandScratch::new();
+        p.stage_ondemand(&dets, &mut od);
+        assert_eq!(od.stats.memo_hits, 0);
+        p.stage_graph_pd(&dets, &mut gp);
+        assert_eq!(gp.stats.memo_hits, 1);
+        assert_eq!(gp.stats.stages, 3);
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! index maps) so that any decoder in the workspace can reuse the same
 //! arena without this crate knowing its internals.
 
+use crate::graph_pd::GraphPdScratch;
 use crate::ondemand::OndemandScratch;
 use std::collections::VecDeque;
 
@@ -153,6 +154,10 @@ pub struct DecodeScratch {
     /// engine (deep tail under [`WeightSource`](crate::WeightSource)
     /// `::Local`).
     pub ondemand: OndemandScratch,
+    /// Persistent arena (and work counters) for the graph-native
+    /// primal-dual discovery engine (opt-in deep tail under
+    /// [`WeightSource`](crate::WeightSource) `::Local`).
+    pub graphpd: GraphPdScratch,
 }
 
 impl DecodeScratch {
@@ -174,6 +179,7 @@ impl DecodeScratch {
         self.ends.clear();
         self.sparse.clear();
         self.ondemand.clear();
+        self.graphpd.clear();
     }
 }
 

@@ -132,6 +132,25 @@ impl ExperimentContext {
 /// A thread-safe factory producing one decoder instance per worker thread.
 pub type DecoderFactory<'a> = dyn Fn(&'a ExperimentContext) -> Box<dyn Decoder + 'a> + Sync + 'a;
 
+/// A [`DecoderFactory`] producing backend-agnostic MWPM decoders with an
+/// explicit deep-tail engine — the one-liner opt-in that lets batch,
+/// pipeline, and serving runs select
+/// [`DeepBackend::GraphPd`](blossom_mwpm::DeepBackend) (or pin
+/// `Ondemand`/`Staged`) without hand-writing a closure:
+///
+/// ```ignore
+/// let f = mwpm_factory(DeepBackend::GraphPd);
+/// let (res, counters) = estimate_ler_streamed_counted(&ctx, n, seed, &f, cfg);
+/// ```
+pub fn mwpm_factory(
+    backend: blossom_mwpm::DeepBackend,
+) -> impl for<'a> Fn(&'a ExperimentContext) -> Box<dyn Decoder + 'a> + Sync {
+    move |c: &ExperimentContext| {
+        Box::new(blossom_mwpm::MwpmDecoder::for_context(c.decoding()).with_deep_backend(backend))
+            as Box<dyn Decoder + '_>
+    }
+}
+
 /// Which packed sampler feeds the pipeline's producers.
 ///
 /// Both honour the `column_seed` determinism contract, so either source

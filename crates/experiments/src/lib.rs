@@ -29,6 +29,6 @@ pub mod stratified;
 pub use astrea_core::pipeline::PipelineCounters;
 pub use harness::{
     decode_batch_ler, estimate_ler, estimate_ler_barrier, estimate_ler_streamed,
-    estimate_ler_streamed_counted, sample_batch, sample_batch_scalar, DecoderFactory,
+    estimate_ler_streamed_counted, mwpm_factory, sample_batch, sample_batch_scalar, DecoderFactory,
     ExperimentContext, LatencyStats, LerResult, PipelineConfig, SyndromeSource,
 };

@@ -57,17 +57,18 @@ pub mod prelude {
         LutDecoder, SliceOutcome, SyndromeBatch, SyndromeBatchBuilder, SyndromeCompressor,
     };
     pub use astrea_experiments::{
-        decode_batch_ler, estimate_ler, estimate_ler_barrier, estimate_ler_streamed, sample_batch,
-        sample_batch_scalar, ExperimentContext, LerResult, PipelineConfig, SyndromeSource,
+        decode_batch_ler, estimate_ler, estimate_ler_barrier, estimate_ler_streamed, mwpm_factory,
+        sample_batch, sample_batch_scalar, ExperimentContext, LerResult, PipelineConfig,
+        SyndromeSource,
     };
     pub use astrea_serve::{
         ClientSession, DecodeService, ServeConfig, ServiceStats, SubmitPolicy, WireClient,
     };
     pub use blossom_mwpm::{DeepBackend, LocalMwpmDecoder, MwpmDecoder, DP_NODE_LIMIT};
     pub use decoding_graph::{
-        BoundaryTable, DecodeScratch, Decoder, DecodingContext, GlobalWeightTable,
-        LocalWeightProvider, LocalWeightStats, MatchingGraph, OndemandStats, PathReconstructor,
-        Prediction, WeightSource,
+        BoundaryTable, DecodeScratch, Decoder, DecodingContext, GlobalWeightTable, GraphPdScratch,
+        GraphPdStats, LocalWeightProvider, LocalWeightStats, MatchingGraph, OndemandStats,
+        PathReconstructor, Prediction, WeightSource,
     };
     pub use qec_circuit::{
         build_memory_x_circuit, build_memory_z_circuit, column_seed, BatchDemSampler,
